@@ -1,0 +1,283 @@
+//! Reduced-precision GEMM kernels with device-faithful accumulation order.
+//!
+//! Four numerical modes from paper Sec. VI:
+//!
+//! * `FP16` — tensor-core style: operands rounded to binary16, 4-wide tile
+//!   products summed in f32 inside the MMA, accumulator rounded back to
+//!   binary16 after every tile (pure half-precision accumulate);
+//! * `FP16'` (mixed) — same binary16 operands and tile products, but the
+//!   accumulator stays in f32;
+//! * `FP32` — single-precision arithmetic in the GPU's column-streaming
+//!   order;
+//! * `FP64` — double precision (the reference);
+//! * `FpgaFP32` — single precision with the FPGA kernel's different
+//!   blocking (k-blocked with pairwise in-block summation). The paper notes
+//!   GPU-FP32 and FPGA-FP32 results differ *only* through this ordering.
+
+use rayon::prelude::*;
+
+use sm_linalg::Matrix;
+
+use crate::f16::F16;
+
+/// Numerical execution mode of a simulated device kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrecisionMode {
+    /// Binary16 operands and accumulator (tensor cores, FP16 accumulate).
+    Fp16,
+    /// Binary16 operands, f32 accumulator (tensor cores, mixed FP16').
+    Fp16Mixed,
+    /// Single precision on the GPU.
+    Fp32,
+    /// Double precision on the GPU (reference).
+    Fp64,
+    /// Single precision on the FPGA (different blocking order).
+    FpgaFp32,
+}
+
+impl PrecisionMode {
+    /// All modes in the paper's plotting order.
+    pub fn all() -> [PrecisionMode; 5] {
+        [
+            PrecisionMode::Fp16,
+            PrecisionMode::Fp16Mixed,
+            PrecisionMode::Fp32,
+            PrecisionMode::Fp64,
+            PrecisionMode::FpgaFp32,
+        ]
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrecisionMode::Fp16 => "GPU FP16",
+            PrecisionMode::Fp16Mixed => "GPU FP16'",
+            PrecisionMode::Fp32 => "GPU FP32",
+            PrecisionMode::Fp64 => "GPU FP64",
+            PrecisionMode::FpgaFp32 => "FPGA FP32",
+        }
+    }
+
+    /// Round a value to the mode's *storage* precision.
+    pub fn round_storage(&self, x: f64) -> f64 {
+        match self {
+            PrecisionMode::Fp16 | PrecisionMode::Fp16Mixed => F16::round_f64(x),
+            PrecisionMode::Fp32 | PrecisionMode::FpgaFp32 => x as f32 as f64,
+            PrecisionMode::Fp64 => x,
+        }
+    }
+
+    /// Round a whole matrix to storage precision.
+    pub fn round_matrix(&self, a: &Matrix) -> Matrix {
+        let mut out = a.clone();
+        for v in out.as_mut_slice() {
+            *v = self.round_storage(*v);
+        }
+        out
+    }
+}
+
+/// `C = A·B` in the given precision mode. Operands are first rounded to the
+/// mode's storage format (device upload), then multiplied with the mode's
+/// accumulation semantics. Parallel over result columns.
+pub fn gemm_mode(a: &Matrix, b: &Matrix, mode: PrecisionMode) -> Matrix {
+    assert_eq!(a.ncols(), b.nrows(), "gemm_mode dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.ncols();
+    let a_r = mode.round_matrix(a);
+    let b_r = mode.round_matrix(b);
+    let mut c = Matrix::zeros(m, n);
+
+    match mode {
+        PrecisionMode::Fp64 => {
+            // Reuse the optimized double-precision kernel.
+            sm_linalg::gemm::gemm(
+                1.0,
+                &a_r,
+                sm_linalg::gemm::Op::NoTrans,
+                &b_r,
+                sm_linalg::gemm::Op::NoTrans,
+                0.0,
+                &mut c,
+            )
+            .expect("validated shapes");
+        }
+        PrecisionMode::Fp32 => {
+            par_columns(&mut c, |j, col| {
+                for (i, ci) in col.iter_mut().enumerate() {
+                    let mut acc: f32 = 0.0;
+                    for kk in 0..k {
+                        acc += (a_r[(i, kk)] as f32) * (b_r[(kk, j)] as f32);
+                    }
+                    *ci = acc as f64;
+                }
+            });
+        }
+        PrecisionMode::FpgaFp32 => {
+            // FPGA kernel: k split into blocks of 8, pairwise (tree)
+            // summation inside each block, sequential f32 accumulation of
+            // block results — a different order than the GPU kernel.
+            par_columns(&mut c, |j, col| {
+                for (i, ci) in col.iter_mut().enumerate() {
+                    let mut acc: f32 = 0.0;
+                    let mut kk = 0;
+                    while kk < k {
+                        let hi = (kk + 8).min(k);
+                        let mut lane: [f32; 8] = [0.0; 8];
+                        for (l, kx) in (kk..hi).enumerate() {
+                            lane[l] = (a_r[(i, kx)] as f32) * (b_r[(kx, j)] as f32);
+                        }
+                        // Pairwise reduction tree (adder tree in the DSP
+                        // fabric).
+                        for stride in [1usize, 2, 4] {
+                            let mut p = 0;
+                            while p + stride < 8 {
+                                lane[p] += lane[p + stride];
+                                p += 2 * stride;
+                            }
+                        }
+                        acc += lane[0];
+                        kk = hi;
+                    }
+                    *ci = acc as f64;
+                }
+            });
+        }
+        PrecisionMode::Fp16 | PrecisionMode::Fp16Mixed => {
+            let f16_acc = mode == PrecisionMode::Fp16;
+            par_columns(&mut c, |j, col| {
+                for (i, ci) in col.iter_mut().enumerate() {
+                    // MMA tiles: 4-wide f16 products summed in f32; the
+                    // running accumulator is rounded to f16 after each tile
+                    // in FP16 mode and kept f32 in FP16' mode.
+                    let mut acc: f64 = 0.0;
+                    let mut kk = 0;
+                    while kk < k {
+                        let hi = (kk + 4).min(k);
+                        let mut tile: f32 = 0.0;
+                        for kx in kk..hi {
+                            let pa = a_r[(i, kx)] as f32;
+                            let pb = b_r[(kx, j)] as f32;
+                            tile += pa * pb;
+                        }
+                        if f16_acc {
+                            acc = F16::round_f64(acc + tile as f64);
+                        } else {
+                            acc = (acc as f32 + tile) as f64;
+                        }
+                        kk = hi;
+                    }
+                    *ci = acc;
+                }
+            });
+        }
+    }
+    c
+}
+
+/// Run `kernel(j, column_j)` over all columns in parallel.
+fn par_columns(c: &mut Matrix, kernel: impl Fn(usize, &mut [f64]) + Sync) {
+    let m = c.nrows();
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, col)| kernel(j, col));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_mats(n: usize) -> (Matrix, Matrix) {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 9) as f64 * 0.11 - 0.4);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) % 7) as f64 * 0.13 - 0.35);
+        (a, b)
+    }
+
+    #[test]
+    fn fp64_matches_reference() {
+        let (a, b) = test_mats(17);
+        let c = gemm_mode(&a, &b, PrecisionMode::Fp64);
+        let r = sm_linalg::gemm::matmul(&a, &b).unwrap();
+        assert!(c.allclose(&r, 1e-13));
+    }
+
+    #[test]
+    fn fp32_close_but_not_exact() {
+        let (a, b) = test_mats(33);
+        let c32 = gemm_mode(&a, &b, PrecisionMode::Fp32);
+        let c64 = gemm_mode(&a, &b, PrecisionMode::Fp64);
+        let diff = c32.max_abs_diff(&c64);
+        assert!(diff < 1e-4, "fp32 too far off: {diff}");
+        assert!(diff > 0.0, "fp32 should differ from fp64 in roundoff");
+    }
+
+    #[test]
+    fn fp16_error_larger_than_fp32() {
+        let (a, b) = test_mats(48);
+        let c64 = gemm_mode(&a, &b, PrecisionMode::Fp64);
+        let e16 = gemm_mode(&a, &b, PrecisionMode::Fp16).max_abs_diff(&c64);
+        let e16m = gemm_mode(&a, &b, PrecisionMode::Fp16Mixed).max_abs_diff(&c64);
+        let e32 = gemm_mode(&a, &b, PrecisionMode::Fp32).max_abs_diff(&c64);
+        assert!(e16 > e32, "FP16 ({e16}) must be noisier than FP32 ({e32})");
+        assert!(
+            e16m <= e16 + 1e-12,
+            "mixed accumulation ({e16m}) must not be worse than FP16 ({e16})"
+        );
+    }
+
+    #[test]
+    fn gpu_and_fpga_fp32_disagree_in_rounding_only() {
+        // Large enough k for ordering effects to appear.
+        let (a, b) = test_mats(64);
+        let gpu = gemm_mode(&a, &b, PrecisionMode::Fp32);
+        let fpga = gemm_mode(&a, &b, PrecisionMode::FpgaFp32);
+        let diff = gpu.max_abs_diff(&fpga);
+        assert!(diff > 0.0, "different summation orders should differ");
+        assert!(diff < 1e-4, "but only at rounding level: {diff}");
+    }
+
+    #[test]
+    fn identity_exact_in_all_modes() {
+        let i = Matrix::identity(8);
+        let x = Matrix::from_fn(8, 8, |r, c| ((r + 2 * c) % 3) as f64 - 1.0);
+        for mode in PrecisionMode::all() {
+            let c = gemm_mode(&x, &i, mode);
+            // Integers up to 2 are exact in binary16.
+            assert!(c.allclose(&x, 0.0), "{mode:?} broke identity multiply");
+        }
+    }
+
+    #[test]
+    fn storage_rounding() {
+        assert_eq!(PrecisionMode::Fp16.round_storage(1.0 + 1e-5), 1.0);
+        assert_eq!(PrecisionMode::Fp32.round_storage(1.0 + 1e-9), 1.0);
+        let x = 1.0 + 1e-9;
+        assert_eq!(PrecisionMode::Fp64.round_storage(x), x);
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(PrecisionMode::Fp16.label(), "GPU FP16");
+        assert_eq!(PrecisionMode::Fp16Mixed.label(), "GPU FP16'");
+        assert_eq!(PrecisionMode::FpgaFp32.label(), "FPGA FP32");
+        assert_eq!(PrecisionMode::all().len(), 5);
+    }
+
+    #[test]
+    fn non_square_and_tile_remainders() {
+        // k = 10 exercises the 4-wide tile remainder path.
+        let a = Matrix::from_fn(3, 10, |i, j| (i + j) as f64 * 0.25);
+        let b = Matrix::from_fn(10, 5, |i, j| (i as f64 - j as f64) * 0.25);
+        let r = sm_linalg::gemm::matmul(&a, &b).unwrap();
+        for mode in PrecisionMode::all() {
+            let c = gemm_mode(&a, &b, mode);
+            assert_eq!(c.shape(), (3, 5));
+            assert!(
+                c.max_abs_diff(&r) < 0.2,
+                "{mode:?} wildly off: {}",
+                c.max_abs_diff(&r)
+            );
+        }
+    }
+}

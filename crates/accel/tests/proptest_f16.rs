@@ -1,0 +1,62 @@
+//! Property-based tests of the binary16 emulation: the correctness of every
+//! reduced-precision result in Figs. 12–13 rests on these rounding
+//! semantics.
+
+use proptest::prelude::*;
+
+use sm_accel::F16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_is_idempotent(x in -1e5f32..1e5) {
+        let once = F16::from_f32(x).to_f32();
+        let twice = F16::from_f32(once).to_f32();
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn rounding_error_bounded(x in 6.2e-5f32..6.0e4) {
+        // Normal binary16 range: relative error ≤ 2^-11.
+        let r = F16::from_f32(x).to_f32();
+        prop_assert!(((r - x) / x).abs() <= 2.0f32.powi(-11));
+    }
+
+    #[test]
+    fn rounding_is_monotone(a in -6.0e4f32..6.0e4, b in -6.0e4f32..6.0e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn sign_symmetry(x in -6.0e4f32..6.0e4) {
+        let pos = F16::from_f32(x).to_f32();
+        let neg = F16::from_f32(-x).to_f32();
+        prop_assert_eq!(pos, -neg);
+    }
+
+    #[test]
+    fn rounded_value_is_nearest(x in 1e-3f32..6.0e4) {
+        // The rounded value must be at least as close to x as its binary16
+        // neighbors.
+        let h = F16::from_f32(x);
+        let r = h.to_f32();
+        let up = F16(h.0 + 1).to_f32();
+        let down = F16(h.0.wrapping_sub(1)).to_f32();
+        let err = (r - x).abs();
+        if up.is_finite() {
+            prop_assert!(err <= (up - x).abs() + f32::EPSILON);
+        }
+        if down.is_finite() && h.0 & 0x7FFF != 0 {
+            prop_assert!(err <= (down - x).abs() + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn f64_path_matches_f32_path(x in -6.0e4f64..6.0e4) {
+        let via_f64 = F16::round_f64(x);
+        let via_f32 = F16::from_f32(x as f32).to_f32() as f64;
+        prop_assert_eq!(via_f64, via_f32);
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the hot kernels: dense GEMM, symmetric
+//! eigendecomposition, submatrix assembly, Cannon block-sparse multiply,
+//! and the per-submatrix sign solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sm_chem::builder::{block_pattern, build_system};
+use sm_chem::{BasisSet, WaterBox};
+use sm_comsim::SerialComm;
+use sm_core::assembly::{assemble, SubmatrixSpec};
+use sm_core::solver::{solve_sign, SignMethod, SolveOptions};
+use sm_dbcsr::multiply::multiply;
+use sm_dbcsr::DbcsrMatrix;
+use sm_linalg::gemm::matmul;
+use sm_linalg::Matrix;
+
+fn sym(n: usize) -> Matrix {
+    let mut a = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            if i % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        } else {
+            0.1 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    a.symmetrize();
+    a
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        let a = sym(n);
+        let b = sym(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b).expect("shapes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eigh");
+    g.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let a = sym(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| sm_linalg::eigh::eigh(&a).expect("symmetric"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sign_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sign_solvers");
+    g.sample_size(10);
+    let a = sym(96);
+    for (name, method) in [
+        ("diag", SignMethod::Diagonalization),
+        ("newton_schulz", SignMethod::NewtonSchulz),
+        ("pade3", SignMethod::Pade(3)),
+    ] {
+        let opts = SolveOptions {
+            method,
+            ..SolveOptions::default()
+        };
+        g.bench_function(name, |bench| {
+            bench.iter(|| solve_sign(&a, 0.0, &opts).expect("solve"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let water = WaterBox::cubic(2, 42);
+    let basis = BasisSet::szv().with_range_scale(0.55);
+    let sys = build_system(&water, &basis, 0, 1, 1e-8);
+    let comm = SerialComm::new();
+    let pattern = sys.k.global_pattern(&comm);
+    let dims = sys.dims.clone();
+    let mid = water.n_molecules() / 2;
+    let spec = SubmatrixSpec::build(&pattern, &dims, &[mid]);
+    c.bench_function("submatrix_assembly", |bench| {
+        bench.iter(|| assemble(&spec, &pattern, &dims, |r, cc| sys.k.block(r, cc)))
+    });
+}
+
+fn bench_cannon_multiply(c: &mut Criterion) {
+    let water = WaterBox::cubic(1, 42);
+    let basis = BasisSet::szv();
+    let pattern_eps = 1e-6;
+    let sys = build_system(&water, &basis, 0, 1, pattern_eps);
+    let comm = SerialComm::new();
+    let k: DbcsrMatrix = sys.k.clone();
+    let mut g = c.benchmark_group("dbcsr_multiply");
+    g.sample_size(10);
+    g.bench_function("serial_32mol", |bench| {
+        bench.iter(|| multiply(&k, &k, &comm, Some(1e-8)))
+    });
+    g.finish();
+}
+
+fn bench_pattern_build(c: &mut Criterion) {
+    let water = WaterBox::cubic(3, 42);
+    let basis = BasisSet::szv();
+    c.bench_function("block_pattern_864mol", |bench| {
+        bench.iter(|| block_pattern(&water, &basis, 1e-5, 1.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_eigh,
+    bench_sign_solvers,
+    bench_assembly,
+    bench_cannon_multiply,
+    bench_pattern_build
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Paper Fig. 1: absolute energy error per atom vs system size for several
+//! truncation thresholds ε_filter, using Newton–Schulz purification.
+//!
+//! Expected shape: for a fixed ε_filter the error per atom stays roughly
+//! constant as the system grows; smaller ε_filter gives a lower curve.
+//! Reference energies use ε_filter = 1e-10 (the paper uses 1e-12 at its
+//! larger magnitudes).
+
+use sm_bench::output::{paper_scale, print_table, sci, write_csv};
+use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
+use sm_chem::energy::{band_energy, error_mev_per_atom};
+use sm_chem::WaterBox;
+use sm_comsim::SerialComm;
+use sm_core::baseline::{newton_schulz_density, NewtonSchulzOptions};
+
+fn main() {
+    let comm = SerialComm::new();
+    let basis = accuracy_basis();
+    let filters = [1e-4, 1e-5, 1e-6, 1e-7];
+    let reference_filter = 1e-10;
+    let nreps: &[usize] = if paper_scale() { &[1, 2, 3, 4] } else { &[1, 2, 3] };
+
+    let mut rows = Vec::new();
+    for &nrep in nreps {
+        let water = WaterBox::cubic(nrep, SEED);
+        let (sys, kt) = build_orthogonalized(&water, &basis, 1e-11, 1e-11);
+        let n_atoms = water.n_atoms();
+
+        let energy_at = |eps: f64| -> f64 {
+            let (d, report) = newton_schulz_density(
+                &kt,
+                sys.mu,
+                &NewtonSchulzOptions {
+                    eps_filter: eps,
+                    max_iter: 200,
+                },
+                &comm,
+            );
+            assert!(report.converged, "NS did not converge at eps {eps}");
+            band_energy(&d, &kt, &comm)
+        };
+
+        let e_ref = energy_at(reference_filter);
+        for &eps in &filters {
+            let e = energy_at(eps);
+            let err = error_mev_per_atom(e, e_ref, n_atoms);
+            rows.push(vec![
+                n_atoms.to_string(),
+                sci(eps),
+                format!("{err:.6e}"),
+            ]);
+            eprintln!("atoms {n_atoms} eps {eps:>8.0e} error {err:.4e} meV/atom");
+        }
+    }
+
+    println!("\nFig. 1 — error per atom vs system size (Newton-Schulz purification)");
+    print_table(&["atoms", "eps_filter", "error_mev_per_atom"], &rows);
+    write_csv(
+        "fig01_filter_error_vs_size.csv",
+        &["atoms", "eps_filter", "error_mev_per_atom"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Paper Fig. 9: strong scaling of the submatrix method — fixed system
+//! (NREP = 7, 32,928 atoms), cores scaled from 80 to 320.
+//!
+//! Expected shape: time falls with cores; efficiency relative to 80 cores
+//! stays ≳ 0.8 at 320 cores (the paper reports 83%).
+
+use sm_bench::output::{fixed, paper_scale, print_table, write_csv};
+use sm_bench::workloads::{pattern_basis_szv, SEED};
+use sm_chem::builder::block_pattern;
+use sm_chem::WaterBox;
+use sm_comsim::ClusterModel;
+use sm_core::model::model_submatrix_run;
+use sm_core::SubmatrixPlan;
+use sm_dbcsr::BlockedDims;
+
+fn main() {
+    let nrep = if paper_scale() { 7 } else { 5 };
+    let water = WaterBox::cubic(nrep, SEED);
+    let basis = pattern_basis_szv();
+    let pattern = block_pattern(&water, &basis, 1e-5, 1.0);
+    let dims = BlockedDims::uniform(water.n_molecules(), basis.n_per_molecule());
+    let plan = SubmatrixPlan::one_per_column(&pattern, &dims);
+    let cluster = ClusterModel::paper_testbed();
+    println!(
+        "system: {} atoms, {} submatrices, avg dim {:.0}",
+        water.n_atoms(),
+        plan.len(),
+        plan.avg_dim()
+    );
+
+    let core_counts = [80usize, 120, 160, 200, 240, 280, 320];
+    let t80 = model_submatrix_run(&plan, &pattern, &dims, 80, &cluster).total();
+
+    let mut rows = Vec::new();
+    for &cores in &core_counts {
+        let t = model_submatrix_run(&plan, &pattern, &dims, cores, &cluster).total();
+        let efficiency = t80 * 80.0 / (t * cores as f64);
+        rows.push(vec![
+            cores.to_string(),
+            format!("{t:.4}"),
+            fixed(efficiency, 3),
+        ]);
+        eprintln!("{cores} cores: {t:.3}s, efficiency {efficiency:.3}");
+    }
+
+    println!("\nFig. 9 — strong scaling (modeled, eps = 1e-5)");
+    let header = ["cores", "time_s", "efficiency"];
+    print_table(&header, &rows);
+    write_csv("fig09_strong_scaling.csv", &header, &rows);
+
+    let final_eff: f64 = rows.last().expect("rows")[2].parse().expect("numeric");
+    println!(
+        "\nefficiency at 4x cores: {final_eff:.2} (paper reports 0.83 on its testbed)"
+    );
+}

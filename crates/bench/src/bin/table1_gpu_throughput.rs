@@ -1,0 +1,52 @@
+//! Paper Table I: peak, matrix-multiply and sign-algorithm throughput per
+//! precision mode on an RTX 2080 Ti (n = 3972), plus the Stratix 10 FPGA
+//! row of Sec. VI-B.
+//!
+//! These are **modelled** values (published peaks + occupancy/overhead
+//! model) — no GPU exists in this environment; see DESIGN.md. The expected
+//! shape: FP16 > FP16' > FP32 ≫ FP64 at every level, with the sign
+//! algorithm paying a visible overhead on the fast modes and almost none
+//! on FP64.
+
+use sm_bench::output::{fixed, print_table, write_csv};
+use sm_accel::perfmodel::{fpga_row, gpu_table, DeviceModel};
+
+fn main() {
+    let n = 3972;
+    let iters = 7;
+    println!("Table I — modelled throughputs at n = {n}, {iters} sign iterations\n");
+
+    let mut rows = Vec::new();
+    for r in gpu_table(&DeviceModel::rtx_2080_ti(), n, iters) {
+        rows.push(vec![
+            r.mode.to_string(),
+            fixed(r.peak_tflops, 1),
+            fixed(r.matmul_tflops, 1),
+            fixed(r.sign_tflops, 1),
+            fixed(r.gflops_per_watt(), 0),
+        ]);
+    }
+    let f = fpga_row(&DeviceModel::stratix_10(), n);
+    rows.push(vec![
+        f.mode.to_string(),
+        fixed(f.peak_tflops, 1),
+        fixed(f.matmul_tflops, 1),
+        fixed(f.sign_tflops, 1),
+        fixed(f.gflops_per_watt(), 0),
+    ]);
+
+    let header = [
+        "precision",
+        "peak_tflops",
+        "matmul_tflops",
+        "sign_tflops",
+        "gflops_per_watt",
+    ];
+    print_table(&header, &rows);
+    write_csv("table1_gpu_throughput.csv", &header, &rows);
+
+    println!(
+        "\npaper's measured anchors: FP16 56.4/35.2, FP16' 38.2/27.8, FP32 12.2/10.4, \
+         FP64 0.5/0.5 TFLOP/s (matmul/sign); FPGA 2.7/1.75"
+    );
+}

@@ -1,0 +1,15 @@
+//! # sm-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index) plus ablation studies and criterion micro-benches.
+//! Binaries print the same series the paper plots and drop CSV files under
+//! `results/`.
+//!
+//! Scale conventions: the laptop-scale defaults finish in seconds to a few
+//! minutes; experiments that *solve* systems use a shortened basis range
+//! ([`workloads::accuracy_basis`]) so per-column submatrices stay small,
+//! while pattern/model experiments use the standard ranges. Passing
+//! `--paper` to a binary enlarges the workload toward the paper's sizes.
+
+pub mod output;
+pub mod workloads;

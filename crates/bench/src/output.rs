@@ -1,0 +1,88 @@
+//! CSV + console output helpers shared by the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs are written (`results/`, created on
+/// demand next to the workspace root or the current directory).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Write a CSV file into [`results_dir`] and announce it on stdout.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("cannot create CSV file");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("wrote {} ({} rows)", path.display(), rows.len());
+}
+
+/// Print an aligned table to stdout.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Format a float in compact scientific notation for tables.
+pub fn sci(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+/// Format a float with fixed decimals.
+pub fn fixed(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// True if `--paper` (larger, paper-scale workloads) was passed.
+pub fn paper_scale() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(sci(1234.5), "1.234e3");
+        assert_eq!(fixed(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        write_csv(
+            "test_output_helper.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content =
+            std::fs::read_to_string(results_dir().join("test_output_helper.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(results_dir().join("test_output_helper.csv")).unwrap();
+    }
+}

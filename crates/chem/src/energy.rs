@@ -1,0 +1,87 @@
+//! Energy and electron-count observables at block-sparse cost.
+//!
+//! The evaluation compares methods by the band-structure energy
+//! `E = Tr(D K)` (paper Eq. 10, Figs. 1 and 7, in meV/atom). These helpers
+//! compute it from distributed matrices without densifying.
+
+use sm_comsim::Comm;
+use sm_dbcsr::ops::{trace, trace_of_product};
+use sm_dbcsr::DbcsrMatrix;
+
+/// Hartree → electron-volt conversion.
+pub const HARTREE_TO_EV: f64 = 27.211386245988;
+
+/// Band-structure energy `2·Tr(D̃ K̃)` (spin factor 2) from distributed
+/// matrices (collective).
+pub fn band_energy<C: Comm>(density: &DbcsrMatrix, k_tilde: &DbcsrMatrix, comm: &C) -> f64 {
+    2.0 * trace_of_product(density, k_tilde, comm)
+}
+
+/// Electron count `2·Tr(D̃)` (collective).
+pub fn electron_count<C: Comm>(density: &DbcsrMatrix, comm: &C) -> f64 {
+    2.0 * trace(density, comm)
+}
+
+/// Absolute energy error per atom in meV, the paper's accuracy metric
+/// (Figs. 1 and 7): `|E − E_ref| / n_atoms` converted from Hartree-like
+/// model units to meV.
+pub fn error_mev_per_atom(e: f64, e_ref: f64, n_atoms: usize) -> f64 {
+    ((e - e_ref) * HARTREE_TO_EV * 1000.0 / n_atoms as f64).abs()
+}
+
+/// Signed energy error per atom in meV (Fig. 7 distinguishes positive and
+/// negative errors by marker).
+pub fn signed_error_mev_per_atom(e: f64, e_ref: f64, n_atoms: usize) -> f64 {
+    (e - e_ref) * HARTREE_TO_EV * 1000.0 / n_atoms as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSet;
+    use crate::builder::{build_system, DEFAULT_EPS_BUILD};
+    use crate::ortho::orthogonalize_dense;
+    use crate::reference::DenseReference;
+    use crate::water::WaterBox;
+    use sm_comsim::SerialComm;
+    use sm_dbcsr::{BlockedDims, DbcsrMatrix};
+
+    #[test]
+    fn sparse_band_energy_matches_dense_reference() {
+        let water = WaterBox::cubic(1, 42);
+        let basis = BasisSet::szv();
+        let sys = build_system(&water, &basis, 0, 1, DEFAULT_EPS_BUILD);
+        let comm = SerialComm::new();
+        let s = sys.s.to_dense(&comm);
+        let k = sys.k.to_dense(&comm);
+        let (kt, _) = orthogonalize_dense(&s, &k).unwrap();
+        let r = DenseReference::new(&kt).unwrap();
+        let d_dense = r.density(sys.mu);
+
+        let dims = BlockedDims::uniform(water.n_molecules(), basis.n_per_molecule());
+        let d_sparse = DbcsrMatrix::from_dense(&d_dense, dims.clone(), 0, 1, 0.0);
+        let kt_sparse = DbcsrMatrix::from_dense(&kt, dims, 0, 1, 0.0);
+
+        let e_sparse = band_energy(&d_sparse, &kt_sparse, &comm);
+        let e_dense = r.band_energy(sys.mu);
+        assert!(
+            (e_sparse - e_dense).abs() < 1e-8,
+            "sparse {e_sparse} vs dense {e_dense}"
+        );
+
+        let n = electron_count(&d_sparse, &comm);
+        assert!((n - r.electron_count(sys.mu, 0.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn error_metric_units() {
+        // 1 Hartree error over 1 atom = 27211.4 meV.
+        let err = error_mev_per_atom(1.0, 0.0, 1);
+        assert!((err - 27211.386245988).abs() < 1e-6);
+        // Per-atom normalization.
+        let err = error_mev_per_atom(1.0, 0.0, 100);
+        assert!((err - 272.11386245988).abs() < 1e-8);
+        // Signed version keeps the sign.
+        assert!(signed_error_mev_per_atom(0.0, 1.0, 1) < 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Vectors and periodic cells.
+//!
+//! All lengths are in Ångström. Cells are orthorhombic (the paper's water
+//! cubes are cubic; 1-D replication for weak scaling produces elongated
+//! boxes), with minimum-image periodic distances.
+
+/// 3-vector in Å.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // value-semantics helpers, deliberately not operator overloads
+impl Vec3 {
+    /// Construct from components.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Vector addition.
+    pub fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Vector subtraction.
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// A unit vector along this direction.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self.scale(1.0 / n)
+    }
+}
+
+/// Orthorhombic periodic cell with edge lengths `(lx, ly, lz)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Edge lengths in Å.
+    pub lengths: Vec3,
+}
+
+impl Cell {
+    /// Cubic cell of edge `a`.
+    pub fn cubic(a: f64) -> Self {
+        Cell {
+            lengths: Vec3::new(a, a, a),
+        }
+    }
+
+    /// Orthorhombic cell.
+    pub fn orthorhombic(lx: f64, ly: f64, lz: f64) -> Self {
+        Cell {
+            lengths: Vec3::new(lx, ly, lz),
+        }
+    }
+
+    /// Cell volume in Å³.
+    pub fn volume(&self) -> f64 {
+        self.lengths.x * self.lengths.y * self.lengths.z
+    }
+
+    /// Wrap a position into `[0, L)` per axis.
+    pub fn wrap(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            p.x.rem_euclid(self.lengths.x),
+            p.y.rem_euclid(self.lengths.y),
+            p.z.rem_euclid(self.lengths.z),
+        )
+    }
+
+    /// Minimum-image displacement `b − a`.
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = b.sub(a);
+        for (c, l) in [
+            (&mut d.x, self.lengths.x),
+            (&mut d.y, self.lengths.y),
+            (&mut d.z, self.lengths.z),
+        ] {
+            *c -= l * (*c / l).round();
+        }
+        d
+    }
+
+    /// Minimum-image distance between two positions.
+    pub fn distance(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a.add(b), Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a.sub(b), Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a.scale(2.0), Vec3::new(2.0, 4.0, 6.0));
+        assert!((a.dot(b) - 6.0).abs() < 1e-15);
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_product_orthogonality() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        let c = Vec3::new(1.0, 2.0, 3.0).cross(Vec3::new(4.0, 5.0, 6.0));
+        assert!(c.dot(Vec3::new(1.0, 2.0, 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec3::new(2.0, -3.0, 6.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        Vec3::default().normalized();
+    }
+
+    #[test]
+    fn wrap_into_cell() {
+        let c = Cell::cubic(10.0);
+        let w = c.wrap(Vec3::new(12.0, -1.0, 5.0));
+        assert!((w.x - 2.0).abs() < 1e-12);
+        assert!((w.y - 9.0).abs() < 1e-12);
+        assert!((w.z - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_image_shorter_than_direct() {
+        let c = Cell::cubic(10.0);
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(9.0, 0.0, 0.0);
+        // Across the boundary: distance 2, not 8.
+        assert!((c.distance(a, b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_anisotropic() {
+        let c = Cell::orthorhombic(10.0, 20.0, 30.0);
+        let a = Vec3::new(9.5, 19.5, 0.5);
+        let b = Vec3::new(0.5, 0.5, 29.5);
+        let d = c.min_image(a, b);
+        assert!((d.x - 1.0).abs() < 1e-12);
+        assert!((d.y - 1.0).abs() < 1e-12);
+        assert!((d.z + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume() {
+        assert!((Cell::cubic(2.0).volume() - 8.0).abs() < 1e-15);
+        assert!((Cell::orthorhombic(1.0, 2.0, 3.0).volume() - 6.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sm-chem — synthetic quantum-chemistry substrate
+//!
+//! The paper evaluates on cubes of liquid water described with
+//! SZV-/DZVP-MOLOPT-SR-GTH Gaussian basis sets inside CP2K. This crate
+//! replaces CP2K's integral machinery with a *synthetic but structurally
+//! faithful* model (the substitution is documented in DESIGN.md):
+//!
+//! * [`water`] generates periodic liquid-water boxes: a 32-molecule base
+//!   cell replicated `NREP³` times (or along one axis for weak-scaling),
+//!   exactly like the paper's benchmark systems;
+//! * [`basis`] describes per-element basis shells with Gaussian decay
+//!   ranges — 6 functions per H₂O for SZV, 23 for DZVP, with DZVP's more
+//!   diffuse shells producing the longer-ranged blocks of paper Fig. 4;
+//! * [`builder`] assembles the overlap matrix `S` and a gapped tight-binding
+//!   Kohn–Sham matrix `K` directly in DBCSR block form (one block per
+//!   molecule, matching Fig. 2) using cell-list neighbor search — never
+//!   through a dense intermediate;
+//! * [`ortho`] forms the Löwdin-orthogonalized `K̃ = S^{-1/2} K S^{-1/2}`
+//!   (dense path for reference-scale systems);
+//! * [`mod@reference`] computes ground-truth density matrices and band-structure
+//!   energies by dense diagonalization;
+//! * [`energy`] evaluates `Tr(D K̃)` and electron counts at block-sparse
+//!   cost.
+//!
+//! What the submatrix method consumes is only the *block sparsity pattern*
+//! (short-ranged, banded, linear-scaling nnz) and a symmetric `K̃` with a
+//! spectral gap at the chemical potential; tests in this crate pin down both
+//! properties.
+
+pub mod basis;
+pub mod builder;
+pub mod energy;
+pub mod geometry;
+pub mod ortho;
+pub mod reference;
+pub mod water;
+
+pub use basis::{BasisKind, BasisSet};
+pub use builder::SystemMatrices;
+pub use geometry::{Cell, Vec3};
+pub use water::WaterBox;

@@ -1,0 +1,289 @@
+//! Liquid-water benchmark systems.
+//!
+//! The paper's benchmark (Sec. V) is "a fixed-size region containing 32 H₂O
+//! molecules that is repeated in each dimension by a factor NREP", i.e.
+//! `32·NREP³` molecules. The weak-scaling study replicates a larger base in
+//! one dimension only. This module reproduces both constructions with a
+//! deterministic, seeded liquid-like arrangement.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::geometry::{Cell, Vec3};
+
+/// Edge length of the 32-molecule base cell: 32 H₂O at ~1 g/cm³ occupy
+/// (9.85 Å)³.
+pub const BASE_CELL_A: f64 = 9.85;
+
+/// Molecules per base cell (the paper's building block).
+pub const MOLS_PER_CELL: usize = 32;
+
+/// O–H bond length in Å.
+pub const OH_BOND: f64 = 0.9572;
+
+/// H–O–H angle in radians (104.52°).
+pub const HOH_ANGLE: f64 = 104.52 * std::f64::consts::PI / 180.0;
+
+/// A water molecule: oxygen plus two hydrogens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Water {
+    /// Oxygen position.
+    pub o: Vec3,
+    /// First hydrogen.
+    pub h1: Vec3,
+    /// Second hydrogen.
+    pub h2: Vec3,
+}
+
+impl Water {
+    /// Atom positions in order O, H, H.
+    pub fn atoms(&self) -> [Vec3; 3] {
+        [self.o, self.h1, self.h2]
+    }
+
+    /// Geometric center of the molecule (used by the k-means combination
+    /// heuristic, paper Sec. IV-C2).
+    pub fn center(&self) -> Vec3 {
+        self.o.add(self.h1).add(self.h2).scale(1.0 / 3.0)
+    }
+}
+
+/// A periodic box of water molecules.
+#[derive(Debug, Clone)]
+pub struct WaterBox {
+    /// The periodic cell.
+    pub cell: Cell,
+    /// Molecules; the index order is the block order of all matrices.
+    pub molecules: Vec<Water>,
+}
+
+impl WaterBox {
+    /// The paper's benchmark system: 32-molecule base cell replicated
+    /// `nrep` times in every dimension (`32·nrep³` molecules, `96·nrep³`
+    /// atoms). `seed` controls the liquid arrangement deterministically.
+    ///
+    /// Molecule indexing is consecutive within each base-cell image — the
+    /// "building block" ordering that gives the banded matrix structure of
+    /// paper Fig. 2 and Sec. IV-B2.
+    pub fn cubic(nrep: usize, seed: u64) -> Self {
+        assert!(nrep >= 1);
+        let base = base_cell(seed);
+        let a = BASE_CELL_A;
+        let cell = Cell::cubic(a * nrep as f64);
+        let mut molecules = Vec::with_capacity(MOLS_PER_CELL * nrep * nrep * nrep);
+        for ix in 0..nrep {
+            for iy in 0..nrep {
+                for iz in 0..nrep {
+                    let shift = Vec3::new(a * ix as f64, a * iy as f64, a * iz as f64);
+                    for w in &base {
+                        molecules.push(Water {
+                            o: w.o.add(shift),
+                            h1: w.h1.add(shift),
+                            h2: w.h2.add(shift),
+                        });
+                    }
+                }
+            }
+        }
+        WaterBox { cell, molecules }
+    }
+
+    /// Weak-scaling system (paper Fig. 10): a cubic base of `nrep_base³`
+    /// cells further replicated `nx` times along x only.
+    pub fn elongated(nrep_base: usize, nx: usize, seed: u64) -> Self {
+        assert!(nx >= 1);
+        let base_box = WaterBox::cubic(nrep_base, seed);
+        let lx = base_box.cell.lengths.x;
+        let cell = Cell::orthorhombic(
+            lx * nx as f64,
+            base_box.cell.lengths.y,
+            base_box.cell.lengths.z,
+        );
+        let mut molecules = Vec::with_capacity(base_box.molecules.len() * nx);
+        for i in 0..nx {
+            let shift = Vec3::new(lx * i as f64, 0.0, 0.0);
+            for w in &base_box.molecules {
+                molecules.push(Water {
+                    o: w.o.add(shift),
+                    h1: w.h1.add(shift),
+                    h2: w.h2.add(shift),
+                });
+            }
+        }
+        WaterBox { cell, molecules }
+    }
+
+    /// Number of molecules.
+    pub fn n_molecules(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// Number of atoms (3 per molecule).
+    pub fn n_atoms(&self) -> usize {
+        3 * self.molecules.len()
+    }
+
+    /// Molecule centers (k-means input).
+    pub fn centers(&self) -> Vec<Vec3> {
+        self.molecules.iter().map(Water::center).collect()
+    }
+}
+
+/// Generate the 32-molecule base cell: oxygens on a jittered lattice with a
+/// minimum-distance guarantee, hydrogens at the experimental geometry in a
+/// deterministic pseudo-random orientation.
+fn base_cell(seed: u64) -> Vec<Water> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cell = Cell::cubic(BASE_CELL_A);
+    // 4×4×2 lattice = 32 sites, jittered. Sites are ~2.46 Å apart in x/y
+    // and ~4.9 Å in z before jitter; jitter keeps ≥ 2.2 Å O–O separation.
+    let (nx, ny, nz) = (4usize, 4usize, 2usize);
+    let sp = Vec3::new(
+        BASE_CELL_A / nx as f64,
+        BASE_CELL_A / ny as f64,
+        BASE_CELL_A / nz as f64,
+    );
+    let mut waters = Vec::with_capacity(MOLS_PER_CELL);
+    for ix in 0..nx {
+        for iy in 0..ny {
+            for iz in 0..nz {
+                let jitter = Vec3::new(
+                    rng.gen_range(-0.15..0.15) * sp.x,
+                    rng.gen_range(-0.15..0.15) * sp.y,
+                    rng.gen_range(-0.1..0.1) * sp.z,
+                );
+                let o = cell.wrap(Vec3::new(
+                    (ix as f64 + 0.5) * sp.x + jitter.x,
+                    (iy as f64 + 0.5) * sp.y + jitter.y,
+                    (iz as f64 + 0.5) * sp.z + jitter.z,
+                ));
+                waters.push(orient_water(o, &mut rng));
+            }
+        }
+    }
+    waters
+}
+
+/// Place the two hydrogens of a molecule at the experimental geometry in a
+/// random orientation drawn from `rng`.
+fn orient_water(o: Vec3, rng: &mut impl Rng) -> Water {
+    // Random orthonormal frame (u, v).
+    let u = random_unit(rng);
+    let mut v = random_unit(rng);
+    // Gram-Schmidt; retry degenerate draws.
+    let mut w = v.sub(u.scale(u.dot(v)));
+    while w.norm() < 1e-6 {
+        v = random_unit(rng);
+        w = v.sub(u.scale(u.dot(v)));
+    }
+    let v = w.normalized();
+    let half = HOH_ANGLE / 2.0;
+    let d1 = u.scale(half.cos()).add(v.scale(half.sin()));
+    let d2 = u.scale(half.cos()).sub(v.scale(half.sin()));
+    Water {
+        o,
+        h1: o.add(d1.scale(OH_BOND)),
+        h2: o.add(d2.scale(OH_BOND)),
+    }
+}
+
+fn random_unit(rng: &mut impl Rng) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        let n = v.norm();
+        if n > 1e-3 && n <= 1.0 {
+            return v.scale(1.0 / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_counts_match_paper() {
+        // NREP = 2 => 256 molecules = 768 atoms (paper Sec. V-B).
+        let b = WaterBox::cubic(2, 42);
+        assert_eq!(b.n_molecules(), 256);
+        assert_eq!(b.n_atoms(), 768);
+        // NREP = 6 => 20736 atoms (paper Fig. 6 caption) — count only.
+        assert_eq!(32 * 6 * 6 * 6 * 3, 20736);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = WaterBox::cubic(1, 7);
+        let b = WaterBox::cubic(1, 7);
+        assert_eq!(a.molecules, b.molecules);
+        let c = WaterBox::cubic(1, 8);
+        assert_ne!(a.molecules, c.molecules);
+    }
+
+    #[test]
+    fn oxygens_keep_minimum_distance() {
+        let b = WaterBox::cubic(1, 42);
+        for (i, wi) in b.molecules.iter().enumerate() {
+            for wj in &b.molecules[i + 1..] {
+                let d = b.cell.distance(wi.o, wj.o);
+                assert!(d > 1.6, "O-O distance {d} too small");
+            }
+        }
+    }
+
+    #[test]
+    fn molecular_geometry_is_experimental() {
+        let b = WaterBox::cubic(1, 1);
+        for w in &b.molecules {
+            let d1 = w.h1.sub(w.o).norm();
+            let d2 = w.h2.sub(w.o).norm();
+            assert!((d1 - OH_BOND).abs() < 1e-12);
+            assert!((d2 - OH_BOND).abs() < 1e-12);
+            let cosang = w.h1.sub(w.o).dot(w.h2.sub(w.o)) / (d1 * d2);
+            assert!((cosang - HOH_ANGLE.cos()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn replication_preserves_density() {
+        let b1 = WaterBox::cubic(1, 3);
+        let b2 = WaterBox::cubic(2, 3);
+        let d1 = b1.n_molecules() as f64 / b1.cell.volume();
+        let d2 = b2.n_molecules() as f64 / b2.cell.volume();
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicated_images_are_shifted_copies() {
+        let b = WaterBox::cubic(2, 5);
+        // Image (1,0,0) starts at molecule 32·(1·2·2 + 0 + 0)? Indexing is
+        // ix-major: image (ix,iy,iz) occupies [32*(ix*4+iy*2+iz) ..].
+        let img = &b.molecules[32 * 4..32 * 5]; // ix=1, iy=0, iz=0
+        for (w0, w1) in b.molecules[..32].iter().zip(img) {
+            let d = w1.o.sub(w0.o);
+            assert!((d.x - BASE_CELL_A).abs() < 1e-12);
+            assert!(d.y.abs() < 1e-12 && d.z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn elongated_box_counts_and_cell() {
+        let b = WaterBox::elongated(2, 3, 9);
+        assert_eq!(b.n_molecules(), 32 * 8 * 3);
+        assert!((b.cell.lengths.x - BASE_CELL_A * 2.0 * 3.0).abs() < 1e-12);
+        assert!((b.cell.lengths.y - BASE_CELL_A * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centers_inside_reasonable_bounds() {
+        let b = WaterBox::cubic(1, 11);
+        for c in b.centers() {
+            assert!(c.x > -2.0 && c.x < BASE_CELL_A + 2.0);
+            assert!(c.z > -2.0 && c.z < BASE_CELL_A + 2.0);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the chemistry substrate: the invariants the
+//! submatrix method relies on must hold for every seed and box size.
+
+use proptest::prelude::*;
+
+use sm_chem::builder::{block_pattern, build_system};
+use sm_chem::{BasisSet, WaterBox};
+use sm_comsim::SerialComm;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matrices_symmetric_for_any_seed(seed in 0u64..1000) {
+        let water = WaterBox::cubic(1, seed);
+        let basis = BasisSet::szv();
+        let sys = build_system(&water, &basis, 0, 1, 1e-9);
+        let comm = SerialComm::new();
+        prop_assert!(sm_dbcsr::ops::asymmetry(&sys.s, &comm) < 1e-12);
+        prop_assert!(sm_dbcsr::ops::asymmetry(&sys.k, &comm) < 1e-12);
+    }
+
+    #[test]
+    fn overlap_spd_for_any_seed(seed in 0u64..500) {
+        let water = WaterBox::cubic(1, seed);
+        let basis = BasisSet::szv();
+        let sys = build_system(&water, &basis, 0, 1, 1e-9);
+        let comm = SerialComm::new();
+        let dense = sys.s.to_dense(&comm);
+        prop_assert!(sm_linalg::cholesky::is_spd(&dense));
+    }
+
+    #[test]
+    fn pattern_symmetric_and_diagonal_complete(
+        seed in 0u64..200,
+        nrep in 1usize..3,
+    ) {
+        let water = WaterBox::cubic(nrep, seed);
+        let basis = BasisSet::szv();
+        let p = block_pattern(&water, &basis, 1e-5, 1.0);
+        prop_assert!(p.is_symmetric());
+        for c in 0..p.nb() {
+            prop_assert!(p.id_of(c, c).is_some(), "diagonal block {c} missing");
+        }
+    }
+
+    #[test]
+    fn tighter_eps_never_removes_blocks(seed in 0u64..100) {
+        let water = WaterBox::cubic(2, seed);
+        let basis = BasisSet::szv();
+        let loose = block_pattern(&water, &basis, 1e-3, 1.0);
+        let tight = block_pattern(&water, &basis, 1e-7, 1.0);
+        prop_assert!(tight.nnz() >= loose.nnz());
+        for &(r, c) in loose.entries() {
+            prop_assert!(tight.id_of(r, c).is_some());
+        }
+    }
+
+    #[test]
+    fn water_geometry_valid_for_any_seed(seed in 0u64..1000, nrep in 1usize..3) {
+        let b = WaterBox::cubic(nrep, seed);
+        prop_assert_eq!(b.n_molecules(), 32 * nrep * nrep * nrep);
+        for w in &b.molecules {
+            let d1 = w.h1.sub(w.o).norm();
+            let d2 = w.h2.sub(w.o).norm();
+            prop_assert!((d1 - sm_chem::water::OH_BOND).abs() < 1e-9);
+            prop_assert!((d2 - sm_chem::water::OH_BOND).abs() < 1e-9);
+        }
+    }
+}

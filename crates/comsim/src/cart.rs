@@ -1,0 +1,150 @@
+//! 2-D Cartesian rank topology.
+//!
+//! libDBCSR arranges MPI ranks in a 2-D Cartesian grid and maps block rows
+//! and columns onto it (paper Sec. II-C); Cannon's algorithm then shifts
+//! blocks along rows and columns of this grid. This helper centralizes the
+//! rank ↔ (row, col) arithmetic.
+
+/// A `rows × cols` Cartesian process grid with row-major rank numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cart2d {
+    rows: usize,
+    cols: usize,
+}
+
+impl Cart2d {
+    /// Create a grid; panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "Cart2d dimensions must be positive");
+        Cart2d { rows, cols }
+    }
+
+    /// The most-square grid for `size` ranks: the factorization
+    /// `rows × cols = size` with `rows ≤ cols` and `rows` maximal.
+    pub fn squarest(size: usize) -> Self {
+        assert!(size > 0);
+        let mut rows = (size as f64).sqrt() as usize;
+        while rows > 1 && !size.is_multiple_of(rows) {
+            rows -= 1;
+        }
+        Cart2d::new(rows.max(1), size / rows.max(1))
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total ranks in the grid.
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size(), "rank {rank} outside grid");
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at coordinates `(r, c)` (wrapping in both dimensions, as
+    /// Cannon's shifts require periodic boundaries).
+    pub fn rank_at(&self, r: isize, c: isize) -> usize {
+        let rr = r.rem_euclid(self.rows as isize) as usize;
+        let cc = c.rem_euclid(self.cols as isize) as usize;
+        rr * self.cols + cc
+    }
+
+    /// Neighbor `steps` to the left (westward shift, wrapping).
+    pub fn left(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r as isize, c as isize - steps as isize)
+    }
+
+    /// Neighbor `steps` to the right (eastward, wrapping).
+    pub fn right(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r as isize, c as isize + steps as isize)
+    }
+
+    /// Neighbor `steps` upward (northward, wrapping).
+    pub fn up(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r as isize - steps as isize, c as isize)
+    }
+
+    /// Neighbor `steps` downward (southward, wrapping).
+    pub fn down(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r as isize + steps as isize, c as isize)
+    }
+
+    /// Owner rank of block `(block_row, block_col)` under the cyclic
+    /// round-robin distribution DBCSR uses.
+    pub fn owner_of_block(&self, block_row: usize, block_col: usize) -> usize {
+        (block_row % self.rows) * self.cols + (block_col % self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Cart2d::new(3, 4);
+        for rank in 0..12 {
+            let (r, c) = g.coords(rank);
+            assert_eq!(g.rank_at(r as isize, c as isize), rank);
+        }
+    }
+
+    #[test]
+    fn squarest_factorizations() {
+        assert_eq!(Cart2d::squarest(16), Cart2d::new(4, 4));
+        assert_eq!(Cart2d::squarest(12), Cart2d::new(3, 4));
+        assert_eq!(Cart2d::squarest(7), Cart2d::new(1, 7));
+        assert_eq!(Cart2d::squarest(1), Cart2d::new(1, 1));
+        assert_eq!(Cart2d::squarest(80), Cart2d::new(8, 10));
+    }
+
+    #[test]
+    fn shifts_wrap() {
+        let g = Cart2d::new(2, 3);
+        // rank 0 at (0,0)
+        assert_eq!(g.left(0, 1), g.rank_at(0, -1));
+        assert_eq!(g.left(0, 1), 2);
+        assert_eq!(g.right(2, 1), 0);
+        assert_eq!(g.up(0, 1), 3);
+        assert_eq!(g.down(3, 1), 0);
+    }
+
+    #[test]
+    fn multi_step_shifts() {
+        let g = Cart2d::new(3, 3);
+        assert_eq!(g.left(0, 3), 0);
+        assert_eq!(g.down(1, 3), 1);
+        assert_eq!(g.right(0, 5), g.right(0, 2));
+    }
+
+    #[test]
+    fn owner_distribution_is_cyclic() {
+        let g = Cart2d::new(2, 2);
+        assert_eq!(g.owner_of_block(0, 0), 0);
+        assert_eq!(g.owner_of_block(0, 1), 1);
+        assert_eq!(g.owner_of_block(1, 0), 2);
+        assert_eq!(g.owner_of_block(1, 1), 3);
+        assert_eq!(g.owner_of_block(2, 2), 0);
+        assert_eq!(g.owner_of_block(5, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn coords_out_of_range_panics() {
+        Cart2d::new(2, 2).coords(4);
+    }
+}

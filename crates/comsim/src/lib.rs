@@ -1,0 +1,30 @@
+//! # sm-comsim — simulated message-passing substrate
+//!
+//! The paper runs on MPI across 2–32 Omni-Path-connected nodes. This crate
+//! replaces MPI with two complementary pieces:
+//!
+//! * a **rank-per-thread communicator** ([`thread::ThreadComm`]) implementing
+//!   the [`comm::Comm`] trait (point-to-point send/recv with tags, barrier,
+//!   reductions, gathers, all-to-all). Every transfer is counted
+//!   ([`stats::CommStats`]) so the transfer-deduplication claims of paper
+//!   Sec. IV-B can be measured;
+//! * an **analytic cluster model** ([`model::ClusterModel`] +
+//!   [`model::SimClock`]) that converts per-rank FLOP and byte counts into a
+//!   simulated wall-clock time for bulk-synchronous supersteps. The scaling
+//!   experiments (paper Figs. 8–10) use this model to emulate 40–1280 cores
+//!   on a laptop-class machine; DESIGN.md documents the substitution.
+//!
+//! A [`comm::SerialComm`] single-rank implementation backs unit tests and
+//! the dense reference paths.
+
+pub mod cart;
+pub mod comm;
+pub mod model;
+pub mod stats;
+pub mod thread;
+
+pub use cart::Cart2d;
+pub use comm::{Comm, Payload, ReduceOp, SerialComm};
+pub use model::{ClusterModel, SimClock};
+pub use stats::CommStats;
+pub use thread::{run_ranks, ThreadComm};

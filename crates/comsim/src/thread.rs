@@ -1,0 +1,433 @@
+//! Rank-per-thread communicator.
+//!
+//! [`run_ranks`] spawns one OS thread per rank and hands each a
+//! [`ThreadComm`]. Point-to-point messages flow through crossbeam channels
+//! into a per-rank mailbox keyed by `(source, tag)`; collectives are built
+//! on top of the point-to-point layer plus a shared barrier, mirroring how
+//! an MPI implementation layers its collectives.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::comm::{Comm, Payload, ReduceOp};
+use crate::stats::CommStats;
+
+/// Tag bit reserved for internal collective traffic. User tags must keep
+/// this bit clear.
+const COLLECTIVE_BIT: u64 = 1 << 63;
+
+type Envelope = (usize, u64, Payload);
+
+/// Communicator handle owned by one rank thread.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    mailbox: std::cell::RefCell<HashMap<(usize, u64), VecDeque<Payload>>>,
+    barrier: Arc<std::sync::Barrier>,
+    stats: Arc<CommStats>,
+    /// Monotonically increasing collective sequence number; keeps the tags
+    /// of successive collectives distinct so traffic can never cross-match.
+    coll_seq: std::cell::Cell<u64>,
+}
+
+impl ThreadComm {
+    /// Shared transfer counters for the whole communicator.
+    pub fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    fn next_collective_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLLECTIVE_BIT | seq
+    }
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(
+            tag & COLLECTIVE_BIT == 0,
+            "user tags must not set the collective bit"
+        );
+        self.send_internal(dst, tag, payload);
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        self.recv_internal(src, tag)
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn allreduce_f64(&self, op: ReduceOp, x: &mut [f64]) {
+        // Reduce-to-root then broadcast; two tags from one sequence slot.
+        let tag_up = self.next_collective_tag();
+        let tag_down = self.next_collective_tag();
+        if self.rank == 0 {
+            for src in 1..self.size {
+                let contrib = self.recv_internal(src, tag_up).into_f64();
+                assert_eq!(contrib.len(), x.len(), "allreduce length mismatch");
+                for (xi, ci) in x.iter_mut().zip(contrib) {
+                    *xi = op.combine(*xi, ci);
+                }
+            }
+            for dst in 1..self.size {
+                self.send_internal(dst, tag_down, Payload::F64(x.to_vec()));
+            }
+        } else {
+            self.send_internal(0, tag_up, Payload::F64(x.to_vec()));
+            let combined = self.recv_internal(0, tag_down).into_f64();
+            x.copy_from_slice(&combined);
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
+    fn allgather_u64(&self, local: &[u64]) -> Vec<Vec<u64>> {
+        let tag = self.next_collective_tag();
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send_internal(dst, tag, Payload::U64(local.to_vec()));
+            }
+        }
+        let mut out = vec![Vec::new(); self.size];
+        out[self.rank] = local.to_vec();
+        for src in 0..self.size {
+            if src != self.rank {
+                out[src] = self.recv_internal(src, tag).into_u64();
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
+    fn allgather_f64(&self, local: &[f64]) -> Vec<Vec<f64>> {
+        let tag = self.next_collective_tag();
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send_internal(dst, tag, Payload::F64(local.to_vec()));
+            }
+        }
+        let mut out = vec![Vec::new(); self.size];
+        out[self.rank] = local.to_vec();
+        for src in 0..self.size {
+            if src != self.rank {
+                out[src] = self.recv_internal(src, tag).into_f64();
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
+    fn alltoallv(&self, sends: Vec<Payload>) -> Vec<Payload> {
+        assert_eq!(sends.len(), self.size, "alltoallv needs one payload per rank");
+        let tag = self.next_collective_tag();
+        let mut out: Vec<Option<Payload>> = (0..self.size).map(|_| None).collect();
+        for (dst, payload) in sends.into_iter().enumerate() {
+            if dst == self.rank {
+                out[dst] = Some(payload);
+            } else {
+                self.send_internal(dst, tag, payload);
+            }
+        }
+        for src in 0..self.size {
+            if src != self.rank {
+                out[src] = Some(self.recv_internal(src, tag));
+            }
+        }
+        out.into_iter().map(|p| p.expect("filled above")).collect()
+    }
+
+    fn broadcast_f64(&self, root: usize, x: &mut Vec<f64>) {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send_internal(dst, tag, Payload::F64(x.clone()));
+                }
+            }
+        } else {
+            *x = self.recv_internal(root, tag).into_f64();
+        }
+    }
+}
+
+impl ThreadComm {
+    fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
+        // Count only inter-rank traffic: MPI self-sends are memcpys.
+        if dst != self.rank {
+            self.stats.record_send(self.rank, payload.byte_len());
+        }
+        if dst == self.rank {
+            self.mailbox
+                .borrow_mut()
+                .entry((self.rank, tag))
+                .or_default()
+                .push_back(payload);
+        } else {
+            self.senders[dst]
+                .send((self.rank, tag, payload))
+                .expect("receiver thread terminated early");
+        }
+    }
+
+    fn recv_internal(&self, src: usize, tag: u64) -> Payload {
+        if let Some(p) = self
+            .mailbox
+            .borrow_mut()
+            .get_mut(&(src, tag))
+            .and_then(|q| q.pop_front())
+        {
+            return p;
+        }
+        loop {
+            let (from, t, payload) = self
+                .receiver
+                .recv()
+                .expect("all senders dropped while still expecting a message");
+            if from == src && t == tag {
+                return payload;
+            }
+            self.mailbox
+                .borrow_mut()
+                .entry((from, t))
+                .or_default()
+                .push_back(payload);
+        }
+    }
+}
+
+/// Run `f(comm)` on `size` rank threads and collect the per-rank results
+/// (indexed by rank) plus the shared transfer statistics.
+///
+/// Panics in any rank are propagated to the caller.
+pub fn run_ranks<T, F>(size: usize, f: F) -> (Vec<T>, Arc<CommStats>)
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Sync,
+{
+    assert!(size >= 1, "need at least one rank");
+    let stats = CommStats::new(size);
+    let barrier = Arc::new(std::sync::Barrier::new(size));
+
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (s, r) = unbounded::<Envelope>();
+        senders.push(s);
+        receivers.push(r);
+    }
+
+    let comms: Vec<ThreadComm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| ThreadComm {
+            rank,
+            size,
+            senders: senders.clone(),
+            receiver,
+            mailbox: std::cell::RefCell::new(HashMap::new()),
+            barrier: Arc::clone(&barrier),
+            stats: Arc::clone(&stats),
+            coll_seq: std::cell::Cell::new(0),
+        })
+        .collect();
+
+    let results: Vec<T> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_themselves() {
+        let (ranks, _) = run_ranks(4, |c| (c.rank(), c.size()));
+        for (i, (r, s)) in ranks.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*s, 4);
+        }
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let n = 5;
+        let (results, stats) = run_ranks(n, |c| {
+            let next = (c.rank() + 1) % n;
+            let prev = (c.rank() + n - 1) % n;
+            c.send(next, 1, Payload::U64(vec![c.rank() as u64]));
+            c.recv(prev, 1).into_u64()[0]
+        });
+        for (i, &got) in results.iter().enumerate() {
+            assert_eq!(got as usize, (i + n - 1) % n);
+        }
+        assert_eq!(stats.total_msgs(), n as u64);
+        assert_eq!(stats.total_bytes(), 8 * n as u64);
+    }
+
+    #[test]
+    fn message_order_preserved_per_tag() {
+        let (results, _) = run_ranks(2, |c| {
+            if c.rank() == 0 {
+                for k in 0..10u64 {
+                    c.send(1, 3, Payload::U64(vec![k]));
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| c.recv(0, 3).into_u64()[0]).collect()
+            }
+        });
+        assert_eq!(results[1], (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let (results, _) = run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 10, Payload::U64(vec![10]));
+                c.send(1, 20, Payload::U64(vec![20]));
+                0
+            } else {
+                // Receive in reverse order of sending.
+                let b = c.recv(0, 20).into_u64()[0];
+                let a = c.recv(0, 10).into_u64()[0];
+                (a * 100 + b) as usize
+            }
+        });
+        assert_eq!(results[1], 1020);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let (results, _) = run_ranks(6, |c| {
+            let mut x = vec![c.rank() as f64, 1.0];
+            c.allreduce_f64(ReduceOp::Sum, &mut x);
+            let mut y = vec![c.rank() as f64];
+            c.allreduce_f64(ReduceOp::Max, &mut y);
+            (x, y)
+        });
+        for (x, y) in results {
+            assert_eq!(x, vec![15.0, 6.0]);
+            assert_eq!(y, vec![5.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        let (results, _) = run_ranks(3, |c| {
+            let local: Vec<u64> = (0..c.rank() as u64).collect();
+            c.allgather_u64(&local)
+        });
+        for r in results {
+            assert_eq!(r[0], Vec::<u64>::new());
+            assert_eq!(r[1], vec![0]);
+            assert_eq!(r[2], vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges_personalized_data() {
+        let n = 4;
+        let (results, _) = run_ranks(n, |c| {
+            let sends: Vec<Payload> = (0..n)
+                .map(|d| Payload::U64(vec![(c.rank() * 10 + d) as u64]))
+                .collect();
+            c.alltoallv(sends)
+        });
+        for (me, recvd) in results.into_iter().enumerate() {
+            for (src, p) in recvd.into_iter().enumerate() {
+                assert_eq!(p.into_u64(), vec![(src * 10 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let (results, _) = run_ranks(4, |c| {
+            let mut x = if c.rank() == 2 { vec![7.5, -1.0] } else { Vec::new() };
+            c.broadcast_f64(2, &mut x);
+            x
+        });
+        for r in results {
+            assert_eq!(r, vec![7.5, -1.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must see all 8 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn self_send_is_local_and_uncounted() {
+        let (results, stats) = run_ranks(2, |c| {
+            c.send(c.rank(), 5, Payload::U64(vec![42]));
+            c.recv(c.rank(), 5).into_u64()[0]
+        });
+        assert_eq!(results, vec![42, 42]);
+        assert_eq!(stats.total_bytes(), 0, "self-sends must not count as traffic");
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        let (results, _) = run_ranks(3, |c| {
+            let mut sums = Vec::new();
+            for round in 0..5 {
+                let mut x = vec![(c.rank() + round) as f64];
+                c.allreduce_f64(ReduceOp::Sum, &mut x);
+                sums.push(x[0]);
+            }
+            sums
+        });
+        for r in results {
+            assert_eq!(r, vec![3.0, 6.0, 9.0, 12.0, 15.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let (results, _) = run_ranks(1, |c| {
+            let mut x = vec![3.0];
+            c.allreduce_f64(ReduceOp::Sum, &mut x);
+            let g = c.allgather_u64(&[1, 2]);
+            let a = c.alltoallv(vec![Payload::U64(vec![9])]);
+            (x[0], g[0].clone(), a[0].clone().into_u64())
+        });
+        assert_eq!(results[0].0, 3.0);
+        assert_eq!(results[0].1, vec![1, 2]);
+        assert_eq!(results[0].2, vec![9]);
+    }
+}

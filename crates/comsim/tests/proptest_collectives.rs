@@ -1,0 +1,97 @@
+//! Property-based tests of the thread communicator's collectives across
+//! random rank counts and payload sizes: the correctness of every
+//! distributed result in the repo rests on these.
+
+use proptest::prelude::*;
+
+use sm_comsim::{run_ranks, Comm, Payload, ReduceOp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn allreduce_sum_is_rank_invariant(size in 1usize..9, len in 1usize..8) {
+        let (results, _) = run_ranks(size, |c| {
+            let mut x: Vec<f64> = (0..len).map(|i| (c.rank() * 10 + i) as f64).collect();
+            c.allreduce_f64(ReduceOp::Sum, &mut x);
+            x
+        });
+        let expect: Vec<f64> = (0..len)
+            .map(|i| (0..size).map(|r| (r * 10 + i) as f64).sum())
+            .collect();
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_bracket(size in 1usize..9) {
+        let (results, _) = run_ranks(size, |c| {
+            let mut mn = vec![c.rank() as f64];
+            c.allreduce_f64(ReduceOp::Min, &mut mn);
+            let mut mx = vec![c.rank() as f64];
+            c.allreduce_f64(ReduceOp::Max, &mut mx);
+            (mn[0], mx[0])
+        });
+        for (mn, mx) in results {
+            prop_assert_eq!(mn, 0.0);
+            prop_assert_eq!(mx, (size - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_per_rank_data(size in 1usize..8, base_len in 0usize..5) {
+        let (results, _) = run_ranks(size, |c| {
+            let local: Vec<u64> = (0..base_len + c.rank()).map(|i| i as u64).collect();
+            c.allgather_u64(&local)
+        });
+        for gathered in results {
+            prop_assert_eq!(gathered.len(), size);
+            for (src, v) in gathered.iter().enumerate() {
+                prop_assert_eq!(v.len(), base_len + src);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(size in 1usize..8) {
+        let (results, _) = run_ranks(size, |c| {
+            let sends: Vec<Payload> = (0..size)
+                .map(|d| Payload::U64(vec![(c.rank() * 100 + d) as u64]))
+                .collect();
+            c.alltoallv(sends)
+        });
+        for (me, received) in results.into_iter().enumerate() {
+            for (src, p) in received.into_iter().enumerate() {
+                prop_assert_eq!(p.into_u64(), vec![(src * 100 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone(size in 1usize..8, root_pick in 0usize..8) {
+        let root = root_pick % size;
+        let (results, _) = run_ranks(size, |c| {
+            let mut x = if c.rank() == root { vec![3.25, -1.5] } else { Vec::new() };
+            c.broadcast_f64(root, &mut x);
+            x
+        });
+        for r in results {
+            prop_assert_eq!(&r, &vec![3.25, -1.5]);
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring_any_size(size in 2usize..9, payload in 0u64..1000) {
+        let (results, _) = run_ranks(size, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, Payload::U64(vec![payload + c.rank() as u64]));
+            c.recv(prev, 7).into_u64()[0]
+        });
+        for (me, got) in results.into_iter().enumerate() {
+            let prev = (me + size - 1) % size;
+            prop_assert_eq!(got, payload + prev as u64);
+        }
+    }
+}

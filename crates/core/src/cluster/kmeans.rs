@@ -1,0 +1,222 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Clusters molecule centers in real space to pick block columns worth
+//! combining (paper Sec. IV-C2, Fig. 5's "k-means in real-space" series —
+//! the paper uses scikit-learn 0.23.1; this is a faithful reimplementation
+//! of the same algorithm). As in the paper, periodicity of the cell is
+//! deliberately ignored.
+
+use super::XorShift;
+
+/// Result of one k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster id of every point.
+    pub assignment: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<[f64; 3]>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+/// k-means++ seeding: first centroid uniform, then points weighted by the
+/// squared distance to their nearest already-chosen centroid.
+fn seed_centroids(points: &[[f64; 3]], k: usize, rng: &mut XorShift) -> Vec<[f64; 3]> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.next_below(points.len())]);
+    let mut d2: Vec<f64> = points.iter().map(|&p| dist2(p, centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.next_below(points.len())
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut idx = 0;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+                idx = i;
+            }
+            idx
+        };
+        let c = points[pick];
+        centroids.push(c);
+        for (i, &p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, c));
+        }
+    }
+    centroids
+}
+
+/// Run k-means. Deterministic for a fixed `seed`. Empty clusters are
+/// repaired by stealing the point farthest from its centroid.
+pub fn kmeans(points: &[[f64; 3]], k: usize, seed: u64, max_iter: usize) -> KMeansResult {
+    assert!(k >= 1 && k <= points.len(), "need 1 <= k <= n points");
+    let mut rng = XorShift::new(seed);
+    let mut centroids = seed_centroids(points, k, &mut rng);
+    let mut assignment = vec![0usize; points.len()];
+
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, &p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, &centroid) in centroids.iter().enumerate() {
+                let d = dist2(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        let mut sums = vec![[0.0f64; 3]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &p) in points.iter().enumerate() {
+            let c = assignment[i];
+            sums[c][0] += p[0];
+            sums[c][1] += p[1];
+            sums[c][2] += p[2];
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Repair: move the centroid onto the globally farthest point.
+                let (far_i, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (i, dist2(p, centroids[assignment[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .expect("nonempty points");
+                centroids[c] = points[far_i];
+                assignment[far_i] = c;
+                changed = true;
+            } else {
+                centroids[c] = [
+                    sums[c][0] / counts[c] as f64,
+                    sums[c][1] / counts[c] as f64,
+                    sums[c][2] / counts[c] as f64,
+                ];
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| dist2(p, centroids[assignment[i]]))
+        .sum();
+
+    KMeansResult {
+        assignment,
+        centroids,
+        iterations,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<[f64; 3]> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let t = i as f64 * 0.05;
+            pts.push([t, t * 0.5, 0.0]);
+            pts.push([10.0 + t, 10.0 - t, 1.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 1, 100);
+        // All even indices together, all odd together.
+        let c0 = r.assignment[0];
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(r.assignment[i], c0);
+        }
+        let c1 = r.assignment[1];
+        assert_ne!(c0, c1);
+        for i in (1..pts.len()).step_by(2) {
+            assert_eq!(r.assignment[i], c1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 3, 7, 100);
+        let b = kmeans(&pts, 3, 7, 100);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts: Vec<[f64; 3]> = (0..6).map(|i| [i as f64 * 3.0, 0.0, 0.0]).collect();
+        let r = kmeans(&pts, 6, 3, 100);
+        assert!(r.inertia < 1e-20);
+        // All clusters distinct.
+        let mut seen = r.assignment.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![[0.0, 0.0, 0.0], [2.0, 4.0, 6.0]];
+        let r = kmeans(&pts, 1, 5, 100);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((r.centroids[0][1] - 2.0).abs() < 1e-12);
+        assert!((r.centroids[0][2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let pts = two_blobs();
+        let mut prev = f64::INFINITY;
+        for k in [1, 2, 4, 8] {
+            let r = kmeans(&pts, k, 11, 200);
+            assert!(
+                r.inertia <= prev * 1.2,
+                "inertia should trend down with k: k={k} inertia={}",
+                r.inertia
+            );
+            prev = prev.min(r.inertia);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k")]
+    fn invalid_k_rejected() {
+        kmeans(&[[0.0; 3]], 2, 1, 10);
+    }
+}

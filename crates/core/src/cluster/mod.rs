@@ -1,0 +1,110 @@
+//! Block-column combination heuristics (paper Sec. IV-C2).
+//!
+//! Two independent signals tell us which block columns to combine into one
+//! submatrix:
+//!
+//! * **real-space positions** of the molecules behind the columns —
+//!   clustered with [`kmeans`] (the paper uses scikit-learn's k-means);
+//! * **the sparsity-pattern graph** — block columns as vertices, an edge
+//!   wherever the coupling block is nonzero — partitioned with the
+//!   multilevel k-way scheme in [`graph`] (the paper uses METIS).
+//!
+//! Fig. 5 shows both produce similar estimated speedups; the
+//! `fig05_clustering_speedup` bench regenerates that comparison.
+
+pub mod graph;
+pub mod kmeans;
+
+/// Convert a per-item cluster assignment into explicit groups (clusters in
+/// index order, members ascending). Empty clusters are dropped.
+pub fn groups_from_assignment(assignment: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); k];
+    for (item, &c) in assignment.iter().enumerate() {
+        assert!(c < k, "cluster id {c} out of range");
+        groups[c].push(item);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// Tiny deterministic PRNG (xorshift64*) so clustering stays reproducible
+/// without external dependencies.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift {
+            state: seed.wrapping_mul(2685821657736338717).max(1),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform float in [0, 1).
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    pub(crate) fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_from_assignment_splits() {
+        let groups = groups_from_assignment(&[0, 1, 0, 2, 1], 3);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn empty_clusters_dropped() {
+        let groups = groups_from_assignment(&[2, 2, 2], 4);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cluster_panics() {
+        groups_from_assignment(&[5], 3);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_spread() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+        // floats land in [0,1)
+        let mut r = XorShift::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = XorShift::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+}

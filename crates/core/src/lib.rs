@@ -1,0 +1,48 @@
+//! # sm-core — the submatrix method
+//!
+//! The paper's primary contribution (Lass, Schade, Kühne, Plessl, SC 2020):
+//! evaluate a unary matrix function `f` on a large sparse symmetric matrix
+//! `A` by building, for each (block-)column `i`, the dense *principal
+//! submatrix* `a_i` induced by the nonzero rows of that column, computing
+//! `f(a_i)` locally, and scattering the columns originating from `i` back
+//! into a result with the sparsity pattern of `A` (paper Fig. 3).
+//!
+//! Crate layout mirrors the paper's implementation sections:
+//!
+//! * [`assembly`] — submatrix index sets and dense assembly/extraction at
+//!   the DBCSR block level (Secs. III-A, IV);
+//! * [`plan`] — grouping block columns into submatrices, the estimated-
+//!   speedup model of Eq. 15, and sub-submatrix splitting (Sec. IV-C);
+//! * [`cluster`] — k-means in real space and multilevel graph partitioning
+//!   of the sparsity pattern for column combination (Sec. IV-C2, Fig. 5);
+//! * [`loadbalance`] — greedy O(n³)-cost contiguous rank assignment
+//!   (Sec. IV-E);
+//! * [`transfers`] — deduplicated block-transfer planning (Sec. IV-B);
+//! * [`solver`] — per-submatrix sign evaluation: eigendecomposition
+//!   (Eq. 17), Newton–Schulz (Eq. 11), higher-order Padé (Eq. 19), with
+//!   grand-canonical, canonical and finite-temperature modes (Sec. IV-F/G);
+//! * [`mu`] — Algorithm 1: canonical µ adjustment on stored
+//!   eigendecompositions without re-diagonalizing;
+//! * [`method`] — the end-to-end drivers producing the density matrix of
+//!   Eq. 16 on serial, thread-distributed and modeled executions;
+//! * [`baseline`] — the comparator: 2nd-order Newton–Schulz purification on
+//!   the distributed sparse matrix, plus sparse Löwdin orthogonalization;
+//! * [`model`] — analytic cluster-time accounting for the scaling studies
+//!   (Figs. 6, 8–10), built on `sm_comsim::ClusterModel`.
+
+pub mod assembly;
+pub mod baseline;
+pub mod cluster;
+pub mod loadbalance;
+pub mod method;
+pub mod model;
+pub mod mu;
+pub mod plan;
+pub mod solver;
+pub mod split;
+pub mod transfers;
+
+pub use assembly::SubmatrixSpec;
+pub use method::{submatrix_density, submatrix_sign, SubmatrixOptions, SubmatrixReport};
+pub use plan::SubmatrixPlan;
+pub use solver::SignMethod;

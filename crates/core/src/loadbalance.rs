@@ -1,0 +1,191 @@
+//! Load balancing: mapping submatrices to ranks.
+//!
+//! Submatrix dimensions vary with the local chemistry, so assigning equal
+//! *counts* per rank is unbalanced. The paper (Sec. IV-E) uses a greedy
+//! algorithm that assigns one **consecutive chunk** of submatrices to each
+//! rank (consecutive ⇒ neighbouring columns share blocks ⇒ buffered-block
+//! reuse, Sec. IV-B2) such that each rank's estimated `Σ n³` load stays
+//! under `total/#ranks`, and every rank gets at least one submatrix.
+
+/// Assignment of submatrices to ranks: `ranges[r]` is the contiguous index
+/// range owned by rank `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Per-rank contiguous ranges over submatrix indices.
+    pub ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl Assignment {
+    /// Owner rank of submatrix `i`.
+    pub fn owner_of(&self, i: usize) -> usize {
+        self.ranges
+            .iter()
+            .position(|r| r.contains(&i))
+            .expect("submatrix index outside assignment")
+    }
+
+    /// Load per rank under the given cost vector.
+    pub fn loads(&self, costs: &[f64]) -> Vec<f64> {
+        self.ranges
+            .iter()
+            .map(|r| costs[r.clone()].iter().sum())
+            .collect()
+    }
+
+    /// Load imbalance: `max_load / avg_load` (1.0 = perfect).
+    pub fn imbalance(&self, costs: &[f64]) -> f64 {
+        let loads = self.loads(costs);
+        let total: f64 = loads.iter().sum();
+        let avg = total / loads.len() as f64;
+        if avg == 0.0 {
+            return 1.0;
+        }
+        loads.into_iter().fold(0.0, f64::max) / avg
+    }
+}
+
+/// Greedy contiguous-chunk assignment (paper Sec. IV-E): walk submatrices
+/// in order, moving to the next rank once its accumulated load would exceed
+/// `total / n_ranks`, while guaranteeing (a) every rank gets at least one
+/// submatrix when possible, and (b) no submatrices are left over.
+pub fn greedy_contiguous(costs: &[f64], n_ranks: usize) -> Assignment {
+    assert!(n_ranks >= 1);
+    let n = costs.len();
+
+    let mut ranges = Vec::with_capacity(n_ranks);
+    let mut start = 0usize;
+    let mut remaining: f64 = costs.iter().sum();
+    for rank in 0..n_ranks {
+        let ranks_left = n_ranks - rank;
+        let items_left = n - start;
+        if items_left == 0 {
+            ranges.push(start..start);
+            continue;
+        }
+        // Reserve at least one item for each remaining rank; re-derive the
+        // target from the *remaining* load so early rounding errors do not
+        // accumulate onto the last ranks.
+        let target = remaining / ranks_left as f64;
+        let max_end = n - (ranks_left - 1).min(items_left - 1);
+        let mut end = start + 1; // at least one submatrix
+        let mut load = costs[start];
+        // Round to nearest: take the next item if doing so lands closer to
+        // the target than stopping short.
+        while end < max_end && (load + costs[end] - target).abs() <= (target - load).abs() {
+            load += costs[end];
+            end += 1;
+        }
+        if rank + 1 == n_ranks {
+            end = n; // last rank absorbs the remainder
+            load = costs[start..end].iter().sum();
+        }
+        ranges.push(start..end);
+        start = end;
+        remaining -= load;
+    }
+    debug_assert_eq!(start, n, "all submatrices must be assigned");
+    Assignment { ranges }
+}
+
+/// Round-robin assignment (non-contiguous; the locality-ablation
+/// comparator of Sec. IV-B2). Returns, per rank, the list of submatrix
+/// indices rather than a range.
+pub fn round_robin(n_items: usize, n_ranks: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); n_ranks];
+    for i in 0..n_items {
+        out[i % n_ranks].push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_split_evenly() {
+        let costs = vec![1.0; 12];
+        let a = greedy_contiguous(&costs, 4);
+        assert_eq!(a.ranges.len(), 4);
+        for r in &a.ranges {
+            assert_eq!(r.len(), 3);
+        }
+        assert!((a.imbalance(&costs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_costs_get_fewer_items() {
+        // One huge submatrix (a large solute molecule, Sec. IV-E's example)
+        // must sit alone on its rank.
+        let mut costs = vec![1.0; 9];
+        costs[0] = 100.0;
+        let a = greedy_contiguous(&costs, 3);
+        assert_eq!(a.ranges[0], 0..1, "heavy item should be alone");
+        // Remaining 8 split across 2 ranks.
+        let covered: usize = a.ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 9);
+    }
+
+    #[test]
+    fn every_rank_gets_one_when_possible() {
+        let costs = vec![100.0, 1.0, 1.0, 1.0];
+        let a = greedy_contiguous(&costs, 4);
+        for r in &a.ranges {
+            assert_eq!(r.len(), 1);
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_items_leaves_trailing_ranks_empty() {
+        let costs = vec![1.0, 2.0];
+        let a = greedy_contiguous(&costs, 4);
+        let nonempty: usize = a.ranges.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(nonempty, 2);
+        let covered: usize = a.ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_ordered() {
+        let costs: Vec<f64> = (0..20).map(|i| 1.0 + (i % 5) as f64).collect();
+        let a = greedy_contiguous(&costs, 6);
+        let mut expect_start = 0;
+        for r in &a.ranges {
+            assert_eq!(r.start, expect_start);
+            expect_start = r.end;
+        }
+        assert_eq!(expect_start, 20);
+    }
+
+    #[test]
+    fn owner_of_lookup() {
+        let costs = vec![1.0; 6];
+        let a = greedy_contiguous(&costs, 2);
+        assert_eq!(a.owner_of(0), 0);
+        assert_eq!(a.owner_of(5), 1);
+    }
+
+    #[test]
+    fn imbalance_bounded_for_moderate_costs() {
+        // With costs bounded by the per-rank target, greedy stays within
+        // 2x of perfect balance.
+        let costs: Vec<f64> = (0..64).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
+        let a = greedy_contiguous(&costs, 8);
+        assert!(a.imbalance(&costs) < 2.0, "imbalance {}", a.imbalance(&costs));
+    }
+
+    #[test]
+    fn round_robin_covers_everything() {
+        let rr = round_robin(10, 3);
+        assert_eq!(rr[0], vec![0, 3, 6, 9]);
+        assert_eq!(rr[1], vec![1, 4, 7]);
+        assert_eq!(rr[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn single_rank_takes_all() {
+        let costs = vec![3.0, 1.0, 2.0];
+        let a = greedy_contiguous(&costs, 1);
+        assert_eq!(a.ranges, vec![0..3]);
+    }
+}

@@ -1,0 +1,760 @@
+//! End-to-end submatrix-method drivers.
+//!
+//! Ties the pieces together exactly as paper Sec. IV describes the CP2K
+//! implementation:
+//!
+//! 1. build the deterministic global COO view of the sparsity pattern;
+//! 2. group block columns into submatrices and map them to ranks with the
+//!    greedy `n³` load balancer;
+//! 3. exchange all required blocks **once** (deduplicated) so assembly
+//!    becomes purely local;
+//! 4. assemble and solve every local submatrix (Rayon-parallel — the
+//!    shared-memory parallelism of Sec. IV-D);
+//! 5. for canonical ensembles, bisect µ on the stored eigendecompositions
+//!    (Algorithm 1) before extracting results;
+//! 6. scatter result columns back to their owning ranks, preserving the
+//!    input sparsity pattern.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use sm_comsim::{Comm, Payload};
+use sm_dbcsr::matrix::{pack_blocks, unpack_blocks};
+use sm_dbcsr::ops;
+use sm_dbcsr::DbcsrMatrix;
+use sm_linalg::Matrix;
+
+use crate::assembly::{assemble, extract_result};
+use crate::loadbalance::greedy_contiguous;
+use crate::mu::{adjust_mu, StoredDecomposition};
+use crate::plan::SubmatrixPlan;
+use crate::solver::{sign_from_decomposition, solve_sign, SignMethod, SolveOptions};
+use crate::transfers::{RankTransferPlan, TransferStats};
+
+/// How block columns are grouped into submatrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grouping {
+    /// One submatrix per block column (the method's default).
+    OnePerColumn,
+    /// Combine runs of this many consecutive block columns (the
+    /// evaluation's greedy heuristic).
+    Consecutive(usize),
+    /// Explicit column groups (from the clustering heuristics).
+    Explicit(Vec<Vec<usize>>),
+}
+
+/// Statistical ensemble of the density-matrix computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ensemble {
+    /// Fixed chemical potential (paper's evaluation mode, Sec. V).
+    GrandCanonical,
+    /// Fixed electron count: µ adjusted by Algorithm 1. Requires the
+    /// diagonalization solver.
+    Canonical {
+        /// Target electron count (closed shell: 2 per occupied orbital).
+        n_electrons: f64,
+        /// Electron-count tolerance.
+        tol: f64,
+        /// Bisection budget.
+        max_iter: usize,
+    },
+}
+
+/// Driver options.
+#[derive(Debug, Clone)]
+pub struct SubmatrixOptions {
+    /// Column grouping strategy.
+    pub grouping: Grouping,
+    /// Per-submatrix solver configuration.
+    pub solve: SolveOptions,
+    /// Ensemble handling.
+    pub ensemble: Ensemble,
+    /// Solve local submatrices in parallel with Rayon.
+    pub parallel: bool,
+    /// Compute only the *contributing* columns of each submatrix's sign
+    /// function instead of the full back-transform (the paper's future-work
+    /// optimization, Sec. VII). Requires the diagonalization solver and a
+    /// grand-canonical ensemble; saves the `O(n³)` back-transform in favor
+    /// of `O(n²·k)` per submatrix.
+    pub use_selected_columns: bool,
+}
+
+impl Default for SubmatrixOptions {
+    fn default() -> Self {
+        SubmatrixOptions {
+            grouping: Grouping::OnePerColumn,
+            solve: SolveOptions::default(),
+            ensemble: Ensemble::GrandCanonical,
+            parallel: true,
+            use_selected_columns: false,
+        }
+    }
+}
+
+/// Instrumentation of one submatrix-method run (this rank's view, with
+/// collective totals where noted).
+#[derive(Debug, Clone)]
+pub struct SubmatrixReport {
+    /// Number of submatrices in the global plan.
+    pub n_submatrices: usize,
+    /// Largest submatrix dimension (global).
+    pub max_dim: usize,
+    /// Mean submatrix dimension (global).
+    pub avg_dim: f64,
+    /// Total `Σ n³` cost estimate (global).
+    pub total_cost: f64,
+    /// This rank's transfer plan statistics.
+    pub transfers: TransferStats,
+    /// The µ actually used (after canonical adjustment, if any).
+    pub mu: f64,
+    /// Bisection steps of Algorithm 1 (0 for grand canonical).
+    pub bisect_iterations: usize,
+    /// Seconds in initialization (pattern, plan, transfers).
+    pub init_seconds: f64,
+    /// Seconds solving submatrices.
+    pub solve_seconds: f64,
+    /// Seconds scattering results.
+    pub writeback_seconds: f64,
+}
+
+/// Compute `sign(K̃ − µI)` with the submatrix method (collective).
+/// Returns the block-sparse sign matrix (input pattern preserved) and the
+/// run report.
+pub fn submatrix_sign<C: Comm>(
+    k_tilde: &DbcsrMatrix,
+    mu0: f64,
+    opts: &SubmatrixOptions,
+    comm: &C,
+) -> (DbcsrMatrix, SubmatrixReport) {
+    let t0 = Instant::now();
+    let dims = k_tilde.dims().clone();
+    let pattern = k_tilde.global_pattern(comm);
+
+    let plan = match &opts.grouping {
+        Grouping::OnePerColumn => SubmatrixPlan::one_per_column(&pattern, &dims),
+        Grouping::Consecutive(g) => SubmatrixPlan::consecutive(&pattern, &dims, *g),
+        Grouping::Explicit(groups) => SubmatrixPlan::from_groups(&pattern, &dims, groups),
+    };
+    let costs: Vec<f64> = plan.specs.iter().map(|s| s.cost()).collect();
+    let assignment = greedy_contiguous(&costs, comm.size());
+    let my_range = assignment.ranges[comm.rank()].clone();
+    let my_specs: Vec<&crate::assembly::SubmatrixSpec> =
+        plan.specs[my_range.clone()].iter().collect();
+
+    // Deduplicated block exchange (Sec. IV-B): fetch every remote block my
+    // submatrices need, exactly once.
+    let transfer_plan = RankTransferPlan::for_specs(&my_specs, &pattern);
+    let mut stats = TransferStats::default();
+    stats.add_rank(&transfer_plan, &dims);
+    let remote_wanted: Vec<(usize, usize)> = transfer_plan
+        .unique_blocks
+        .iter()
+        .copied()
+        .filter(|&(br, bc)| k_tilde.owner(br, bc) != comm.rank())
+        .collect();
+    let fetched = ops::fetch_blocks(k_tilde, &remote_wanted, comm);
+    let block_of = |br: usize, bc: usize| -> Option<&Matrix> {
+        k_tilde.block(br, bc).or_else(|| fetched.get(&(br, bc)))
+    };
+    let init_seconds = t0.elapsed().as_secs_f64();
+
+    // Assemble + solve.
+    let t1 = Instant::now();
+
+    // Fast path: selected-columns evaluation (paper Sec. VII future work).
+    // Diagonalize, then back-transform only the contributing columns and
+    // extract directly — the full sign matrix is never materialized.
+    if opts.use_selected_columns {
+        assert_eq!(
+            opts.solve.method,
+            SignMethod::Diagonalization,
+            "selected-columns evaluation requires the diagonalization solver"
+        );
+        assert!(
+            matches!(opts.ensemble, Ensemble::GrandCanonical),
+            "selected-columns evaluation supports grand-canonical runs only"
+        );
+        let solve_one = |spec: &&crate::assembly::SubmatrixSpec| {
+            let a = assemble(spec, &pattern, &dims, block_of);
+            let dec = sm_linalg::eigh::eigh(&a)
+                .unwrap_or_else(|e| panic!("submatrix eigendecomposition failed: {e}"));
+            let contributing = crate::mu::contributing_rows(spec, &dims);
+            let cols_mat = crate::solver::sign_columns_from_decomposition(
+                &dec,
+                mu0,
+                opts.solve.kt,
+                &contributing,
+            );
+            crate::assembly::extract_result_from_columns(spec, &pattern, &dims, &cols_mat)
+        };
+        let extracted: Vec<BTreeMap<(usize, usize), Matrix>> = if opts.parallel {
+            my_specs.par_iter().map(solve_one).collect()
+        } else {
+            my_specs.iter().map(solve_one).collect()
+        };
+        let solve_seconds = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let result = scatter_results(
+            extracted.into_iter().flatten(),
+            &dims,
+            comm,
+        );
+        let writeback_seconds = t2.elapsed().as_secs_f64();
+        let report = SubmatrixReport {
+            n_submatrices: plan.len(),
+            max_dim: plan.max_dim(),
+            avg_dim: plan.avg_dim(),
+            total_cost: plan.total_cost(),
+            transfers: stats,
+            mu: mu0,
+            bisect_iterations: 0,
+            init_seconds,
+            solve_seconds,
+            writeback_seconds,
+        };
+        return (result, report);
+    }
+
+    let solve_one = |spec: &&crate::assembly::SubmatrixSpec| {
+        let a = assemble(spec, &pattern, &dims, block_of);
+        solve_sign(&a, mu0, &opts.solve)
+            .unwrap_or_else(|e| panic!("submatrix solve failed: {e}"))
+    };
+    let results: Vec<crate::solver::SolveResult> = if opts.parallel {
+        my_specs.par_iter().map(solve_one).collect()
+    } else {
+        my_specs.iter().map(solve_one).collect()
+    };
+
+    // Canonical ensemble: Algorithm 1 on the stored decompositions, then
+    // re-evaluate the sign at the adjusted µ (collective).
+    let (mu, bisect_iterations, signs) = match opts.ensemble {
+        Ensemble::GrandCanonical => {
+            let signs: Vec<Matrix> = results.into_iter().map(|r| r.sign).collect();
+            (mu0, 0, signs)
+        }
+        Ensemble::Canonical {
+            n_electrons,
+            tol,
+            max_iter,
+        } => {
+            assert_eq!(
+                opts.solve.method,
+                SignMethod::Diagonalization,
+                "canonical ensembles require the diagonalization solver (Sec. IV-G)"
+            );
+            let stored: Vec<StoredDecomposition> = my_specs
+                .iter()
+                .zip(&results)
+                .map(|(spec, r)| {
+                    StoredDecomposition::from_eigh(
+                        r.decomposition.as_ref().expect("diagonalization stores Q"),
+                        spec,
+                        &dims,
+                    )
+                })
+                .collect();
+            let adj = adjust_mu(
+                &stored,
+                mu0,
+                n_electrons / 2.0,
+                opts.solve.kt,
+                tol / 2.0,
+                max_iter,
+                comm,
+            );
+            let signs: Vec<Matrix> = results
+                .iter()
+                .map(|r| {
+                    sign_from_decomposition(
+                        r.decomposition.as_ref().expect("diagonalization stores Q"),
+                        adj.mu,
+                        opts.solve.kt,
+                    )
+                })
+                .collect();
+            (adj.mu, adj.iterations, signs)
+        }
+    };
+    let solve_seconds = t1.elapsed().as_secs_f64();
+
+    // Extract and scatter results to their owners.
+    let t2 = Instant::now();
+    let extracted = my_specs
+        .iter()
+        .zip(&signs)
+        .flat_map(|(spec, sign)| extract_result(spec, &pattern, &dims, sign));
+    let result = scatter_results(extracted, &dims, comm);
+    let writeback_seconds = t2.elapsed().as_secs_f64();
+
+    let report = SubmatrixReport {
+        n_submatrices: plan.len(),
+        max_dim: plan.max_dim(),
+        avg_dim: plan.avg_dim(),
+        total_cost: plan.total_cost(),
+        transfers: stats,
+        mu,
+        bisect_iterations,
+        init_seconds,
+        solve_seconds,
+        writeback_seconds,
+    };
+    (result, report)
+}
+
+/// Route extracted result blocks to their owning ranks (collective) and
+/// build the result matrix.
+fn scatter_results<C: Comm>(
+    extracted: impl Iterator<Item = ((usize, usize), Matrix)>,
+    dims: &sm_dbcsr::BlockedDims,
+    comm: &C,
+) -> DbcsrMatrix {
+    let mut outgoing: Vec<BTreeMap<(usize, usize), Matrix>> =
+        (0..comm.size()).map(|_| BTreeMap::new()).collect();
+    let mut result = DbcsrMatrix::new(dims.clone(), comm.rank(), comm.size());
+    for (coord, blk) in extracted {
+        let owner = result.owner(coord.0, coord.1);
+        if owner == comm.rank() {
+            result.insert_block(coord.0, coord.1, blk);
+        } else {
+            outgoing[owner].insert(coord, blk);
+        }
+    }
+    let metas: Vec<Payload> = outgoing
+        .iter()
+        .map(|m| Payload::U64(pack_blocks(m.iter()).0))
+        .collect();
+    let datas: Vec<Payload> = outgoing
+        .iter()
+        .map(|m| Payload::F64(pack_blocks(m.iter()).1))
+        .collect();
+    let metas_in = comm.alltoallv(metas);
+    let datas_in = comm.alltoallv(datas);
+    for (meta, data) in metas_in.into_iter().zip(datas_in) {
+        for (coord, blk) in unpack_blocks(dims, &meta.into_u64(), &data.into_f64()) {
+            result.insert_block(coord.0, coord.1, blk);
+        }
+    }
+    result
+}
+
+/// Compute the density matrix `D̃ = (I − sign(K̃ − µI)) / 2` (Eq. 16's
+/// orthogonal-basis core) with the submatrix method (collective).
+pub fn submatrix_density<C: Comm>(
+    k_tilde: &DbcsrMatrix,
+    mu0: f64,
+    opts: &SubmatrixOptions,
+    comm: &C,
+) -> (DbcsrMatrix, SubmatrixReport) {
+    let (mut sign, report) = submatrix_sign(k_tilde, mu0, opts, comm);
+    ops::scale(&mut sign, -0.5);
+    ops::shift_diag(&mut sign, 0.5);
+    (sign, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_comsim::{run_ranks, SerialComm};
+    use sm_dbcsr::BlockedDims;
+    use sm_linalg::sign::sign_eig;
+
+    /// Block-diagonal symmetric matrix: the submatrix method is exact.
+    fn block_diagonal(nb: usize, bs: usize) -> (Matrix, BlockedDims) {
+        let dims = BlockedDims::uniform(nb, bs);
+        let n = dims.n();
+        let mut dense = Matrix::zeros(n, n);
+        for b in 0..nb {
+            for i in 0..bs {
+                for j in 0..bs {
+                    let (gi, gj) = (b * bs + i, b * bs + j);
+                    dense[(gi, gj)] = if i == j {
+                        if (b + i) % 2 == 0 {
+                            1.0 + b as f64 * 0.1
+                        } else {
+                            -1.0 - i as f64 * 0.1
+                        }
+                    } else {
+                        0.1
+                    };
+                }
+            }
+        }
+        dense.symmetrize();
+        (dense, dims)
+    }
+
+    /// Banded symmetric matrix with decaying off-diagonals and a gap at 0.
+    fn banded_gapped(nb: usize, bs: usize) -> (Matrix, BlockedDims) {
+        let dims = BlockedDims::uniform(nb, bs);
+        let n = dims.n();
+        let mut dense = Matrix::from_fn(n, n, |i, j| {
+            let bi = (i / bs) as isize;
+            let bj = (j / bs) as isize;
+            if (bi - bj).abs() > 1 {
+                0.0
+            } else if i == j {
+                if i % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else {
+                0.05 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        dense.symmetrize();
+        (dense, dims)
+    }
+
+    #[test]
+    fn exact_on_block_diagonal() {
+        let (dense, dims) = block_diagonal(5, 3);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let (sign, report) = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm);
+        let expect = sign_eig(&dense).unwrap();
+        let got = sign.to_dense(&comm);
+        assert!(
+            got.allclose(&expect, 1e-10),
+            "block-diagonal case must be exact, max diff {}",
+            got.max_abs_diff(&expect)
+        );
+        assert_eq!(report.n_submatrices, 5);
+        assert_eq!(report.max_dim, 3);
+    }
+
+    #[test]
+    fn approximate_on_banded_matrix() {
+        let (dense, dims) = banded_gapped(10, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let (sign, _) = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm);
+        let expect = sign_eig(&dense).unwrap();
+        let got = sign.to_dense(&comm);
+        // Weak coupling: the approximation must be decent but needn't be
+        // exact.
+        assert!(
+            got.max_abs_diff(&expect) < 0.05,
+            "max diff {}",
+            got.max_abs_diff(&expect)
+        );
+        // The result keeps the input's block pattern.
+        assert_eq!(
+            sign.global_pattern(&comm).entries(),
+            m.global_pattern(&comm).entries()
+        );
+    }
+
+    #[test]
+    fn combining_columns_does_not_hurt() {
+        let (dense, dims) = banded_gapped(12, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let expect = sign_eig(&dense).unwrap();
+        let single = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm)
+            .0
+            .to_dense(&comm);
+        let combined = submatrix_sign(
+            &m,
+            0.0,
+            &SubmatrixOptions {
+                grouping: Grouping::Consecutive(3),
+                ..Default::default()
+            },
+            &comm,
+        )
+        .0
+        .to_dense(&comm);
+        let err_single = single.max_abs_diff(&expect);
+        let err_combined = combined.max_abs_diff(&expect);
+        assert!(
+            err_combined <= err_single * 1.5 + 1e-12,
+            "combined {err_combined} much worse than single {err_single}"
+        );
+    }
+
+    #[test]
+    fn iterative_solvers_match_diagonalization_driver() {
+        let (dense, dims) = banded_gapped(8, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let diag = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm)
+            .0
+            .to_dense(&comm);
+        for method in [SignMethod::NewtonSchulz, SignMethod::Pade(3)] {
+            let opts = SubmatrixOptions {
+                solve: SolveOptions {
+                    method,
+                    ..SolveOptions::default()
+                },
+                ..Default::default()
+            };
+            let it = submatrix_sign(&m, 0.0, &opts, &comm).0.to_dense(&comm);
+            assert!(it.allclose(&diag, 1e-6), "{method:?} deviates");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_exactly() {
+        let (dense, dims) = banded_gapped(9, 2);
+        let comm = SerialComm::new();
+        let serial = {
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), 0, 1, 0.0);
+            submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm)
+                .0
+                .to_dense(&comm)
+        };
+        let (results, _) = run_ranks(4, |c| {
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), c.rank(), c.size(), 0.0);
+            let (sign, _) = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), c);
+            sign.to_dense(c)
+        });
+        for r in results {
+            assert!(
+                r.allclose(&serial, 1e-13),
+                "distributed result differs from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn density_is_half_one_minus_sign() {
+        let (dense, dims) = block_diagonal(4, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let (d, _) = submatrix_density(&m, 0.0, &SubmatrixOptions::default(), &comm);
+        let (s, _) = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm);
+        let dd = d.to_dense(&comm);
+        let mut expect = s.to_dense(&comm);
+        expect.scale(-0.5);
+        expect.shift_diag(0.5);
+        assert!(dd.allclose(&expect, 1e-14));
+        // Projector-ish: eigenvalues of D in [0,1].
+        let eigs = sm_linalg::eigh::eigvalsh(&dd).unwrap();
+        for e in eigs {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&e));
+        }
+    }
+
+    #[test]
+    fn canonical_ensemble_hits_target_electron_count() {
+        let (dense, dims) = block_diagonal(6, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        // The spectrum has 6 negative eigenvalues (half of 12); ask for a
+        // different occupation: 4 orbitals = 8 electrons.
+        let opts = SubmatrixOptions {
+            ensemble: Ensemble::Canonical {
+                n_electrons: 8.0,
+                tol: 1e-8,
+                max_iter: 200,
+            },
+            ..Default::default()
+        };
+        let (d, report) = submatrix_density(&m, 0.0, &opts, &comm);
+        let n = sm_chem_free_electron_count(&d, &comm);
+        assert!(
+            (n - 8.0).abs() < 1e-5,
+            "canonical electron count {n} != 8 (µ = {})",
+            report.mu
+        );
+        assert!(report.bisect_iterations > 0);
+    }
+
+    /// 2·Tr(D) without depending on sm-chem.
+    fn sm_chem_free_electron_count<C: Comm>(d: &DbcsrMatrix, comm: &C) -> f64 {
+        2.0 * ops::trace(d, comm)
+    }
+
+    #[test]
+    fn finite_temperature_driver() {
+        let (dense, dims) = block_diagonal(4, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let opts = SubmatrixOptions {
+            solve: SolveOptions {
+                kt: 0.05,
+                ..SolveOptions::default()
+            },
+            ..Default::default()
+        };
+        let (d, _) = submatrix_density(&m, 0.0, &opts, &comm);
+        let dd = d.to_dense(&comm);
+        // Fermi-smeared density of the exact (block-diagonal) problem.
+        let dec = sm_linalg::eigh::eigh(&dense).unwrap();
+        let expect = dec.apply(|l| sm_linalg::fermi::fermi_occupation(l, 0.0, 0.05));
+        assert!(dd.allclose(&expect, 1e-9));
+    }
+
+    #[test]
+    fn report_timings_are_populated() {
+        let (dense, dims) = banded_gapped(6, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let (_, report) = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm);
+        assert!(report.init_seconds >= 0.0);
+        assert!(report.solve_seconds > 0.0);
+        assert!(report.total_cost > 0.0);
+        assert!(report.transfers.unique_bytes > 0);
+        assert!(report.avg_dim > 0.0);
+    }
+
+    #[test]
+    fn sequential_flag_gives_same_result() {
+        let (dense, dims) = banded_gapped(7, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let par = submatrix_sign(&m, 0.0, &SubmatrixOptions::default(), &comm)
+            .0
+            .to_dense(&comm);
+        let seq = submatrix_sign(
+            &m,
+            0.0,
+            &SubmatrixOptions {
+                parallel: false,
+                ..Default::default()
+            },
+            &comm,
+        )
+        .0
+        .to_dense(&comm);
+        assert!(par.allclose(&seq, 0.0), "parallelism must not change results");
+    }
+}
+
+#[cfg(test)]
+mod selected_columns_tests {
+    use super::*;
+    use sm_comsim::{run_ranks, SerialComm};
+    use sm_dbcsr::BlockedDims;
+
+    fn banded_gapped(nb: usize, bs: usize) -> (Matrix, BlockedDims) {
+        let dims = BlockedDims::uniform(nb, bs);
+        let n = dims.n();
+        let mut dense = Matrix::from_fn(n, n, |i, j| {
+            let bi = (i / bs) as isize;
+            let bj = (j / bs) as isize;
+            if (bi - bj).abs() > 1 {
+                0.0
+            } else if i == j {
+                if i % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else {
+                0.06 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        dense.symmetrize();
+        (dense, dims)
+    }
+
+    #[test]
+    fn selected_columns_driver_matches_full_driver() {
+        let (dense, dims) = banded_gapped(10, 3);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let full = submatrix_sign(&m, 0.1, &SubmatrixOptions::default(), &comm)
+            .0
+            .to_dense(&comm);
+        let opts = SubmatrixOptions {
+            use_selected_columns: true,
+            ..Default::default()
+        };
+        let sel = submatrix_sign(&m, 0.1, &opts, &comm).0.to_dense(&comm);
+        assert!(
+            sel.allclose(&full, 1e-12),
+            "selected-columns path deviates, max diff {}",
+            sel.max_abs_diff(&full)
+        );
+    }
+
+    #[test]
+    fn selected_columns_with_combined_groups() {
+        let (dense, dims) = banded_gapped(12, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        for grouping in [Grouping::OnePerColumn, Grouping::Consecutive(3)] {
+            let base = SubmatrixOptions {
+                grouping: grouping.clone(),
+                ..Default::default()
+            };
+            let fast = SubmatrixOptions {
+                grouping,
+                use_selected_columns: true,
+                ..Default::default()
+            };
+            let full = submatrix_sign(&m, 0.0, &base, &comm).0.to_dense(&comm);
+            let sel = submatrix_sign(&m, 0.0, &fast, &comm).0.to_dense(&comm);
+            assert!(sel.allclose(&full, 1e-12));
+        }
+    }
+
+    #[test]
+    fn selected_columns_finite_temperature() {
+        let (dense, dims) = banded_gapped(8, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let solve = SolveOptions {
+            kt: 0.04,
+            ..SolveOptions::default()
+        };
+        let base = SubmatrixOptions {
+            solve,
+            ..Default::default()
+        };
+        let fast = SubmatrixOptions {
+            solve,
+            use_selected_columns: true,
+            ..Default::default()
+        };
+        let full = submatrix_sign(&m, 0.0, &base, &comm).0.to_dense(&comm);
+        let sel = submatrix_sign(&m, 0.0, &fast, &comm).0.to_dense(&comm);
+        assert!(sel.allclose(&full, 1e-12));
+    }
+
+    #[test]
+    fn selected_columns_distributed_matches_serial() {
+        let (dense, dims) = banded_gapped(9, 2);
+        let comm = SerialComm::new();
+        let opts = SubmatrixOptions {
+            use_selected_columns: true,
+            ..Default::default()
+        };
+        let serial = {
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), 0, 1, 0.0);
+            submatrix_sign(&m, 0.0, &opts, &comm).0.to_dense(&comm)
+        };
+        let opts_ref = &opts;
+        let (results, _) = run_ranks(4, move |c| {
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), c.rank(), c.size(), 0.0);
+            submatrix_sign(&m, 0.0, opts_ref, c).0.to_dense(c)
+        });
+        for r in results {
+            assert!(r.allclose(&serial, 1e-13));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grand-canonical")]
+    fn selected_columns_rejects_canonical() {
+        let (dense, dims) = banded_gapped(4, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let opts = SubmatrixOptions {
+            use_selected_columns: true,
+            ensemble: Ensemble::Canonical {
+                n_electrons: 4.0,
+                tol: 1e-8,
+                max_iter: 50,
+            },
+            ..Default::default()
+        };
+        let _ = submatrix_sign(&m, 0.0, &opts, &comm);
+    }
+}

@@ -1,0 +1,288 @@
+//! Submatrix plans: how block columns are grouped into submatrices.
+//!
+//! The baseline plan generates one submatrix per block column (paper
+//! Sec. III-A applied at the DBCSR block level, Sec. IV-C). Combining
+//! several block columns into one submatrix trades fewer, larger solves for
+//! possibly redundant work; Eq. 15 estimates the net speedup `S` under the
+//! `n³` cost model. The evaluation's "simple greedy heuristic" combines
+//! consecutive block columns, while the cluster-based heuristics live in
+//! [`crate::cluster`]. Sub-submatrix splitting (Sec. IV-C1) applies the
+//! method a second time *inside* an assembled submatrix at element level.
+
+use sm_dbcsr::{BlockedDims, CooPattern};
+use sm_linalg::Matrix;
+
+use crate::assembly::SubmatrixSpec;
+
+/// A full plan: every block column appears in exactly one spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmatrixPlan {
+    /// The submatrix specs, in deterministic order.
+    pub specs: Vec<SubmatrixSpec>,
+}
+
+impl SubmatrixPlan {
+    /// One submatrix per block column (the method's default).
+    pub fn one_per_column(pattern: &CooPattern, dims: &BlockedDims) -> Self {
+        let specs = (0..pattern.nb())
+            .map(|c| SubmatrixSpec::build(pattern, dims, &[c]))
+            .collect();
+        SubmatrixPlan { specs }
+    }
+
+    /// Combine consecutive runs of `group_size` block columns — the greedy
+    /// heuristic used in the paper's evaluation (Sec. V: "combining
+    /// multiples of these basic regions").
+    pub fn consecutive(pattern: &CooPattern, dims: &BlockedDims, group_size: usize) -> Self {
+        assert!(group_size >= 1);
+        let nb = pattern.nb();
+        let mut specs = Vec::new();
+        let mut start = 0usize;
+        while start < nb {
+            let end = (start + group_size).min(nb);
+            let cols: Vec<usize> = (start..end).collect();
+            specs.push(SubmatrixSpec::build(pattern, dims, &cols));
+            start = end;
+        }
+        SubmatrixPlan { specs }
+    }
+
+    /// Build from explicit column groups (the clustering heuristics).
+    ///
+    /// # Panics
+    /// Panics if the groups do not partition `0..nb`.
+    pub fn from_groups(
+        pattern: &CooPattern,
+        dims: &BlockedDims,
+        groups: &[Vec<usize>],
+    ) -> Self {
+        let mut seen = vec![false; pattern.nb()];
+        for g in groups {
+            for &c in g {
+                assert!(!seen[c], "block column {c} appears in two groups");
+                seen[c] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "groups must cover every block column"
+        );
+        let specs = groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| SubmatrixSpec::build(pattern, dims, g))
+            .collect();
+        SubmatrixPlan { specs }
+    }
+
+    /// Number of submatrices `N_S`.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if the plan is empty (zero-dimensional matrix).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Total estimated cost `Σ nᵢ³` (paper Eq. 14).
+    pub fn total_cost(&self) -> f64 {
+        self.specs.iter().map(SubmatrixSpec::cost).sum()
+    }
+
+    /// Submatrix dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.specs.iter().map(|s| s.dim).collect()
+    }
+
+    /// Largest submatrix dimension (the `dim(SM)` series of paper Fig. 4).
+    pub fn max_dim(&self) -> usize {
+        self.specs.iter().map(|s| s.dim).max().unwrap_or(0)
+    }
+
+    /// Mean submatrix dimension.
+    pub fn avg_dim(&self) -> f64 {
+        if self.specs.is_empty() {
+            return 0.0;
+        }
+        self.specs.iter().map(|s| s.dim as f64).sum::<f64>() / self.specs.len() as f64
+    }
+}
+
+/// Estimated additional speedup `S` of a combined plan over the
+/// one-per-column plan (paper Eq. 15): `S = Σ ñᵢ³ / Σ nᵢ³`.
+pub fn estimated_speedup(single_columns: &SubmatrixPlan, combined: &SubmatrixPlan) -> f64 {
+    let denom = combined.total_cost();
+    if denom == 0.0 {
+        return 1.0;
+    }
+    single_columns.total_cost() / denom
+}
+
+/// One sub-submatrix produced by element-level splitting.
+#[derive(Debug, Clone)]
+pub struct SubSubmatrix {
+    /// Element indices (within the parent submatrix) that induce this
+    /// sub-submatrix.
+    pub indices: Vec<usize>,
+    /// The dense sub-submatrix.
+    pub matrix: Matrix,
+    /// The element column (within the parent) this sub-submatrix solves.
+    pub target_col: usize,
+}
+
+/// Apply the submatrix method a second time at single-element-column level
+/// inside an assembled dense submatrix (paper Sec. IV-C1). Only the
+/// `target_cols` (parent-local element columns that originate from the
+/// spec's block columns) need sub-submatrices. `eps` decides which elements
+/// count as zero.
+pub fn split_submatrix(a: &Matrix, target_cols: &[usize], eps: f64) -> Vec<SubSubmatrix> {
+    assert!(a.is_square());
+    let n = a.nrows();
+    target_cols
+        .iter()
+        .map(|&c| {
+            assert!(c < n);
+            let mut indices: Vec<usize> =
+                (0..n).filter(|&r| a[(r, c)].abs() > eps).collect();
+            if indices.binary_search(&c).is_err() {
+                // The diagonal must be part of the principal set.
+                indices.push(c);
+                indices.sort_unstable();
+            }
+            let matrix = a.principal_submatrix(&indices);
+            SubSubmatrix {
+                indices,
+                matrix,
+                target_col: c,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded_pattern(nb: usize, half: usize) -> CooPattern {
+        let mut coords = Vec::new();
+        for i in 0..nb {
+            for j in i.saturating_sub(half)..(i + half + 1).min(nb) {
+                coords.push((i, j));
+            }
+        }
+        CooPattern::from_coords(coords, nb)
+    }
+
+    #[test]
+    fn one_per_column_covers_all() {
+        let p = banded_pattern(6, 1);
+        let d = BlockedDims::uniform(6, 3);
+        let plan = SubmatrixPlan::one_per_column(&p, &d);
+        assert_eq!(plan.len(), 6);
+        let cols: Vec<usize> = plan.specs.iter().flat_map(|s| s.cols.clone()).collect();
+        assert_eq!(cols, (0..6).collect::<Vec<_>>());
+        // Interior columns: 3 block rows of size 3 → dim 9.
+        assert_eq!(plan.specs[2].dim, 9);
+        assert_eq!(plan.max_dim(), 9);
+    }
+
+    #[test]
+    fn consecutive_grouping() {
+        let p = banded_pattern(7, 1);
+        let d = BlockedDims::uniform(7, 2);
+        let plan = SubmatrixPlan::consecutive(&p, &d, 3);
+        assert_eq!(plan.len(), 3); // groups {0,1,2},{3,4,5},{6}
+        assert_eq!(plan.specs[0].cols, vec![0, 1, 2]);
+        assert_eq!(plan.specs[2].cols, vec![6]);
+    }
+
+    #[test]
+    fn from_groups_partition_validation() {
+        let p = banded_pattern(4, 1);
+        let d = BlockedDims::uniform(4, 2);
+        let plan =
+            SubmatrixPlan::from_groups(&p, &d, &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn overlapping_groups_rejected() {
+        let p = banded_pattern(3, 1);
+        let d = BlockedDims::uniform(3, 2);
+        SubmatrixPlan::from_groups(&p, &d, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every block column")]
+    fn incomplete_groups_rejected() {
+        let p = banded_pattern(3, 1);
+        let d = BlockedDims::uniform(3, 2);
+        SubmatrixPlan::from_groups(&p, &d, &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn combining_shared_neighborhoods_gives_speedup() {
+        // Banded pattern: adjacent columns share most of their rows, so
+        // combining them is a win under the n³ model (the Fig. 5 regime).
+        let p = banded_pattern(40, 3);
+        let d = BlockedDims::uniform(40, 2);
+        let singles = SubmatrixPlan::one_per_column(&p, &d);
+        let combined = SubmatrixPlan::consecutive(&p, &d, 4);
+        let s = estimated_speedup(&singles, &combined);
+        assert!(s > 1.0, "expected combining speedup, got {s}");
+        // Over-combining into one giant submatrix destroys the advantage.
+        let giant = SubmatrixPlan::consecutive(&p, &d, 40);
+        let s_giant = estimated_speedup(&singles, &giant);
+        assert!(s_giant < s, "giant group should be worse than moderate");
+    }
+
+    #[test]
+    fn total_cost_is_cubic_sum() {
+        let p = banded_pattern(3, 0); // diagonal only
+        let d = BlockedDims::uniform(3, 2);
+        let plan = SubmatrixPlan::one_per_column(&p, &d);
+        assert_eq!(plan.total_cost(), 3.0 * 8.0);
+        assert_eq!(plan.avg_dim(), 2.0);
+    }
+
+    #[test]
+    fn split_submatrix_exact_for_block_diagonal() {
+        // A 4x4 with two decoupled 2x2 blocks: splitting column 0 must
+        // select exactly indices {0,1}.
+        let a = Matrix::from_row_major(
+            4,
+            4,
+            &[
+                2.0, 1.0, 0.0, 0.0, //
+                1.0, 2.0, 0.0, 0.0, //
+                0.0, 0.0, 3.0, 1.0, //
+                0.0, 0.0, 1.0, 3.0,
+            ],
+        );
+        let subs = split_submatrix(&a, &[0, 2], 0.0);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].indices, vec![0, 1]);
+        assert_eq!(subs[0].matrix.shape(), (2, 2));
+        assert_eq!(subs[1].indices, vec![2, 3]);
+        assert_eq!(subs[1].target_col, 2);
+    }
+
+    #[test]
+    fn split_always_includes_diagonal() {
+        // Column 1 has a zero diagonal element but splitting still keeps
+        // index 1 in the principal set.
+        let a = Matrix::from_row_major(
+            3,
+            3,
+            &[
+                1.0, 0.5, 0.0, //
+                0.5, 0.0, 0.0, //
+                0.0, 0.0, 1.0,
+            ],
+        );
+        let subs = split_submatrix(&a, &[1], 1e-12);
+        assert_eq!(subs[0].indices, vec![0, 1]);
+    }
+}

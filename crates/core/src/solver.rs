@@ -1,0 +1,453 @@
+//! Per-submatrix sign evaluation.
+//!
+//! The paper solves the assembled dense submatrices either with the same
+//! iterative schemes CP2K applies to the full sparse matrix, or — the
+//! method of choice (Sec. IV-F) — by eigendecomposition (`dsyevd`), which
+//! additionally enables canonical-ensemble µ adjustment (Algorithm 1) and
+//! finite-temperature purification for free.
+
+use sm_linalg::eigh::{eigh, Eigh};
+use sm_linalg::fermi::smeared_sign;
+use sm_linalg::sign::{
+    extended_signum, sign_iteration, SignIterationOptions,
+};
+use sm_linalg::{LinalgError, Matrix};
+
+/// How to evaluate `sign(a − µI)` on a dense submatrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignMethod {
+    /// Eigendecomposition + elementwise signum (paper Eq. 17). Supports
+    /// finite temperature and canonical µ adjustment.
+    Diagonalization,
+    /// 2nd-order Newton–Schulz iteration (paper Eq. 11).
+    NewtonSchulz,
+    /// Padé-family iteration of the given order ≥ 2 (order 3 = Eq. 19).
+    Pade(usize),
+    /// Element-wise sparse (CSR) iteration of the given order with the
+    /// given element filter — the paper's Sec. V-C proposal for submatrices
+    /// whose element fill is far below their block fill (DZVP).
+    ElementSparse {
+        /// Padé order (2 = Newton–Schulz).
+        order: usize,
+        /// Per-iteration element filter.
+        eps: f64,
+    },
+}
+
+/// Options for a submatrix solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Evaluation method.
+    pub method: SignMethod,
+    /// Electronic temperature `k_B·T` (0 = sign function; > 0 replaces the
+    /// signum with the Fermi-derived smeared sign, Sec. IV-F).
+    pub kt: f64,
+    /// Convergence tolerance of the iterative methods.
+    pub tol: f64,
+    /// Iteration budget of the iterative methods.
+    pub max_iter: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            method: SignMethod::Diagonalization,
+            kt: 0.0,
+            tol: 1e-10,
+            max_iter: 100,
+        }
+    }
+}
+
+/// Result of one submatrix solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// `sign(a − µI)` (or its Fermi-smeared generalization).
+    pub sign: Matrix,
+    /// The eigendecomposition, kept when the method produces one — this is
+    /// what Algorithm 1 reuses for canonical µ bisection.
+    pub decomposition: Option<Eigh>,
+    /// Iterations used (0 for diagonalization).
+    pub iterations: usize,
+}
+
+/// Evaluate `sign(a − µI)` on one dense symmetric submatrix.
+pub fn solve_sign(
+    a: &Matrix,
+    mu: f64,
+    opts: &SolveOptions,
+) -> Result<SolveResult, LinalgError> {
+    match opts.method {
+        SignMethod::Diagonalization => {
+            let dec = eigh(a)?;
+            let sign = sign_from_decomposition(&dec, mu, opts.kt);
+            Ok(SolveResult {
+                sign,
+                decomposition: Some(dec),
+                iterations: 0,
+            })
+        }
+        SignMethod::ElementSparse { order, eps } => {
+            assert!(
+                opts.kt == 0.0,
+                "the element-sparse iteration only supports zero temperature"
+            );
+            let r = sm_linalg::sparse::sparse_sign_iteration(
+                a,
+                mu,
+                order,
+                eps,
+                opts.tol.max(eps),
+                opts.max_iter,
+            )?;
+            if !r.converged {
+                return Err(LinalgError::NoConvergence {
+                    op: "element-sparse submatrix sign iteration",
+                    iterations: r.iterations,
+                });
+            }
+            Ok(SolveResult {
+                iterations: r.iterations,
+                sign: r.sign,
+                decomposition: None,
+            })
+        }
+        SignMethod::NewtonSchulz | SignMethod::Pade(_) => {
+            assert!(
+                opts.kt == 0.0,
+                "iterative sign methods only support zero temperature; \
+                 use Diagonalization for finite-temperature purification"
+            );
+            let order = match opts.method {
+                SignMethod::NewtonSchulz => 2,
+                SignMethod::Pade(p) => p,
+                _ => unreachable!(),
+            };
+            let mut shifted = a.clone();
+            shifted.shift_diag(-mu);
+            let r = sign_iteration(
+                &shifted,
+                order,
+                SignIterationOptions {
+                    tol: opts.tol,
+                    max_iter: opts.max_iter,
+                    prescale: true,
+                },
+            )?;
+            if !r.converged {
+                return Err(LinalgError::NoConvergence {
+                    op: "submatrix sign iteration",
+                    iterations: r.trace.len(),
+                });
+            }
+            Ok(SolveResult {
+                iterations: r.trace.len(),
+                sign: r.sign,
+                decomposition: None,
+            })
+        }
+    }
+}
+
+/// `sign(a − µI)` from a stored decomposition of `a` — the reuse that makes
+/// Algorithm 1's µ bisection cheap: no re-diagonalization, only a
+/// back-transform.
+pub fn sign_from_decomposition(dec: &Eigh, mu: f64, kt: f64) -> Matrix {
+    if kt > 0.0 {
+        dec.apply(|l| smeared_sign(l, mu, kt))
+    } else {
+        dec.apply(|l| extended_signum(l - mu))
+    }
+}
+
+/// **Selected columns** of `sign(a − µI)` from a decomposition — the
+/// paper's future-work optimization ("efforts are currently on the way
+/// that try to selectively calculate selected elements of the sign
+/// function", Sec. VII): the submatrix method only scatters the columns
+/// originating from its own block columns, so computing
+/// `Q · diag(f(λ)) · (Q^T)[:, cols]` costs `O(n²·k)` instead of the
+/// `O(n³)` full back-transform.
+///
+/// Returns an `n × cols.len()` matrix whose `j`-th column is column
+/// `cols[j]` of the sign matrix.
+pub fn sign_columns_from_decomposition(
+    dec: &Eigh,
+    mu: f64,
+    kt: f64,
+    cols: &[usize],
+) -> Matrix {
+    let n = dec.eigenvalues.len();
+    let k = cols.len();
+    let f: Vec<f64> = dec
+        .eigenvalues
+        .iter()
+        .map(|&l| {
+            if kt > 0.0 {
+                smeared_sign(l, mu, kt)
+            } else {
+                extended_signum(l - mu)
+            }
+        })
+        .collect();
+    // W = diag(f) · Q^T[:, cols]  (l-th row of Q^T is the l-th eigenvector;
+    // its `c`-th entry is Q[c, l]).
+    let mut w = Matrix::zeros(n, k);
+    for (j, &c) in cols.iter().enumerate() {
+        assert!(c < n, "selected column {c} out of range");
+        for l in 0..n {
+            w[(l, j)] = f[l] * dec.eigenvectors[(c, l)];
+        }
+    }
+    // Result = Q · W.
+    let mut out = Matrix::zeros(n, k);
+    sm_linalg::gemm::gemm(
+        1.0,
+        &dec.eigenvectors,
+        sm_linalg::gemm::Op::NoTrans,
+        &w,
+        sm_linalg::gemm::Op::NoTrans,
+        0.0,
+        &mut out,
+    )
+    .expect("shapes consistent by construction");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_linalg::gemm::matmul;
+
+    fn gapped(n: usize, gap_at: f64) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i % 2 == 0 {
+                    gap_at + 1.0
+                } else {
+                    gap_at - 1.0
+                }
+            } else {
+                0.2 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn diagonalization_solver_basic() {
+        let a = gapped(12, 0.3);
+        let r = solve_sign(&a, 0.3, &SolveOptions::default()).unwrap();
+        let s2 = matmul(&r.sign, &r.sign).unwrap();
+        assert!(s2.allclose(&Matrix::identity(12), 1e-9));
+        assert!(r.decomposition.is_some());
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn iterative_methods_match_diagonalization() {
+        let a = gapped(10, -0.2);
+        let mu = -0.2;
+        let reference = solve_sign(&a, mu, &SolveOptions::default()).unwrap();
+        for method in [SignMethod::NewtonSchulz, SignMethod::Pade(3), SignMethod::Pade(5)] {
+            let opts = SolveOptions {
+                method,
+                ..SolveOptions::default()
+            };
+            let r = solve_sign(&a, mu, &opts).unwrap();
+            assert!(
+                r.sign.allclose(&reference.sign, 1e-7),
+                "{method:?} disagrees with diagonalization"
+            );
+            assert!(r.iterations > 0);
+            assert!(r.decomposition.is_none());
+        }
+    }
+
+    #[test]
+    fn mu_shift_flips_occupation() {
+        let a = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        // µ below the spectrum: everything positive.
+        let r = solve_sign(&a, 0.0, &SolveOptions::default()).unwrap();
+        assert!(r.sign.allclose(&Matrix::identity(3), 1e-12));
+        // µ above: everything negative.
+        let r = solve_sign(&a, 10.0, &SolveOptions::default()).unwrap();
+        assert!(r.sign.allclose(&Matrix::identity(3).scaled(-1.0), 1e-12));
+        // µ between 2 and 3.
+        let r = solve_sign(&a, 2.5, &SolveOptions::default()).unwrap();
+        let expect = Matrix::from_diag(&[-1.0, -1.0, 1.0]);
+        assert!(r.sign.allclose(&expect, 1e-12));
+    }
+
+    #[test]
+    fn finite_temperature_smears_the_step() {
+        let a = Matrix::from_diag(&[-0.1, 0.1]);
+        let opts = SolveOptions {
+            kt: 0.1,
+            ..SolveOptions::default()
+        };
+        let r = solve_sign(&a, 0.0, &opts).unwrap();
+        let expect = (0.1f64 / 0.2).tanh();
+        assert!((r.sign[(1, 1)] - expect).abs() < 1e-12);
+        assert!((r.sign[(0, 0)] + expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_at_mu_maps_to_zero() {
+        // Extended definition (paper Eq. 12).
+        let a = Matrix::from_diag(&[1.0, 2.0]);
+        let r = solve_sign(&a, 2.0, &SolveOptions::default()).unwrap();
+        assert!((r.sign[(1, 1)]).abs() < 1e-12);
+        assert!((r.sign[(0, 0)] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero temperature")]
+    fn iterative_finite_t_rejected() {
+        let a = gapped(4, 0.0);
+        let opts = SolveOptions {
+            method: SignMethod::NewtonSchulz,
+            kt: 0.1,
+            ..SolveOptions::default()
+        };
+        let _ = solve_sign(&a, 0.0, &opts);
+    }
+
+    #[test]
+    fn sign_from_decomposition_reuse_matches_fresh_solve() {
+        let a = gapped(8, 0.5);
+        let r = solve_sign(&a, 0.5, &SolveOptions::default()).unwrap();
+        let dec = r.decomposition.unwrap();
+        // Re-evaluate at a *different* µ from the stored decomposition.
+        let shifted = sign_from_decomposition(&dec, 0.7, 0.0);
+        let fresh = solve_sign(&a, 0.7, &SolveOptions::default()).unwrap();
+        assert!(shifted.allclose(&fresh.sign, 1e-10));
+    }
+}
+
+#[cfg(test)]
+mod selected_column_tests {
+    use super::*;
+    use sm_linalg::eigh::eigh;
+
+    fn gapped(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i % 2 == 0 { 1.4 } else { -1.4 }
+            } else {
+                0.15 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn selected_columns_match_full_sign() {
+        let a = gapped(12);
+        let dec = eigh(&a).unwrap();
+        let full = sign_from_decomposition(&dec, 0.1, 0.0);
+        let cols = [0usize, 3, 11];
+        let sel = sign_columns_from_decomposition(&dec, 0.1, 0.0, &cols);
+        assert_eq!(sel.shape(), (12, 3));
+        for (j, &c) in cols.iter().enumerate() {
+            for i in 0..12 {
+                assert!(
+                    (sel[(i, j)] - full[(i, c)]).abs() < 1e-12,
+                    "column {c} element {i} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selected_columns_finite_temperature() {
+        let a = gapped(8);
+        let dec = eigh(&a).unwrap();
+        let full = sign_from_decomposition(&dec, 0.0, 0.07);
+        let sel = sign_columns_from_decomposition(&dec, 0.0, 0.07, &[2, 5]);
+        for i in 0..8 {
+            assert!((sel[(i, 0)] - full[(i, 2)]).abs() < 1e-12);
+            assert!((sel[(i, 1)] - full[(i, 5)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_empty() {
+        let a = gapped(4);
+        let dec = eigh(&a).unwrap();
+        let sel = sign_columns_from_decomposition(&dec, 0.0, 0.0, &[]);
+        assert_eq!(sel.shape(), (4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let a = gapped(4);
+        let dec = eigh(&a).unwrap();
+        sign_columns_from_decomposition(&dec, 0.0, 0.0, &[9]);
+    }
+}
+
+#[cfg(test)]
+mod element_sparse_tests {
+    use super::*;
+
+    fn banded(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i % 2 == 0 { 1.2 } else { -1.2 }
+            } else if (i as isize - j as isize).unsigned_abs() <= 2 {
+                0.07 / (1.0 + (i as f64 - j as f64).abs())
+            } else {
+                0.0
+            }
+        });
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn element_sparse_matches_diagonalization() {
+        let a = banded(14);
+        let reference = solve_sign(&a, 0.0, &SolveOptions::default()).unwrap();
+        let opts = SolveOptions {
+            method: SignMethod::ElementSparse { order: 2, eps: 1e-12 },
+            tol: 1e-9,
+            ..SolveOptions::default()
+        };
+        let r = solve_sign(&a, 0.0, &opts).unwrap();
+        assert!(
+            r.sign.allclose(&reference.sign, 1e-6),
+            "element-sparse deviates by {}",
+            r.sign.max_abs_diff(&reference.sign)
+        );
+        assert!(r.iterations > 0);
+        assert!(r.decomposition.is_none());
+    }
+
+    #[test]
+    fn element_sparse_pade3() {
+        let a = banded(10);
+        let reference = solve_sign(&a, 0.1, &SolveOptions::default()).unwrap();
+        let opts = SolveOptions {
+            method: SignMethod::ElementSparse { order: 3, eps: 1e-12 },
+            tol: 1e-9,
+            ..SolveOptions::default()
+        };
+        let r = solve_sign(&a, 0.1, &opts).unwrap();
+        assert!(r.sign.allclose(&reference.sign, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero temperature")]
+    fn element_sparse_rejects_finite_t() {
+        let a = banded(6);
+        let opts = SolveOptions {
+            method: SignMethod::ElementSparse { order: 2, eps: 1e-10 },
+            kt: 0.1,
+            ..SolveOptions::default()
+        };
+        let _ = solve_sign(&a, 0.0, &opts);
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic global COO view of a block sparsity pattern.
+//!
+//! Submatrix-method initialization requires *every* rank to know the full
+//! block sparsity pattern of the distributed matrix (paper Sec. IV-A1):
+//! entries are gathered, sorted by (column, row), and the resulting position
+//! of each nonzero block serves as its globally unique ID throughout the
+//! implementation.
+
+/// Sorted COO representation of the nonzero-block pattern.
+///
+/// Entries are sorted by `(block_col, block_row)`; the index of an entry in
+/// [`CooPattern::entries`] is its block ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooPattern {
+    /// `(block_row, block_col)` pairs sorted by column then row.
+    entries: Vec<(usize, usize)>,
+    /// Start of each block column's run inside `entries`:
+    /// `col_starts[c]..col_starts[c+1]`.
+    col_starts: Vec<usize>,
+    /// Number of block columns of the underlying matrix.
+    nb: usize,
+}
+
+impl CooPattern {
+    /// Build from an unsorted list of nonzero block coordinates.
+    /// Duplicates are merged. `nb` is the number of block rows/columns.
+    pub fn from_coords(mut coords: Vec<(usize, usize)>, nb: usize) -> Self {
+        for &(r, c) in &coords {
+            assert!(r < nb && c < nb, "block coordinate ({r},{c}) outside {nb}x{nb} grid");
+        }
+        coords.sort_by_key(|&(r, c)| (c, r));
+        coords.dedup();
+        let mut col_starts = vec![0usize; nb + 1];
+        for &(_, c) in &coords {
+            col_starts[c + 1] += 1;
+        }
+        for c in 0..nb {
+            col_starts[c + 1] += col_starts[c];
+        }
+        CooPattern {
+            entries: coords,
+            col_starts,
+            nb,
+        }
+    }
+
+    /// Number of nonzero blocks.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of block rows/columns of the matrix.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// All entries, sorted by `(col, row)`. The index of an entry is its ID.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+
+    /// Entry for a block ID.
+    pub fn coord_of(&self, id: usize) -> (usize, usize) {
+        self.entries[id]
+    }
+
+    /// Deterministic unique ID of block `(r, c)`, if present.
+    pub fn id_of(&self, r: usize, c: usize) -> Option<usize> {
+        let lo = self.col_starts[c];
+        let hi = self.col_starts[c + 1];
+        self.entries[lo..hi]
+            .binary_search_by_key(&r, |&(rr, _)| rr)
+            .ok()
+            .map(|p| lo + p)
+    }
+
+    /// Block rows with a nonzero block in column `c` (ascending). This is
+    /// the index set that induces column `c`'s principal submatrix.
+    pub fn rows_in_col(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        self.entries[self.col_starts[c]..self.col_starts[c + 1]]
+            .iter()
+            .map(|&(r, _)| r)
+    }
+
+    /// Number of nonzero blocks in column `c`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_starts[c + 1] - self.col_starts[c]
+    }
+
+    /// Union of the nonzero row sets of several columns, ascending — the
+    /// index set of a *combined* submatrix built from multiple block
+    /// columns (paper Sec. IV-C2).
+    pub fn rows_in_cols(&self, cols: &[usize]) -> Vec<usize> {
+        let mut rows: Vec<usize> = cols
+            .iter()
+            .flat_map(|&c| self.rows_in_col(c))
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Fraction of nonzero blocks, `nnz / nb²`.
+    pub fn fill_fraction(&self) -> f64 {
+        if self.nb == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nb * self.nb) as f64
+    }
+
+    /// True if the pattern is structurally symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|&(r, c)| self.id_of(c, r).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooPattern {
+        // 3x3 grid, pattern:
+        //  X . X
+        //  X X .
+        //  . . X
+        CooPattern::from_coords(vec![(0, 0), (1, 0), (1, 1), (0, 2), (2, 2)], 3)
+    }
+
+    #[test]
+    fn sorted_by_col_then_row() {
+        let p = sample();
+        assert_eq!(
+            p.entries(),
+            &[(0, 0), (1, 0), (1, 1), (0, 2), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn ids_are_positions() {
+        let p = sample();
+        assert_eq!(p.id_of(0, 0), Some(0));
+        assert_eq!(p.id_of(1, 0), Some(1));
+        assert_eq!(p.id_of(1, 1), Some(2));
+        assert_eq!(p.id_of(0, 2), Some(3));
+        assert_eq!(p.id_of(2, 2), Some(4));
+        assert_eq!(p.id_of(2, 0), None);
+        for id in 0..p.nnz() {
+            let (r, c) = p.coord_of(id);
+            assert_eq!(p.id_of(r, c), Some(id));
+        }
+    }
+
+    #[test]
+    fn column_queries() {
+        let p = sample();
+        assert_eq!(p.rows_in_col(0).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(p.rows_in_col(1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.rows_in_col(2).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(p.col_nnz(0), 2);
+        assert_eq!(p.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn combined_columns_union() {
+        let p = sample();
+        assert_eq!(p.rows_in_cols(&[0, 2]), vec![0, 1, 2]);
+        assert_eq!(p.rows_in_cols(&[1]), vec![1]);
+        assert_eq!(p.rows_in_cols(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn duplicates_merged_and_order_independent() {
+        let a = CooPattern::from_coords(vec![(1, 0), (0, 0), (1, 0)], 2);
+        let b = CooPattern::from_coords(vec![(0, 0), (1, 0)], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn fill_fraction_and_symmetry() {
+        let p = sample();
+        assert!((p.fill_fraction() - 5.0 / 9.0).abs() < 1e-15);
+        assert!(!p.is_symmetric()); // (0,2) present, (2,0) missing
+        let sym = CooPattern::from_coords(vec![(0, 0), (1, 0), (0, 1), (1, 1)], 2);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_coordinate_panics() {
+        CooPattern::from_coords(vec![(3, 0)], 3);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let p = CooPattern::from_coords(vec![], 4);
+        assert_eq!(p.nnz(), 0);
+        assert_eq!(p.fill_fraction(), 0.0);
+        assert!(p.is_symmetric());
+        assert_eq!(p.rows_in_col(2).count(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! BLAS level-2 style matrix-vector kernels.
+
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// `y = alpha * A * x + beta * y`.
+///
+/// Walks the matrix column by column so memory access is contiguous in the
+/// column-major layout.
+pub fn gemv(
+    alpha: f64,
+    a: &Matrix,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) -> Result<(), LinalgError> {
+    if a.ncols() != x.len() || a.nrows() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "gemv",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for (j, &xj) in x.iter().enumerate() {
+        let s = alpha * xj;
+        if s != 0.0 {
+            crate::blas1::axpy(s, a.col(j), y);
+        }
+    }
+    Ok(())
+}
+
+/// `y = alpha * A^T * x + beta * y`.
+pub fn gemv_t(
+    alpha: f64,
+    a: &Matrix,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) -> Result<(), LinalgError> {
+    if a.nrows() != x.len() || a.ncols() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "gemv_t",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    for (j, yj) in y.iter_mut().enumerate() {
+        let d = crate::blas1::dot(a.col(j), x);
+        *yj = alpha * d + beta * *yj;
+    }
+    Ok(())
+}
+
+/// Rank-1 update `A += alpha * x * y^T`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) -> Result<(), LinalgError> {
+    if a.nrows() != x.len() || a.ncols() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "ger",
+            lhs: a.shape(),
+            rhs: (x.len(), y.len()),
+        });
+    }
+    for (j, &yj) in y.iter().enumerate() {
+        let s = alpha * yj;
+        if s != 0.0 {
+            crate::blas1::axpy(s, x, a.col_mut(j));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_identity() {
+        let a = Matrix::identity(3);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        gemv(1.0, &a, &x, 0.0, &mut y).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gemv_general() {
+        let a = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [10.0, 10.0];
+        // y = 2*A*x + 1*y = 2*[6,15] + [10,10]
+        gemv(2.0, &a, &x, 1.0, &mut y).unwrap();
+        assert_eq!(y, [22.0, 40.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose() {
+        let a = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, -1.0];
+        let mut y1 = [0.0; 3];
+        gemv_t(1.0, &a, &x, 0.0, &mut y1).unwrap();
+        let at = a.transpose();
+        let mut y2 = [0.0; 3];
+        gemv(1.0, &at, &x, 0.0, &mut y2).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Matrix::zeros(2, 2);
+        ger(2.0, &[1.0, 2.0], &[3.0, 4.0], &mut a).unwrap();
+        assert_eq!(a[(0, 0)], 6.0);
+        assert_eq!(a[(1, 0)], 12.0);
+        assert_eq!(a[(0, 1)], 8.0);
+        assert_eq!(a[(1, 1)], 16.0);
+    }
+
+    #[test]
+    fn gemv_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let x = [0.0; 2];
+        let mut y = [0.0; 2];
+        assert!(gemv(1.0, &a, &x, 0.0, &mut y).is_err());
+    }
+
+    #[test]
+    fn ger_dimension_mismatch() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(ger(1.0, &[1.0], &[1.0, 2.0], &mut a).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! General matrix-matrix multiplication (GEMM).
+//!
+//! The submatrix method turns a sparse problem into many *dense* matrix
+//! multiplications (sign iterations, eigenvector back-transforms), so this is
+//! the hot kernel of the whole reproduction. The implementation is a
+//! cache-blocked, column-panel-parallel GEMM:
+//!
+//! * the N (no-transpose) × N path streams columns of `A` with fused
+//!   `axpy` updates, which is optimal for the column-major layout and
+//!   auto-vectorizes well;
+//! * transposed operands are handled by the T×N dot-product path or by
+//!   materializing the transpose once (N×T), whichever touches less memory;
+//! * Rayon parallelism splits the columns of `C` across threads — the same
+//!   shared-memory strategy the paper uses with OpenMP (Sec. IV-D).
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// Whether an operand enters the product transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the transpose of the operand.
+    Trans,
+}
+
+impl Op {
+    /// Shape of the operand after applying the op.
+    fn apply(self, shape: (usize, usize)) -> (usize, usize) {
+        match self {
+            Op::NoTrans => shape,
+            Op::Trans => (shape.1, shape.0),
+        }
+    }
+}
+
+/// Problems smaller than this run sequentially: thread spawn overhead would
+/// dominate. Chosen from the criterion micro-benches in `sm-bench`.
+const PAR_THRESHOLD_FLOPS: usize = 1 << 21;
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Dimensions must satisfy `op(A): m×k`, `op(B): k×n`, `C: m×n`.
+pub fn gemm(
+    alpha: f64,
+    a: &Matrix,
+    op_a: Op,
+    b: &Matrix,
+    op_b: Op,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<(), LinalgError> {
+    let (m, ka) = op_a.apply(a.shape());
+    let (kb, n) = op_b.apply(b.shape());
+    if ka != kb || c.shape() != (m, n) {
+        return Err(LinalgError::DimensionMismatch {
+            op: "gemm",
+            lhs: op_a.apply(a.shape()),
+            rhs: op_b.apply(b.shape()),
+        });
+    }
+    let k = ka;
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.as_mut_slice().fill(0.0);
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    // Normalize to the two fast paths: N*N (axpy streaming) and T*N (dot).
+    // N*T and T*T materialize B^T once; the copy is O(k·n) against O(m·k·n)
+    // compute, so it is noise for the dense submatrix sizes we care about.
+    let bt;
+    let (b_eff, op_b_eff): (&Matrix, Op) = match op_b {
+        Op::NoTrans => (b, Op::NoTrans),
+        Op::Trans => {
+            bt = b.transpose();
+            (&bt, Op::NoTrans)
+        }
+    };
+    debug_assert_eq!(op_b_eff, Op::NoTrans);
+
+    let flops = 2 * m * n * k;
+    let parallel = flops >= PAR_THRESHOLD_FLOPS && rayon::current_num_threads() > 1;
+
+    match op_a {
+        Op::NoTrans => {
+            let kernel = |j: usize, c_col: &mut [f64]| {
+                let b_col = b_eff.col(j);
+                for (kk, &bkj) in b_col.iter().enumerate() {
+                    let s = alpha * bkj;
+                    if s != 0.0 {
+                        crate::blas1::axpy(s, a.col(kk), c_col);
+                    }
+                }
+            };
+            run_over_columns(c, parallel, kernel);
+        }
+        Op::Trans => {
+            let kernel = |j: usize, c_col: &mut [f64]| {
+                let b_col = b_eff.col(j);
+                for (i, ci) in c_col.iter_mut().enumerate() {
+                    *ci += alpha * crate::blas1::dot(a.col(i), b_col);
+                }
+            };
+            run_over_columns(c, parallel, kernel);
+        }
+    }
+    Ok(())
+}
+
+/// Apply `kernel(j, column_j_of_c)` to every column of `c`, optionally in
+/// parallel over Rayon's pool.
+fn run_over_columns(
+    c: &mut Matrix,
+    parallel: bool,
+    kernel: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    let m = c.nrows();
+    if parallel {
+        c.as_mut_slice()
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(j, col)| kernel(j, col));
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(m)
+            .enumerate()
+            .for_each(|(j, col)| kernel(j, col));
+    }
+}
+
+/// Convenience wrapper: return `A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut c = Matrix::zeros(a.nrows(), b.ncols());
+    gemm(1.0, a, Op::NoTrans, b, Op::NoTrans, 0.0, &mut c)?;
+    Ok(c)
+}
+
+/// Convenience wrapper: return `A^T * B`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut c = Matrix::zeros(a.ncols(), b.ncols());
+    gemm(1.0, a, Op::Trans, b, Op::NoTrans, 0.0, &mut c)?;
+    Ok(c)
+}
+
+/// Convenience wrapper: return `A * B^T`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut c = Matrix::zeros(a.nrows(), b.nrows());
+    gemm(1.0, a, Op::NoTrans, b, Op::Trans, 0.0, &mut c)?;
+    Ok(c)
+}
+
+/// Similarity transform `Q * D * Q^T` where `D` is diagonal, given as a
+/// slice. This is the back-transform of the eigendecomposition-based sign
+/// evaluation (Eq. 17 of the paper) and is implemented as a scaled copy of
+/// `Q` followed by one GEMM, avoiding the explicit diagonal matrix.
+pub fn q_diag_qt(q: &Matrix, d: &[f64]) -> Result<Matrix, LinalgError> {
+    if q.ncols() != d.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "q_diag_qt",
+            lhs: q.shape(),
+            rhs: (d.len(), d.len()),
+        });
+    }
+    // QD: scale column l of Q by d[l].
+    let mut qd = q.clone();
+    for (l, &dl) in d.iter().enumerate() {
+        crate::blas1::scal(dl, qd.col_mut(l));
+    }
+    matmul_nt(&qd, q)
+}
+
+/// Naive triple-loop reference multiply, used by tests and property checks.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.ncols() != b.nrows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul_naive",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut c = Matrix::zeros(a.nrows(), b.ncols());
+    for j in 0..b.ncols() {
+        for i in 0..a.nrows() {
+            let mut s = 0.0;
+            for kk in 0..a.ncols() {
+                s += a[(i, kk)] * b[(kk, j)];
+            }
+            c[(i, j)] = s;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arange(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| (i * n + j) as f64 * 0.1 - 1.0)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = arange(5, 7);
+        let b = arange(7, 4);
+        let c = matmul(&a, &b).unwrap();
+        let r = matmul_naive(&a, &b).unwrap();
+        assert!(c.allclose(&r, 1e-12));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = arange(6, 6);
+        let i = Matrix::identity(6);
+        assert!(matmul(&a, &i).unwrap().allclose(&a, 1e-15));
+        assert!(matmul(&i, &a).unwrap().allclose(&a, 1e-15));
+    }
+
+    #[test]
+    fn tn_path_matches_explicit_transpose() {
+        let a = arange(7, 5);
+        let b = arange(7, 3);
+        let c = matmul_tn(&a, &b).unwrap();
+        let r = matmul_naive(&a.transpose(), &b).unwrap();
+        assert!(c.allclose(&r, 1e-12));
+    }
+
+    #[test]
+    fn nt_path_matches_explicit_transpose() {
+        let a = arange(4, 6);
+        let b = arange(5, 6);
+        let c = matmul_nt(&a, &b).unwrap();
+        let r = matmul_naive(&a, &b.transpose()).unwrap();
+        assert!(c.allclose(&r, 1e-12));
+    }
+
+    #[test]
+    fn tt_path() {
+        let a = arange(6, 4);
+        let b = arange(3, 6);
+        let mut c = Matrix::zeros(4, 3);
+        gemm(1.0, &a, Op::Trans, &b, Op::Trans, 0.0, &mut c).unwrap();
+        let r = matmul_naive(&a.transpose(), &b.transpose()).unwrap();
+        assert!(c.allclose(&r, 1e-12));
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = arange(3, 3);
+        let b = Matrix::identity(3);
+        let mut c = Matrix::identity(3);
+        // C = 2*A*I + 3*I
+        gemm(2.0, &a, Op::NoTrans, &b, Op::NoTrans, 3.0, &mut c).unwrap();
+        let mut expect = a.scaled(2.0);
+        expect.shift_diag(3.0);
+        assert!(c.allclose(&expect, 1e-12));
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_garbage() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_row_major(2, 2, &[f64::NAN; 4]);
+        gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c).unwrap();
+        assert!(c.allclose(&Matrix::identity(2), 1e-15));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+        let mut c = Matrix::zeros(3, 3);
+        assert!(gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c).is_err());
+    }
+
+    #[test]
+    fn large_parallel_matches_naive() {
+        // Big enough to trip the parallel path (2*m*n*k >= 2^21).
+        let a = arange(128, 64);
+        let b = arange(64, 128);
+        let c = matmul(&a, &b).unwrap();
+        let r = matmul_naive(&a, &b).unwrap();
+        assert!(c.allclose(&r, 1e-9));
+    }
+
+    #[test]
+    fn q_diag_qt_matches_explicit() {
+        let q = arange(5, 5);
+        let d = [1.0, -1.0, 2.0, 0.5, 0.0];
+        let got = q_diag_qt(&q, &d).unwrap();
+        let dm = Matrix::from_diag(&d);
+        let expect = matmul(&matmul(&q, &dm).unwrap(), &q.transpose()).unwrap();
+        assert!(got.allclose(&expect, 1e-12));
+    }
+
+    #[test]
+    fn q_diag_qt_dimension_check() {
+        let q = Matrix::zeros(3, 3);
+        assert!(q_diag_qt(&q, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_dimensions_are_ok() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 0));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! # sm-linalg — dense linear algebra substrate
+//!
+//! Pure-Rust dense linear algebra used by the submatrix-method reproduction
+//! of Lass et al., *"A Submatrix-Based Method for Approximate Matrix Function
+//! Evaluation in the Quantum Chemistry Code CP2K"* (SC 2020).
+//!
+//! The paper evaluates the matrix sign function of dense principal
+//! submatrices with LAPACK's `dsyevd`; this crate provides the equivalent
+//! building blocks from scratch:
+//!
+//! * a column-major [`Matrix`] type,
+//! * BLAS-1/2/3 kernels ([`blas1`], [`blas2`], [`gemm`]) with a cache-blocked,
+//!   Rayon-parallel GEMM,
+//! * a symmetric eigensolver [`eigh::eigh`] (Householder tridiagonalization +
+//!   implicit-shift QL, the classic `tred2`/`tql2` pair),
+//! * Cholesky and LU factorizations,
+//! * the matrix sign function via eigendecomposition, Newton–Schulz and
+//!   higher-order Padé iterations ([`sign`]),
+//! * inverse p-th roots, in particular `S^{-1/2}` for Löwdin
+//!   orthogonalization ([`roots`]),
+//! * Fermi-function smearing for finite-temperature purification
+//!   ([`fermi`]),
+//! * element-wise sparse (CSR) kernels and sign iterations implementing the
+//!   paper's Sec. V-C proposal ([`sparse`]).
+//!
+//! All routines operate on `f64`; reduced-precision variants used for the
+//! accelerator study live in the `sm-accel` crate.
+
+pub mod bisect;
+pub mod blas1;
+pub mod blas2;
+pub mod cholesky;
+pub mod eigh;
+pub mod error;
+pub mod fermi;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+pub mod roots;
+pub mod sign;
+pub mod sparse;
+pub mod tridiag;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenience result alias for fallible linear-algebra routines.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,214 @@
+//! LU factorization with partial pivoting, solve and explicit inverse.
+//!
+//! General (non-symmetric) solves are needed by the `S^{-1}K` formulation of
+//! the density matrix (paper Eq. 7) and by tests cross-checking the Löwdin
+//! path (Eq. 16).
+
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// LU decomposition `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: `U` on and above the diagonal, unit-`L` below.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Factor a square matrix. Fails if a pivot collapses to (near) zero.
+pub fn lu(a: &Matrix) -> Result<Lu, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "lu",
+            shape: a.shape(),
+        });
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Find pivot in column k at or below the diagonal.
+        let mut p = k;
+        let mut pmax = m[(k, k)].abs();
+        for i in (k + 1)..n {
+            if m[(i, k)].abs() > pmax {
+                pmax = m[(i, k)].abs();
+                p = i;
+            }
+        }
+        if pmax == 0.0 || !pmax.is_finite() {
+            return Err(LinalgError::Singular { op: "lu", index: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(p, j)];
+                m[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = m[(k, k)];
+        for i in (k + 1)..n {
+            let factor = m[(i, k)] / pivot;
+            m[(i, k)] = factor;
+            if factor != 0.0 {
+                for j in (k + 1)..n {
+                    let upd = factor * m[(k, j)];
+                    m[(i, j)] -= upd;
+                }
+            }
+        }
+    }
+    Ok(Lu { lu: m, perm, sign })
+}
+
+impl Lu {
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.nrows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solve for several right-hand sides stacked as matrix columns.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.lu.nrows();
+        if b.nrows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve(b.col(j))?;
+            x.col_mut(j).copy_from_slice(&col);
+        }
+        Ok(x)
+    }
+
+    /// Explicit inverse `A^{-1}` (column-by-column solve with unit vectors).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.lu.nrows();
+        self.solve_matrix(&Matrix::identity(n))
+    }
+
+    /// Determinant `det A = sign · Π U_kk`.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.nrows();
+        let mut d = self.sign;
+        for k in 0..n {
+            d *= self.lu[(k, k)];
+        }
+        d
+    }
+}
+
+/// Convenience: invert a square matrix.
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    lu(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn test_matrix(n: usize) -> Matrix {
+        // Diagonally dominant, comfortably invertible and needing pivoting
+        // after the off-diagonal perturbation below.
+        let mut a = Matrix::from_fn(n, n, |i, j| ((3 * i + 5 * j) % 7) as f64 * 0.4);
+        a.shift_diag(n as f64);
+        a[(0, 0)] = 1e-8; // force a pivot swap in column 0
+        a
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = test_matrix(9);
+        let x_true: Vec<f64> = (0..9).map(|i| (i as f64).cos()).collect();
+        let mut b = vec![0.0; 9];
+        crate::blas2::gemv(1.0, &a, &x_true, 0.0, &mut b).unwrap();
+        let x = lu(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = test_matrix(7);
+        let ainv = inverse(&a).unwrap();
+        let prod = matmul(&ainv, &a).unwrap();
+        assert!(prod.allclose(&Matrix::identity(7), 1e-9));
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let d = lu(&a).unwrap().det();
+        assert!((d + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_permutation_has_sign() {
+        // Swap matrix: det = -1.
+        let a = Matrix::from_row_major(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let d = lu(&a).unwrap().det();
+        assert!((d + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(lu(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = test_matrix(5);
+        let b = Matrix::from_fn(5, 3, |i, j| (i + j) as f64);
+        let x = lu(&a).unwrap().solve_matrix(&b).unwrap();
+        let back = matmul(&a, &x).unwrap();
+        assert!(back.allclose(&b, 1e-9));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(lu(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rhs_length_mismatch() {
+        let a = test_matrix(4);
+        let f = lu(&a).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+    }
+}

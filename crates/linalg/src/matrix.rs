@@ -1,0 +1,530 @@
+//! Column-major dense matrix type.
+//!
+//! The submatrix method assembles *dense* principal submatrices out of a
+//! sparse operator and evaluates matrix functions on them (paper Sec. III).
+//! This module provides the dense container those evaluations run on.
+//! Column-major storage matches the BLAS/LAPACK convention used by CP2K.
+
+use crate::error::LinalgError;
+
+/// Dense column-major `f64` matrix.
+///
+/// Element `(i, j)` lives at linear index `i + j * nrows`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.nrows, self.ncols)?;
+        let show_r = self.nrows.min(8);
+        let show_c = self.ncols.min(8);
+        for i in 0..show_r {
+            write!(f, "  ")?;
+            for j in 0..show_c {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if show_c < self.ncols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_r < self.nrows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Create a zero-filled matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Matrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Create the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a column-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "from_col_major: data length {} does not match {}x{}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Build a matrix from row-major data (convenient for literals in tests).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        let mut m = Matrix::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = data[i * ncols + j];
+            }
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` for every element.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Raw column-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its column-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Copy row `i` into a freshly allocated vector.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.ncols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Copy the main diagonal into a vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Trace (sum of diagonal elements). Requires a square matrix only in
+    /// spirit; for rectangular input the min-dimension diagonal is summed.
+    pub fn trace(&self) -> f64 {
+        self.diag().iter().sum()
+    }
+
+    /// Return the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Extract the principal submatrix picking `idx` rows and columns.
+    ///
+    /// This is the core selection operation of the submatrix method: given
+    /// the index set of nonzero rows of a column, it carves the induced
+    /// dense principal submatrix out of `self`.
+    pub fn principal_submatrix(&self, idx: &[usize]) -> Matrix {
+        let k = idx.len();
+        let mut s = Matrix::zeros(k, k);
+        for (jj, &j) in idx.iter().enumerate() {
+            for (ii, &i) in idx.iter().enumerate() {
+                s[(ii, jj)] = self[(i, j)];
+            }
+        }
+        s
+    }
+
+    /// Extract a general (possibly rectangular) submatrix from row indices
+    /// `rows` and column indices `cols`.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        let mut s = Matrix::zeros(rows.len(), cols.len());
+        for (jj, &j) in cols.iter().enumerate() {
+            for (ii, &i) in rows.iter().enumerate() {
+                s[(ii, jj)] = self[(i, j)];
+            }
+        }
+        s
+    }
+
+    /// Elementwise `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o += b;
+        }
+        Ok(out)
+    }
+
+    /// Elementwise `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o -= b;
+        }
+        Ok(out)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (o, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *o += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Return `alpha * self` as a new matrix.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// Add `alpha` to each diagonal element in place (`self += alpha * I`).
+    pub fn shift_diag(&mut self, alpha: f64) {
+        let n = self.nrows.min(self.ncols);
+        for i in 0..n {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Symmetrize in place: `self = (self + self^T) / 2`. Square only.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for j in 0..self.ncols {
+            for i in 0..j {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Maximum absolute deviation from symmetry, `max |A - A^T|`.
+    pub fn asymmetry(&self) -> f64 {
+        assert!(self.is_square());
+        let mut worst = 0.0f64;
+        for j in 0..self.ncols {
+            for i in 0..j {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// True if every element differs from `other` by at most `tol`.
+    pub fn allclose(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Largest absolute element difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of elements with absolute value above `threshold`.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.data.iter().filter(|v| v.abs() > threshold).count()
+    }
+
+    /// Zero out all elements with `|a_ij| <= threshold`, returning how many
+    /// elements were dropped. This is the element-wise analogue of the
+    /// DBCSR `eps_filter` truncation.
+    pub fn filter(&mut self, threshold: f64) -> usize {
+        let mut dropped = 0;
+        for v in &mut self.data {
+            if v.abs() <= threshold && *v != 0.0 {
+                *v = 0.0;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert!(!m.is_square());
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_has_unit_diag() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+        assert_eq!(m.trace(), 4.0);
+    }
+
+    #[test]
+    fn col_major_layout() {
+        let m = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        // column 0 = [1, 2], column 1 = [3, 4]
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+        assert_eq!(m.col(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_major_constructor_matches_math_layout() {
+        let m = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn principal_submatrix_selects_rows_and_cols() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.principal_submatrix(&[0, 2]);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], m[(0, 0)]);
+        assert_eq!(s[(0, 1)], m[(0, 2)]);
+        assert_eq!(s[(1, 0)], m[(2, 0)]);
+        assert_eq!(s[(1, 1)], m[(2, 2)]);
+    }
+
+    #[test]
+    fn submatrix_rectangular() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(&[1, 3], &[0, 1, 2]);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s[(1, 2)], m[(3, 2)]);
+    }
+
+    #[test]
+    fn add_sub_axpy() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::identity(2);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c[(0, 0)], 2.0);
+        let d = c.sub(&b).unwrap();
+        assert_eq!(d, a);
+        let mut e = a.clone();
+        e.axpy(2.0, &b).unwrap();
+        assert_eq!(e[(0, 0)], 3.0);
+        assert_eq!(e[(1, 1)], 6.0);
+    }
+
+    #[test]
+    fn add_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.add(&b),
+            Err(LinalgError::DimensionMismatch { op: "add", .. })
+        ));
+    }
+
+    #[test]
+    fn scale_and_shift_diag() {
+        let mut m = Matrix::identity(3);
+        m.scale(2.0);
+        assert_eq!(m[(1, 1)], 2.0);
+        m.shift_diag(-2.0);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let mut m = Matrix::from_row_major(2, 2, &[1.0, 2.0, 4.0, 1.0]);
+        assert!((m.asymmetry() - 2.0).abs() < 1e-15);
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn filter_drops_small_elements() {
+        let mut m = Matrix::from_row_major(2, 2, &[1.0, 1e-9, -1e-9, 2.0]);
+        let dropped = m.filter(1e-6);
+        assert_eq!(dropped, 2);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m[(1, 0)], 0.0);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m.count_above(0.5), 2);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let m = Matrix::from_diag(&[1.0, -2.0, 3.0]);
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.diag(), vec![1.0, -2.0, 3.0]);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.trace(), 2.0);
+    }
+
+    #[test]
+    fn allclose_and_max_abs_diff() {
+        let a = Matrix::identity(2);
+        let mut b = a.clone();
+        b[(0, 1)] = 1e-9;
+        assert!(a.allclose(&b, 1e-8));
+        assert!(!a.allclose(&b, 1e-10));
+        assert!((a.max_abs_diff(&b) - 1e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("..."));
+    }
+}

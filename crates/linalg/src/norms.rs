@@ -1,0 +1,110 @@
+//! Matrix norms.
+//!
+//! The Frobenius norm drives the convergence tests of the sign iterations
+//! (the involutority residual ‖Xₖ² − I‖_F of paper Fig. 13); the 1- and
+//! ∞-norms bound spectral radii for iteration scaling.
+
+use crate::matrix::Matrix;
+
+/// Frobenius norm `sqrt(Σ a_ij²)` with overflow-safe scaling.
+pub fn fro_norm(a: &Matrix) -> f64 {
+    crate::blas1::nrm2(a.as_slice())
+}
+
+/// 1-norm: maximum absolute column sum.
+pub fn one_norm(a: &Matrix) -> f64 {
+    (0..a.ncols())
+        .map(|j| crate::blas1::asum(a.col(j)))
+        .fold(0.0, f64::max)
+}
+
+/// ∞-norm: maximum absolute row sum.
+pub fn inf_norm(a: &Matrix) -> f64 {
+    let mut sums = vec![0.0f64; a.nrows()];
+    for j in 0..a.ncols() {
+        for (i, &v) in a.col(j).iter().enumerate() {
+            sums[i] += v.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Largest absolute element.
+pub fn max_norm(a: &Matrix) -> f64 {
+    a.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Cheap upper bound on the spectral radius of a symmetric matrix:
+/// `sqrt(‖A‖₁ · ‖A‖∞)` (equals ‖A‖₁ for symmetric input). Used to scale
+/// Newton–Schulz style iterations into their convergence region.
+pub fn spectral_bound(a: &Matrix) -> f64 {
+    (one_norm(a) * inf_norm(a)).sqrt()
+}
+
+/// Frobenius norm of `A² - I` without forming the subtraction separately —
+/// the involutority residual used as the convergence criterion of the sign
+/// iterations (paper Fig. 13).
+pub fn involutority_residual(a2: &Matrix) -> f64 {
+    assert!(a2.is_square());
+    let n = a2.nrows();
+    let mut ssq = 0.0f64;
+    for j in 0..n {
+        for (i, &v) in a2.col(j).iter().enumerate() {
+            let r = if i == j { v - 1.0 } else { v };
+            ssq += r * r;
+        }
+    }
+    ssq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fro_norm_basic() {
+        let a = Matrix::from_row_major(2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert!((fro_norm(&a) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(one_norm(&a), 6.0); // col 1: |-2|+|4| = 6
+        assert_eq!(inf_norm(&a), 7.0); // row 1: |3|+|4| = 7
+    }
+
+    #[test]
+    fn max_norm_basic() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, -9.0, 3.0, 4.0]);
+        assert_eq!(max_norm(&a), 9.0);
+    }
+
+    #[test]
+    fn spectral_bound_dominates_eigenvalues() {
+        let mut a = Matrix::from_fn(6, 6, |i, j| ((i + 2 * j) % 5) as f64 * 0.3);
+        a.symmetrize();
+        let bound = spectral_bound(&a);
+        let eig = crate::eigh::eigvalsh(&a).unwrap();
+        let rho = eig.iter().fold(0.0f64, |m, &l| m.max(l.abs()));
+        assert!(bound >= rho - 1e-12, "bound {bound} < spectral radius {rho}");
+    }
+
+    #[test]
+    fn involutority_residual_of_identity_squared() {
+        let i = Matrix::identity(5);
+        assert_eq!(involutority_residual(&i), 0.0);
+        let mut almost = i.clone();
+        almost[(2, 3)] = 1e-3;
+        assert!((involutority_residual(&almost) - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn norms_of_empty_matrix() {
+        let a = Matrix::zeros(0, 0);
+        assert_eq!(fro_norm(&a), 0.0);
+        assert_eq!(one_norm(&a), 0.0);
+        assert_eq!(inf_norm(&a), 0.0);
+        assert_eq!(max_norm(&a), 0.0);
+    }
+}

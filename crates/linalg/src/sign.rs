@@ -1,0 +1,330 @@
+//! The matrix sign function.
+//!
+//! Three evaluation strategies from the paper:
+//!
+//! * [`sign_eig`] — eigendecomposition + elementwise signum (Eq. 17), the
+//!   method of choice for dense submatrices (Sec. IV-F), including the
+//!   extended definition `sign(0) = 0` of Eq. 12;
+//! * [`newton_schulz_sign`] — the 2nd-order Newton–Schulz iteration
+//!   (Eq. 11), CP2K's default for sparse matrices and the paper's baseline;
+//! * [`sign_iteration`] — the arbitrary-order Padé/Newton–Schulz family;
+//!   order 3 reproduces Eq. 19 used in the GPU/FPGA study.
+
+use crate::eigh::eigh;
+use crate::gemm::{gemm, matmul, Op};
+use crate::matrix::Matrix;
+use crate::norms::{involutority_residual, spectral_bound};
+use crate::LinalgError;
+
+/// Eigenvalues with magnitude below this count as "on the imaginary axis"
+/// and map to 0 per the extended definition (paper Eq. 12).
+pub const ZERO_EIGENVALUE_TOL: f64 = 1e-12;
+
+/// Extended scalar sign: −1 / 0 / +1 with a tolerance band around zero.
+#[inline]
+pub fn extended_signum(x: f64) -> f64 {
+    if x.abs() <= ZERO_EIGENVALUE_TOL {
+        0.0
+    } else {
+        x.signum()
+    }
+}
+
+/// `sign(A)` of a symmetric matrix via eigendecomposition (paper Eq. 17).
+pub fn sign_eig(a: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(eigh(a)?.apply(extended_signum))
+}
+
+/// Progress record of one iterative sign evaluation step.
+#[derive(Debug, Clone, Copy)]
+pub struct SignStep {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Involutority residual ‖Xₖ² − I‖_F after the step (Fig. 13's metric).
+    pub residual: f64,
+}
+
+/// Result of an iterative sign evaluation.
+#[derive(Debug, Clone)]
+pub struct SignIterationResult {
+    /// Converged (or best-effort) sign matrix.
+    pub sign: Matrix,
+    /// Per-iteration residual trace.
+    pub trace: Vec<SignStep>,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}
+
+/// Options for the iterative sign evaluations.
+#[derive(Debug, Clone, Copy)]
+pub struct SignIterationOptions {
+    /// Convergence threshold on ‖Xₖ² − I‖_F / √n.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+    /// Pre-scale `X₀ = A / spectral_bound(A)` so the iteration starts inside
+    /// its convergence region. Disable only for matrices already scaled.
+    pub prescale: bool,
+}
+
+impl Default for SignIterationOptions {
+    fn default() -> Self {
+        SignIterationOptions {
+            tol: 1e-10,
+            max_iter: 100,
+            prescale: true,
+        }
+    }
+}
+
+/// Coefficients of the order-`p` Padé/Newton–Schulz sign polynomial:
+/// `X_{k+1} = X_k · Σ_{i<p} c_i (I − X_k²)^i` with
+/// `c_i = C(2i, i) / 4^i` (the binomial series of `(1−z)^{−1/2}`).
+///
+/// Order 2 reproduces Newton–Schulz (Eq. 11), order 3 reproduces the GPU
+/// iteration of Eq. 19.
+pub fn pade_coefficients(order: usize) -> Vec<f64> {
+    assert!(order >= 2, "sign iteration order must be at least 2");
+    let mut c = Vec::with_capacity(order);
+    let mut coef = 1.0f64;
+    for i in 0..order {
+        if i > 0 {
+            // C(2i, i)/4^i = prev * (2i-1)/(2i)
+            coef *= (2 * i - 1) as f64 / (2 * i) as f64;
+        }
+        c.push(coef);
+    }
+    c
+}
+
+/// Arbitrary-order Padé sign iteration on a symmetric matrix.
+///
+/// Every step computes `Y = X²` (also used for the convergence test), then
+/// evaluates the order-`p` polynomial in `Y` by Horner's rule in the
+/// variable `E = I − Y`, and finally multiplies by `X`.
+pub fn sign_iteration(
+    a: &Matrix,
+    order: usize,
+    opts: SignIterationOptions,
+) -> Result<SignIterationResult, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "sign_iteration",
+            shape: a.shape(),
+        });
+    }
+    let n = a.nrows();
+    let coeffs = pade_coefficients(order);
+    let sqrt_n = (n.max(1) as f64).sqrt();
+
+    let mut x = a.clone();
+    if opts.prescale {
+        let bound = spectral_bound(a);
+        if bound > 0.0 {
+            x.scale(1.0 / bound);
+        }
+    }
+
+    let mut trace = Vec::new();
+    let mut converged = false;
+
+    for it in 0..opts.max_iter {
+        // Y = X².
+        let y = matmul(&x, &x)?;
+        let residual = involutority_residual(&y) / sqrt_n;
+        trace.push(SignStep {
+            iteration: it,
+            residual,
+        });
+        if residual <= opts.tol {
+            converged = true;
+            break;
+        }
+
+        // E = I − Y; evaluate P(E) = Σ c_i E^i by Horner.
+        let mut e = y;
+        e.scale(-1.0);
+        e.shift_diag(1.0);
+        let mut p = Matrix::identity(n);
+        p.scale(coeffs[order - 1]);
+        for i in (0..order - 1).rev() {
+            // p = p*E + c_i I
+            let mut next = Matrix::zeros(n, n);
+            gemm(1.0, &p, Op::NoTrans, &e, Op::NoTrans, 0.0, &mut next)?;
+            next.shift_diag(coeffs[i]);
+            p = next;
+        }
+        // X = X * P
+        x = matmul(&x, &p)?;
+    }
+
+    Ok(SignIterationResult {
+        sign: x,
+        trace,
+        converged,
+    })
+}
+
+/// 2nd-order Newton–Schulz sign iteration (paper Eq. 11).
+pub fn newton_schulz_sign(
+    a: &Matrix,
+    opts: SignIterationOptions,
+) -> Result<SignIterationResult, LinalgError> {
+    sign_iteration(a, 2, opts)
+}
+
+/// 3rd-order Padé sign iteration (paper Eq. 19, used on GPU/FPGA).
+pub fn pade3_sign(
+    a: &Matrix,
+    opts: SignIterationOptions,
+) -> Result<SignIterationResult, LinalgError> {
+    sign_iteration(a, 3, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Symmetric test matrix with spectrum well away from zero.
+    fn gapped_matrix(n: usize) -> Matrix {
+        // Diagonal ±1.5 with decaying symmetric coupling — guaranteed gap.
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i % 2 == 0 {
+                    1.5
+                } else {
+                    -1.5
+                }
+            } else {
+                0.3 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn sign_eig_is_involutory() {
+        let a = gapped_matrix(16);
+        let s = sign_eig(&a).unwrap();
+        let s2 = matmul(&s, &s).unwrap();
+        assert!(s2.allclose(&Matrix::identity(16), 1e-10));
+    }
+
+    #[test]
+    fn sign_eig_commutes_with_a() {
+        let a = gapped_matrix(10);
+        let s = sign_eig(&a).unwrap();
+        let as_ = matmul(&a, &s).unwrap();
+        let sa = matmul(&s, &a).unwrap();
+        assert!(as_.allclose(&sa, 1e-10));
+    }
+
+    #[test]
+    fn sign_of_definite_matrix_is_identity() {
+        let mut a = gapped_matrix(8);
+        a.shift_diag(10.0); // all eigenvalues positive
+        let s = sign_eig(&a).unwrap();
+        assert!(s.allclose(&Matrix::identity(8), 1e-10));
+    }
+
+    #[test]
+    fn extended_sign_maps_zero_eigenvalue_to_zero() {
+        // Diagonal matrix with an exact zero eigenvalue (Eq. 12).
+        let a = Matrix::from_diag(&[2.0, 0.0, -3.0]);
+        let s = sign_eig(&a).unwrap();
+        let expect = Matrix::from_diag(&[1.0, 0.0, -1.0]);
+        assert!(s.allclose(&expect, 1e-12));
+    }
+
+    #[test]
+    fn pade_coefficients_match_closed_forms() {
+        // Order 2: (3I - Y)/2 => constants [1, 1/2] in E-expansion.
+        assert_eq!(pade_coefficients(2), vec![1.0, 0.5]);
+        // Order 3: Eq. 19 constants [1, 1/2, 3/8].
+        assert_eq!(pade_coefficients(3), vec![1.0, 0.5, 0.375]);
+        // Order 4 adds 5/16.
+        assert_eq!(pade_coefficients(4), vec![1.0, 0.5, 0.375, 0.3125]);
+    }
+
+    #[test]
+    fn newton_schulz_matches_eig() {
+        let a = gapped_matrix(12);
+        let s_ref = sign_eig(&a).unwrap();
+        let r = newton_schulz_sign(&a, SignIterationOptions::default()).unwrap();
+        assert!(r.converged, "NS did not converge");
+        assert!(r.sign.allclose(&s_ref, 1e-7));
+    }
+
+    #[test]
+    fn pade3_matches_eig_and_converges_in_fewer_iterations() {
+        let a = gapped_matrix(12);
+        let s_ref = sign_eig(&a).unwrap();
+        let ns = newton_schulz_sign(&a, SignIterationOptions::default()).unwrap();
+        let p3 = pade3_sign(&a, SignIterationOptions::default()).unwrap();
+        assert!(p3.converged);
+        assert!(p3.sign.allclose(&s_ref, 1e-7));
+        assert!(
+            p3.trace.len() <= ns.trace.len(),
+            "order 3 ({}) should need no more iterations than order 2 ({})",
+            p3.trace.len(),
+            ns.trace.len()
+        );
+    }
+
+    #[test]
+    fn higher_orders_agree() {
+        let a = gapped_matrix(9);
+        let s_ref = sign_eig(&a).unwrap();
+        for order in [4, 5, 7] {
+            let r = sign_iteration(&a, order, SignIterationOptions::default()).unwrap();
+            assert!(r.converged, "order {order} did not converge");
+            assert!(r.sign.allclose(&s_ref, 1e-7), "order {order} disagrees");
+        }
+    }
+
+    #[test]
+    fn residual_trace_is_monotone_decreasing_once_converging() {
+        let a = gapped_matrix(10);
+        let r = newton_schulz_sign(&a, SignIterationOptions::default()).unwrap();
+        // After the first couple of steps the residual must fall.
+        let tail: Vec<f64> = r.trace.iter().skip(1).map(|s| s.residual).collect();
+        for w in tail.windows(2) {
+            assert!(w[1] <= w[0] * 1.5, "residual should trend down: {w:?}");
+        }
+        // Final residual below tolerance.
+        assert!(r.trace.last().unwrap().residual <= 1e-10);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let a = gapped_matrix(8);
+        let r = sign_iteration(
+            &a,
+            2,
+            SignIterationOptions {
+                tol: 0.0, // unreachable
+                max_iter: 3,
+                prescale: true,
+            },
+        )
+        .unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.trace.len(), 3);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(sign_iteration(&a, 2, SignIterationOptions::default()).is_err());
+        assert!(sign_eig(&a).is_err());
+    }
+
+    #[test]
+    fn sign_of_diag_matrix_iterative() {
+        let a = Matrix::from_diag(&[4.0, -2.0, 0.5, -0.25]);
+        let r = newton_schulz_sign(&a, SignIterationOptions::default()).unwrap();
+        let expect = Matrix::from_diag(&[1.0, -1.0, 1.0, -1.0]);
+        assert!(r.sign.allclose(&expect, 1e-8));
+    }
+}

@@ -1,0 +1,238 @@
+//! Householder reduction of a real symmetric matrix to tridiagonal form.
+//!
+//! This is the first stage of the `dsyevd`-equivalent eigensolver used to
+//! evaluate `sign(A) = Q sign(Λ) Q^T` on dense submatrices (paper Eq. 17).
+//! The algorithm is the classic EISPACK `tred2`: successive Householder
+//! reflections annihilate one row/column at a time while the orthogonal
+//! transformation matrix is accumulated.
+
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// Result of a Householder tridiagonalization `A = Q T Q^T`.
+#[derive(Debug, Clone)]
+pub struct Tridiagonal {
+    /// Orthogonal accumulation matrix `Q` (n×n).
+    pub q: Matrix,
+    /// Diagonal of `T` (length n).
+    pub d: Vec<f64>,
+    /// Sub-diagonal of `T` (length n, entry 0 is unused and set to 0).
+    pub e: Vec<f64>,
+}
+
+/// Reduce a symmetric matrix to tridiagonal form, accumulating `Q`.
+///
+/// Only the lower triangle of `a` is referenced, mirroring LAPACK's
+/// `uplo = 'L'` convention. Returns an error if `a` is not square.
+pub fn tred2(a: &Matrix) -> Result<Tridiagonal, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "tred2",
+            shape: a.shape(),
+        });
+    }
+    let n = a.nrows();
+    // Work on a symmetrized copy: the algorithm reads both triangles.
+    let mut z = a.clone();
+    z.symmetrize();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+
+    if n == 0 {
+        return Ok(Tridiagonal { q: z, d, e });
+    }
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let mut scale = 0.0f64;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                let mut f_acc = 0.0f64;
+                for j in 0..=l {
+                    // Store u/H in column i for the accumulation phase.
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g2 = 0.0f64;
+                    for k in 0..=j {
+                        g2 += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g2 += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g2 / h;
+                    f_acc += e[j] * z[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g2 = e[j] - hh * f;
+                    e[j] = g2;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g2 * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+
+    // Accumulate the Householder transformations into Q (stored in z).
+    for i in 0..n {
+        if d[i] != 0.0 {
+            // i >= 1 here because d[0] == 0.
+            let l = i - 1;
+            for j in 0..=l {
+                let mut g = 0.0f64;
+                for k in 0..=l {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..=l {
+                    z[(k, j)] -= g * z[(k, i)];
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        if i > 0 {
+            for j in 0..i {
+                z[(j, i)] = 0.0;
+                z[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    Ok(Tridiagonal { q: z, d, e })
+}
+
+impl Tridiagonal {
+    /// Reconstruct the dense tridiagonal matrix `T` (mostly for testing).
+    pub fn t_matrix(&self) -> Matrix {
+        let n = self.d.len();
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = self.d[i];
+            if i > 0 {
+                t[(i, i - 1)] = self.e[i];
+                t[(i - 1, i)] = self.e[i];
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tn};
+    use crate::norms::fro_norm;
+
+    fn sym_test_matrix(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17) % 13) as f64 * 0.1 + if i == j { 2.0 } else { 0.0 }
+        });
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = sym_test_matrix(12);
+        let tri = tred2(&a).unwrap();
+        let qtq = matmul_tn(&tri.q, &tri.q).unwrap();
+        assert!(qtq.allclose(&Matrix::identity(12), 1e-12));
+    }
+
+    #[test]
+    fn reconstruction_qtqt_equals_a() {
+        let a = sym_test_matrix(10);
+        let tri = tred2(&a).unwrap();
+        let t = tri.t_matrix();
+        let qt = matmul(&tri.q, &t).unwrap();
+        let back = matmul(&qt, &tri.q.transpose()).unwrap();
+        assert!(
+            back.allclose(&a, 1e-11),
+            "reconstruction error {}",
+            fro_norm(&back.sub(&a).unwrap())
+        );
+    }
+
+    #[test]
+    fn already_tridiagonal_input() {
+        let mut a = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            a[(i, i)] = (i + 1) as f64;
+            if i > 0 {
+                a[(i, i - 1)] = 0.5;
+                a[(i - 1, i)] = 0.5;
+            }
+        }
+        let tri = tred2(&a).unwrap();
+        let back = matmul(
+            &matmul(&tri.q, &tri.t_matrix()).unwrap(),
+            &tri.q.transpose(),
+        )
+        .unwrap();
+        assert!(back.allclose(&a, 1e-12));
+    }
+
+    #[test]
+    fn diagonal_input_is_fixed_point() {
+        let a = Matrix::from_diag(&[3.0, 1.0, -2.0]);
+        let tri = tred2(&a).unwrap();
+        assert!((tri.d[0] - 3.0).abs() < 1e-15);
+        assert!((tri.d[1] - 1.0).abs() < 1e-15);
+        assert!((tri.d[2] + 2.0).abs() < 1e-15);
+        assert!(tri.e.iter().all(|&x| x.abs() < 1e-15));
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        let a = Matrix::from_diag(&[7.0]);
+        let tri = tred2(&a).unwrap();
+        assert_eq!(tri.d, vec![7.0]);
+        let a0 = Matrix::zeros(0, 0);
+        let tri0 = tred2(&a0).unwrap();
+        assert!(tri0.d.is_empty());
+    }
+
+    #[test]
+    fn two_by_two() {
+        let a = Matrix::from_row_major(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let tri = tred2(&a).unwrap();
+        let back = matmul(
+            &matmul(&tri.q, &tri.t_matrix()).unwrap(),
+            &tri.q.transpose(),
+        )
+        .unwrap();
+        assert!(back.allclose(&a, 1e-13));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            tred2(&a),
+            Err(LinalgError::NotSquare { op: "tred2", .. })
+        ));
+    }
+}

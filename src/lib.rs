@@ -1,0 +1,59 @@
+//! # cp2k-submatrix — reproduction of the submatrix method (Lass et al., SC 2020)
+//!
+//! A from-scratch Rust implementation of *"A Submatrix-Based Method for
+//! Approximate Matrix Function Evaluation in the Quantum Chemistry Code
+//! CP2K"*, including every substrate the paper builds on:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`linalg`] | dense BLAS/LAPACK subset: GEMM, symmetric eigensolver, sign function, inverse roots |
+//! | [`comsim`] | simulated MPI: rank-per-thread communicator + analytic cluster-time model |
+//! | [`dbcsr`] | distributed block-compressed sparse matrices with Cannon multiplication (libDBCSR) |
+//! | [`chem`] | synthetic liquid-water systems, SZV/DZVP basis models, S and K builders |
+//! | [`core`] | **the submatrix method**: assembly, clustering, load balancing, µ adjustment, drivers |
+//! | [`accel`] | emulated FP16/FP32 tensor-core & FPGA kernels, Padé iteration traces, Table I model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cp2k_submatrix::prelude::*;
+//!
+//! // A small periodic water box with the SZV basis model.
+//! let water = WaterBox::cubic(1, 42);
+//! let basis = BasisSet::szv();
+//! let sys = build_system(&water, &basis, 0, 1, 1e-10);
+//!
+//! // Löwdin-orthogonalize and purify with the submatrix method.
+//! let comm = SerialComm::new();
+//! let (kt, _, _) = orthogonalize_sparse(&sys.s, &sys.k, &Default::default(), &comm);
+//! let (density, report) =
+//!     submatrix_density(&kt, sys.mu, &SubmatrixOptions::default(), &comm);
+//!
+//! let n_electrons = 2.0 * sm_dbcsr::ops::trace(&density, &comm);
+//! assert!((n_electrons - 8.0 * water.n_molecules() as f64).abs() < 0.5);
+//! assert_eq!(report.n_submatrices, water.n_molecules());
+//! ```
+
+pub use sm_accel as accel;
+pub use sm_chem as chem;
+pub use sm_comsim as comsim;
+pub use sm_core as core;
+pub use sm_dbcsr as dbcsr;
+pub use sm_linalg as linalg;
+
+/// Everything a typical application needs in scope.
+pub mod prelude {
+    pub use sm_chem::builder::{build_system, molecular_gap, molecular_mu};
+    pub use sm_chem::{BasisKind, BasisSet, SystemMatrices, WaterBox};
+    pub use sm_comsim::{run_ranks, ClusterModel, Comm, SerialComm};
+    pub use sm_core::baseline::{
+        newton_schulz_density, orthogonalize_sparse, NewtonSchulzOptions,
+    };
+    pub use sm_core::method::{Ensemble, Grouping};
+    pub use sm_core::solver::SolveOptions;
+    pub use sm_core::{
+        submatrix_density, submatrix_sign, SignMethod, SubmatrixOptions, SubmatrixPlan,
+    };
+    pub use sm_dbcsr::{BlockedDims, CooPattern, DbcsrMatrix};
+    pub use sm_linalg::Matrix;
+}
