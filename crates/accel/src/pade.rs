@@ -130,11 +130,7 @@ pub fn band_energy_of_sign(x: &Matrix, a: &Matrix) -> f64 {
 
 /// Compare a trace against the converged FP64 energy: the meV/atom series
 /// of paper Fig. 12.
-pub fn energy_differences_mev_per_atom(
-    trace: &PadeTrace,
-    e_ref: f64,
-    n_atoms: usize,
-) -> Vec<f64> {
+pub fn energy_differences_mev_per_atom(trace: &PadeTrace, e_ref: f64, n_atoms: usize) -> Vec<f64> {
     const HARTREE_TO_MEV: f64 = 27211.386245988;
     trace
         .records
@@ -170,10 +166,15 @@ mod tests {
     #[test]
     fn fp64_converges_to_machine_precision() {
         let a = submatrix_like(30);
-        let t = pade3_sign_traced(&a, 0.0, PrecisionMode::Fp64, &PadeTraceOptions {
-            iterations: 20,
-            n_atoms: 10,
-        });
+        let t = pade3_sign_traced(
+            &a,
+            0.0,
+            PrecisionMode::Fp64,
+            &PadeTraceOptions {
+                iterations: 20,
+                n_atoms: 10,
+            },
+        );
         let last = t.records.last().unwrap();
         assert!(
             last.involutority < 1e-9,
@@ -298,10 +299,15 @@ mod tests {
     #[test]
     fn mu_shift_respected() {
         let a = Matrix::from_diag(&[0.0, 1.0, 2.0, 3.0]);
-        let t = pade3_sign_traced(&a, 1.5, PrecisionMode::Fp64, &PadeTraceOptions {
-            iterations: 30,
-            n_atoms: 4,
-        });
+        let t = pade3_sign_traced(
+            &a,
+            1.5,
+            PrecisionMode::Fp64,
+            &PadeTraceOptions {
+                iterations: 30,
+                n_atoms: 4,
+            },
+        );
         let expect = Matrix::from_diag(&[-1.0, -1.0, 1.0, 1.0]);
         assert!(t.sign.allclose(&expect, 1e-6));
     }

@@ -217,8 +217,16 @@ mod tests {
     fn fpga_row_matches_paper_shape() {
         let r = fpga_row(&DeviceModel::stratix_10(), 3972);
         // Paper: 2.7 matmul, 1.75 sign.
-        assert!((2.2..=3.2).contains(&r.matmul_tflops), "matmul {}", r.matmul_tflops);
-        assert!((1.2..=2.3).contains(&r.sign_tflops), "sign {}", r.sign_tflops);
+        assert!(
+            (2.2..=3.2).contains(&r.matmul_tflops),
+            "matmul {}",
+            r.matmul_tflops
+        );
+        assert!(
+            (1.2..=2.3).contains(&r.sign_tflops),
+            "sign {}",
+            r.sign_tflops
+        );
         assert!(r.sign_tflops < r.matmul_tflops);
     }
 

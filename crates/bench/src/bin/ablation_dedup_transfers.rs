@@ -60,7 +60,13 @@ fn main() {
     }
 
     println!("\nAblation — transfer deduplication");
-    let header = ["ranks", "unique_kib", "naive_kib", "dedup_factor", "saved_pct"];
+    let header = [
+        "ranks",
+        "unique_kib",
+        "naive_kib",
+        "dedup_factor",
+        "saved_pct",
+    ];
     print_table(&header, &rows);
     write_csv("ablation_dedup_transfers.csv", &header, &rows);
 }

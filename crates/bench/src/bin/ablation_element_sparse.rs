@@ -54,8 +54,8 @@ fn main() {
 
         // Element-sparse iteration.
         let t0 = Instant::now();
-        let sparse = sparse_sign_iteration(&a, sys.mu * 0.0, 2, 1e-8, 1e-6, 100)
-            .expect("sparse iteration");
+        let sparse =
+            sparse_sign_iteration(&a, sys.mu * 0.0, 2, 1e-8, 1e-6, 100).expect("sparse iteration");
         let t_sparse = t0.elapsed().as_secs_f64();
 
         let err = sparse.sign.max_abs_diff(&dense.sign);

@@ -31,8 +31,7 @@ fn main() {
         for range in &assignment.ranges {
             let specs: Vec<&sm_core::assembly::SubmatrixSpec> =
                 plan.specs[range.clone()].iter().collect();
-            contiguous_bytes +=
-                RankTransferPlan::for_specs(&specs, &pattern).unique_bytes(&dims);
+            contiguous_bytes += RankTransferPlan::for_specs(&specs, &pattern).unique_bytes(&dims);
         }
         // Round-robin.
         let rr = round_robin(plan.len(), n_ranks);
@@ -57,7 +56,12 @@ fn main() {
     }
 
     println!("\nAblation — mapping locality (buffered bytes per scheme)");
-    let header = ["ranks", "contiguous_kib", "round_robin_kib", "rr_over_contig"];
+    let header = [
+        "ranks",
+        "contiguous_kib",
+        "round_robin_kib",
+        "rr_over_contig",
+    ];
     print_table(&header, &rows);
     write_csv("ablation_mapping_locality.csv", &header, &rows);
 }

@@ -18,7 +18,11 @@ fn main() {
     let basis = accuracy_basis();
     let filters = [1e-4, 1e-5, 1e-6, 1e-7];
     let reference_filter = 1e-10;
-    let nreps: &[usize] = if paper_scale() { &[1, 2, 3, 4] } else { &[1, 2, 3] };
+    let nreps: &[usize] = if paper_scale() {
+        &[1, 2, 3, 4]
+    } else {
+        &[1, 2, 3]
+    };
 
     let mut rows = Vec::new();
     for &nrep in nreps {
@@ -44,11 +48,7 @@ fn main() {
         for &eps in &filters {
             let e = energy_at(eps);
             let err = error_mev_per_atom(e, e_ref, n_atoms);
-            rows.push(vec![
-                n_atoms.to_string(),
-                sci(eps),
-                format!("{err:.6e}"),
-            ]);
+            rows.push(vec![n_atoms.to_string(), sci(eps), format!("{err:.6e}")]);
             eprintln!("atoms {n_atoms} eps {eps:>8.0e} error {err:.4e} meV/atom");
         }
     }

@@ -40,7 +40,13 @@ fn main() {
 
     write_csv(
         "fig02_pattern_stats.csv",
-        &["molecules", "nnz_blocks", "block_fill", "avg_col_nnz", "max_col_nnz"],
+        &[
+            "molecules",
+            "nnz_blocks",
+            "block_fill",
+            "avg_col_nnz",
+            "max_col_nnz",
+        ],
         &[vec![
             water.n_molecules().to_string(),
             s.nnz_blocks.to_string(),

@@ -42,7 +42,9 @@ fn main() {
         .iter()
         .filter(|&&(r, c)| r < c)
         .map(|&(r, c)| {
-            let d = water.cell.distance(water.molecules[r].center(), water.molecules[c].center());
+            let d = water
+                .cell
+                .distance(water.molecules[r].center(), water.molecules[c].center());
             (r, c, (-d * d / (4.0 * smax * smax)).exp())
         })
         .collect();
@@ -58,19 +60,13 @@ fn main() {
     let mut rows = Vec::new();
     for &k in &cluster_counts {
         let km = kmeans::kmeans(&points, k, 1, 100);
-        let km_plan = SubmatrixPlan::from_groups(
-            &pattern,
-            &dims,
-            &groups_from_assignment(&km.assignment, k),
-        );
+        let km_plan =
+            SubmatrixPlan::from_groups(&pattern, &dims, &groups_from_assignment(&km.assignment, k));
         let s_km = estimated_speedup(&singles, &km_plan);
 
         let part = graph::partition_kway(&g, k, &graph::PartitionOptions::default());
-        let gp_plan = SubmatrixPlan::from_groups(
-            &pattern,
-            &dims,
-            &groups_from_assignment(&part, k),
-        );
+        let gp_plan =
+            SubmatrixPlan::from_groups(&pattern, &dims, &groups_from_assignment(&part, k));
         let s_gp = estimated_speedup(&singles, &gp_plan);
 
         rows.push(vec![
@@ -100,6 +96,10 @@ fn main() {
     });
     println!(
         "\nheuristic agreement within 20% at some cluster count: {}",
-        if close { "yes (paper's observation)" } else { "no" }
+        if close {
+            "yes (paper's observation)"
+        } else {
+            "no"
+        }
     );
 }

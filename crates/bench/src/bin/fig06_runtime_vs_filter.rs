@@ -17,9 +17,7 @@ use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
 use sm_chem::WaterBox;
 use sm_comsim::{ClusterModel, SerialComm};
 use sm_core::baseline::{newton_schulz_density, NewtonSchulzOptions};
-use sm_core::model::{
-    model_newton_schulz_run, model_submatrix_run, ns_iteration_estimate,
-};
+use sm_core::model::{model_newton_schulz_run, model_submatrix_run, ns_iteration_estimate};
 use sm_core::{submatrix_density, SubmatrixOptions, SubmatrixPlan};
 
 fn main() {
@@ -108,6 +106,10 @@ fn main() {
     println!(
         "\nat the loosest filter the submatrix method is {:.1}x {} than Newton-Schulz (model)",
         (ns_last / sm_last).max(sm_last / ns_last),
-        if sm_last < ns_last { "faster" } else { "slower" }
+        if sm_last < ns_last {
+            "faster"
+        } else {
+            "slower"
+        }
     );
 }

@@ -68,7 +68,11 @@ fn main() {
     }
 
     println!("\nFig. 7 — signed energy error vs eps_filter");
-    let header = ["eps_filter", "submatrix_mev_per_atom", "newton_schulz_mev_per_atom"];
+    let header = [
+        "eps_filter",
+        "submatrix_mev_per_atom",
+        "newton_schulz_mev_per_atom",
+    ];
     print_table(&header, &rows);
     write_csv("fig07_error_vs_filter.csv", &header, &rows);
 

@@ -92,5 +92,9 @@ fn main() {
     }
     println!("\nmeasured wall-clock companion (this machine):");
     print_table(&["atoms", "wall_s"], &wall_rows);
-    write_csv("fig08_linear_scaling_wall.csv", &["atoms", "wall_s"], &wall_rows);
+    write_csv(
+        "fig08_linear_scaling_wall.csv",
+        &["atoms", "wall_s"],
+        &wall_rows,
+    );
 }

@@ -49,7 +49,5 @@ fn main() {
     write_csv("fig09_strong_scaling.csv", &header, &rows);
 
     let final_eff: f64 = rows.last().expect("rows")[2].parse().expect("numeric");
-    println!(
-        "\nefficiency at 4x cores: {final_eff:.2} (paper reports 0.83 on its testbed)"
-    );
+    println!("\nefficiency at 4x cores: {final_eff:.2} (paper reports 0.83 on its testbed)");
 }

@@ -11,9 +11,7 @@ use sm_bench::workloads::{pattern_basis_szv, SEED};
 use sm_chem::builder::block_pattern;
 use sm_chem::WaterBox;
 use sm_comsim::ClusterModel;
-use sm_core::model::{
-    model_newton_schulz_run, model_submatrix_run, ns_iteration_estimate,
-};
+use sm_core::model::{model_newton_schulz_run, model_submatrix_run, ns_iteration_estimate};
 use sm_core::SubmatrixPlan;
 use sm_dbcsr::BlockedDims;
 
@@ -40,8 +38,7 @@ fn main() {
 
         let t_sm = model_submatrix_run(&plan, &pattern, &dims, cores, &cluster).total();
         let t_ns =
-            model_newton_schulz_run(&pattern, &dims, cores, 5, ns_iters, 2.0, &cluster)
-                .total();
+            model_newton_schulz_run(&pattern, &dims, cores, 5, ns_iters, 2.0, &cluster).total();
         if step == 0 {
             t_sm_base = t_sm;
             t_ns_base = t_ns;

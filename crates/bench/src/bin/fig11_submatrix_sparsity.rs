@@ -34,13 +34,7 @@ fn element_fill(water: &WaterBox, basis: &BasisSet, eps: f64, samples: usize) ->
     total_nonzero as f64 / total_elems.max(1) as f64
 }
 
-fn series(
-    basis: &BasisSet,
-    label: &str,
-    nreps: &[usize],
-    eps: f64,
-    rows: &mut Vec<Vec<String>>,
-) {
+fn series(basis: &BasisSet, label: &str, nreps: &[usize], eps: f64, rows: &mut Vec<Vec<String>>) {
     for &nrep in nreps {
         let water = WaterBox::cubic(nrep, SEED);
         let pattern = block_pattern(&water, basis, eps, 1.0);
@@ -68,8 +62,16 @@ fn series(
 
 fn main() {
     let eps = 1e-5;
-    let nreps_szv: &[usize] = if paper_scale() { &[1, 2, 3, 4, 5, 6] } else { &[1, 2, 3, 4] };
-    let nreps_dzvp: &[usize] = if paper_scale() { &[1, 2, 3, 4] } else { &[1, 2, 3] };
+    let nreps_szv: &[usize] = if paper_scale() {
+        &[1, 2, 3, 4, 5, 6]
+    } else {
+        &[1, 2, 3, 4]
+    };
+    let nreps_dzvp: &[usize] = if paper_scale() {
+        &[1, 2, 3, 4]
+    } else {
+        &[1, 2, 3]
+    };
 
     let mut rows = Vec::new();
     series(&pattern_basis_szv(), "SZV", nreps_szv, eps, &mut rows);
@@ -88,14 +90,10 @@ fn main() {
 
     // Shape check: DZVP element fill < SZV element fill at the largest
     // common size (the paper's key observation).
-    let szv_last: f64 = rows
-        .iter().rfind(|r| r[0] == "SZV")
-        .expect("SZV rows")[4]
+    let szv_last: f64 = rows.iter().rfind(|r| r[0] == "SZV").expect("SZV rows")[4]
         .parse()
         .expect("numeric");
-    let dzvp_last: f64 = rows
-        .iter().rfind(|r| r[0] == "DZVP")
-        .expect("DZVP rows")[4]
+    let dzvp_last: f64 = rows.iter().rfind(|r| r[0] == "DZVP").expect("DZVP rows")[4]
         .parse()
         .expect("numeric");
     println!(

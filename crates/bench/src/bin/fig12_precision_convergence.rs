@@ -7,10 +7,10 @@
 //! their noise floor; GPU-FP32 and FPGA-FP32 differ slightly from each
 //! other (summation order).
 
-use sm_bench::output::{paper_scale, print_table, sci, write_csv};
-use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
 use sm_accel::pade::{energy_differences_mev_per_atom, pade3_sign_traced, PadeTraceOptions};
 use sm_accel::PrecisionMode;
+use sm_bench::output::{paper_scale, print_table, sci, write_csv};
+use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
 use sm_chem::WaterBox;
 use sm_core::assembly::{assemble, SubmatrixSpec};
 

@@ -6,10 +6,10 @@
 //! FP16' flatten orders of magnitude higher — which is why involutority,
 //! not energy, is the usable convergence criterion (Sec. VI-A).
 
-use sm_bench::output::{paper_scale, print_table, sci, write_csv};
-use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
 use sm_accel::pade::{pade3_sign_traced, PadeTraceOptions};
 use sm_accel::PrecisionMode;
+use sm_bench::output::{paper_scale, print_table, sci, write_csv};
+use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
 use sm_chem::WaterBox;
 use sm_core::assembly::{assemble, SubmatrixSpec};
 

@@ -8,8 +8,8 @@
 //! algorithm paying a visible overhead on the fast modes and almost none
 //! on FP64.
 
-use sm_bench::output::{fixed, print_table, write_csv};
 use sm_accel::perfmodel::{fpga_row, gpu_table, DeviceModel};
+use sm_bench::output::{fixed, print_table, write_csv};
 
 fn main() {
     let n = 3972;

@@ -48,6 +48,88 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Minimal JSON value for the experiment binaries' machine-readable
+/// output (the workspace has no serde; this covers what the benches emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object constructor from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    // JSON has no NaN/inf; null keeps the document valid.
+                    write!(f, "null")
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Write a JSON document into [`results_dir`] and announce it on stdout —
+/// the standard machine-readable output of the experiment binaries.
+pub fn write_json(name: &str, doc: &Json) {
+    let path = results_dir().join(name);
+    fs::write(&path, format!("{doc}\n")).expect("cannot write JSON file");
+    println!("wrote {}", path.display());
+}
+
 /// Format a float in compact scientific notation for tables.
 pub fn sci(x: f64) -> String {
     format!("{x:.3e}")
@@ -71,6 +153,21 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(sci(1234.5), "1.234e3");
         assert_eq!(fixed(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let doc = Json::obj([
+            ("name", Json::Str("x\"y".into())),
+            ("n", Json::Num(4.0)),
+            ("t", Json::Num(0.125)),
+            ("ok", Json::Bool(true)),
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"x\"y","n":4,"t":0.125,"ok":true,"xs":[1,2]}"#
+        );
     }
 
     #[test]

@@ -109,9 +109,9 @@ impl BasisSet {
     pub fn dzvp() -> Self {
         use AtomSlot::*;
         let mut functions = vec![
-            f(O, 1.00, -1.40, 1.0),  // O 2s ζ1
-            f(O, 1.60, 0.30, 1.0),   // O 2s ζ2 (diffuse, virtual)
-            f(O, 1.15, -0.60, 1.0),  // O 2p ζ1
+            f(O, 1.00, -1.40, 1.0), // O 2s ζ1
+            f(O, 1.60, 0.30, 1.0),  // O 2s ζ2 (diffuse, virtual)
+            f(O, 1.15, -0.60, 1.0), // O 2p ζ1
             f(O, 1.15, -0.60, -1.0),
             f(O, 1.15, -0.55, 1.0),
             f(O, 1.70, 0.10, 1.0), // O 2p ζ2 (diffuse, antibonding-like)
@@ -120,7 +120,12 @@ impl BasisSet {
         ];
         // O d polarization ×5, compact and high-lying.
         for k in 0..5 {
-            functions.push(f(O, 0.95, 0.85 + 0.02 * k as f64, if k % 2 == 0 { 1.0 } else { -1.0 }));
+            functions.push(f(
+                O,
+                0.95,
+                0.85 + 0.02 * k as f64,
+                if k % 2 == 0 { 1.0 } else { -1.0 },
+            ));
         }
         // H shells.
         for slot in [H1, H2] {
@@ -251,8 +256,7 @@ mod tests {
         // molecular diagonalization); DZVP polarization shells must sit
         // well above zero.
         let dz = BasisSet::dzvp();
-        let high: Vec<&BasisFunction> =
-            dz.functions.iter().filter(|f| f.onsite > 0.5).collect();
+        let high: Vec<&BasisFunction> = dz.functions.iter().filter(|f| f.onsite > 0.5).collect();
         assert!(high.len() >= 8, "DZVP needs high-lying polarization shells");
     }
 

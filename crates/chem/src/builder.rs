@@ -119,12 +119,7 @@ pub fn build_system(
 
 /// The `(nbf × nbf)` overlap and Kohn–Sham blocks coupling molecules `i`
 /// and `j` (`i == j` gives the diagonal block).
-fn pair_blocks(
-    water: &WaterBox,
-    basis: &BasisSet,
-    i: usize,
-    j: usize,
-) -> (Matrix, Matrix) {
+fn pair_blocks(water: &WaterBox, basis: &BasisSet, i: usize, j: usize) -> (Matrix, Matrix) {
     let nbf = basis.n_per_molecule();
     let ai = water.molecules[i].atoms();
     let aj = water.molecules[j].atoms();
@@ -147,7 +142,11 @@ fn pair_blocks(
             // Normalize amplitudes by basis size so larger basis sets keep
             // bounded Gershgorin row sums (S stays SPD, bands stay narrow).
             let size_scale = 6.0 / nbf as f64;
-            let (s_amp, t_amp) = if i == j { (S0, T0) } else { (S0_INTER, T0_INTER) };
+            let (s_amp, t_amp) = if i == j {
+                (S0, T0)
+            } else {
+                (S0_INTER, T0_INTER)
+            };
             sb[(a, b)] = s_amp * size_scale * decay;
             kb[(a, b)] = t_amp * size_scale * decay * fa.parity * fb.parity;
         }
@@ -160,8 +159,8 @@ fn pair_blocks(
 pub fn molecular_mu(basis: &BasisSet) -> f64 {
     let water = WaterBox::isolated_molecule();
     let (sb, kb) = pair_blocks(&water, basis, 0, 0);
-    let s_inv_half = sm_linalg::roots::inv_sqrt_eig(&sb)
-        .expect("molecular overlap must be positive definite");
+    let s_inv_half =
+        sm_linalg::roots::inv_sqrt_eig(&sb).expect("molecular overlap must be positive definite");
     let kt = sm_linalg::gemm::matmul(
         &sm_linalg::gemm::matmul(&s_inv_half, &kb).expect("shape"),
         &s_inv_half,
@@ -225,7 +224,11 @@ pub fn neighbor_pairs(water: &WaterBox, rc: f64) -> Vec<(usize, usize)> {
         for i in 0..n {
             pairs.push((i, i));
             for j in (i + 1)..n {
-                if water.cell.distance(water.molecules[i].o, water.molecules[j].o) < rc {
+                if water
+                    .cell
+                    .distance(water.molecules[i].o, water.molecules[j].o)
+                    < rc
+                {
                     pairs.push((i, j));
                 }
             }
@@ -262,7 +265,9 @@ pub fn neighbor_pairs(water: &WaterBox, rc: f64) -> Vec<(usize, usize)> {
                         if j <= i {
                             continue;
                         }
-                        if water.cell.distance(water.molecules[i].o, water.molecules[j].o)
+                        if water
+                            .cell
+                            .distance(water.molecules[i].o, water.molecules[j].o)
                             < rc
                         {
                             pairs.push((i, j));
@@ -282,12 +287,7 @@ pub fn neighbor_pairs(water: &WaterBox, rc: f64) -> Vec<(usize, usize)> {
 /// *orthogonalized* Kohn–Sham matrix (Löwdin fill-in). Pattern-only:
 /// supports the large-system dimension/sparsity studies (paper Figs. 4, 11)
 /// without building matrix values.
-pub fn block_pattern(
-    water: &WaterBox,
-    basis: &BasisSet,
-    eps: f64,
-    fill_factor: f64,
-) -> CooPattern {
+pub fn block_pattern(water: &WaterBox, basis: &BasisSet, eps: f64, fill_factor: f64) -> CooPattern {
     let amp = S0_INTER.abs().max(T0_INTER.abs());
     let decay_floor = (eps / amp).min(0.5);
     let rc = (basis.cutoff_radius(decay_floor) + 2.5) * fill_factor;
@@ -377,7 +377,11 @@ mod tests {
         for i in 0..n {
             brute.push((i, i));
             for j in (i + 1)..n {
-                if water.cell.distance(water.molecules[i].o, water.molecules[j].o) < rc {
+                if water
+                    .cell
+                    .distance(water.molecules[i].o, water.molecules[j].o)
+                    < rc
+                {
                     brute.push((i, j));
                 }
             }

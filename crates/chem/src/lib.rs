@@ -20,7 +20,10 @@
 //! * [`mod@reference`] computes ground-truth density matrices and band-structure
 //!   energies by dense diagonalization;
 //! * [`energy`] evaluates `Tr(D K̃)` and electron counts at block-sparse
-//!   cost.
+//!   cost;
+//! * [`scf`] closes the self-consistency loop with a damped model feedback
+//!   on top of the persistent `SubmatrixEngine`, reusing one cached
+//!   symbolic plan across all iterations.
 //!
 //! What the submatrix method consumes is only the *block sparsity pattern*
 //! (short-ranged, banded, linear-scaling nnz) and a symmetric `K̃` with a
@@ -33,9 +36,11 @@ pub mod energy;
 pub mod geometry;
 pub mod ortho;
 pub mod reference;
+pub mod scf;
 pub mod water;
 
 pub use basis::{BasisKind, BasisSet};
 pub use builder::SystemMatrices;
 pub use geometry::{Cell, Vec3};
+pub use scf::{ScfDriver, ScfOptions, ScfResult};
 pub use water::WaterBox;

@@ -27,4 +27,4 @@ pub use cart::Cart2d;
 pub use comm::{Comm, Payload, ReduceOp, SerialComm};
 pub use model::{ClusterModel, SimClock};
 pub use stats::CommStats;
-pub use thread::{run_ranks, ThreadComm};
+pub use thread::{run_ranks, ThreadComm, COLLECTIVE_BIT};

@@ -165,6 +165,9 @@ mod tests {
     fn latency_dominates_small_messages() {
         let m = ClusterModel::paper_testbed();
         let t_small = m.transfer_time(8.0, 1.0);
-        assert!(t_small > 0.9 * m.latency, "8-byte message should be latency-bound");
+        assert!(
+            t_small > 0.9 * m.latency,
+            "8-byte message should be latency-bound"
+        );
     }
 }

@@ -44,12 +44,18 @@ impl CommStats {
 
     /// Total bytes sent across all ranks.
     pub fn total_bytes(&self) -> u64 {
-        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.bytes_sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total messages sent across all ranks.
     pub fn total_msgs(&self) -> u64 {
-        self.msgs_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.msgs_sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of ranks tracked.

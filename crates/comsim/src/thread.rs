@@ -15,8 +15,9 @@ use crate::comm::{Comm, Payload, ReduceOp};
 use crate::stats::CommStats;
 
 /// Tag bit reserved for internal collective traffic. User tags must keep
-/// this bit clear.
-const COLLECTIVE_BIT: u64 = 1 << 63;
+/// this bit clear; `sm-dbcsr`'s wire module funnels all tagged block
+/// traffic through a checked constructor that enforces this.
+pub const COLLECTIVE_BIT: u64 = 1 << 63;
 
 type Envelope = (usize, u64, Payload);
 
@@ -132,7 +133,11 @@ impl Comm for ThreadComm {
 
     #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
     fn alltoallv(&self, sends: Vec<Payload>) -> Vec<Payload> {
-        assert_eq!(sends.len(), self.size, "alltoallv needs one payload per rank");
+        assert_eq!(
+            sends.len(),
+            self.size,
+            "alltoallv needs one payload per rank"
+        );
         let tag = self.next_collective_tag();
         let mut out: Vec<Option<Payload>> = (0..self.size).map(|_| None).collect();
         for (dst, payload) in sends.into_iter().enumerate() {
@@ -370,7 +375,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let (results, _) = run_ranks(4, |c| {
-            let mut x = if c.rank() == 2 { vec![7.5, -1.0] } else { Vec::new() };
+            let mut x = if c.rank() == 2 {
+                vec![7.5, -1.0]
+            } else {
+                Vec::new()
+            };
             c.broadcast_f64(2, &mut x);
             x
         });
@@ -398,7 +407,11 @@ mod tests {
             c.recv(c.rank(), 5).into_u64()[0]
         });
         assert_eq!(results, vec![42, 42]);
-        assert_eq!(stats.total_bytes(), 0, "self-sends must not count as traffic");
+        assert_eq!(
+            stats.total_bytes(),
+            0,
+            "self-sends must not count as traffic"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl SubmatrixSpec {
     /// from the pattern (every orthogonalized Kohn–Sham matrix has nonzero
     /// diagonal blocks).
     pub fn build(pattern: &CooPattern, dims: &BlockedDims, cols: &[usize]) -> Self {
-        assert!(!cols.is_empty(), "submatrix needs at least one block column");
+        assert!(
+            !cols.is_empty(),
+            "submatrix needs at least one block column"
+        );
         let mut cols = cols.to_vec();
         cols.sort_unstable();
         cols.dedup();
@@ -217,7 +220,10 @@ mod tests {
                 coords.push((i + 1, i));
             }
         }
-        (CooPattern::from_coords(coords, 4), BlockedDims::uniform(4, 2))
+        (
+            CooPattern::from_coords(coords, 4),
+            BlockedDims::uniform(4, 2),
+        )
     }
 
     #[test]
@@ -257,15 +263,7 @@ mod tests {
         let s = SubmatrixSpec::build(&p, &d, &[1]);
         let req = s.required_blocks(&p);
         // Principal submatrix on {0,1,2}: tridiagonal coupling inside.
-        let expect = vec![
-            (0, 0),
-            (1, 0),
-            (0, 1),
-            (1, 1),
-            (2, 1),
-            (1, 2),
-            (2, 2),
-        ];
+        let expect = vec![(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (1, 2), (2, 2)];
         let mut req_sorted = req.clone();
         req_sorted.sort_unstable();
         let mut expect_sorted = expect;
@@ -370,7 +368,10 @@ mod selected_column_extraction_tests {
                 coords.push((i + 1, i));
             }
         }
-        (CooPattern::from_coords(coords, 4), BlockedDims::uniform(4, 2))
+        (
+            CooPattern::from_coords(coords, 4),
+            BlockedDims::uniform(4, 2),
+        )
     }
 
     #[test]
@@ -393,7 +394,10 @@ mod selected_column_extraction_tests {
         let from_cols = extract_result_from_columns(&spec, &p, &d, &cols_mat);
         assert_eq!(full.len(), from_cols.len());
         for (coord, blk) in &full {
-            assert!(from_cols[coord].allclose(blk, 0.0), "block {coord:?} differs");
+            assert!(
+                from_cols[coord].allclose(blk, 0.0),
+                "block {coord:?} differs"
+            );
         }
     }
 

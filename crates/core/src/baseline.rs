@@ -262,7 +262,10 @@ mod tests {
         let dd = d.to_dense(&comm);
         let eigs = sm_linalg::eigh::eigvalsh(&dd).unwrap();
         for e in eigs {
-            assert!((-1e-5..=1.0 + 1e-5).contains(&e), "eigenvalue {e} outside [0,1]");
+            assert!(
+                (-1e-5..=1.0 + 1e-5).contains(&e),
+                "eigenvalue {e} outside [0,1]"
+            );
         }
         // Half the states occupied for the symmetric spectrum.
         assert!((dd.trace() - 8.0).abs() < 1e-4);

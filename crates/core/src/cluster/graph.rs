@@ -395,8 +395,7 @@ mod tests {
     #[test]
     fn partition_is_balanced() {
         // Ring of 64 vertices into 4 parts: each part 14..=18 vertices.
-        let edges: Vec<(usize, usize, f64)> =
-            (0..64).map(|i| (i, (i + 1) % 64, 1.0)).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..64).map(|i| (i, (i + 1) % 64, 1.0)).collect();
         let g = Graph::from_edges(64, &edges, vec![1.0; 64]);
         let part = partition_kway(&g, 4, &PartitionOptions::default());
         let mut counts = [0usize; 4];

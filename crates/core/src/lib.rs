@@ -23,8 +23,13 @@
 //!   grand-canonical, canonical and finite-temperature modes (Sec. IV-F/G);
 //! * [`mu`] — Algorithm 1: canonical µ adjustment on stored
 //!   eigendecompositions without re-diagonalizing;
-//! * [`method`] — the end-to-end drivers producing the density matrix of
-//!   Eq. 16 on serial, thread-distributed and modeled executions;
+//! * [`engine`] — the persistent [`SubmatrixEngine`]: one-time symbolic
+//!   phase (plan, load balance, transfer plan, assembly/extraction index
+//!   maps) cached by pattern fingerprint, replayed by a numeric-only
+//!   execute — the amortization that SCF/MD loops and the `sm-pipeline`
+//!   batch executor build on;
+//! * [`method`] — one-shot compatibility drivers producing the density
+//!   matrix of Eq. 16, now thin wrappers over the engine;
 //! * [`baseline`] — the comparator: 2nd-order Newton–Schulz purification on
 //!   the distributed sparse matrix, plus sparse Löwdin orthogonalization;
 //! * [`model`] — analytic cluster-time accounting for the scaling studies
@@ -33,6 +38,7 @@
 pub mod assembly;
 pub mod baseline;
 pub mod cluster;
+pub mod engine;
 pub mod loadbalance;
 pub mod method;
 pub mod model;
@@ -43,6 +49,9 @@ pub mod split;
 pub mod transfers;
 
 pub use assembly::SubmatrixSpec;
+pub use engine::{
+    EngineOptions, EngineReport, EngineStats, ExecutionPlan, NumericOptions, SubmatrixEngine,
+};
 pub use method::{submatrix_density, submatrix_sign, SubmatrixOptions, SubmatrixReport};
 pub use plan::SubmatrixPlan;
 pub use solver::SignMethod;

@@ -171,7 +171,11 @@ mod tests {
         // 2x of perfect balance.
         let costs: Vec<f64> = (0..64).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
         let a = greedy_contiguous(&costs, 8);
-        assert!(a.imbalance(&costs) < 2.0, "imbalance {}", a.imbalance(&costs));
+        assert!(
+            a.imbalance(&costs) < 2.0,
+            "imbalance {}",
+            a.imbalance(&costs)
+        );
     }
 
     #[test]

@@ -1,66 +1,23 @@
-//! End-to-end submatrix-method drivers.
+//! One-shot submatrix-method drivers.
 //!
-//! Ties the pieces together exactly as paper Sec. IV describes the CP2K
-//! implementation:
-//!
-//! 1. build the deterministic global COO view of the sparsity pattern;
-//! 2. group block columns into submatrices and map them to ranks with the
-//!    greedy `n³` load balancer;
-//! 3. exchange all required blocks **once** (deduplicated) so assembly
-//!    becomes purely local;
-//! 4. assemble and solve every local submatrix (Rayon-parallel — the
-//!    shared-memory parallelism of Sec. IV-D);
-//! 5. for canonical ensembles, bisect µ on the stored eigendecompositions
-//!    (Algorithm 1) before extracting results;
-//! 6. scatter result columns back to their owning ranks, preserving the
-//!    input sparsity pattern.
+//! These are thin compatibility wrappers over the persistent
+//! [`SubmatrixEngine`](crate::engine::SubmatrixEngine): each call builds a
+//! fresh engine, runs the symbolic phase (pattern → plan → load balance →
+//! deduplicated transfers → index maps) and one numeric phase, and maps
+//! the engine report onto the historical [`SubmatrixReport`] shape. Callers
+//! that evaluate the same sparsity pattern repeatedly (SCF/MD loops,
+//! batched services) should hold a [`SubmatrixEngine`] — or the
+//! `sm-pipeline` facade on top of it — so the symbolic phase is paid once
+//! and amortized across iterations; see `ablation_plan_reuse` for the
+//! measured gap.
 
-use std::collections::BTreeMap;
-use std::time::Instant;
+use sm_comsim::Comm;
+use sm_dbcsr::{ops, DbcsrMatrix};
 
-use rayon::prelude::*;
-
-use sm_comsim::{Comm, Payload};
-use sm_dbcsr::matrix::{pack_blocks, unpack_blocks};
-use sm_dbcsr::ops;
-use sm_dbcsr::DbcsrMatrix;
-use sm_linalg::Matrix;
-
-use crate::assembly::{assemble, extract_result};
-use crate::loadbalance::greedy_contiguous;
-use crate::mu::{adjust_mu, StoredDecomposition};
-use crate::plan::SubmatrixPlan;
-use crate::solver::{sign_from_decomposition, solve_sign, SignMethod, SolveOptions};
-use crate::transfers::{RankTransferPlan, TransferStats};
-
-/// How block columns are grouped into submatrices.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Grouping {
-    /// One submatrix per block column (the method's default).
-    OnePerColumn,
-    /// Combine runs of this many consecutive block columns (the
-    /// evaluation's greedy heuristic).
-    Consecutive(usize),
-    /// Explicit column groups (from the clustering heuristics).
-    Explicit(Vec<Vec<usize>>),
-}
-
-/// Statistical ensemble of the density-matrix computation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Ensemble {
-    /// Fixed chemical potential (paper's evaluation mode, Sec. V).
-    GrandCanonical,
-    /// Fixed electron count: µ adjusted by Algorithm 1. Requires the
-    /// diagonalization solver.
-    Canonical {
-        /// Target electron count (closed shell: 2 per occupied orbital).
-        n_electrons: f64,
-        /// Electron-count tolerance.
-        tol: f64,
-        /// Bisection budget.
-        max_iter: usize,
-    },
-}
+use crate::engine::{EngineOptions, NumericOptions, SubmatrixEngine};
+pub use crate::engine::{Ensemble, Grouping};
+pub use crate::solver::{SignMethod, SolveOptions};
+use crate::transfers::TransferStats;
 
 /// Driver options.
 #[derive(Debug, Clone)]
@@ -71,7 +28,7 @@ pub struct SubmatrixOptions {
     pub solve: SolveOptions,
     /// Ensemble handling.
     pub ensemble: Ensemble,
-    /// Solve local submatrices in parallel with Rayon.
+    /// Solve local submatrices in parallel with the shared pool.
     pub parallel: bool,
     /// Compute only the *contributing* columns of each submatrix's sign
     /// function instead of the full back-transform (the paper's future-work
@@ -90,6 +47,23 @@ impl Default for SubmatrixOptions {
             parallel: true,
             use_selected_columns: false,
         }
+    }
+}
+
+impl SubmatrixOptions {
+    /// Split into the engine's symbolic/numeric halves.
+    pub fn phases(&self) -> (EngineOptions, NumericOptions) {
+        (
+            EngineOptions {
+                grouping: self.grouping.clone(),
+                parallel: self.parallel,
+            },
+            NumericOptions {
+                solve: self.solve,
+                ensemble: self.ensemble,
+                use_selected_columns: self.use_selected_columns,
+            },
+        )
     }
 }
 
@@ -128,217 +102,22 @@ pub fn submatrix_sign<C: Comm>(
     opts: &SubmatrixOptions,
     comm: &C,
 ) -> (DbcsrMatrix, SubmatrixReport) {
-    let t0 = Instant::now();
-    let dims = k_tilde.dims().clone();
-    let pattern = k_tilde.global_pattern(comm);
-
-    let plan = match &opts.grouping {
-        Grouping::OnePerColumn => SubmatrixPlan::one_per_column(&pattern, &dims),
-        Grouping::Consecutive(g) => SubmatrixPlan::consecutive(&pattern, &dims, *g),
-        Grouping::Explicit(groups) => SubmatrixPlan::from_groups(&pattern, &dims, groups),
-    };
-    let costs: Vec<f64> = plan.specs.iter().map(|s| s.cost()).collect();
-    let assignment = greedy_contiguous(&costs, comm.size());
-    let my_range = assignment.ranges[comm.rank()].clone();
-    let my_specs: Vec<&crate::assembly::SubmatrixSpec> =
-        plan.specs[my_range.clone()].iter().collect();
-
-    // Deduplicated block exchange (Sec. IV-B): fetch every remote block my
-    // submatrices need, exactly once.
-    let transfer_plan = RankTransferPlan::for_specs(&my_specs, &pattern);
-    let mut stats = TransferStats::default();
-    stats.add_rank(&transfer_plan, &dims);
-    let remote_wanted: Vec<(usize, usize)> = transfer_plan
-        .unique_blocks
-        .iter()
-        .copied()
-        .filter(|&(br, bc)| k_tilde.owner(br, bc) != comm.rank())
-        .collect();
-    let fetched = ops::fetch_blocks(k_tilde, &remote_wanted, comm);
-    let block_of = |br: usize, bc: usize| -> Option<&Matrix> {
-        k_tilde.block(br, bc).or_else(|| fetched.get(&(br, bc)))
-    };
-    let init_seconds = t0.elapsed().as_secs_f64();
-
-    // Assemble + solve.
-    let t1 = Instant::now();
-
-    // Fast path: selected-columns evaluation (paper Sec. VII future work).
-    // Diagonalize, then back-transform only the contributing columns and
-    // extract directly — the full sign matrix is never materialized.
-    if opts.use_selected_columns {
-        assert_eq!(
-            opts.solve.method,
-            SignMethod::Diagonalization,
-            "selected-columns evaluation requires the diagonalization solver"
-        );
-        assert!(
-            matches!(opts.ensemble, Ensemble::GrandCanonical),
-            "selected-columns evaluation supports grand-canonical runs only"
-        );
-        let solve_one = |spec: &&crate::assembly::SubmatrixSpec| {
-            let a = assemble(spec, &pattern, &dims, block_of);
-            let dec = sm_linalg::eigh::eigh(&a)
-                .unwrap_or_else(|e| panic!("submatrix eigendecomposition failed: {e}"));
-            let contributing = crate::mu::contributing_rows(spec, &dims);
-            let cols_mat = crate::solver::sign_columns_from_decomposition(
-                &dec,
-                mu0,
-                opts.solve.kt,
-                &contributing,
-            );
-            crate::assembly::extract_result_from_columns(spec, &pattern, &dims, &cols_mat)
-        };
-        let extracted: Vec<BTreeMap<(usize, usize), Matrix>> = if opts.parallel {
-            my_specs.par_iter().map(solve_one).collect()
-        } else {
-            my_specs.iter().map(solve_one).collect()
-        };
-        let solve_seconds = t1.elapsed().as_secs_f64();
-
-        let t2 = Instant::now();
-        let result = scatter_results(
-            extracted.into_iter().flatten(),
-            &dims,
-            comm,
-        );
-        let writeback_seconds = t2.elapsed().as_secs_f64();
-        let report = SubmatrixReport {
-            n_submatrices: plan.len(),
-            max_dim: plan.max_dim(),
-            avg_dim: plan.avg_dim(),
-            total_cost: plan.total_cost(),
-            transfers: stats,
-            mu: mu0,
-            bisect_iterations: 0,
-            init_seconds,
-            solve_seconds,
-            writeback_seconds,
-        };
-        return (result, report);
-    }
-
-    let solve_one = |spec: &&crate::assembly::SubmatrixSpec| {
-        let a = assemble(spec, &pattern, &dims, block_of);
-        solve_sign(&a, mu0, &opts.solve)
-            .unwrap_or_else(|e| panic!("submatrix solve failed: {e}"))
-    };
-    let results: Vec<crate::solver::SolveResult> = if opts.parallel {
-        my_specs.par_iter().map(solve_one).collect()
-    } else {
-        my_specs.iter().map(solve_one).collect()
-    };
-
-    // Canonical ensemble: Algorithm 1 on the stored decompositions, then
-    // re-evaluate the sign at the adjusted µ (collective).
-    let (mu, bisect_iterations, signs) = match opts.ensemble {
-        Ensemble::GrandCanonical => {
-            let signs: Vec<Matrix> = results.into_iter().map(|r| r.sign).collect();
-            (mu0, 0, signs)
-        }
-        Ensemble::Canonical {
-            n_electrons,
-            tol,
-            max_iter,
-        } => {
-            assert_eq!(
-                opts.solve.method,
-                SignMethod::Diagonalization,
-                "canonical ensembles require the diagonalization solver (Sec. IV-G)"
-            );
-            let stored: Vec<StoredDecomposition> = my_specs
-                .iter()
-                .zip(&results)
-                .map(|(spec, r)| {
-                    StoredDecomposition::from_eigh(
-                        r.decomposition.as_ref().expect("diagonalization stores Q"),
-                        spec,
-                        &dims,
-                    )
-                })
-                .collect();
-            let adj = adjust_mu(
-                &stored,
-                mu0,
-                n_electrons / 2.0,
-                opts.solve.kt,
-                tol / 2.0,
-                max_iter,
-                comm,
-            );
-            let signs: Vec<Matrix> = results
-                .iter()
-                .map(|r| {
-                    sign_from_decomposition(
-                        r.decomposition.as_ref().expect("diagonalization stores Q"),
-                        adj.mu,
-                        opts.solve.kt,
-                    )
-                })
-                .collect();
-            (adj.mu, adj.iterations, signs)
-        }
-    };
-    let solve_seconds = t1.elapsed().as_secs_f64();
-
-    // Extract and scatter results to their owners.
-    let t2 = Instant::now();
-    let extracted = my_specs
-        .iter()
-        .zip(&signs)
-        .flat_map(|(spec, sign)| extract_result(spec, &pattern, &dims, sign));
-    let result = scatter_results(extracted, &dims, comm);
-    let writeback_seconds = t2.elapsed().as_secs_f64();
-
+    let (symbolic, numeric) = opts.phases();
+    let engine = SubmatrixEngine::new(symbolic);
+    let (result, r) = engine.sign(k_tilde, mu0, &numeric, comm);
     let report = SubmatrixReport {
-        n_submatrices: plan.len(),
-        max_dim: plan.max_dim(),
-        avg_dim: plan.avg_dim(),
-        total_cost: plan.total_cost(),
-        transfers: stats,
-        mu,
-        bisect_iterations,
-        init_seconds,
-        solve_seconds,
-        writeback_seconds,
+        n_submatrices: r.n_submatrices,
+        max_dim: r.max_dim,
+        avg_dim: r.avg_dim,
+        total_cost: r.total_cost,
+        transfers: r.transfers,
+        mu: r.mu,
+        bisect_iterations: r.bisect_iterations,
+        init_seconds: r.symbolic_seconds + r.gather_seconds,
+        solve_seconds: r.solve_seconds,
+        writeback_seconds: r.scatter_seconds,
     };
     (result, report)
-}
-
-/// Route extracted result blocks to their owning ranks (collective) and
-/// build the result matrix.
-fn scatter_results<C: Comm>(
-    extracted: impl Iterator<Item = ((usize, usize), Matrix)>,
-    dims: &sm_dbcsr::BlockedDims,
-    comm: &C,
-) -> DbcsrMatrix {
-    let mut outgoing: Vec<BTreeMap<(usize, usize), Matrix>> =
-        (0..comm.size()).map(|_| BTreeMap::new()).collect();
-    let mut result = DbcsrMatrix::new(dims.clone(), comm.rank(), comm.size());
-    for (coord, blk) in extracted {
-        let owner = result.owner(coord.0, coord.1);
-        if owner == comm.rank() {
-            result.insert_block(coord.0, coord.1, blk);
-        } else {
-            outgoing[owner].insert(coord, blk);
-        }
-    }
-    let metas: Vec<Payload> = outgoing
-        .iter()
-        .map(|m| Payload::U64(pack_blocks(m.iter()).0))
-        .collect();
-    let datas: Vec<Payload> = outgoing
-        .iter()
-        .map(|m| Payload::F64(pack_blocks(m.iter()).1))
-        .collect();
-    let metas_in = comm.alltoallv(metas);
-    let datas_in = comm.alltoallv(datas);
-    for (meta, data) in metas_in.into_iter().zip(datas_in) {
-        for (coord, blk) in unpack_blocks(dims, &meta.into_u64(), &data.into_f64()) {
-            result.insert_block(coord.0, coord.1, blk);
-        }
-    }
-    result
 }
 
 /// Compute the density matrix `D̃ = (I − sign(K̃ − µI)) / 2` (Eq. 16's
@@ -361,6 +140,7 @@ mod tests {
     use sm_comsim::{run_ranks, SerialComm};
     use sm_dbcsr::BlockedDims;
     use sm_linalg::sign::sign_eig;
+    use sm_linalg::Matrix;
 
     /// Block-diagonal symmetric matrix: the submatrix method is exact.
     fn block_diagonal(nb: usize, bs: usize) -> (Matrix, BlockedDims) {
@@ -622,7 +402,10 @@ mod tests {
         )
         .0
         .to_dense(&comm);
-        assert!(par.allclose(&seq, 0.0), "parallelism must not change results");
+        assert!(
+            par.allclose(&seq, 0.0),
+            "parallelism must not change results"
+        );
     }
 }
 
@@ -631,6 +414,7 @@ mod selected_columns_tests {
     use super::*;
     use sm_comsim::{run_ranks, SerialComm};
     use sm_dbcsr::BlockedDims;
+    use sm_linalg::Matrix;
 
     fn banded_gapped(nb: usize, bs: usize) -> (Matrix, BlockedDims) {
         let dims = BlockedDims::uniform(nb, bs);

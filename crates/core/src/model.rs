@@ -88,8 +88,8 @@ pub fn model_submatrix_run(
                     .sum::<f64>()
             })
             .sum();
-        max_writeback = max_writeback
-            .max(cluster.transfer_time(result_bytes * remote_fraction, msgs));
+        max_writeback =
+            max_writeback.max(cluster.transfer_time(result_bytes * remote_fraction, msgs));
     }
 
     ModeledTime {
@@ -155,8 +155,7 @@ pub fn model_newton_schulz_run(
     let mult_flops = sparse_multiply_flops(pattern, block_size, fill);
     // Two multiplies per iteration; work split over all cores (ranks ×
     // threads), at the sparse (memory-bound) rate.
-    let per_iter_compute =
-        cluster.sparse_compute_time(2.0 * mult_flops / n_cores as f64);
+    let per_iter_compute = cluster.sparse_compute_time(2.0 * mult_flops / n_cores as f64);
 
     // Cannon shifts: per multiply, (q−1) shift steps each moving this
     // rank's tile of A and B through the node-shared NIC.
@@ -172,8 +171,7 @@ pub fn model_newton_schulz_run(
     let shift_bandwidth_penalty = ranks_per_node.min(ranks as f64);
     let per_iter_comm = 2.0
         * (q - 1.0)
-        * (cluster.latency * 2.0
-            + shift_bandwidth_penalty * 2.0 * tile_bytes / cluster.bandwidth);
+        * (cluster.latency * 2.0 + shift_bandwidth_penalty * 2.0 * tile_bytes / cluster.bandwidth);
 
     // Index processing: q steps per multiply, each touching every block of
     // the local A and B tiles.
@@ -198,7 +196,10 @@ mod tests {
                 coords.push((i, j));
             }
         }
-        (CooPattern::from_coords(coords, nb), BlockedDims::uniform(nb, 6))
+        (
+            CooPattern::from_coords(coords, nb),
+            BlockedDims::uniform(nb, 6),
+        )
     }
 
     #[test]

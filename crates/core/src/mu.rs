@@ -238,7 +238,11 @@ mod tests {
         let comm = SerialComm::new();
         // Demand exactly 3 occupied orbitals.
         let adj = adjust_mu(&stored, 0.0, 3.0, 0.0, 1e-10, 200, &comm);
-        assert!(adj.occupancy_error.abs() < 1e-6, "err {}", adj.occupancy_error);
+        assert!(
+            adj.occupancy_error.abs() < 1e-6,
+            "err {}",
+            adj.occupancy_error
+        );
         // µ must lie between the 3rd and 4th eigenvalues.
         assert!(adj.mu > dec.eigenvalues[2] && adj.mu < dec.eigenvalues[3]);
     }

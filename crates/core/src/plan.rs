@@ -51,11 +51,7 @@ impl SubmatrixPlan {
     ///
     /// # Panics
     /// Panics if the groups do not partition `0..nb`.
-    pub fn from_groups(
-        pattern: &CooPattern,
-        dims: &BlockedDims,
-        groups: &[Vec<usize>],
-    ) -> Self {
+    pub fn from_groups(pattern: &CooPattern, dims: &BlockedDims, groups: &[Vec<usize>]) -> Self {
         let mut seen = vec![false; pattern.nb()];
         for g in groups {
             for &c in g {
@@ -143,8 +139,7 @@ pub fn split_submatrix(a: &Matrix, target_cols: &[usize], eps: f64) -> Vec<SubSu
         .iter()
         .map(|&c| {
             assert!(c < n);
-            let mut indices: Vec<usize> =
-                (0..n).filter(|&r| a[(r, c)].abs() > eps).collect();
+            let mut indices: Vec<usize> = (0..n).filter(|&r| a[(r, c)].abs() > eps).collect();
             if indices.binary_search(&c).is_err() {
                 // The diagonal must be part of the principal set.
                 indices.push(c);
@@ -201,8 +196,7 @@ mod tests {
     fn from_groups_partition_validation() {
         let p = banded_pattern(4, 1);
         let d = BlockedDims::uniform(4, 2);
-        let plan =
-            SubmatrixPlan::from_groups(&p, &d, &[vec![0, 1], vec![2, 3]]);
+        let plan = SubmatrixPlan::from_groups(&p, &d, &[vec![0, 1], vec![2, 3]]);
         assert_eq!(plan.len(), 2);
     }
 

@@ -8,9 +8,7 @@
 
 use sm_linalg::eigh::{eigh, Eigh};
 use sm_linalg::fermi::smeared_sign;
-use sm_linalg::sign::{
-    extended_signum, sign_iteration, SignIterationOptions,
-};
+use sm_linalg::sign::{extended_signum, sign_iteration, SignIterationOptions};
 use sm_linalg::{LinalgError, Matrix};
 
 /// How to evaluate `sign(a − µI)` on a dense submatrix.
@@ -72,11 +70,7 @@ pub struct SolveResult {
 }
 
 /// Evaluate `sign(a − µI)` on one dense symmetric submatrix.
-pub fn solve_sign(
-    a: &Matrix,
-    mu: f64,
-    opts: &SolveOptions,
-) -> Result<SolveResult, LinalgError> {
+pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResult, LinalgError> {
     match opts.method {
         SignMethod::Diagonalization => {
             let dec = eigh(a)?;
@@ -170,12 +164,7 @@ pub fn sign_from_decomposition(dec: &Eigh, mu: f64, kt: f64) -> Matrix {
 ///
 /// Returns an `n × cols.len()` matrix whose `j`-th column is column
 /// `cols[j]` of the sign matrix.
-pub fn sign_columns_from_decomposition(
-    dec: &Eigh,
-    mu: f64,
-    kt: f64,
-    cols: &[usize],
-) -> Matrix {
+pub fn sign_columns_from_decomposition(dec: &Eigh, mu: f64, kt: f64, cols: &[usize]) -> Matrix {
     let n = dec.eigenvalues.len();
     let k = cols.len();
     let f: Vec<f64> = dec
@@ -249,7 +238,11 @@ mod tests {
         let a = gapped(10, -0.2);
         let mu = -0.2;
         let reference = solve_sign(&a, mu, &SolveOptions::default()).unwrap();
-        for method in [SignMethod::NewtonSchulz, SignMethod::Pade(3), SignMethod::Pade(5)] {
+        for method in [
+            SignMethod::NewtonSchulz,
+            SignMethod::Pade(3),
+            SignMethod::Pade(5),
+        ] {
             let opts = SolveOptions {
                 method,
                 ..SolveOptions::default()
@@ -333,7 +326,11 @@ mod selected_column_tests {
     fn gapped(n: usize) -> Matrix {
         let mut a = Matrix::from_fn(n, n, |i, j| {
             if i == j {
-                if i % 2 == 0 { 1.4 } else { -1.4 }
+                if i % 2 == 0 {
+                    1.4
+                } else {
+                    -1.4
+                }
             } else {
                 0.15 / (1.0 + (i as f64 - j as f64).abs())
             }
@@ -396,7 +393,11 @@ mod element_sparse_tests {
     fn banded(n: usize) -> Matrix {
         let mut a = Matrix::from_fn(n, n, |i, j| {
             if i == j {
-                if i % 2 == 0 { 1.2 } else { -1.2 }
+                if i % 2 == 0 {
+                    1.2
+                } else {
+                    -1.2
+                }
             } else if (i as isize - j as isize).unsigned_abs() <= 2 {
                 0.07 / (1.0 + (i as f64 - j as f64).abs())
             } else {
@@ -412,7 +413,10 @@ mod element_sparse_tests {
         let a = banded(14);
         let reference = solve_sign(&a, 0.0, &SolveOptions::default()).unwrap();
         let opts = SolveOptions {
-            method: SignMethod::ElementSparse { order: 2, eps: 1e-12 },
+            method: SignMethod::ElementSparse {
+                order: 2,
+                eps: 1e-12,
+            },
             tol: 1e-9,
             ..SolveOptions::default()
         };
@@ -431,7 +435,10 @@ mod element_sparse_tests {
         let a = banded(10);
         let reference = solve_sign(&a, 0.1, &SolveOptions::default()).unwrap();
         let opts = SolveOptions {
-            method: SignMethod::ElementSparse { order: 3, eps: 1e-12 },
+            method: SignMethod::ElementSparse {
+                order: 3,
+                eps: 1e-12,
+            },
             tol: 1e-9,
             ..SolveOptions::default()
         };
@@ -444,7 +451,10 @@ mod element_sparse_tests {
     fn element_sparse_rejects_finite_t() {
         let a = banded(6);
         let opts = SolveOptions {
-            method: SignMethod::ElementSparse { order: 2, eps: 1e-10 },
+            method: SignMethod::ElementSparse {
+                order: 2,
+                eps: 1e-10,
+            },
             kt: 0.1,
             ..SolveOptions::default()
         };

@@ -98,8 +98,7 @@ mod tests {
     fn split_solve_exact_on_decoupled_blocks() {
         let a = block_diag_two(4, 5);
         let targets = [0usize, 5, 8];
-        let r =
-            solve_sign_via_split(&a, 0.0, &targets, 1e-14, &SolveOptions::default()).unwrap();
+        let r = solve_sign_via_split(&a, 0.0, &targets, 1e-14, &SolveOptions::default()).unwrap();
         let full = sign_eig(&a).unwrap();
         for (j, &c) in targets.iter().enumerate() {
             for i in 0..9 {
@@ -136,8 +135,7 @@ mod tests {
         });
         a.symmetrize();
         let targets: Vec<usize> = (0..n).collect();
-        let r =
-            solve_sign_via_split(&a, 0.0, &targets, 1e-12, &SolveOptions::default()).unwrap();
+        let r = solve_sign_via_split(&a, 0.0, &targets, 1e-12, &SolveOptions::default()).unwrap();
         let full = sign_eig(&a).unwrap();
         let mut worst = 0.0f64;
         for (j, &c) in targets.iter().enumerate() {
@@ -164,8 +162,7 @@ mod tests {
         });
         a.symmetrize();
         let targets: Vec<usize> = (0..n).collect();
-        let r =
-            solve_sign_via_split(&a, 0.0, &targets, 1e-12, &SolveOptions::default()).unwrap();
+        let r = solve_sign_via_split(&a, 0.0, &targets, 1e-12, &SolveOptions::default()).unwrap();
         assert!(
             r.total_cost < (n as f64).powi(3),
             "splitting should beat one n³ solve for banded input: {} vs {}",

@@ -80,8 +80,7 @@ impl TransferStats {
         self.unique_blocks += plan.unique_blocks.len() as u64;
         self.total_references += plan.total_references as u64;
         if !plan.unique_blocks.is_empty() {
-            let avg_block_bytes =
-                plan.unique_bytes(dims) as f64 / plan.unique_blocks.len() as f64;
+            let avg_block_bytes = plan.unique_bytes(dims) as f64 / plan.unique_blocks.len() as f64;
             self.naive_bytes += (avg_block_bytes * plan.total_references as f64) as u64;
         }
     }
@@ -107,7 +106,10 @@ mod tests {
                 coords.push((i, j));
             }
         }
-        (CooPattern::from_coords(coords, nb), BlockedDims::uniform(nb, 2))
+        (
+            CooPattern::from_coords(coords, nb),
+            BlockedDims::uniform(nb, 2),
+        )
     }
 
     #[test]

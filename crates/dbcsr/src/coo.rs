@@ -26,7 +26,10 @@ impl CooPattern {
     /// Duplicates are merged. `nb` is the number of block rows/columns.
     pub fn from_coords(mut coords: Vec<(usize, usize)>, nb: usize) -> Self {
         for &(r, c) in &coords {
-            assert!(r < nb && c < nb, "block coordinate ({r},{c}) outside {nb}x{nb} grid");
+            assert!(
+                r < nb && c < nb,
+                "block coordinate ({r},{c}) outside {nb}x{nb} grid"
+            );
         }
         coords.sort_by_key(|&(r, c)| (c, r));
         coords.dedup();
@@ -91,10 +94,7 @@ impl CooPattern {
     /// index set of a *combined* submatrix built from multiple block
     /// columns (paper Sec. IV-C2).
     pub fn rows_in_cols(&self, cols: &[usize]) -> Vec<usize> {
-        let mut rows: Vec<usize> = cols
-            .iter()
-            .flat_map(|&c| self.rows_in_col(c))
-            .collect();
+        let mut rows: Vec<usize> = cols.iter().flat_map(|&c| self.rows_in_col(c)).collect();
         rows.sort_unstable();
         rows.dedup();
         rows
@@ -114,6 +114,17 @@ impl CooPattern {
             .iter()
             .all(|&(r, c)| self.id_of(c, r).is_some())
     }
+
+    /// Fingerprint of this pattern under the given partition. Agrees with
+    /// [`crate::matrix::DbcsrMatrix::pattern_fingerprint`] of any
+    /// distribution of the same pattern.
+    pub fn fingerprint(&self, dims: &crate::dims::BlockedDims) -> crate::wire::PatternFingerprint {
+        let mut acc = crate::wire::FingerprintAccumulator::default();
+        for &(r, c) in &self.entries {
+            acc.add_block(r, c);
+        }
+        acc.finish(dims)
+    }
 }
 
 #[cfg(test)]
@@ -131,10 +142,7 @@ mod tests {
     #[test]
     fn sorted_by_col_then_row() {
         let p = sample();
-        assert_eq!(
-            p.entries(),
-            &[(0, 0), (1, 0), (1, 1), (0, 2), (2, 2)]
-        );
+        assert_eq!(p.entries(), &[(0, 0), (1, 0), (1, 1), (0, 2), (2, 2)]);
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod matrix;
 pub mod multiply;
 pub mod ops;
 pub mod pattern;
+pub mod wire;
 
 pub use coo::CooPattern;
 pub use dims::BlockedDims;
 pub use local::BlockStore;
-pub use matrix::DbcsrMatrix;
+pub use matrix::{process_grid, DbcsrMatrix};
+pub use wire::PatternFingerprint;

@@ -9,17 +9,23 @@ use sm_linalg::Matrix;
 
 use crate::coo::CooPattern;
 use crate::dims::BlockedDims;
-use crate::local::{BlockCoord, BlockStore};
+use crate::local::BlockStore;
 
-/// Integer square root; the process grid must be a perfect square.
-fn grid_side(comm_size: usize) -> usize {
+/// The process grid for a communicator of `comm_size` ranks — the single
+/// source of the block→rank distribution policy. Everything that maps
+/// blocks to owners (matrices, the submatrix engine's transfer planning)
+/// must derive its grid from here so the mapping cannot drift.
+///
+/// # Panics
+/// Panics unless `comm_size` is a perfect square (DBCSR-style grids).
+pub fn process_grid(comm_size: usize) -> Cart2d {
     let q = (comm_size as f64).sqrt().round() as usize;
     assert_eq!(
         q * q,
         comm_size,
         "DBCSR process grid requires a square rank count, got {comm_size}"
     );
-    q
+    Cart2d::new(q, q)
 }
 
 /// SPMD handle to a distributed block-sparse matrix.
@@ -39,11 +45,11 @@ impl DbcsrMatrix {
     /// Create an empty (all-zero) matrix for `rank` in a communicator of
     /// `comm_size` ranks. `comm_size` must be a perfect square.
     pub fn new(dims: BlockedDims, rank: usize, comm_size: usize) -> Self {
-        let q = grid_side(comm_size);
+        let grid = process_grid(comm_size);
         assert!(rank < comm_size, "rank {rank} outside communicator");
         DbcsrMatrix {
             dims,
-            grid: Cart2d::new(q, q),
+            grid,
             rank,
             store: BlockStore::new(),
         }
@@ -200,53 +206,27 @@ impl DbcsrMatrix {
     pub fn local_nnz_blocks(&self) -> usize {
         self.store.len()
     }
+
+    /// Order- and distribution-independent fingerprint of the global block
+    /// sparsity pattern plus partition (collective). Costs one hash pass
+    /// over the *local* blocks and a 5-word allreduce — no allgather of the
+    /// pattern — so it is cheap enough to run on every numeric-phase call.
+    /// Matches [`crate::coo::CooPattern::fingerprint`] of the global
+    /// pattern with the same partition.
+    pub fn pattern_fingerprint<C: Comm>(&self, comm: &C) -> crate::wire::PatternFingerprint {
+        let mut acc = crate::wire::FingerprintAccumulator::default();
+        for (&(br, bc), _) in self.store.iter() {
+            acc.add_block(br, bc);
+        }
+        let mut buf = acc.to_reduction();
+        comm.allreduce_f64(sm_comsim::ReduceOp::Sum, &mut buf);
+        crate::wire::FingerprintAccumulator::from_reduction(&buf).finish(&self.dims)
+    }
 }
 
-/// Serialize blocks into `(meta, data)` payload vectors. Meta layout:
-/// `[count, br_0, bc_0, br_1, bc_1, ...]`; data is the concatenated
-/// column-major block contents in the same order (shapes are implied by the
-/// partition, so they are not transmitted).
-pub fn pack_blocks<'a>(
-    blocks: impl Iterator<Item = (&'a BlockCoord, &'a Matrix)>,
-) -> (Vec<u64>, Vec<f64>) {
-    let mut meta = vec![0u64];
-    let mut data = Vec::new();
-    let mut count = 0u64;
-    for (&(br, bc), blk) in blocks {
-        meta.push(br as u64);
-        meta.push(bc as u64);
-        data.extend_from_slice(blk.as_slice());
-        count += 1;
-    }
-    meta[0] = count;
-    (meta, data)
-}
-
-/// Inverse of [`pack_blocks`]: reconstruct `(coord, block)` pairs using the
-/// partition to recover block shapes.
-pub fn unpack_blocks(
-    dims: &BlockedDims,
-    meta: &[u64],
-    data: &[f64],
-) -> Vec<(BlockCoord, Matrix)> {
-    if meta.is_empty() {
-        return Vec::new();
-    }
-    let count = meta[0] as usize;
-    let mut out = Vec::with_capacity(count);
-    let mut off = 0usize;
-    for k in 0..count {
-        let br = meta[1 + 2 * k] as usize;
-        let bc = meta[2 + 2 * k] as usize;
-        let (rows, cols) = (dims.size(br), dims.size(bc));
-        let len = rows * cols;
-        let blk = Matrix::from_col_major(rows, cols, data[off..off + len].to_vec());
-        off += len;
-        out.push(((br, bc), blk));
-    }
-    assert_eq!(off, data.len(), "unpack_blocks: trailing data");
-    out
-}
+// The block wire format lives in [`crate::wire`]; these re-exports keep
+// the original import paths working.
+pub use crate::wire::{pack_blocks, unpack_blocks};
 
 #[cfg(test)]
 mod tests {

@@ -13,12 +13,13 @@
 
 use std::collections::HashMap;
 
-use sm_comsim::{Comm, Payload};
+use sm_comsim::Comm;
 use sm_linalg::gemm::{gemm, Op};
 use sm_linalg::Matrix;
 
 use crate::local::BlockStore;
-use crate::matrix::{pack_blocks, unpack_blocks, DbcsrMatrix};
+use crate::matrix::DbcsrMatrix;
+use crate::wire;
 
 /// Tags for the two payloads of a tile shift (meta + data), separated for
 /// the A (westward) and B (northward) streams.
@@ -151,15 +152,10 @@ fn shift_tile<C: Comm>(
     if dst == rank && src == rank {
         return tile; // shift by a multiple of q: no movement
     }
-    let (meta, data) = pack_blocks(tile.iter());
-    stats.bytes_shifted += (meta.len() * 8 + data.len() * 8) as u64;
-    comm.send(dst, tag_meta, Payload::U64(meta));
-    comm.send(dst, tag_data, Payload::F64(data));
-    let meta_in = comm.recv(src, tag_meta).into_u64();
-    let data_in = comm.recv(src, tag_data).into_f64();
-    unpack_blocks(reference.dims(), &meta_in, &data_in)
-        .into_iter()
-        .collect()
+    let (incoming, bytes) =
+        wire::shift_store(&tile, reference.dims(), dst, src, tag_meta, tag_data, comm);
+    stats.bytes_shifted += bytes;
+    incoming
 }
 
 /// Block-sparse multiply-accumulate of two local tiles into `c`.
@@ -205,9 +201,7 @@ fn local_multiply_accumulate(
                     let (m, k) = a_blk.shape();
                     let n = b_blk.ncols();
                     debug_assert_eq!(b_blk.nrows(), k);
-                    let c_blk = c_row
-                        .entry(bc)
-                        .or_insert_with(|| Matrix::zeros(m, n));
+                    let c_blk = c_row.entry(bc).or_insert_with(|| Matrix::zeros(m, n));
                     gemm(1.0, a_blk, Op::NoTrans, b_blk, Op::NoTrans, 1.0, c_blk)
                         .expect("block shapes validated by partition");
                     flops += (2 * m * n * k) as u64;
@@ -323,13 +317,7 @@ mod tests {
         let dims = BlockedDims::uniform(4, 2);
         let n = dims.n();
         // Nearly diagonal matrices: off-diagonal products are tiny.
-        let da = Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                1.0
-            } else {
-                1e-9
-            }
-        });
+        let da = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 1e-9 });
         let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
         let comm = SerialComm::new();
         let (unfiltered, _) = multiply(&a, &a, &comm, None);

@@ -151,30 +151,31 @@ pub fn fetch_blocks<C: Comm>(
         requests[owner].push(bc as u64);
     }
     let incoming = comm.alltoallv(requests.into_iter().map(Payload::U64).collect());
-    // Round 2: answer with the requested blocks we actually store.
-    let mut replies_meta: Vec<Vec<u64>> = vec![vec![0u64]; size];
-    let mut replies_data: Vec<Vec<f64>> = vec![Vec::new(); size];
-    for (src, req) in incoming.into_iter().enumerate() {
+    // Round 2: answer with the requested blocks we actually store, packed
+    // in the shared wire format straight from the store (no block copies
+    // besides the wire buffer itself — this is the engine's gather hot
+    // path).
+    let mut replies_meta: Vec<Payload> = Vec::with_capacity(size);
+    let mut replies_data: Vec<Payload> = Vec::with_capacity(size);
+    for req in incoming {
         let req = req.into_u64();
-        let mut count = 0u64;
-        for pair in req.chunks_exact(2) {
-            let (br, bc) = (pair[0] as usize, pair[1] as usize);
-            if let Some(blk) = m.store().get(&(br, bc)) {
-                replies_meta[src].push(br as u64);
-                replies_meta[src].push(bc as u64);
-                replies_data[src].extend_from_slice(blk.as_slice());
-                count += 1;
-            }
-        }
-        replies_meta[src][0] = count;
+        let found: Vec<((usize, usize), &Matrix)> = req
+            .chunks_exact(2)
+            .filter_map(|pair| {
+                let coord = (pair[0] as usize, pair[1] as usize);
+                m.store().get(&coord).map(|blk| (coord, blk))
+            })
+            .collect();
+        let (meta, data) = crate::wire::pack_blocks(found.iter().map(|(c, b)| (c, *b)));
+        replies_meta.push(Payload::U64(meta));
+        replies_data.push(Payload::F64(data));
     }
-    let metas = comm.alltoallv(replies_meta.into_iter().map(Payload::U64).collect());
-    let datas = comm.alltoallv(replies_data.into_iter().map(Payload::F64).collect());
+    let metas = comm.alltoallv(replies_meta);
+    let datas = comm.alltoallv(replies_data);
     let mut out = std::collections::BTreeMap::new();
     for (meta, data) in metas.into_iter().zip(datas) {
-        let meta = meta.into_u64();
-        let data = data.into_f64();
-        for (coord, blk) in crate::matrix::unpack_blocks(m.dims(), &meta, &data) {
+        for (coord, blk) in crate::wire::unpack_blocks(m.dims(), &meta.into_u64(), &data.into_f64())
+        {
             out.insert(coord, blk);
         }
     }
@@ -303,10 +304,7 @@ mod tests {
             // Everyone asks for block (0,0) (owned by rank 0) and (1,1)
             // (owned by rank 3).
             let fetched = fetch_blocks(&a, &[(0, 0), (1, 1)], c);
-            (
-                fetched.get(&(0, 0)).cloned(),
-                fetched.get(&(1, 1)).cloned(),
-            )
+            (fetched.get(&(0, 0)).cloned(), fetched.get(&(1, 1)).cloned())
         });
         let rows: Vec<usize> = (0..2).collect();
         let expect00 = da.submatrix(&rows, &rows);
@@ -320,34 +318,15 @@ mod tests {
 /// Distributed transpose (collective): every block `(br, bc)` is
 /// transposed and routed to the owner of `(bc, br)`.
 pub fn transpose<C: Comm>(a: &DbcsrMatrix, comm: &C) -> DbcsrMatrix {
-    use crate::matrix::{pack_blocks, unpack_blocks};
-    use sm_comsim::Payload;
     let mut out = DbcsrMatrix::new(a.dims().clone(), a.rank(), comm.size());
-    let mut outgoing: Vec<std::collections::BTreeMap<(usize, usize), Matrix>> =
-        (0..comm.size()).map(|_| std::collections::BTreeMap::new()).collect();
+    let mut outgoing: Vec<std::collections::BTreeMap<(usize, usize), Matrix>> = (0..comm.size())
+        .map(|_| std::collections::BTreeMap::new())
+        .collect();
     for (&(br, bc), blk) in a.store().iter() {
-        let t = blk.transpose();
-        let owner = out.owner(bc, br);
-        if owner == a.rank() {
-            out.insert_block(bc, br, t);
-        } else {
-            outgoing[owner].insert((bc, br), t);
-        }
+        outgoing[out.owner(bc, br)].insert((bc, br), blk.transpose());
     }
-    let metas: Vec<Payload> = outgoing
-        .iter()
-        .map(|m| Payload::U64(pack_blocks(m.iter()).0))
-        .collect();
-    let datas: Vec<Payload> = outgoing
-        .iter()
-        .map(|m| Payload::F64(pack_blocks(m.iter()).1))
-        .collect();
-    let metas_in = comm.alltoallv(metas);
-    let datas_in = comm.alltoallv(datas);
-    for (meta, data) in metas_in.into_iter().zip(datas_in) {
-        for ((br, bc), blk) in unpack_blocks(a.dims(), &meta.into_u64(), &data.into_f64()) {
-            out.insert_block(br, bc, blk);
-        }
+    for ((br, bc), blk) in crate::wire::exchange_blocks(outgoing, a.dims(), comm) {
+        out.insert_block(br, bc, blk);
     }
     out
 }

@@ -88,11 +88,7 @@ pub fn to_ascii(p: &CooPattern, max_side: usize) -> String {
 /// stored elements with |value| > `eps` relative to stored block area, and
 /// relative to the full dense size. Backs the element-wise series of
 /// paper Fig. 11.
-pub fn element_occupancy<C: Comm>(
-    m: &DbcsrMatrix,
-    eps: f64,
-    comm: &C,
-) -> ElementOccupancy {
+pub fn element_occupancy<C: Comm>(m: &DbcsrMatrix, eps: f64, comm: &C) -> ElementOccupancy {
     let mut nonzero = 0usize;
     let mut stored = 0usize;
     for (_, blk) in m.store().iter() {

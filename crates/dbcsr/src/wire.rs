@@ -1,0 +1,299 @@
+//! The block wire format — one shared serialization path for every
+//! collective and point-to-point exchange of matrix blocks.
+//!
+//! Historically each call site (result scatter, transpose, Cannon tile
+//! shifts, block fetches) hand-rolled its own `(meta, data)` packing; this
+//! module is now the single public API. The format is unchanged: meta is
+//! `[count, br_0, bc_0, br_1, bc_1, ...]` and data concatenates the
+//! column-major block contents in the same order (block shapes are implied
+//! by the partition, so they are never transmitted).
+//!
+//! Tag discipline: `sm-comsim` reserves the top tag bit
+//! ([`sm_comsim::COLLECTIVE_BIT`]) for its internal collective traffic.
+//! Every tagged send issued from this crate goes through [`user_tag`],
+//! which rejects tags trespassing on the reserved namespace at the call
+//! site instead of deep inside a communicator assert.
+
+use std::collections::BTreeMap;
+
+use sm_comsim::{Comm, Payload, COLLECTIVE_BIT};
+use sm_linalg::Matrix;
+
+use crate::dims::BlockedDims;
+use crate::local::{BlockCoord, BlockStore};
+
+/// Validate a user-chosen message tag against the communicator's reserved
+/// collective namespace.
+///
+/// # Panics
+/// Panics if `tag` sets [`COLLECTIVE_BIT`] — such a tag could cross-match
+/// internal collective traffic and corrupt an unrelated allgather.
+#[inline]
+pub fn user_tag(tag: u64) -> u64 {
+    assert!(
+        tag & COLLECTIVE_BIT == 0,
+        "tag {tag:#x} trespasses on the reserved collective namespace"
+    );
+    tag
+}
+
+/// Serialize blocks into `(meta, data)` payload vectors.
+pub fn pack_blocks<'a>(
+    blocks: impl Iterator<Item = (&'a BlockCoord, &'a Matrix)>,
+) -> (Vec<u64>, Vec<f64>) {
+    let mut meta = vec![0u64];
+    let mut data = Vec::new();
+    let mut count = 0u64;
+    for (&(br, bc), blk) in blocks {
+        meta.push(br as u64);
+        meta.push(bc as u64);
+        data.extend_from_slice(blk.as_slice());
+        count += 1;
+    }
+    meta[0] = count;
+    (meta, data)
+}
+
+/// Inverse of [`pack_blocks`]: reconstruct `(coord, block)` pairs using the
+/// partition to recover block shapes.
+pub fn unpack_blocks(dims: &BlockedDims, meta: &[u64], data: &[f64]) -> Vec<(BlockCoord, Matrix)> {
+    if meta.is_empty() {
+        return Vec::new();
+    }
+    let count = meta[0] as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 0usize;
+    for k in 0..count {
+        let br = meta[1 + 2 * k] as usize;
+        let bc = meta[2 + 2 * k] as usize;
+        let (rows, cols) = (dims.size(br), dims.size(bc));
+        let len = rows * cols;
+        let blk = Matrix::from_col_major(rows, cols, data[off..off + len].to_vec());
+        off += len;
+        out.push(((br, bc), blk));
+    }
+    assert_eq!(off, data.len(), "unpack_blocks: trailing data");
+    out
+}
+
+/// Route per-destination block maps to their ranks with one all-to-all
+/// exchange (collective) and return every block received, already
+/// deserialized. `outgoing[d]` is delivered to rank `d`; the entry for the
+/// calling rank is returned locally without serialization.
+pub fn exchange_blocks<C: Comm>(
+    outgoing: Vec<BTreeMap<BlockCoord, Matrix>>,
+    dims: &BlockedDims,
+    comm: &C,
+) -> Vec<(BlockCoord, Matrix)> {
+    assert_eq!(
+        outgoing.len(),
+        comm.size(),
+        "exchange_blocks needs one outgoing map per rank"
+    );
+    let mut local: Vec<(BlockCoord, Matrix)> = Vec::new();
+    let mut metas: Vec<Payload> = Vec::with_capacity(outgoing.len());
+    let mut datas: Vec<Payload> = Vec::with_capacity(outgoing.len());
+    for (dst, m) in outgoing.into_iter().enumerate() {
+        if dst == comm.rank() {
+            local.extend(m);
+            metas.push(Payload::U64(vec![0]));
+            datas.push(Payload::F64(Vec::new()));
+        } else {
+            let (meta, data) = pack_blocks(m.iter());
+            metas.push(Payload::U64(meta));
+            datas.push(Payload::F64(data));
+        }
+    }
+    let metas_in = comm.alltoallv(metas);
+    let datas_in = comm.alltoallv(datas);
+    let mut out = local;
+    for (meta, data) in metas_in.into_iter().zip(datas_in) {
+        out.extend(unpack_blocks(dims, &meta.into_u64(), &data.into_f64()));
+    }
+    out
+}
+
+/// Send a block store to `dst` and receive one from `src` over a pair of
+/// tagged point-to-point messages (the Cannon tile-shift primitive).
+/// Returns the received store plus the number of payload bytes sent.
+pub fn shift_store<C: Comm>(
+    store: &BlockStore,
+    dims: &BlockedDims,
+    dst: usize,
+    src: usize,
+    tag_meta: u64,
+    tag_data: u64,
+    comm: &C,
+) -> (BlockStore, u64) {
+    let (tag_meta, tag_data) = (user_tag(tag_meta), user_tag(tag_data));
+    assert_ne!(
+        tag_meta, tag_data,
+        "meta and data streams need distinct tags"
+    );
+    let (meta, data) = pack_blocks(store.iter());
+    let bytes = (meta.len() * 8 + data.len() * 8) as u64;
+    comm.send(dst, tag_meta, Payload::U64(meta));
+    comm.send(dst, tag_data, Payload::F64(data));
+    let meta_in = comm.recv(src, tag_meta).into_u64();
+    let data_in = comm.recv(src, tag_data).into_f64();
+    (
+        unpack_blocks(dims, &meta_in, &data_in)
+            .into_iter()
+            .collect(),
+        bytes,
+    )
+}
+
+/// Order-independent 64-bit fingerprint of a block sparsity pattern plus
+/// its partition.
+///
+/// Each `(br, bc)` coordinate is hashed independently and the per-block
+/// hashes are combined commutatively (lane-wise sums), so ranks holding
+/// disjoint parts of a distributed pattern can fingerprint their local
+/// blocks and merge — no allgather of the full pattern is needed.
+/// The partition itself (block sizes) is mixed in, so two patterns that
+/// agree block-wise but partition elements differently fingerprint apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternFingerprint(pub u64);
+
+/// Accumulator for building a [`PatternFingerprint`] incrementally.
+///
+/// Internally keeps the sum of per-block hashes split into four 16-bit
+/// lanes, so the state survives a floating-point sum-allreduce exactly:
+/// each lane term is < 2¹⁶, so the lane sum stays below 2⁵³ (f64-exact)
+/// up to ~2³⁷ nonzero blocks — far beyond any pattern this system will
+/// hold in memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FingerprintAccumulator {
+    lanes: [u64; 4],
+    count: u64,
+}
+
+/// SplitMix64 finalizer — the shared 64-bit mixing primitive behind the
+/// pattern fingerprint and the engine's plan-cache tags.
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+use mix64 as mix;
+
+impl FingerprintAccumulator {
+    /// Absorb one block coordinate.
+    pub fn add_block(&mut self, br: usize, bc: usize) {
+        let h = mix(((br as u64) << 32) ^ (bc as u64) ^ 0x9e37_79b9_7f4a_7c15);
+        for (k, lane) in self.lanes.iter_mut().enumerate() {
+            *lane += (h >> (16 * k)) & 0xffff;
+        }
+        self.count += 1;
+    }
+
+    /// State as exactly-representable f64 summands, ready for a
+    /// `ReduceOp::Sum` allreduce across ranks.
+    pub fn to_reduction(&self) -> [f64; 5] {
+        [
+            self.lanes[0] as f64,
+            self.lanes[1] as f64,
+            self.lanes[2] as f64,
+            self.lanes[3] as f64,
+            self.count as f64,
+        ]
+    }
+
+    /// Rebuild an accumulator from (possibly reduced) summands.
+    pub fn from_reduction(buf: &[f64; 5]) -> Self {
+        FingerprintAccumulator {
+            lanes: [buf[0] as u64, buf[1] as u64, buf[2] as u64, buf[3] as u64],
+            count: buf[4] as u64,
+        }
+    }
+
+    /// Finish, mixing in the partition.
+    pub fn finish(&self, dims: &BlockedDims) -> PatternFingerprint {
+        let mut h = self.count.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        for (k, lane) in self.lanes.iter().enumerate() {
+            h = mix(h ^ lane.rotate_left(16 * k as u32));
+        }
+        h = mix(h ^ (dims.nb() as u64));
+        for b in 0..dims.nb() {
+            h = mix(h ^ (((b as u64) << 32) | dims.size(b) as u64));
+        }
+        PatternFingerprint(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooPattern;
+    use sm_comsim::SerialComm;
+
+    fn dims3() -> BlockedDims {
+        BlockedDims::new(vec![2, 3, 1])
+    }
+
+    #[test]
+    fn user_tag_passes_clean_tags() {
+        assert_eq!(user_tag(0), 0);
+        assert_eq!(user_tag(0x7fff_ffff_ffff_ffff), 0x7fff_ffff_ffff_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved collective namespace")]
+    fn user_tag_rejects_collective_bit() {
+        user_tag(COLLECTIVE_BIT | 3);
+    }
+
+    #[test]
+    fn exchange_blocks_serial_is_local_passthrough() {
+        let dims = dims3();
+        let mut m = BTreeMap::new();
+        m.insert((0usize, 0usize), Matrix::identity(2));
+        let comm = SerialComm::new();
+        let got = exchange_blocks(vec![m], &dims, &comm);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, (0, 0));
+        assert!(got[0].1.allclose(&Matrix::identity(2), 0.0));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_distribution_independent() {
+        let dims = dims3();
+        let coords = [(0usize, 0usize), (1, 0), (1, 1), (2, 2)];
+        let mut fwd = FingerprintAccumulator::default();
+        for &(r, c) in &coords {
+            fwd.add_block(r, c);
+        }
+        let mut rev = FingerprintAccumulator::default();
+        for &(r, c) in coords.iter().rev() {
+            rev.add_block(r, c);
+        }
+        assert_eq!(fwd.finish(&dims), rev.finish(&dims));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_patterns_and_partitions() {
+        let dims = dims3();
+        let mut a = FingerprintAccumulator::default();
+        a.add_block(0, 0);
+        a.add_block(1, 1);
+        let mut b = a;
+        b.add_block(2, 2);
+        assert_ne!(a.finish(&dims), b.finish(&dims));
+        let other_dims = BlockedDims::new(vec![3, 2, 1]);
+        assert_ne!(a.finish(&dims), a.finish(&other_dims));
+    }
+
+    #[test]
+    fn pattern_fingerprint_matches_accumulated_blocks() {
+        let dims = dims3();
+        let p = CooPattern::from_coords(vec![(0, 0), (1, 0), (2, 1)], 3);
+        let via_pattern = p.fingerprint(&dims);
+        let mut acc = FingerprintAccumulator::default();
+        for &(r, c) in p.entries() {
+            acc.add_block(r, c);
+        }
+        assert_eq!(via_pattern, acc.finish(&dims));
+    }
+}

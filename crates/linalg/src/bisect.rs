@@ -24,7 +24,12 @@ pub fn count_below(d: &[f64], e: &[f64], x: f64) -> usize {
     #[allow(clippy::needless_range_loop)] // the recurrence couples d[i] and e[i]
     for i in 0..n {
         let e2 = if i == 0 { 0.0 } else { e[i] * e[i] };
-        q = (d[i] - x) - if q != 0.0 { e2 / q } else { e2 / f64::MIN_POSITIVE };
+        q = (d[i] - x)
+            - if q != 0.0 {
+                e2 / q
+            } else {
+                e2 / f64::MIN_POSITIVE
+            };
         if q < 0.0 {
             count += 1;
         }
@@ -42,8 +47,7 @@ pub fn kth_eigenvalue(d: &[f64], e: &[f64], k: usize, tol: f64) -> f64 {
     let mut hi = f64::NEG_INFINITY;
     #[allow(clippy::needless_range_loop)] // couples d[i] with e[i], e[i+1]
     for i in 0..n {
-        let r = e.get(i).copied().unwrap_or(0.0).abs()
-            + e.get(i + 1).copied().unwrap_or(0.0).abs();
+        let r = e.get(i).copied().unwrap_or(0.0).abs() + e.get(i + 1).copied().unwrap_or(0.0).abs();
         lo = lo.min(d[i] - r);
         hi = hi.max(d[i] + r);
     }
@@ -147,10 +151,7 @@ mod tests {
         let eigs = eigvalsh(&dense_of(&d, &e)).unwrap();
         for (k, &expect) in eigs.iter().enumerate() {
             let got = kth_eigenvalue(&d, &e, k, 1e-12);
-            assert!(
-                (got - expect).abs() < 1e-9,
-                "k={k}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-9, "k={k}: {got} vs {expect}");
         }
     }
 

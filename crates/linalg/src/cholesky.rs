@@ -88,7 +88,10 @@ impl Cholesky {
 
     /// log(det A) = 2 Σ log L_ii, computed stably in log space.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.nrows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+        (0..self.l.nrows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 
@@ -146,7 +149,10 @@ mod tests {
         let a = Matrix::from_diag(&[1.0, -1.0]);
         assert!(matches!(
             cholesky(&a),
-            Err(LinalgError::Singular { op: "cholesky", index: 1 })
+            Err(LinalgError::Singular {
+                op: "cholesky",
+                index: 1
+            })
         ));
     }
 

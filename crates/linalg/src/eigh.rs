@@ -155,7 +155,9 @@ pub fn eigh(a: &Matrix) -> Result<Eigh, LinalgError> {
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {
-        eigenvectors.col_mut(new_col).copy_from_slice(z.col(old_col));
+        eigenvectors
+            .col_mut(new_col)
+            .copy_from_slice(z.col(old_col));
     }
 
     Ok(Eigh {
@@ -255,10 +257,7 @@ mod tests {
             let v = Matrix::from_col_major(10, 1, r.eigenvectors.col(k).to_vec());
             let av = matmul(&a, &v).unwrap();
             let lv = v.scaled(r.eigenvalues[k]);
-            assert!(
-                av.allclose(&lv, 1e-10),
-                "eigenpair {k} violates A v = λ v"
-            );
+            assert!(av.allclose(&lv, 1e-10), "eigenpair {k} violates A v = λ v");
         }
     }
 

@@ -47,7 +47,11 @@ impl fmt::Display for LinalgError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LinalgError::NotSquare { op, shape } => {
-                write!(f, "{op}: matrix must be square, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op}: matrix must be square, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::Singular { op, index } => {
                 write!(f, "{op}: matrix is singular at pivot {index}")
@@ -72,7 +76,10 @@ mod tests {
             lhs: (2, 3),
             rhs: (4, 5),
         };
-        assert_eq!(e.to_string(), "gemm: dimension mismatch between 2x3 and 4x5");
+        assert_eq!(
+            e.to_string(),
+            "gemm: dimension mismatch between 2x3 and 4x5"
+        );
     }
 
     #[test]

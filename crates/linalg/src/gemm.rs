@@ -119,11 +119,7 @@ pub fn gemm(
 
 /// Apply `kernel(j, column_j_of_c)` to every column of `c`, optionally in
 /// parallel over Rayon's pool.
-fn run_over_columns(
-    c: &mut Matrix,
-    parallel: bool,
-    kernel: impl Fn(usize, &mut [f64]) + Sync,
-) {
+fn run_over_columns(c: &mut Matrix, parallel: bool, kernel: impl Fn(usize, &mut [f64]) + Sync) {
     let m = c.nrows();
     if parallel {
         c.as_mut_slice()

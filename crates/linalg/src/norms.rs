@@ -87,7 +87,10 @@ mod tests {
         let bound = spectral_bound(&a);
         let eig = crate::eigh::eigvalsh(&a).unwrap();
         let rho = eig.iter().fold(0.0f64, |m, &l| m.max(l.abs()));
-        assert!(bound >= rho - 1e-12, "bound {bound} < spectral radius {rho}");
+        assert!(
+            bound >= rho - 1e-12,
+            "bound {bound} < spectral radius {rho}"
+        );
     }
 
     #[test]

@@ -23,12 +23,7 @@ pub fn sqrt_eig(a: &Matrix) -> Result<Matrix, LinalgError> {
 /// eigendecomposition. Fails if an eigenvalue is not strictly positive.
 pub fn inv_sqrt_eig(a: &Matrix) -> Result<Matrix, LinalgError> {
     let dec = eigh(a)?;
-    if let Some((idx, _)) = dec
-        .eigenvalues
-        .iter()
-        .enumerate()
-        .find(|(_, &l)| l <= 0.0)
-    {
+    if let Some((idx, _)) = dec.eigenvalues.iter().enumerate().find(|(_, &l)| l <= 0.0) {
         return Err(LinalgError::Singular {
             op: "inv_sqrt_eig",
             index: idx,
@@ -43,12 +38,7 @@ pub fn inv_sqrt_eig(a: &Matrix) -> Result<Matrix, LinalgError> {
 pub fn inv_pth_root_eig(a: &Matrix, p: u32) -> Result<Matrix, LinalgError> {
     assert!(p >= 1, "inv_pth_root_eig: p must be >= 1");
     let dec = eigh(a)?;
-    if let Some((idx, _)) = dec
-        .eigenvalues
-        .iter()
-        .enumerate()
-        .find(|(_, &l)| l <= 0.0)
-    {
+    if let Some((idx, _)) = dec.eigenvalues.iter().enumerate().find(|(_, &l)| l <= 0.0) {
         return Err(LinalgError::Singular {
             op: "inv_pth_root_eig",
             index: idx,

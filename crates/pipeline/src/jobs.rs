@@ -1,0 +1,324 @@
+//! Batched multi-job execution over one shared engine.
+//!
+//! A production density-matrix service sees many concurrent requests:
+//! different systems, different sizes, different ensembles and solvers —
+//! often with *recurring* sparsity patterns (the same system resubmitted
+//! every SCF/MD step). [`JobQueue`] runs such a batch through a single
+//! [`SubmatrixEngine`]:
+//!
+//! 1. **Symbolic pass**: every job's pattern is fingerprinted and planned
+//!    through the shared cache, so recurring patterns are planned once for
+//!    the whole batch (and for all future batches on the same queue).
+//! 2. **Numeric pass**: jobs execute over the shared pool, scheduled
+//!    longest-plan-first (LPT) so a trailing giant job cannot serialize
+//!    the batch tail.
+//!
+//! Results return in submission order with per-job [`EngineReport`]s.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use sm_comsim::SerialComm;
+use sm_core::engine::{EngineOptions, EngineReport, NumericOptions, SubmatrixEngine};
+use sm_dbcsr::{ops, DbcsrMatrix};
+
+/// Which matrix function a job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutput {
+    /// `sign(K̃ − µI)`.
+    Sign,
+    /// `D̃ = (I − sign(K̃ − µI)) / 2`.
+    Density,
+}
+
+/// One matrix-function request.
+#[derive(Debug, Clone)]
+pub struct MatrixJob {
+    /// Caller-chosen identifier, echoed in the result.
+    pub name: String,
+    /// The (single-rank) input matrix.
+    pub matrix: DbcsrMatrix,
+    /// Chemical potential the evaluation starts from.
+    pub mu0: f64,
+    /// Numeric-phase options (solver, ensemble, selected columns).
+    pub numeric: NumericOptions,
+    /// Requested function.
+    pub output: JobOutput,
+}
+
+impl MatrixJob {
+    /// Convenience constructor for a density job with default numerics.
+    pub fn density(name: impl Into<String>, matrix: DbcsrMatrix, mu0: f64) -> Self {
+        MatrixJob {
+            name: name.into(),
+            matrix,
+            mu0,
+            numeric: NumericOptions::default(),
+            output: JobOutput::Density,
+        }
+    }
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's identifier.
+    pub name: String,
+    /// The computed matrix (input pattern preserved).
+    pub result: DbcsrMatrix,
+    /// Numeric-phase instrumentation; `plan_cached` tells whether this
+    /// job's symbolic phase was amortized.
+    pub report: EngineReport,
+    /// Wall-clock seconds of this job's numeric phase.
+    pub seconds: f64,
+}
+
+/// Batch executor over one shared [`SubmatrixEngine`].
+pub struct JobQueue {
+    engine: Arc<SubmatrixEngine>,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        // Job-level parallelism supplies the concurrency; keep per-job
+        // solves sequential to avoid nested-pool oversubscription.
+        JobQueue::new(Arc::new(SubmatrixEngine::new(EngineOptions {
+            parallel: false,
+            ..EngineOptions::default()
+        })))
+    }
+}
+
+impl JobQueue {
+    /// Build a queue over an existing engine (sharing its plan cache).
+    pub fn new(engine: Arc<SubmatrixEngine>) -> Self {
+        JobQueue { engine }
+    }
+
+    /// The shared engine (e.g. to inspect [`SubmatrixEngine::stats`]).
+    pub fn engine(&self) -> &Arc<SubmatrixEngine> {
+        &self.engine
+    }
+
+    /// Run a batch. Jobs execute concurrently over the shared pool in
+    /// longest-plan-first order; results return in submission order.
+    pub fn run(&self, jobs: Vec<MatrixJob>) -> Vec<JobResult> {
+        // Symbolic pass (sequential): fingerprint + plan through the
+        // shared cache. Recurring patterns plan once; each job remembers
+        // whether it was the one that paid for the build.
+        let comm = SerialComm::new();
+        let plans: Vec<_> = jobs
+            .iter()
+            .map(|j| {
+                assert_eq!(
+                    j.matrix.grid().size(),
+                    1,
+                    "job matrices must be single-rank (replicated) handles"
+                );
+                self.engine.plan_for_matrix_traced(&j.matrix, &comm)
+            })
+            .collect();
+
+        // LPT schedule: heaviest plans first.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            plans[b]
+                .0
+                .total_cost
+                .partial_cmp(&plans[a].0.total_cost)
+                .expect("plan costs are finite")
+        });
+
+        // Numeric pass. Exactly one level supplies the parallelism: if the
+        // engine's per-job solves are parallel, jobs run sequentially;
+        // otherwise jobs fan out over the shared pool. This keeps either
+        // configuration from nesting pools and oversubscribing the
+        // machine.
+        let engine = &self.engine;
+        let jobs_ref = &jobs;
+        let plans_ref = &plans;
+        let run_one = |&i: &usize| {
+            let job = &jobs_ref[i];
+            let (plan, built_now) = &plans_ref[i];
+            let comm = SerialComm::new();
+            let t = Instant::now();
+            let (mut result, mut report) =
+                engine.execute(plan, &job.matrix, job.mu0, &job.numeric, &comm);
+            if job.output == JobOutput::Density {
+                ops::scale(&mut result, -0.5);
+                ops::shift_diag(&mut result, 0.5);
+            }
+            report.plan_cached = !built_now;
+            report.symbolic_seconds = if *built_now {
+                plan.symbolic_seconds
+            } else {
+                0.0
+            };
+            (
+                i,
+                JobResult {
+                    name: job.name.clone(),
+                    result,
+                    report,
+                    seconds: t.elapsed().as_secs_f64(),
+                },
+            )
+        };
+        let mut finished: Vec<(usize, JobResult)> = if engine.options().parallel {
+            order.iter().map(run_one).collect()
+        } else {
+            order.par_iter().map(run_one).collect()
+        };
+        finished.sort_by_key(|(i, _)| *i);
+        finished.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::engine::Ensemble;
+    use sm_core::method::{submatrix_density, submatrix_sign, SubmatrixOptions};
+    use sm_core::solver::{SignMethod, SolveOptions};
+    use sm_dbcsr::BlockedDims;
+    use sm_linalg::Matrix;
+
+    fn banded(nb: usize, bs: usize, scale: f64) -> (Matrix, BlockedDims) {
+        let dims = BlockedDims::uniform(nb, bs);
+        let n = dims.n();
+        let mut dense = Matrix::from_fn(n, n, |i, j| {
+            let bi = (i / bs) as isize;
+            let bj = (j / bs) as isize;
+            if (bi - bj).abs() > 1 {
+                0.0
+            } else if i == j {
+                if i % 2 == 0 {
+                    scale
+                } else {
+                    -scale
+                }
+            } else {
+                0.05 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        dense.symmetrize();
+        (dense, dims)
+    }
+
+    fn job_matrix(nb: usize, bs: usize, scale: f64) -> DbcsrMatrix {
+        let (dense, dims) = banded(nb, bs, scale);
+        DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0)
+    }
+
+    #[test]
+    fn mixed_batch_matches_one_shot_drivers() {
+        let comm = SerialComm::new();
+        let queue = JobQueue::default();
+        let jobs = vec![
+            MatrixJob::density("small-density", job_matrix(4, 2, 1.0), 0.0),
+            MatrixJob {
+                name: "large-sign".into(),
+                matrix: job_matrix(10, 3, 1.2),
+                mu0: 0.1,
+                numeric: NumericOptions::default(),
+                output: JobOutput::Sign,
+            },
+            MatrixJob {
+                name: "newton-schulz".into(),
+                matrix: job_matrix(6, 2, 1.4),
+                mu0: 0.0,
+                numeric: NumericOptions {
+                    solve: SolveOptions {
+                        method: SignMethod::NewtonSchulz,
+                        ..SolveOptions::default()
+                    },
+                    ..NumericOptions::default()
+                },
+                output: JobOutput::Sign,
+            },
+            MatrixJob {
+                name: "canonical".into(),
+                matrix: job_matrix(6, 2, 1.0),
+                mu0: 0.0,
+                numeric: NumericOptions {
+                    ensemble: Ensemble::Canonical {
+                        n_electrons: 8.0,
+                        tol: 1e-8,
+                        max_iter: 200,
+                    },
+                    ..NumericOptions::default()
+                },
+                output: JobOutput::Density,
+            },
+        ];
+        let inputs = jobs.clone();
+        let results = queue.run(jobs);
+        assert_eq!(results.len(), 4);
+        // Results come back in submission order under LPT scheduling.
+        for (job, res) in inputs.iter().zip(&results) {
+            assert_eq!(job.name, res.name);
+            let opts = SubmatrixOptions {
+                solve: job.numeric.solve,
+                ensemble: job.numeric.ensemble,
+                parallel: false,
+                ..SubmatrixOptions::default()
+            };
+            let expect = match job.output {
+                JobOutput::Sign => submatrix_sign(&job.matrix, job.mu0, &opts, &comm).0,
+                JobOutput::Density => submatrix_density(&job.matrix, job.mu0, &opts, &comm).0,
+            };
+            assert!(
+                res.result
+                    .to_dense(&comm)
+                    .allclose(&expect.to_dense(&comm), 0.0),
+                "job '{}' deviates from the one-shot driver",
+                res.name
+            );
+        }
+    }
+
+    #[test]
+    fn recurring_patterns_plan_once_per_batch_and_across_batches() {
+        let queue = JobQueue::default();
+        let batch = |scale: f64| {
+            vec![
+                MatrixJob::density("a", job_matrix(5, 2, scale), 0.0),
+                MatrixJob::density("b", job_matrix(5, 2, scale * 1.1), 0.0),
+                MatrixJob::density("c", job_matrix(8, 2, scale), 0.0),
+            ]
+        };
+        queue.run(batch(1.0));
+        let stats = queue.engine().stats();
+        assert_eq!(stats.symbolic_builds, 2, "two distinct patterns");
+        assert_eq!(stats.cache_hits, 1, "same-pattern job reuses the plan");
+        // Second batch with new values, same patterns: zero new plans.
+        queue.run(batch(1.3));
+        let stats = queue.engine().stats();
+        assert_eq!(stats.symbolic_builds, 2);
+        assert_eq!(stats.cache_hits, 4);
+        assert_eq!(stats.executions, 6);
+    }
+
+    #[test]
+    fn per_job_reports_expose_amortization() {
+        let queue = JobQueue::default();
+        let r1 = queue.run(vec![MatrixJob::density("x", job_matrix(4, 2, 1.0), 0.0)]);
+        // First sighting of the pattern: this job paid for the plan.
+        assert!(!r1[0].report.plan_cached);
+        assert!(r1[0].report.symbolic_seconds > 0.0);
+        assert!(r1[0].seconds >= 0.0);
+        // Same pattern resubmitted (new values): fully amortized.
+        let r2 = queue.run(vec![MatrixJob::density("y", job_matrix(4, 2, 1.3), 0.0)]);
+        assert!(r2[0].report.plan_cached);
+        assert_eq!(r2[0].report.symbolic_seconds, 0.0);
+        assert_eq!(queue.engine().stats().symbolic_builds, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let queue = JobQueue::default();
+        assert!(queue.run(Vec::new()).is_empty());
+    }
+}

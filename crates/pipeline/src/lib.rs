@@ -1,0 +1,42 @@
+//! # sm-pipeline — the persistent submatrix-method subsystem
+//!
+//! Public home of the engine-centric execution model that turns the
+//! one-shot submatrix method into a service-shaped component:
+//!
+//! * [`SubmatrixEngine`] (re-exported from `sm_core::engine`) splits every
+//!   evaluation into a one-time **symbolic phase** — `SubmatrixPlan` →
+//!   greedy load balance → deduplicated [`RankTransferPlan`] → flat
+//!   assembly/extraction index maps — cached under a cheap
+//!   [`PatternFingerprint`], and a per-call **numeric phase** that only
+//!   gathers values, assembles through the cached maps, solves, adjusts µ,
+//!   and scatters. In SCF/MD-style workloads (paper Sec. IV) the pattern is
+//!   fixed across iterations, so all symbolic work amortizes to zero.
+//! * [`JobQueue`] batches many independent matrix-function jobs — mixed
+//!   sizes, ensembles and sign methods — over one shared pool with
+//!   longest-job-first scheduling and per-job reports, sharing one plan
+//!   cache so identical patterns are planned once across the whole batch.
+//!
+//! The one-shot drivers `sm_core::method::{submatrix_sign,
+//! submatrix_density}` are thin wrappers over the same engine, so every
+//! historical call site already runs on this subsystem.
+//!
+//! ## Phase contract
+//!
+//! `plan*` performs **all** pattern-dependent work; `execute` performs
+//! **none**. Concretely, `execute` never touches [`CooPattern`] queries,
+//! never rebuilds transfer plans, and allocates only the dense scratch the
+//! solve itself needs. The `engine_equivalence` property tests pin the
+//! numeric phase to the one-shot drivers bitwise; the
+//! `ablation_plan_reuse` bench measures the amortization.
+//!
+//! [`RankTransferPlan`]: sm_core::transfers::RankTransferPlan
+//! [`PatternFingerprint`]: sm_dbcsr::wire::PatternFingerprint
+//! [`CooPattern`]: sm_dbcsr::CooPattern
+
+pub mod jobs;
+
+pub use jobs::{JobOutput, JobQueue, JobResult, MatrixJob};
+pub use sm_core::engine::{
+    AssemblyMap, EngineOptions, EngineReport, EngineStats, Ensemble, ExecutionPlan, ExtractionMap,
+    Grouping, NumericOptions, SubmatrixEngine,
+};

@@ -1,0 +1,75 @@
+//! Offline drop-in subset of `crossbeam`: unbounded MPSC channels.
+//!
+//! Backed by [`std::sync::mpsc`]; only the `channel::{unbounded, Sender,
+//! Receiver}` surface used by `sm-comsim`'s rank-per-thread communicator is
+//! provided.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel (cloneable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails once all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (s, r) = unbounded();
+        s.send(41).unwrap();
+        s.clone().send(42).unwrap();
+        assert_eq!(r.recv().unwrap(), 41);
+        assert_eq!(r.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (s, r) = unbounded::<u8>();
+        drop(s);
+        assert!(r.recv().is_err());
+    }
+}

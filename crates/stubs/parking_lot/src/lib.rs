@@ -1,0 +1,48 @@
+//! Offline drop-in subset of `parking_lot`: a poison-free `Mutex`.
+//!
+//! Wraps [`std::sync::Mutex`] and swallows poisoning (parking_lot has no
+//! poisoning), exposing the `lock()`-returns-guard API the workspace uses.
+
+use std::sync::MutexGuard;
+
+/// Mutual exclusion primitive with parking_lot's non-poisoning `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn default_is_inner_default() {
+        let m: Mutex<Vec<u8>> = Mutex::default();
+        assert!(m.lock().is_empty());
+    }
+}

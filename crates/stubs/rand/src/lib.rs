@@ -1,0 +1,69 @@
+//! Offline drop-in subset of the `rand` API.
+//!
+//! Provides the `Rng`/`SeedableRng` traits and uniform range sampling used
+//! by `sm-chem`'s water-box generator. Generators live in the companion
+//! `rand_chacha` stub. Determinism (same seed, same stream) is the only
+//! guarantee the workspace relies on; statistical quality is provided by a
+//! 64-bit xorshift*-class generator rather than real ChaCha.
+
+use std::ops::Range;
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling interface (blanket-implemented for every generator).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as `gen_range` arguments.
+pub trait SampleRange {
+    /// Sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}

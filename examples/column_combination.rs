@@ -46,11 +46,7 @@ fn main() {
     let n_clusters = water.n_molecules() / 8;
 
     // Heuristic 1: k-means on molecule centers in real space.
-    let points: Vec<[f64; 3]> = water
-        .centers()
-        .iter()
-        .map(|c| [c.x, c.y, c.z])
-        .collect();
+    let points: Vec<[f64; 3]> = water.centers().iter().map(|c| [c.x, c.y, c.z]).collect();
     let km = kmeans::kmeans(&points, n_clusters, 1, 200);
     let km_groups = groups_from_assignment(&km.assignment, n_clusters);
     let km_plan = SubmatrixPlan::from_groups(&pattern, &dims, &km_groups);
@@ -76,11 +72,17 @@ fn main() {
     // Naive consecutive grouping for contrast.
     let cons = SubmatrixPlan::consecutive(&pattern, &dims, 8);
     let s_cons = estimated_speedup(&singles, &cons);
-    println!("consecutive (8): {} submatrices, S = {s_cons:.3}", cons.len());
+    println!(
+        "consecutive (8): {} submatrices, S = {s_cons:.3}",
+        cons.len()
+    );
 
     // The paper's observation (Fig. 5): both heuristics land close to each
     // other.
-    println!("k-means vs graph agreement: |S_km − S_gp| = {:.3}", (s_km - s_gp).abs());
+    println!(
+        "k-means vs graph agreement: |S_km − S_gp| = {:.3}",
+        (s_km - s_gp).abs()
+    );
 
     // Accuracy check: the combined plan must match the single-column plan.
     let kt_dense = k_tilde.to_dense(&comm);

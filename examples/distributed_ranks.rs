@@ -24,7 +24,10 @@ fn main() {
     let (kt, _, _) = orthogonalize_sparse(&sys.s, &sys.k, &ns, &comm);
     let (d_ref, _) = submatrix_density(&kt, sys.mu, &SubmatrixOptions::default(), &comm);
     let dense_ref = d_ref.to_dense(&comm);
-    println!("serial reference computed ({} blocks)", d_ref.local_nnz_blocks());
+    println!(
+        "serial reference computed ({} blocks)",
+        d_ref.local_nnz_blocks()
+    );
 
     // The same computation on 4 ranks (2×2 process grid).
     let (results, stats) = run_ranks(4, |c| {

@@ -14,8 +14,8 @@
 
 use cp2k_submatrix::prelude::*;
 use sm_core::assembly::{assemble, SubmatrixSpec};
-use sm_core::split::solve_sign_via_split;
 use sm_core::solver::SolveOptions as CoreSolveOptions;
+use sm_core::split::solve_sign_via_split;
 use sm_linalg::sparse::sparse_sign_iteration;
 
 fn main() {

@@ -38,7 +38,8 @@ fn main() {
     );
 
     // The submatrix method.
-    let (density, report) = submatrix_density(&k_tilde, sys.mu, &SubmatrixOptions::default(), &comm);
+    let (density, report) =
+        submatrix_density(&k_tilde, sys.mu, &SubmatrixOptions::default(), &comm);
     println!(
         "submatrix method: {} submatrices, dims avg {:.0} / max {}",
         report.n_submatrices, report.avg_dim, report.max_dim
@@ -47,7 +48,10 @@ fn main() {
     // Observables.
     let n_elec = sm_chem::energy::electron_count(&density, &comm);
     let e_band = sm_chem::energy::band_energy(&density, &k_tilde, &comm);
-    println!("electrons: {n_elec:.6} (expected {})", 8 * water.n_molecules());
+    println!(
+        "electrons: {n_elec:.6} (expected {})",
+        8 * water.n_molecules()
+    );
     println!("band energy: {e_band:.6} Ha");
 
     // Dense reference for comparison.

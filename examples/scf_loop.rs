@@ -1,16 +1,18 @@
-//! A miniature self-consistent-field loop driven by the submatrix method.
+//! A miniature self-consistent-field loop on the persistent submatrix
+//! engine.
 //!
 //! In CP2K the density matrix is recomputed every SCF step (and every MD
 //! step) — purification is the inner kernel of a fixed-point iteration in
-//! which the Kohn–Sham matrix depends on the density. This example closes
-//! that loop with a simple model feedback (onsite potential shifted by the
-//! local charge, linear mixing) and shows the submatrix method converging
-//! the self-consistency while conserving electrons.
+//! which the Kohn–Sham matrix depends on the density. The sparsity pattern
+//! stays fixed while values change, so [`sm_chem::ScfDriver`] plans the
+//! submatrix method **once** and replays the cached plan numerically every
+//! iteration; this example prints the convergence table plus the
+//! plan-reuse statistics that make the amortization visible.
 //!
 //! Run with: `cargo run --release --example scf_loop`
 
 use cp2k_submatrix::prelude::*;
-use sm_dbcsr::ops;
+use sm_chem::{ScfDriver, ScfOptions};
 
 fn main() {
     let water = WaterBox::cubic(1, 42);
@@ -24,73 +26,44 @@ fn main() {
     let (kt0, _, _) = orthogonalize_sparse(&sys.s, &sys.k, &ns, &comm);
     let n_elec = 8.0 * water.n_molecules() as f64;
 
-    // SCF parameters of the model feedback: the diagonal of K̃ shifts with
-    // the deviation of the local occupation from its average (a crude
-    // Hartree-like term), mixed linearly for stability.
-    let coupling = 0.10;
-    let mixing = 0.5;
-    let nb = kt0.nb();
-    let bs = kt0.dims().size(0);
-    let avg_occ = n_elec / (2.0 * kt0.n() as f64);
+    let driver = ScfDriver::new(ScfOptions::default());
+    let result = driver.run(&kt0, sys.mu, n_elec, &comm);
 
-    let mut kt = kt0.clone();
-    let mut previous_energy = f64::INFINITY;
-    println!("{:>4} {:>16} {:>14} {:>12}", "iter", "band energy", "dE", "electrons");
-    for it in 1..=30 {
-        let opts = SubmatrixOptions {
-            ensemble: Ensemble::Canonical {
-                n_electrons: n_elec,
-                tol: 1e-9,
-                max_iter: 200,
-            },
-            ..Default::default()
-        };
-        let (d, report) = submatrix_density(&kt, sys.mu, &opts, &comm);
-        let energy = sm_chem::energy::band_energy(&d, &kt0, &comm);
-        let electrons = sm_chem::energy::electron_count(&d, &comm);
-        let de = energy - previous_energy;
-        println!("{it:>4} {energy:>16.8} {de:>14.2e} {electrons:>12.6}");
-
-        if de.abs() < 1e-8 {
-            println!("\nconverged after {it} SCF iterations (mu = {:.5})", report.mu);
-            break;
-        }
-        previous_energy = energy;
-
-        // Feedback: new K̃ = K̃₀ + coupling·diag(occupation − avg), mixed.
-        let mut kt_new = kt0.clone();
-        for b in 0..nb {
-            let occ_block = d.block(b, b).expect("diagonal density block");
-            let mut kb = kt_new
-                .block(b, b)
-                .expect("diagonal KS block")
-                .clone();
-            for i in 0..bs {
-                kb[(i, i)] += coupling * (occ_block[(i, i)] - avg_occ);
-            }
-            kt_new.store_mut().insert((b, b), kb);
-        }
-        // Linear mixing: K̃ ← (1−α)·K̃ + α·K̃_new.
-        ops::scale(&mut kt, 1.0 - mixing);
-        ops::axpy(&mut kt, mixing, &kt_new);
+    println!(
+        "{:>4} {:>16} {:>14} {:>12} {:>6}",
+        "iter", "band energy", "dE", "electrons", "plan"
+    );
+    for (i, it) in result.iterations.iter().enumerate() {
+        println!(
+            "{:>4} {:>16.8} {:>14.2e} {:>12.6} {:>6}",
+            i + 1,
+            it.energy,
+            it.de,
+            it.electrons,
+            if it.plan_cached { "cache" } else { "build" }
+        );
     }
+    let last = result.iterations.last().expect("at least one iteration");
+    if result.converged {
+        println!(
+            "\nconverged after {} SCF iterations (mu = {:.5})",
+            result.iterations.len(),
+            last.mu
+        );
+    } else {
+        println!("\nnot converged within the budget (dE = {:.2e})", last.de);
+    }
+    println!(
+        "symbolic plans built: {} ({} cache hits across {} iterations)",
+        result.symbolic_builds,
+        result.cache_hits,
+        result.iterations.len()
+    );
 
     // Final sanity: electrons conserved through the whole loop.
-    let (d, _) = submatrix_density(
-        &kt,
-        sys.mu,
-        &SubmatrixOptions {
-            ensemble: Ensemble::Canonical {
-                n_electrons: n_elec,
-                tol: 1e-9,
-                max_iter: 200,
-            },
-            ..Default::default()
-        },
-        &comm,
-    );
-    let final_electrons = sm_chem::energy::electron_count(&d, &comm);
+    let final_electrons = sm_chem::energy::electron_count(&result.density, &comm);
     assert!((final_electrons - n_elec).abs() < 1e-5);
+    assert_eq!(result.symbolic_builds, 1, "pattern is fixed: one plan");
     println!("final electron count: {final_electrons:.6} (target {n_elec})");
     println!("ok");
 }

@@ -9,8 +9,9 @@
 //! | [`linalg`] | dense BLAS/LAPACK subset: GEMM, symmetric eigensolver, sign function, inverse roots |
 //! | [`comsim`] | simulated MPI: rank-per-thread communicator + analytic cluster-time model |
 //! | [`dbcsr`] | distributed block-compressed sparse matrices with Cannon multiplication (libDBCSR) |
-//! | [`chem`] | synthetic liquid-water systems, SZV/DZVP basis models, S and K builders |
-//! | [`core`] | **the submatrix method**: assembly, clustering, load balancing, µ adjustment, drivers |
+//! | [`chem`] | synthetic liquid-water systems, SZV/DZVP basis models, S and K builders, SCF driver |
+//! | [`core`] | **the submatrix method**: assembly, clustering, load balancing, µ adjustment, engine, drivers |
+//! | [`pipeline`] | persistent `SubmatrixEngine` facade + batched multi-job execution (`JobQueue`) |
 //! | [`accel`] | emulated FP16/FP32 tensor-core & FPGA kernels, Padé iteration traces, Table I model |
 //!
 //! ## Quickstart
@@ -33,6 +34,34 @@
 //! assert!((n_electrons - 8.0 * water.n_molecules() as f64).abs() < 0.5);
 //! assert_eq!(report.n_submatrices, water.n_molecules());
 //! ```
+//!
+//! ## Repeated evaluation: the engine
+//!
+//! The one-shot driver above replans from scratch on every call. Workloads
+//! that evaluate a *fixed* sparsity pattern repeatedly — SCF and MD loops,
+//! batched services — should hold a [`SubmatrixEngine`], which splits each
+//! evaluation into a one-time cached **symbolic phase** (plan, load
+//! balance, deduplicated transfers, assembly/extraction index maps, keyed
+//! by a pattern fingerprint) and a cheap per-call **numeric phase**:
+//!
+//! ```
+//! use cp2k_submatrix::prelude::*;
+//!
+//! let water = WaterBox::cubic(1, 42);
+//! let sys = build_system(&water, &BasisSet::szv(), 0, 1, 1e-10);
+//! let comm = SerialComm::new();
+//! let (kt, _, _) = orthogonalize_sparse(&sys.s, &sys.k, &Default::default(), &comm);
+//!
+//! let engine = SubmatrixEngine::default();
+//! let plan = engine.plan_for_matrix(&kt, &comm);       // symbolic, once
+//! let (sign, _) = engine.execute(&plan, &kt, sys.mu,   // numeric, per call
+//!                                &NumericOptions::default(), &comm);
+//! assert_eq!(engine.stats().symbolic_builds, 1);
+//! # let _ = sign;
+//! ```
+//!
+//! `sm_chem::ScfDriver` runs a damped SCF loop on one cached plan, and
+//! [`pipeline`]'s `JobQueue` batches many mixed jobs over a shared engine.
 
 pub use sm_accel as accel;
 pub use sm_chem as chem;
@@ -40,20 +69,23 @@ pub use sm_comsim as comsim;
 pub use sm_core as core;
 pub use sm_dbcsr as dbcsr;
 pub use sm_linalg as linalg;
+pub use sm_pipeline as pipeline;
 
 /// Everything a typical application needs in scope.
 pub mod prelude {
     pub use sm_chem::builder::{build_system, molecular_gap, molecular_mu};
-    pub use sm_chem::{BasisKind, BasisSet, SystemMatrices, WaterBox};
+    pub use sm_chem::{BasisKind, BasisSet, ScfDriver, ScfOptions, SystemMatrices, WaterBox};
     pub use sm_comsim::{run_ranks, ClusterModel, Comm, SerialComm};
-    pub use sm_core::baseline::{
-        newton_schulz_density, orthogonalize_sparse, NewtonSchulzOptions,
+    pub use sm_core::baseline::{newton_schulz_density, orthogonalize_sparse, NewtonSchulzOptions};
+    pub use sm_core::engine::{
+        EngineOptions, EngineReport, EngineStats, ExecutionPlan, NumericOptions, SubmatrixEngine,
     };
     pub use sm_core::method::{Ensemble, Grouping};
     pub use sm_core::solver::SolveOptions;
     pub use sm_core::{
         submatrix_density, submatrix_sign, SignMethod, SubmatrixOptions, SubmatrixPlan,
     };
-    pub use sm_dbcsr::{BlockedDims, CooPattern, DbcsrMatrix};
+    pub use sm_dbcsr::{BlockedDims, CooPattern, DbcsrMatrix, PatternFingerprint};
     pub use sm_linalg::Matrix;
+    pub use sm_pipeline::{JobOutput, JobQueue, JobResult, MatrixJob};
 }

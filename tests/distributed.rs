@@ -186,7 +186,9 @@ fn newton_schulz_baseline_is_rank_count_invariant() {
     let d_ref = {
         let sys = build_system(&water, &basis, 0, 1, 1e-10);
         let (kt, _, _) = orthogonalize_sparse(&sys.s, &sys.k, &opts, &comm);
-        newton_schulz_density(&kt, mu, &opts, &comm).0.to_dense(&comm)
+        newton_schulz_density(&kt, mu, &opts, &comm)
+            .0
+            .to_dense(&comm)
     };
     let (results, _) = run_ranks(4, |c| {
         let sys = build_system(&water, &basis, c.rank(), c.size(), 1e-10);

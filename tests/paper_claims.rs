@@ -5,9 +5,7 @@
 use sm_chem::builder::block_pattern;
 use sm_chem::{BasisSet, WaterBox};
 use sm_comsim::ClusterModel;
-use sm_core::model::{
-    model_newton_schulz_run, model_submatrix_run, ns_iteration_estimate,
-};
+use sm_core::model::{model_newton_schulz_run, model_submatrix_run, ns_iteration_estimate};
 use sm_core::SubmatrixPlan;
 use sm_dbcsr::BlockedDims;
 
@@ -75,8 +73,7 @@ fn claim_weak_scaling_submatrix_beats_newton_schulz() {
         let dims = BlockedDims::uniform(water.n_molecules(), basis.n_per_molecule());
         let plan = SubmatrixPlan::one_per_column(&pattern, &dims);
         let t_sm = model_submatrix_run(&plan, &pattern, &dims, cores, &cluster).total();
-        let t_ns =
-            model_newton_schulz_run(&pattern, &dims, cores, 5, iters, 2.0, &cluster).total();
+        let t_ns = model_newton_schulz_run(&pattern, &dims, cores, 5, iters, 2.0, &cluster).total();
         if step == 0 {
             sm_base = t_sm;
             ns_base = t_ns;
@@ -103,8 +100,7 @@ fn claim_method_advantage_grows_with_sparsity() {
         let (plan, pattern, dims) = plan_for(4, eps);
         let iters = ns_iteration_estimate(0.05, eps);
         let t_sm = model_submatrix_run(&plan, &pattern, &dims, 80, &cluster).total();
-        let t_ns =
-            model_newton_schulz_run(&pattern, &dims, 80, 5, iters, 2.0, &cluster).total();
+        let t_ns = model_newton_schulz_run(&pattern, &dims, 80, 5, iters, 2.0, &cluster).total();
         let ratio = t_sm / t_ns;
         assert!(
             ratio < prev_ratio * 1.05,
@@ -113,7 +109,10 @@ fn claim_method_advantage_grows_with_sparsity() {
         prev_ratio = ratio;
     }
     // At the loosest filter the submatrix method wins outright.
-    assert!(prev_ratio < 1.0, "SM must win on sparse patterns: {prev_ratio}");
+    assert!(
+        prev_ratio < 1.0,
+        "SM must win on sparse patterns: {prev_ratio}"
+    );
 }
 
 #[test]

@@ -7,11 +7,7 @@ use cp2k_submatrix::prelude::*;
 use sm_chem::energy::{band_energy, electron_count, error_mev_per_atom};
 use sm_chem::reference::DenseReference;
 
-fn setup(
-    nrep: usize,
-    range_scale: f64,
-    eps: f64,
-) -> (WaterBox, SystemMatrices, DbcsrMatrix, f64) {
+fn setup(nrep: usize, range_scale: f64, eps: f64) -> (WaterBox, SystemMatrices, DbcsrMatrix, f64) {
     let water = WaterBox::cubic(nrep, 42);
     let basis = BasisSet::szv().with_range_scale(range_scale);
     let comm = SerialComm::new();
@@ -168,8 +164,7 @@ fn finite_temperature_pipeline_increases_entropy_like_smearing() {
 
 #[test]
 fn grouping_strategies_all_conserve_electrons() {
-    let (water, _, kt, mu) = setup(2, 0.55, 1e-6)
-;
+    let (water, _, kt, mu) = setup(2, 0.55, 1e-6);
     let comm = SerialComm::new();
     let expected = 8.0 * water.n_molecules() as f64;
     for grouping in [
