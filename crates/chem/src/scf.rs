@@ -114,6 +114,11 @@ impl ScfDriver {
     /// Run the loop from the orthogonalized Kohn–Sham matrix `kt0`
     /// (collective). `n_electrons` fixes the canonical target; `mu0` seeds
     /// the chemical potential.
+    ///
+    /// `comm` may be any communicator — including a scheduler subgroup
+    /// ([`sm_comsim::SubComm`]), so several SCF systems can iterate
+    /// concurrently on disjoint rank groups of one world (see the
+    /// `scf_subgroup` test).
     pub fn run<C: Comm>(
         &self,
         kt0: &DbcsrMatrix,

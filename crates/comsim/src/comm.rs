@@ -119,6 +119,32 @@ pub trait Comm {
 
     /// Broadcast `root`'s vector to all ranks (in place).
     fn broadcast_f64(&self, root: usize, x: &mut Vec<f64>);
+
+    /// Collectively partition this communicator into subgroups by `color`
+    /// (MPI_Comm_split): every rank must call this; ranks sharing a color
+    /// form one [`SubComm`](crate::subcomm::SubComm), ordered by
+    /// `(key, rank)`. See [`crate::subcomm`] for the tag-namespace
+    /// contract.
+    fn split(&self, color: u64, key: u64) -> crate::subcomm::SubComm<'_, Self>
+    where
+        Self: Sized,
+    {
+        crate::subcomm::split(self, color, key)
+    }
+
+    /// Transport hook for subcommunicator traffic: deliver a message whose
+    /// tag lives in the reserved [`SUBGROUP_BIT`](crate::subcomm::SUBGROUP_BIT)
+    /// namespace (which [`send`](Comm::send) implementations may reject
+    /// for user traffic). Not for direct use — [`SubComm`](crate::subcomm::SubComm)
+    /// is the only caller.
+    fn send_subgroup(&self, dst: usize, tag: u64, payload: Payload) {
+        self.send(dst, tag, payload);
+    }
+
+    /// Receive counterpart of [`send_subgroup`](Comm::send_subgroup).
+    fn recv_subgroup(&self, src: usize, tag: u64) -> Payload {
+        self.recv(src, tag)
+    }
 }
 
 /// Trivial single-rank communicator: all operations are local no-ops or

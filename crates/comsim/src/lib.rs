@@ -7,7 +7,10 @@
 //!   the [`comm::Comm`] trait (point-to-point send/recv with tags, barrier,
 //!   reductions, gathers, all-to-all). Every transfer is counted
 //!   ([`stats::CommStats`]) so the transfer-deduplication claims of paper
-//!   Sec. IV-B can be measured;
+//!   Sec. IV-B can be measured. [`comm::Comm::split`] carves any
+//!   communicator into per-job subgroups ([`subcomm::SubComm`], the
+//!   `MPI_Comm_split` analogue) whose traffic rides a reserved tag
+//!   namespace and is accounted per group;
 //! * an **analytic cluster model** ([`model::ClusterModel`] +
 //!   [`model::SimClock`]) that converts per-rank FLOP and byte counts into a
 //!   simulated wall-clock time for bulk-synchronous supersteps. The scaling
@@ -18,13 +21,16 @@
 //! the dense reference paths.
 
 pub mod cart;
+mod collectives;
 pub mod comm;
 pub mod model;
 pub mod stats;
+pub mod subcomm;
 pub mod thread;
 
 pub use cart::Cart2d;
 pub use comm::{Comm, Payload, ReduceOp, SerialComm};
 pub use model::{ClusterModel, SimClock};
 pub use stats::CommStats;
+pub use subcomm::{SubComm, SUBGROUP_BIT};
 pub use thread::{run_ranks, ThreadComm, COLLECTIVE_BIT};

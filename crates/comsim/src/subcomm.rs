@@ -1,0 +1,456 @@
+//! Subcommunicators: partition a communicator into independent groups.
+//!
+//! [`split`] mirrors `MPI_Comm_split`: every rank of the parent calls it
+//! collectively with a `color` and a `key`; ranks sharing a color form one
+//! [`SubComm`], ordered by `(key, parent rank)`. The subcommunicator
+//! implements the full [`Comm`] trait — point-to-point with tags, barrier,
+//! reductions, gathers, all-to-all — by translating sub-ranks to parent
+//! ranks and rewriting tags into a reserved namespace, so any collective
+//! code written against [`Comm`] (the submatrix engine, the SCF driver,
+//! the wire block exchanges) runs unchanged inside a subgroup.
+//!
+//! ## Tag discipline
+//!
+//! The parent's tag space gains a second reserved bit: all subgroup
+//! traffic rides parent tags with [`SUBGROUP_BIT`] set, so it can never
+//! cross-match direct parent-level user sends (which `sm-dbcsr`'s
+//! `user_tag` guard keeps clear of both reserved bits). Within that
+//! namespace, bit [`SUB_COLLECTIVE_BIT`] separates the subgroup's own
+//! collective traffic from its user sends — the same guard the parent
+//! applies with [`COLLECTIVE_BIT`], one level down. User tags inside a
+//! subgroup must therefore fit in the low [`SUB_TAG_BITS`] bits; the
+//! existing wire-format tags (small constants) all do.
+//!
+//! Because colors partition the parent's ranks, two live subgroups can
+//! never exchange messages, and a salt derived from the color keeps
+//! traffic of a subgroup distinguishable from a later same-shape split.
+//! One restriction is enforced at runtime: subcommunicators cannot be
+//! split again (nested namespaces would overflow the tag word).
+//!
+//! ## Statistics
+//!
+//! Each [`SubComm`] handle carries its own [`CommStats`] sized to the
+//! subgroup, counting the traffic *this rank* sent within the group
+//! (indexed by sub-rank). Parent-level counters still see the same bytes;
+//! the subgroup view is what lets a scheduler attribute traffic per job
+//! group — aggregate across members with
+//! [`SubComm::group_traffic_totals`].
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crate::collectives::{self, Transport};
+use crate::comm::{Comm, Payload, ReduceOp};
+use crate::stats::CommStats;
+use crate::thread::COLLECTIVE_BIT;
+
+/// Parent-tag bit reserved for subgroup traffic (bit 62; bit 63 is the
+/// parent's own [`COLLECTIVE_BIT`]).
+pub const SUBGROUP_BIT: u64 = 1 << 62;
+
+/// Bit separating a subgroup's internal collective traffic from its user
+/// sends, inside the subgroup namespace.
+pub const SUB_COLLECTIVE_BIT: u64 = 1 << 46;
+
+/// Width of the user tag space inside a subgroup.
+pub const SUB_TAG_BITS: u32 = 46;
+
+/// Bits of color-derived salt mixed into every subgroup tag.
+const SALT_BITS: u32 = 15;
+const SALT_SHIFT: u32 = 47;
+
+/// One rank's handle on a subgroup of a parent communicator. Created
+/// collectively by [`split`] / [`Comm::split`].
+pub struct SubComm<'a, C: Comm> {
+    parent: &'a C,
+    color: u64,
+    /// This rank's index within the subgroup.
+    rank: usize,
+    /// Parent ranks of the subgroup members, indexed by sub-rank.
+    members: Vec<usize>,
+    salt: u64,
+    stats: Arc<CommStats>,
+    coll_seq: Cell<u64>,
+}
+
+/// Collectively split `parent` into subgroups by `color`; members are
+/// ranked by `(key, parent rank)`. Every parent rank must call this (it
+/// performs a parent-level allgather), and every parent rank receives a
+/// subcommunicator — there is no `MPI_UNDEFINED`; callers that want idle
+/// ranks give them a private color and leave the subgroup unused.
+pub fn split<C: Comm>(parent: &C, color: u64, key: u64) -> SubComm<'_, C> {
+    let mine = [color, key];
+    let all = parent.allgather_u64(&mine);
+    let mut members: Vec<(u64, usize)> = all
+        .iter()
+        .enumerate()
+        .filter(|(_, ck)| ck[0] == color)
+        .map(|(r, ck)| (ck[1], r))
+        .collect();
+    members.sort();
+    let members: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
+    let rank = members
+        .iter()
+        .position(|&r| r == parent.rank())
+        .expect("calling rank is always a member of its own color");
+    let stats = CommStats::new(members.len());
+    SubComm {
+        parent,
+        color,
+        rank,
+        members,
+        salt: salt_for_color(color),
+        stats,
+        coll_seq: Cell::new(0),
+    }
+}
+
+/// SplitMix64-style salt from the subgroup color, truncated to
+/// [`SALT_BITS`]. Distinguishes (probabilistically) the tag namespaces of
+/// differently-colored splits over time; same-color re-splits share a
+/// namespace, which is safe because every protocol here fully drains its
+/// messages (each send matched by a blocking recv).
+fn salt_for_color(color: u64) -> u64 {
+    let mut z = color.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) & ((1 << SALT_BITS) - 1)
+}
+
+impl<'a, C: Comm> SubComm<'a, C> {
+    /// The color this subgroup was formed with.
+    pub fn color(&self) -> u64 {
+        self.color
+    }
+
+    /// Parent rank of subgroup member `sub_rank`.
+    pub fn parent_rank_of(&self, sub_rank: usize) -> usize {
+        self.members[sub_rank]
+    }
+
+    /// Parent ranks of all members, indexed by sub-rank.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The parent communicator.
+    pub fn parent(&self) -> &'a C {
+        self.parent
+    }
+
+    /// This handle's subgroup traffic counters: what *this rank* sent
+    /// within the group, indexed by sub-rank. (Ranks do not share memory,
+    /// so each member holds its own row; reduce across the group with
+    /// [`group_traffic_totals`](Self::group_traffic_totals).)
+    pub fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    /// Group-wide `(bytes, messages)` sent within the subgroup so far
+    /// (collective: sums every member's local counters).
+    pub fn group_traffic_totals(&self) -> (u64, u64) {
+        let mut x = [
+            self.stats.total_bytes() as f64,
+            self.stats.total_msgs() as f64,
+        ];
+        self.allreduce_f64(ReduceOp::Sum, &mut x);
+        (x[0] as u64, x[1] as u64)
+    }
+
+    fn user_parent_tag(&self, tag: u64) -> u64 {
+        assert!(
+            tag >> SUB_TAG_BITS == 0,
+            "subgroup user tag {tag:#x} exceeds {SUB_TAG_BITS} bits"
+        );
+        SUBGROUP_BIT | (self.salt << SALT_SHIFT) | tag
+    }
+
+    fn next_collective_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        assert!(
+            seq >> SUB_TAG_BITS == 0,
+            "subgroup collective sequence overflowed"
+        );
+        SUBGROUP_BIT | (self.salt << SALT_SHIFT) | SUB_COLLECTIVE_BIT | seq
+    }
+
+    fn send_raw(&self, dst: usize, parent_tag: u64, payload: Payload) {
+        if dst != self.rank {
+            self.stats.record_send(self.rank, payload.byte_len());
+        }
+        self.parent
+            .send_subgroup(self.members[dst], parent_tag, payload);
+    }
+
+    fn recv_raw(&self, src: usize, parent_tag: u64) -> Payload {
+        self.parent.recv_subgroup(self.members[src], parent_tag)
+    }
+}
+
+impl<C: Comm> Transport for SubComm<'_, C> {
+    fn p2p_rank(&self) -> usize {
+        self.rank
+    }
+
+    fn p2p_size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn send_p2p(&self, dst: usize, tag: u64, payload: Payload) {
+        self.send_raw(dst, tag, payload);
+    }
+
+    fn recv_p2p(&self, src: usize, tag: u64) -> Payload {
+        self.recv_raw(src, tag)
+    }
+}
+
+impl<C: Comm> Comm for SubComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        self.send_raw(dst, self.user_parent_tag(tag), payload);
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        self.recv_raw(src, self.user_parent_tag(tag))
+    }
+
+    /// Synchronize the subgroup only. (The parent barrier would deadlock:
+    /// other subgroups are off running their own work.) Implemented as a
+    /// gather-to-root plus release fan-out over the subgroup's own tags.
+    fn barrier(&self) {
+        let tag_up = self.next_collective_tag();
+        let tag_down = self.next_collective_tag();
+        collectives::barrier_p2p(self, tag_up, tag_down);
+    }
+
+    fn allreduce_f64(&self, op: ReduceOp, x: &mut [f64]) {
+        let tag_up = self.next_collective_tag();
+        let tag_down = self.next_collective_tag();
+        collectives::allreduce_f64(self, tag_up, tag_down, op, x);
+    }
+
+    fn allgather_u64(&self, local: &[u64]) -> Vec<Vec<u64>> {
+        collectives::allgather_u64(self, self.next_collective_tag(), local)
+    }
+
+    fn allgather_f64(&self, local: &[f64]) -> Vec<Vec<f64>> {
+        collectives::allgather_f64(self, self.next_collective_tag(), local)
+    }
+
+    fn alltoallv(&self, sends: Vec<Payload>) -> Vec<Payload> {
+        collectives::alltoallv(self, self.next_collective_tag(), sends)
+    }
+
+    fn broadcast_f64(&self, root: usize, x: &mut Vec<f64>) {
+        collectives::broadcast_f64(self, self.next_collective_tag(), root, x)
+    }
+
+    fn split(&self, _color: u64, _key: u64) -> SubComm<'_, Self> {
+        panic!("nested subcommunicator splits are not supported (tag namespace is one level deep)");
+    }
+
+    fn send_subgroup(&self, _dst: usize, _tag: u64, _payload: Payload) {
+        panic!("nested subcommunicator splits are not supported (tag namespace is one level deep)");
+    }
+
+    fn recv_subgroup(&self, _src: usize, _tag: u64) -> Payload {
+        panic!("nested subcommunicator splits are not supported (tag namespace is one level deep)");
+    }
+}
+
+/// Debug check used by the raw subgroup transport hooks: a subgroup parent
+/// tag must carry [`SUBGROUP_BIT`] and keep the parent's collective bit
+/// clear.
+#[inline]
+pub(crate) fn assert_subgroup_tag(tag: u64) {
+    debug_assert!(
+        tag & SUBGROUP_BIT != 0 && tag & COLLECTIVE_BIT == 0,
+        "subgroup transport used with a non-subgroup tag {tag:#x}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SerialComm;
+    use crate::thread::run_ranks;
+
+    #[test]
+    fn serial_split_is_singleton() {
+        let c = SerialComm::new();
+        let sub = c.split(7, 0);
+        assert_eq!(sub.rank(), 0);
+        assert_eq!(sub.size(), 1);
+        assert_eq!(sub.members(), &[0]);
+        let mut x = vec![2.0];
+        sub.allreduce_f64(ReduceOp::Sum, &mut x);
+        assert_eq!(x, vec![2.0]);
+        sub.barrier();
+        assert_eq!(sub.allgather_u64(&[4, 5]), vec![vec![4, 5]]);
+        let got = sub.alltoallv(vec![Payload::U64(vec![1])]);
+        assert_eq!(got[0].clone().into_u64(), vec![1]);
+    }
+
+    #[test]
+    fn split_partitions_by_color_and_orders_by_key() {
+        let (results, _) = run_ranks(6, |c| {
+            // Even/odd split with keys reversing the natural order.
+            let color = (c.rank() % 2) as u64;
+            let key = (10 - c.rank()) as u64;
+            let sub = c.split(color, key);
+            (sub.rank(), sub.size(), sub.members().to_vec())
+        });
+        // Color 0 = parent ranks {0,2,4}, keys {10,8,6} => order 4,2,0.
+        assert_eq!(results[4].0, 0);
+        assert_eq!(results[2].0, 1);
+        assert_eq!(results[0].0, 2);
+        for r in [0, 2, 4] {
+            assert_eq!(results[r].1, 3);
+            assert_eq!(results[r].2, vec![4, 2, 0]);
+        }
+        // Color 1 = parent ranks {1,3,5}.
+        assert_eq!(results[5].2, vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn subgroup_collectives_are_independent() {
+        let (results, _) = run_ranks(6, |c| {
+            let color = (c.rank() / 3) as u64; // {0,1,2} vs {3,4,5}
+            let sub = c.split(color, c.rank() as u64);
+            // Different groups do *different numbers* of collectives —
+            // exactly what a world-level collective could never survive.
+            let rounds = 1 + color as usize * 3;
+            let mut total = 0.0;
+            for _ in 0..rounds {
+                let mut x = vec![sub.rank() as f64 + 1.0];
+                sub.allreduce_f64(ReduceOp::Sum, &mut x);
+                total = x[0];
+            }
+            sub.barrier();
+            total
+        });
+        for r in results {
+            assert_eq!(r, 6.0); // 1+2+3 in both groups
+        }
+    }
+
+    #[test]
+    fn subgroup_point_to_point_and_user_tags() {
+        let (results, _) = run_ranks(4, |c| {
+            let color = (c.rank() % 2) as u64;
+            let sub = c.split(color, c.rank() as u64);
+            // Ring within each 2-member subgroup, reusing the *same* user
+            // tag in both groups: namespaces must not cross-match.
+            let next = (sub.rank() + 1) % sub.size();
+            let prev = (sub.rank() + sub.size() - 1) % sub.size();
+            sub.send(next, 3, Payload::U64(vec![c.rank() as u64 * 100]));
+            sub.recv(prev, 3).into_u64()[0]
+        });
+        assert_eq!(results, vec![200, 300, 0, 100]);
+    }
+
+    #[test]
+    fn subgroup_stats_attribute_traffic_per_group() {
+        let (results, _) = run_ranks(4, |c| {
+            let color = (c.rank() / 2) as u64;
+            let sub = c.split(color, c.rank() as u64);
+            if sub.rank() == 0 {
+                sub.send(1, 1, Payload::F64(vec![0.0; 10])); // 80 bytes
+            } else {
+                sub.recv(0, 1);
+            }
+            sub.group_traffic_totals()
+        });
+        for (bytes, msgs) in results {
+            assert_eq!(bytes, 80);
+            assert_eq!(msgs, 1);
+        }
+    }
+
+    #[test]
+    fn world_and_subgroup_traffic_coexist() {
+        // Parent-level user sends concurrent with subgroup traffic on the
+        // same tag value: the SUBGROUP_BIT namespace keeps them apart.
+        let (results, _) = run_ranks(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as u64);
+            if c.rank() == 0 {
+                c.send(1, 9, Payload::U64(vec![111]));
+            }
+            sub.send((sub.rank() + 1) % 2, 9, Payload::U64(vec![c.rank() as u64]));
+            let from_sub = sub.recv((sub.rank() + 1) % 2, 9).into_u64()[0];
+            let from_world = if c.rank() == 1 {
+                c.recv(0, 9).into_u64()[0]
+            } else {
+                0
+            };
+            (from_sub, from_world)
+        });
+        assert_eq!(results[0].0, 2);
+        assert_eq!(results[1], (3, 111));
+    }
+
+    #[test]
+    #[should_panic(expected = "nested subcommunicator")]
+    fn nested_split_rejected() {
+        let c = SerialComm::new();
+        let sub = c.split(0, 0);
+        let _ = sub.split(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 46 bits")]
+    fn oversized_subgroup_user_tag_rejected() {
+        let c = SerialComm::new();
+        let sub = c.split(0, 0);
+        sub.send(0, 1 << 50, Payload::U64(vec![1]));
+    }
+
+    #[test]
+    fn full_collective_suite_inside_subgroups() {
+        let (results, _) = run_ranks(6, |c| {
+            let color = (c.rank() / 3) as u64;
+            let sub = c.split(color, c.rank() as u64);
+            let mut x = vec![sub.rank() as f64];
+            sub.allreduce_f64(ReduceOp::Max, &mut x);
+            let g = sub.allgather_u64(&[sub.rank() as u64]);
+            let gf = sub.allgather_f64(&[sub.rank() as f64 * 0.5]);
+            let a = sub.alltoallv(
+                (0..sub.size())
+                    .map(|d| Payload::U64(vec![(sub.rank() * 10 + d) as u64]))
+                    .collect(),
+            );
+            let mut b = if sub.rank() == 1 {
+                vec![42.0]
+            } else {
+                Vec::new()
+            };
+            sub.broadcast_f64(1, &mut b);
+            (
+                x[0],
+                g,
+                gf,
+                a.into_iter().map(|p| p.into_u64()).collect::<Vec<_>>(),
+                b,
+            )
+        });
+        for (max, g, gf, a, b) in results {
+            assert_eq!(max, 2.0);
+            assert_eq!(g, vec![vec![0], vec![1], vec![2]]);
+            assert_eq!(gf, vec![vec![0.0], vec![0.5], vec![1.0]]);
+            for (src, v) in a.iter().enumerate() {
+                assert_eq!(v.len(), 1);
+                assert_eq!(v[0] / 10, src as u64);
+            }
+            assert_eq!(b, vec![42.0]);
+        }
+    }
+}

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::collectives::{self, Transport};
 use crate::comm::{Comm, Payload, ReduceOp};
 use crate::stats::CommStats;
 
@@ -62,6 +63,10 @@ impl Comm for ThreadComm {
             tag & COLLECTIVE_BIT == 0,
             "user tags must not set the collective bit"
         );
+        assert!(
+            tag & crate::subcomm::SUBGROUP_BIT == 0,
+            "user tags must not set the subgroup bit"
+        );
         self.send_internal(dst, tag, payload);
     }
 
@@ -74,98 +79,53 @@ impl Comm for ThreadComm {
     }
 
     fn allreduce_f64(&self, op: ReduceOp, x: &mut [f64]) {
-        // Reduce-to-root then broadcast; two tags from one sequence slot.
         let tag_up = self.next_collective_tag();
         let tag_down = self.next_collective_tag();
-        if self.rank == 0 {
-            for src in 1..self.size {
-                let contrib = self.recv_internal(src, tag_up).into_f64();
-                assert_eq!(contrib.len(), x.len(), "allreduce length mismatch");
-                for (xi, ci) in x.iter_mut().zip(contrib) {
-                    *xi = op.combine(*xi, ci);
-                }
-            }
-            for dst in 1..self.size {
-                self.send_internal(dst, tag_down, Payload::F64(x.to_vec()));
-            }
-        } else {
-            self.send_internal(0, tag_up, Payload::F64(x.to_vec()));
-            let combined = self.recv_internal(0, tag_down).into_f64();
-            x.copy_from_slice(&combined);
-        }
+        collectives::allreduce_f64(self, tag_up, tag_down, op, x);
     }
 
-    #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
     fn allgather_u64(&self, local: &[u64]) -> Vec<Vec<u64>> {
-        let tag = self.next_collective_tag();
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.send_internal(dst, tag, Payload::U64(local.to_vec()));
-            }
-        }
-        let mut out = vec![Vec::new(); self.size];
-        out[self.rank] = local.to_vec();
-        for src in 0..self.size {
-            if src != self.rank {
-                out[src] = self.recv_internal(src, tag).into_u64();
-            }
-        }
-        out
+        collectives::allgather_u64(self, self.next_collective_tag(), local)
     }
 
-    #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
     fn allgather_f64(&self, local: &[f64]) -> Vec<Vec<f64>> {
-        let tag = self.next_collective_tag();
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.send_internal(dst, tag, Payload::F64(local.to_vec()));
-            }
-        }
-        let mut out = vec![Vec::new(); self.size];
-        out[self.rank] = local.to_vec();
-        for src in 0..self.size {
-            if src != self.rank {
-                out[src] = self.recv_internal(src, tag).into_f64();
-            }
-        }
-        out
+        collectives::allgather_f64(self, self.next_collective_tag(), local)
     }
 
-    #[allow(clippy::needless_range_loop)] // indexed loops mirror MPI rank iteration
     fn alltoallv(&self, sends: Vec<Payload>) -> Vec<Payload> {
-        assert_eq!(
-            sends.len(),
-            self.size,
-            "alltoallv needs one payload per rank"
-        );
-        let tag = self.next_collective_tag();
-        let mut out: Vec<Option<Payload>> = (0..self.size).map(|_| None).collect();
-        for (dst, payload) in sends.into_iter().enumerate() {
-            if dst == self.rank {
-                out[dst] = Some(payload);
-            } else {
-                self.send_internal(dst, tag, payload);
-            }
-        }
-        for src in 0..self.size {
-            if src != self.rank {
-                out[src] = Some(self.recv_internal(src, tag));
-            }
-        }
-        out.into_iter().map(|p| p.expect("filled above")).collect()
+        collectives::alltoallv(self, self.next_collective_tag(), sends)
     }
 
     fn broadcast_f64(&self, root: usize, x: &mut Vec<f64>) {
-        let tag = self.next_collective_tag();
-        if self.rank == root {
-            for dst in 0..self.size {
-                if dst != root {
-                    self.send_internal(dst, tag, Payload::F64(x.clone()));
-                }
-            }
-        } else {
-            *x = self.recv_internal(root, tag).into_f64();
-        }
+        collectives::broadcast_f64(self, self.next_collective_tag(), root, x)
+    }
+
+    fn send_subgroup(&self, dst: usize, tag: u64, payload: Payload) {
+        crate::subcomm::assert_subgroup_tag(tag);
+        self.send_internal(dst, tag, payload);
+    }
+
+    fn recv_subgroup(&self, src: usize, tag: u64) -> Payload {
+        crate::subcomm::assert_subgroup_tag(tag);
+        self.recv_internal(src, tag)
+    }
+}
+
+impl Transport for ThreadComm {
+    fn p2p_rank(&self) -> usize {
+        self.rank
+    }
+
+    fn p2p_size(&self) -> usize {
+        self.size
+    }
+
+    fn send_p2p(&self, dst: usize, tag: u64, payload: Payload) {
+        self.send_internal(dst, tag, payload);
+    }
+
+    fn recv_p2p(&self, src: usize, tag: u64) -> Payload {
+        self.recv_internal(src, tag)
     }
 }
 

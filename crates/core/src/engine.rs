@@ -106,6 +106,14 @@ pub struct EngineOptions {
     pub grouping: Grouping,
     /// Solve local submatrices in parallel over the shared pool.
     pub parallel: bool,
+    /// Plan-cache capacity in *entries* (plans), evicted least-recently-
+    /// used by `(fingerprint, rank, size)` key. `None` (the default) keeps
+    /// every plan, the historical behavior. Note that plans are per-rank:
+    /// a pattern evaluated by a `size`-rank communicator occupies `size`
+    /// entries, so long-running multi-tenant services should budget
+    /// `capacity ≥ live_patterns × world_size`. `Some(0)` disables caching
+    /// entirely (every call replans; nothing is retained).
+    pub plan_cache_capacity: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -113,6 +121,7 @@ impl Default for EngineOptions {
         EngineOptions {
             grouping: Grouping::OnePerColumn,
             parallel: true,
+            plan_cache_capacity: None,
         }
     }
 }
@@ -441,6 +450,22 @@ pub struct EngineReport {
     pub scatter_seconds: f64,
 }
 
+impl EngineReport {
+    /// Record the planning outcome the caller observed: whether *this
+    /// call* built `plan` (a cache miss it paid for) or found it cached.
+    /// The single definition every plan-then-execute path (engine
+    /// drivers, `JobQueue`, the scheduler) applies, so their telemetry
+    /// stays comparable.
+    pub fn record_planning(&mut self, built_now: bool, plan: &ExecutionPlan) {
+        self.plan_cached = !built_now;
+        self.symbolic_seconds = if built_now {
+            plan.symbolic_seconds
+        } else {
+            0.0
+        };
+    }
+}
+
 /// Cumulative engine counters (monotone; snapshot via
 /// [`SubmatrixEngine::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -449,6 +474,8 @@ pub struct EngineStats {
     pub symbolic_builds: usize,
     /// Plan-cache hits.
     pub cache_hits: usize,
+    /// Plans evicted by the LRU policy (0 when the cache is unbounded).
+    pub evictions: usize,
     /// Numeric executions.
     pub executions: usize,
 }
@@ -457,14 +484,67 @@ pub struct EngineStats {
 struct Counters {
     builds: AtomicUsize,
     hits: AtomicUsize,
+    evictions: AtomicUsize,
     executions: AtomicUsize,
+}
+
+type CacheKey = (u64, usize, usize);
+
+/// Plan cache with optional LRU bounding. Recency is a monotone stamp
+/// bumped on every hit and insert; eviction scans for the minimum stamp —
+/// O(entries), irrelevant next to the cost of the symbolic build that
+/// triggers it.
+#[derive(Default)]
+struct PlanCache {
+    map: HashMap<CacheKey, (Arc<ExecutionPlan>, u64)>,
+    tick: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<ExecutionPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(plan, stamp)| {
+            *stamp = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Insert a plan, evicting least-recently-used entries while over
+    /// `capacity`. Returns how many plans were evicted.
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        plan: Arc<ExecutionPlan>,
+        capacity: Option<usize>,
+    ) -> usize {
+        if capacity == Some(0) {
+            return 0; // caching disabled; nothing retained, nothing evicted
+        }
+        self.tick += 1;
+        self.map.insert(key, (plan, self.tick));
+        let mut evicted = 0;
+        if let Some(cap) = capacity {
+            while self.map.len() > cap {
+                let oldest = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| *k)
+                    .expect("cache over capacity implies nonempty");
+                self.map.remove(&oldest);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 /// The persistent engine: symbolic plans cached by pattern fingerprint,
 /// numeric executions replayed on top (see the module docs).
 pub struct SubmatrixEngine {
     opts: EngineOptions,
-    cache: Mutex<HashMap<(u64, usize, usize), Arc<ExecutionPlan>>>,
+    cache: Mutex<PlanCache>,
     counters: Counters,
 }
 
@@ -479,7 +559,7 @@ impl SubmatrixEngine {
     pub fn new(opts: EngineOptions) -> Self {
         SubmatrixEngine {
             opts,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(PlanCache::default()),
             counters: Counters::default(),
         }
     }
@@ -494,22 +574,31 @@ impl SubmatrixEngine {
         EngineStats {
             symbolic_builds: self.counters.builds.load(Ordering::Relaxed),
             cache_hits: self.counters.hits.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
             executions: self.counters.executions.load(Ordering::Relaxed),
         }
     }
 
     /// Drop all cached plans (e.g. after a basis change invalidates every
-    /// pattern this engine has seen).
+    /// pattern this engine has seen). Not counted as evictions.
     pub fn clear_cache(&self) {
-        self.cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .clear();
     }
 
     /// Number of cached plans.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
     }
 
-    fn cache_key(&self, fp: PatternFingerprint, rank: usize, size: usize) -> (u64, usize, usize) {
+    fn cache_key(&self, fp: PatternFingerprint, rank: usize, size: usize) -> CacheKey {
         (fp.0 ^ self.opts.grouping.cache_tag(), rank, size)
     }
 
@@ -523,14 +612,20 @@ impl SubmatrixEngine {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(&self.cache_key(fp, rank, size))
-            .cloned()
     }
 
     fn insert(&self, plan: Arc<ExecutionPlan>) {
-        self.cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(self.cache_key(plan.fingerprint, plan.rank, plan.size), plan);
+        let key = self.cache_key(plan.fingerprint, plan.rank, plan.size);
+        let evicted = self.cache.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            key,
+            plan,
+            self.opts.plan_cache_capacity,
+        );
+        if evicted > 0 {
+            self.counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Symbolic phase on an explicit pattern: build (or fetch) the plan for
@@ -570,17 +665,34 @@ impl SubmatrixEngine {
     /// cached (`false`). The flag is derived from this call's own
     /// miss/build path, so it stays accurate when the engine is shared
     /// between rank threads.
+    ///
+    /// Hit/miss is decided by **consensus**: when the engine is shared
+    /// between concurrent rank groups (the scheduler's multi-tenant mode),
+    /// one group's insert or the LRU's eviction can land between two ranks
+    /// of another group probing the same fingerprint — without consensus
+    /// the hitting rank would skip the collective pattern gather the
+    /// missing rank is entering, and the group would deadlock. The extra
+    /// allreduce is one scalar; on a hit everyone still skips the gather.
     pub fn plan_for_matrix_traced<C: Comm>(
         &self,
         m: &DbcsrMatrix,
         comm: &C,
     ) -> (Arc<ExecutionPlan>, bool) {
         let fp = m.pattern_fingerprint(comm);
-        if let Some(hit) = self.lookup(fp, comm.rank(), comm.size()) {
+        let local_hit = self.lookup(fp, comm.rank(), comm.size());
+        let mut any_miss = [if local_hit.is_some() { 0.0 } else { 1.0 }];
+        comm.allreduce_f64(sm_comsim::ReduceOp::Max, &mut any_miss);
+        if any_miss[0] == 0.0 {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (local_hit.expect("consensus hit implies local hit"), false);
+        }
+        // At least one rank misses: every rank enters the collective
+        // gather; ranks that hit locally keep their cached plan.
+        let pattern = m.global_pattern(comm);
+        if let Some(hit) = local_hit {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return (hit, false);
         }
-        let pattern = m.global_pattern(comm);
         let plan = Arc::new(ExecutionPlan::build(
             pattern,
             m.dims().clone(),
@@ -775,12 +887,7 @@ impl SubmatrixEngine {
     ) -> (DbcsrMatrix, EngineReport) {
         let (plan, built_now) = self.plan_for_matrix_traced(values, comm);
         let (result, mut report) = self.execute(&plan, values, mu0, numeric, comm);
-        report.plan_cached = !built_now;
-        report.symbolic_seconds = if built_now {
-            plan.symbolic_seconds
-        } else {
-            0.0
-        };
+        report.record_planning(built_now, &plan);
         (result, report)
     }
 
@@ -953,6 +1060,88 @@ mod tests {
         }
         assert_eq!(engine.stats().symbolic_builds, 4); // one per rank
         assert_eq!(engine.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn lru_evicts_and_replans_deterministically() {
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::new(EngineOptions {
+            plan_cache_capacity: Some(2),
+            ..EngineOptions::default()
+        });
+        let mats: Vec<DbcsrMatrix> = [4, 6, 8]
+            .iter()
+            .map(|&nb| {
+                let (d, dims) = banded_gapped(nb, 2);
+                DbcsrMatrix::from_dense(&d, dims, 0, 1, 0.0)
+            })
+            .collect();
+        // Fill: A, B -> both cached.
+        engine.plan_for_matrix(&mats[0], &comm);
+        engine.plan_for_matrix(&mats[1], &comm);
+        assert_eq!(engine.cached_plans(), 2);
+        assert_eq!(engine.stats().evictions, 0);
+        // Touch A (now most recent), insert C -> B is the LRU victim.
+        engine.plan_for_matrix(&mats[0], &comm);
+        engine.plan_for_matrix(&mats[2], &comm);
+        assert_eq!(engine.cached_plans(), 2);
+        assert_eq!(engine.stats().evictions, 1);
+        // A and C hit; B must re-plan (deterministically, every round).
+        let (_, a_built) = engine.plan_for_matrix_traced(&mats[0], &comm);
+        let (_, c_built) = engine.plan_for_matrix_traced(&mats[2], &comm);
+        assert!(!a_built && !c_built, "survivors must still be cached");
+        let (_, b_built) = engine.plan_for_matrix_traced(&mats[1], &comm);
+        assert!(b_built, "evicted plan must be rebuilt");
+        let stats = engine.stats();
+        assert_eq!(stats.symbolic_builds, 4); // A, B, C, B again
+        assert_eq!(stats.evictions, 2); // B once, then A or C for B's return
+    }
+
+    #[test]
+    fn capacity_one_cache_never_reuses_wrong_plan() {
+        // Two alternating patterns through a capacity-1 cache: every access
+        // evicts the other, every execution must still be correct.
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::new(EngineOptions {
+            plan_cache_capacity: Some(1),
+            ..EngineOptions::default()
+        });
+        let (d1, dims1) = banded_gapped(5, 2);
+        let (d2, dims2) = banded_gapped(8, 2);
+        let m1 = DbcsrMatrix::from_dense(&d1, dims1, 0, 1, 0.0);
+        let m2 = DbcsrMatrix::from_dense(&d2, dims2, 0, 1, 0.0);
+        let e1 = sign_eig(&d1).unwrap();
+        let e2 = sign_eig(&d2).unwrap();
+        for _ in 0..3 {
+            let (s1, _) = engine.sign(&m1, 0.0, &NumericOptions::default(), &comm);
+            assert!(s1.to_dense(&comm).max_abs_diff(&e1) < 0.05);
+            let (s2, _) = engine.sign(&m2, 0.0, &NumericOptions::default(), &comm);
+            assert!(s2.to_dense(&comm).max_abs_diff(&e2) < 0.05);
+        }
+        let stats = engine.stats();
+        assert_eq!(engine.cached_plans(), 1);
+        assert_eq!(stats.symbolic_builds, 6, "thrashing replans every access");
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.evictions, 5);
+        assert_eq!(stats.executions, 6);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::new(EngineOptions {
+            plan_cache_capacity: Some(0),
+            ..EngineOptions::default()
+        });
+        let (d, dims) = banded_gapped(4, 2);
+        let m = DbcsrMatrix::from_dense(&d, dims, 0, 1, 0.0);
+        engine.sign(&m, 0.0, &NumericOptions::default(), &comm);
+        engine.sign(&m, 0.0, &NumericOptions::default(), &comm);
+        let stats = engine.stats();
+        assert_eq!(engine.cached_plans(), 0);
+        assert_eq!(stats.symbolic_builds, 2);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

@@ -57,6 +57,9 @@ impl SubmatrixOptions {
             EngineOptions {
                 grouping: self.grouping.clone(),
                 parallel: self.parallel,
+                // One-shot drivers build a throwaway engine per call; the
+                // cache never outlives it, so bounding is meaningless here.
+                plan_cache_capacity: None,
             },
             NumericOptions {
                 solve: self.solve,

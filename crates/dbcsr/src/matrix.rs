@@ -16,16 +16,12 @@ use crate::local::BlockStore;
 /// blocks to owners (matrices, the submatrix engine's transfer planning)
 /// must derive its grid from here so the mapping cannot drift.
 ///
-/// # Panics
-/// Panics unless `comm_size` is a perfect square (DBCSR-style grids).
+/// Any rank count is accepted: the grid is the most-square factorization
+/// ([`Cart2d::squarest`]), so per-job scheduler subgroups of arbitrary
+/// width can host matrices. Cannon multiplication additionally requires
+/// the grid to be square and asserts that itself.
 pub fn process_grid(comm_size: usize) -> Cart2d {
-    let q = (comm_size as f64).sqrt().round() as usize;
-    assert_eq!(
-        q * q,
-        comm_size,
-        "DBCSR process grid requires a square rank count, got {comm_size}"
-    );
-    Cart2d::new(q, q)
+    Cart2d::squarest(comm_size)
 }
 
 /// SPMD handle to a distributed block-sparse matrix.
@@ -43,7 +39,7 @@ pub struct DbcsrMatrix {
 
 impl DbcsrMatrix {
     /// Create an empty (all-zero) matrix for `rank` in a communicator of
-    /// `comm_size` ranks. `comm_size` must be a perfect square.
+    /// `comm_size` ranks.
     pub fn new(dims: BlockedDims, rank: usize, comm_size: usize) -> Self {
         let grid = process_grid(comm_size);
         assert!(rank < comm_size, "rank {rank} outside communicator");
@@ -280,9 +276,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "square rank count")]
-    fn non_square_comm_rejected() {
-        DbcsrMatrix::new(test_dims(), 0, 3);
+    fn non_square_comm_uses_squarest_grid() {
+        // Scheduler subgroups come in arbitrary widths; ownership follows
+        // the most-square factorization (here 1×3) and stays a partition.
+        let m = DbcsrMatrix::new(test_dims(), 0, 3);
+        assert_eq!(m.grid(), Cart2d::new(1, 3));
+        for br in 0..m.nb() {
+            for bc in 0..m.nb() {
+                assert!(m.owner(br, bc) < 3);
+            }
+        }
+        // 6 ranks factor 2×3.
+        let m6 = DbcsrMatrix::new(test_dims(), 5, 6);
+        assert_eq!(m6.grid(), Cart2d::new(2, 3));
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub fn multiply<C: Comm>(
     assert_eq!(a.dims(), b.dims(), "multiply: partition mismatch");
     assert_eq!(a.grid(), b.grid(), "multiply: grid mismatch");
     let grid = a.grid();
+    assert_eq!(
+        grid.rows(),
+        grid.cols(),
+        "Cannon multiplication requires a square process grid"
+    );
     let q = grid.rows();
     let rank = a.rank();
     let (my_r, my_c) = grid.coords(rank);

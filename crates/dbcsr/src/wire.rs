@@ -16,23 +16,31 @@
 
 use std::collections::BTreeMap;
 
-use sm_comsim::{Comm, Payload, COLLECTIVE_BIT};
+use sm_comsim::{Comm, Payload, COLLECTIVE_BIT, SUBGROUP_BIT};
 use sm_linalg::Matrix;
 
 use crate::dims::BlockedDims;
 use crate::local::{BlockCoord, BlockStore};
 
 /// Validate a user-chosen message tag against the communicator's reserved
-/// collective namespace.
+/// namespaces.
 ///
 /// # Panics
-/// Panics if `tag` sets [`COLLECTIVE_BIT`] — such a tag could cross-match
-/// internal collective traffic and corrupt an unrelated allgather.
+/// Panics if `tag` sets [`COLLECTIVE_BIT`] (it could cross-match internal
+/// collective traffic and corrupt an unrelated allgather) or
+/// [`SUBGROUP_BIT`] (reserved for subcommunicator traffic; see
+/// `sm_comsim::subcomm`). The guard applies unchanged *inside* a subgroup:
+/// a `SubComm` rewrites these low-bit user tags into its own namespace and
+/// enforces the same two reservations one level down.
 #[inline]
 pub fn user_tag(tag: u64) -> u64 {
     assert!(
         tag & COLLECTIVE_BIT == 0,
         "tag {tag:#x} trespasses on the reserved collective namespace"
+    );
+    assert!(
+        tag & SUBGROUP_BIT == 0,
+        "tag {tag:#x} trespasses on the reserved subgroup namespace"
     );
     tag
 }
@@ -236,13 +244,19 @@ mod tests {
     #[test]
     fn user_tag_passes_clean_tags() {
         assert_eq!(user_tag(0), 0);
-        assert_eq!(user_tag(0x7fff_ffff_ffff_ffff), 0x7fff_ffff_ffff_ffff);
+        assert_eq!(user_tag(0x3fff_ffff_ffff_ffff), 0x3fff_ffff_ffff_ffff);
     }
 
     #[test]
     #[should_panic(expected = "reserved collective namespace")]
     fn user_tag_rejects_collective_bit() {
         user_tag(COLLECTIVE_BIT | 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved subgroup namespace")]
+    fn user_tag_rejects_subgroup_bit() {
+        user_tag(SUBGROUP_BIT | 3);
     }
 
     #[test]

@@ -33,6 +33,19 @@ pub enum JobOutput {
     Density,
 }
 
+impl JobOutput {
+    /// Turn the engine's sign output into this job's requested function,
+    /// in place. The single definition both the serial queue and the
+    /// distributed scheduler apply — the bitwise-equivalence contract
+    /// between the two paths depends on them sharing it.
+    pub fn finalize(&self, sign: &mut DbcsrMatrix) {
+        if *self == JobOutput::Density {
+            ops::scale(sign, -0.5);
+            ops::shift_diag(sign, 0.5);
+        }
+    }
+}
+
 /// One matrix-function request.
 #[derive(Debug, Clone)]
 pub struct MatrixJob {
@@ -61,7 +74,9 @@ impl MatrixJob {
     }
 }
 
-/// Outcome of one job.
+/// Outcome of one job. Produced by both the serial [`JobQueue`] and the
+/// distributed [`Scheduler`](crate::sched::Scheduler) with the same
+/// telemetry semantics, so the two paths are directly comparable.
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The job's identifier.
@@ -71,8 +86,25 @@ pub struct JobResult {
     /// Numeric-phase instrumentation; `plan_cached` tells whether this
     /// job's symbolic phase was amortized.
     pub report: EngineReport,
-    /// Wall-clock seconds of this job's numeric phase.
+    /// Wall-clock seconds of this job end to end: symbolic phase (zero on
+    /// a cache hit), numeric phase, and — on the distributed path — the
+    /// result gather to the group root.
     pub seconds: f64,
+    /// Ranks that executed this job (1 on the serial queue).
+    pub group_size: usize,
+    /// Bytes moved within the job's communicator group (0 on the serial
+    /// queue — a single rank sends nothing).
+    pub comm_bytes: u64,
+    /// Messages sent within the job's communicator group.
+    pub comm_msgs: u64,
+}
+
+impl JobResult {
+    /// Whether this job's plan came from the shared cache (no symbolic
+    /// work was performed on its behalf).
+    pub fn plan_cached(&self) -> bool {
+        self.report.plan_cached
+    }
 }
 
 /// Batch executor over one shared [`SubmatrixEngine`].
@@ -107,7 +139,8 @@ impl JobQueue {
     pub fn run(&self, jobs: Vec<MatrixJob>) -> Vec<JobResult> {
         // Symbolic pass (sequential): fingerprint + plan through the
         // shared cache. Recurring patterns plan once; each job remembers
-        // whether it was the one that paid for the build.
+        // whether it was the one that paid for the build, and what the
+        // planning (or cache probe) cost it in wall time.
         let comm = SerialComm::new();
         let plans: Vec<_> = jobs
             .iter()
@@ -117,7 +150,9 @@ impl JobQueue {
                     1,
                     "job matrices must be single-rank (replicated) handles"
                 );
-                self.engine.plan_for_matrix_traced(&j.matrix, &comm)
+                let t = Instant::now();
+                let (plan, built) = self.engine.plan_for_matrix_traced(&j.matrix, &comm);
+                (plan, built, t.elapsed().as_secs_f64())
             })
             .collect();
 
@@ -141,28 +176,23 @@ impl JobQueue {
         let plans_ref = &plans;
         let run_one = |&i: &usize| {
             let job = &jobs_ref[i];
-            let (plan, built_now) = &plans_ref[i];
+            let (plan, built_now, plan_seconds) = &plans_ref[i];
             let comm = SerialComm::new();
             let t = Instant::now();
             let (mut result, mut report) =
                 engine.execute(plan, &job.matrix, job.mu0, &job.numeric, &comm);
-            if job.output == JobOutput::Density {
-                ops::scale(&mut result, -0.5);
-                ops::shift_diag(&mut result, 0.5);
-            }
-            report.plan_cached = !built_now;
-            report.symbolic_seconds = if *built_now {
-                plan.symbolic_seconds
-            } else {
-                0.0
-            };
+            job.output.finalize(&mut result);
+            report.record_planning(*built_now, plan);
             (
                 i,
                 JobResult {
                     name: job.name.clone(),
                     result,
                     report,
-                    seconds: t.elapsed().as_secs_f64(),
+                    seconds: plan_seconds + t.elapsed().as_secs_f64(),
+                    group_size: 1,
+                    comm_bytes: 0,
+                    comm_msgs: 0,
                 },
             )
         };

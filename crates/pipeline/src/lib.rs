@@ -10,11 +10,23 @@
 //!   [`PatternFingerprint`], and a per-call **numeric phase** that only
 //!   gathers values, assembles through the cached maps, solves, adjusts µ,
 //!   and scatters. In SCF/MD-style workloads (paper Sec. IV) the pattern is
-//!   fixed across iterations, so all symbolic work amortizes to zero.
+//!   fixed across iterations, so all symbolic work amortizes to zero. The
+//!   plan cache can be **bounded** (`EngineOptions::plan_cache_capacity`):
+//!   entries are evicted least-recently-used by `(fingerprint, rank, size)`
+//!   key, with hit/miss/eviction counters in `EngineStats` — the policy a
+//!   long-running multi-system service needs to keep memory flat.
 //! * [`JobQueue`] batches many independent matrix-function jobs — mixed
 //!   sizes, ensembles and sign methods — over one shared pool with
 //!   longest-job-first scheduling and per-job reports, sharing one plan
 //!   cache so identical patterns are planned once across the whole batch.
+//! * [`Scheduler`] (module [`sched`]) is the distributed counterpart: it
+//!   carves a world of `N` ranks into per-job **subcommunicator groups**
+//!   (`sm_comsim::Comm::split`), sizes each group proportionally to the
+//!   job's estimated submatrix work (via `sm_accel::perfmodel`), runs each
+//!   job's plan/execute collectively on its group over the *same* shared
+//!   engine, and gathers results plus per-job comm/compute telemetry back
+//!   to world rank 0. Grand-canonical jobs are bitwise-identical to the
+//!   serial queue at any group size.
 //!
 //! The one-shot drivers `sm_core::method::{submatrix_sign,
 //! submatrix_density}` are thin wrappers over the same engine, so every
@@ -29,13 +41,24 @@
 //! numeric phase to the one-shot drivers bitwise; the
 //! `ablation_plan_reuse` bench measures the amortization.
 //!
+//! ## Subcommunicator contract
+//!
+//! Inside a scheduler group every collective is entered by the group's
+//! ranks only; the subgroup's traffic rides a reserved parent-tag
+//! namespace (`sm_comsim::SUBGROUP_BIT`), and the wire module's
+//! reserved-tag guard (`sm_dbcsr::wire::user_tag`) applies unchanged
+//! inside subgroups — user tags must keep both reserved bits clear.
+//! Subgroups cannot be split again (the namespace is one level deep).
+//!
 //! [`RankTransferPlan`]: sm_core::transfers::RankTransferPlan
 //! [`PatternFingerprint`]: sm_dbcsr::wire::PatternFingerprint
 //! [`CooPattern`]: sm_dbcsr::CooPattern
 
 pub mod jobs;
+pub mod sched;
 
 pub use jobs::{JobOutput, JobQueue, JobResult, MatrixJob};
+pub use sched::{partition, RankBudget, SchedulePlan, Scheduler, SchedulerOutcome};
 pub use sm_core::engine::{
     AssemblyMap, EngineOptions, EngineReport, EngineStats, Ensemble, ExecutionPlan, ExtractionMap,
     Grouping, NumericOptions, SubmatrixEngine,

@@ -1,0 +1,618 @@
+//! Distributed job scheduler: per-job subcommunicators over a rank world.
+//!
+//! [`JobQueue`](crate::jobs::JobQueue) runs every job of a batch on a
+//! single process; the world's other ranks idle. [`Scheduler`] instead
+//! carves a world of `N` ranks into per-job **groups** — subcommunicators
+//! obtained from [`Comm::split`] — and runs each job's plan/execute
+//! collectively on its group, so independent matrix evaluations proceed
+//! concurrently *and* each one can itself be rank-parallel:
+//!
+//! 1. **Estimate**: every job's submatrix work is estimated from its
+//!    sparsity pattern, weighted by `sm_accel::perfmodel`'s utilization
+//!    curve (small solves run further from peak, so their FLOPs count for
+//!    more wall time).
+//! 2. **Partition** ([`partition`]): jobs are packed longest-first onto
+//!    `G = min(world, jobs)` groups (classic LPT), then the world's ranks
+//!    are dealt to groups proportionally to estimated load (every group
+//!    gets at least one rank; [`RankBudget`] can cap group size or count).
+//! 3. **Execute**: each group's ranks split off a subcommunicator, scatter
+//!    the replicated input across the group, run the shared
+//!    [`SubmatrixEngine`]'s plan + execute on it, and gather the result to
+//!    the group root.
+//! 4. **Gather**: group roots ship each finished job — result blocks in
+//!    the `sm_dbcsr::wire` format plus an encoded telemetry record — to
+//!    world rank 0, which returns the batch in submission order.
+//!
+//! The engine is shared across groups, so its plan cache is the contended
+//! resource: recurring patterns hit plans built by *other* groups (same
+//! `(fingerprint, rank, size)` key), and a bounded cache
+//! (`EngineOptions::plan_cache_capacity`) evicts cold plans under
+//! multi-tenant traffic.
+//!
+//! ## Determinism
+//!
+//! Everything pattern- and schedule-shaping is deterministic, and the
+//! numeric path performs the same per-submatrix solves with the same
+//! inputs regardless of the group size, so grand-canonical jobs produce
+//! **bitwise-identical** results to the serial [`JobQueue`] for any world
+//! size (pinned by the `scheduler_equivalence` suite). Canonical-ensemble
+//! jobs bisect µ through a cross-rank reduction whose summation order
+//! depends on the group size, so they match to floating-point reduction
+//! accuracy instead.
+//!
+//! ## Tags
+//!
+//! Subgroup traffic rides the parent tag namespace reserved by
+//! `sm_comsim::SUBGROUP_BIT`; the only parent-level user traffic is the
+//! root gather, on tags derived from the job index (see [`result_tag`]).
+//! The `sm_dbcsr::wire::user_tag` guard applies unchanged inside
+//! subgroups.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sm_accel::perfmodel;
+use sm_comsim::{run_ranks, Comm, CommStats, Payload, ReduceOp, SerialComm, ThreadComm};
+use sm_core::engine::{EngineOptions, EngineReport, SubmatrixEngine};
+use sm_core::transfers::TransferStats;
+use sm_dbcsr::{wire, DbcsrMatrix};
+
+use crate::jobs::{JobResult, MatrixJob};
+
+/// Color given to ranks left without a group (only possible when
+/// [`RankBudget`] caps shrink the schedule below the world size).
+const IDLE_COLOR: u64 = u64::MAX;
+
+/// Subgroup user tags of the per-job result gather to the group root.
+/// Safe to reuse across a group's sequential jobs: every send is matched
+/// by a blocking recv before the next job starts, and `(src, tag)` order
+/// is preserved.
+const GATHER_META_TAG: u64 = 11;
+const GATHER_DATA_TAG: u64 = 12;
+
+/// Rank-budget policy: how many groups to form and how large each may
+/// grow. The default is uncapped — `min(world, jobs)` groups, ranks dealt
+/// proportionally to estimated load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankBudget {
+    /// Upper bound on ranks per group (`None` = no cap). With
+    /// `world = jobs × k` and a cap of `k`, every group gets exactly `k`
+    /// ranks — the knob the equivalence suite uses to pin group sizes.
+    pub max_group_size: Option<usize>,
+    /// Upper bound on the number of concurrent groups (`None` = no cap).
+    pub max_groups: Option<usize>,
+}
+
+/// One group of the schedule: which jobs it runs (longest first) on which
+/// contiguous world ranks.
+#[derive(Debug, Clone)]
+pub struct GroupPlan {
+    /// Job indices in execution order (descending estimated cost,
+    /// submission order breaking ties).
+    pub jobs: Vec<usize>,
+    /// World ranks forming this group's subcommunicator; `ranks.start` is
+    /// the group root.
+    pub ranks: Range<usize>,
+    /// Total estimated cost of the group's jobs.
+    pub est_cost: f64,
+}
+
+/// Deterministic work partition produced by [`partition`].
+#[derive(Debug, Clone)]
+pub struct SchedulePlan {
+    /// World size the plan was built for.
+    pub world_size: usize,
+    /// The groups, in world-rank order.
+    pub groups: Vec<GroupPlan>,
+    /// Per-job estimated costs (submission order).
+    pub job_costs: Vec<f64>,
+}
+
+impl SchedulePlan {
+    /// The group index a world rank belongs to (`None` = idle).
+    pub fn group_of_rank(&self, rank: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.ranks.contains(&rank))
+    }
+
+    /// The group index running a job.
+    pub fn group_of_job(&self, job: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.jobs.contains(&job))
+            .expect("every job is scheduled on exactly one group")
+    }
+
+    /// The world rank acting as a job's group root.
+    pub fn root_of_job(&self, job: usize) -> usize {
+        self.groups[self.group_of_job(job)].ranks.start
+    }
+}
+
+/// Estimate one job's submatrix work from its sparsity pattern: for each
+/// block column, the induced submatrix dimension `n` costs `2n³` FLOPs
+/// (one dense solve), inflated by the perfmodel utilization curve —
+/// small matrices run far from peak, so their FLOPs buy more wall time.
+/// Pattern-only and cheap; no plan is built.
+pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
+    let comm = SerialComm::new();
+    let pattern = job.matrix.global_pattern(&comm);
+    let dims = job.matrix.dims();
+    let mut cost = 0.0;
+    for bc in 0..dims.nb() {
+        let n: usize = pattern.rows_in_col(bc).map(|br| dims.size(br)).sum();
+        if n > 0 {
+            let flops = 2.0 * (n as f64).powi(3);
+            cost += flops / perfmodel::matmul_utilization(1.0, n);
+        }
+    }
+    cost
+}
+
+/// Deterministically partition `costs.len()` jobs over `world_size` ranks:
+/// longest-job-first packing onto `min(world, jobs)` groups (respecting
+/// `budget.max_groups`), then proportional rank allocation (respecting
+/// `budget.max_group_size`; every group gets at least one rank; ranks no
+/// group may take are left idle).
+pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> SchedulePlan {
+    assert!(world_size >= 1, "need at least one rank");
+    let n = costs.len();
+    if n == 0 {
+        return SchedulePlan {
+            world_size,
+            groups: Vec::new(),
+            job_costs: Vec::new(),
+        };
+    }
+    let mut n_groups = world_size.min(n);
+    if let Some(mg) = budget.max_groups {
+        n_groups = n_groups.min(mg.max(1));
+    }
+
+    // Longest job first, submission order breaking ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("job costs are finite")
+            .then(a.cmp(&b))
+    });
+
+    // LPT packing onto the least-loaded group.
+    let mut group_jobs: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut loads = vec![0.0f64; n_groups];
+    for &j in &order {
+        let g = (0..n_groups)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite"))
+            .expect("n_groups >= 1");
+        group_jobs[g].push(j);
+        loads[g] += costs[j];
+    }
+
+    // Proportional rank allocation: start at one rank each, then hand the
+    // remaining ranks one at a time to the group with the highest load per
+    // rank (lowest index breaking ties), respecting the size cap.
+    let cap = budget.max_group_size.unwrap_or(usize::MAX).max(1);
+    let mut sizes = vec![1usize; n_groups];
+    let mut spare = world_size.saturating_sub(n_groups);
+    while spare > 0 {
+        let candidate = (0..n_groups).filter(|&g| sizes[g] < cap).max_by(|&a, &b| {
+            (loads[a] / sizes[a] as f64)
+                .partial_cmp(&(loads[b] / sizes[b] as f64))
+                .expect("finite")
+                .then(b.cmp(&a)) // prefer the lower group index
+        });
+        match candidate {
+            Some(g) => sizes[g] += 1,
+            None => break, // every group capped; leftover ranks idle
+        }
+        spare -= 1;
+    }
+
+    let mut groups = Vec::with_capacity(n_groups);
+    let mut start = 0usize;
+    for g in 0..n_groups {
+        groups.push(GroupPlan {
+            jobs: std::mem::take(&mut group_jobs[g]),
+            ranks: start..start + sizes[g],
+            est_cost: loads[g],
+        });
+        start += sizes[g];
+    }
+    SchedulePlan {
+        world_size,
+        groups,
+        job_costs: costs.to_vec(),
+    }
+}
+
+/// Outcome of one scheduled batch.
+pub struct SchedulerOutcome {
+    /// Per-job results in submission order (gathered on world rank 0).
+    pub results: Vec<JobResult>,
+    /// The work partition the batch ran under.
+    pub plan: SchedulePlan,
+    /// World-level transfer counters (includes all subgroup traffic).
+    pub world_stats: Arc<CommStats>,
+}
+
+/// Distributed batch executor: a rank world carved into per-job
+/// subcommunicator groups over one shared [`SubmatrixEngine`]. See the
+/// module docs for the four phases.
+pub struct Scheduler {
+    engine: Arc<SubmatrixEngine>,
+    budget: RankBudget,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        // Group ranks supply the per-job concurrency; keep per-rank solves
+        // sequential to avoid nested-pool oversubscription (the same
+        // choice JobQueue::default makes for job-level parallelism).
+        Scheduler::new(
+            Arc::new(SubmatrixEngine::new(EngineOptions {
+                parallel: false,
+                ..EngineOptions::default()
+            })),
+            RankBudget::default(),
+        )
+    }
+}
+
+impl Scheduler {
+    /// Build a scheduler over an existing engine (sharing its plan cache,
+    /// e.g. with a serial [`JobQueue`](crate::jobs::JobQueue)).
+    pub fn new(engine: Arc<SubmatrixEngine>, budget: RankBudget) -> Self {
+        Scheduler { engine, budget }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<SubmatrixEngine> {
+        &self.engine
+    }
+
+    /// The rank-budget policy.
+    pub fn budget(&self) -> &RankBudget {
+        &self.budget
+    }
+
+    /// Run a batch over a `world_size`-rank world and gather the results
+    /// (in submission order) on world rank 0.
+    pub fn run(&self, world_size: usize, jobs: Vec<MatrixJob>) -> SchedulerOutcome {
+        for j in &jobs {
+            assert_eq!(
+                j.matrix.grid().size(),
+                1,
+                "job matrices must be single-rank (replicated) handles"
+            );
+        }
+        let plan = partition(
+            &jobs.iter().map(estimate_job_cost).collect::<Vec<_>>(),
+            world_size,
+            &self.budget,
+        );
+        let engine = &self.engine;
+        let (jobs_ref, plan_ref) = (&jobs, &plan);
+        let (mut per_rank, world_stats) = run_ranks(world_size, |comm| {
+            run_rank(engine, jobs_ref, plan_ref, comm)
+        });
+        let results = per_rank[0]
+            .take()
+            .expect("world rank 0 gathers every job result");
+        SchedulerOutcome {
+            results,
+            plan,
+            world_stats,
+        }
+    }
+}
+
+/// Parent-level tag of one result stream (`part` 0 = block meta, 1 = block
+/// data, 2 = telemetry) of job `job`, in a namespace well clear of the
+/// small constants the wire module uses elsewhere.
+fn result_tag(job: usize, part: u64) -> u64 {
+    wire::user_tag((1 << 40) | ((job as u64) * 4 + part))
+}
+
+/// One world rank's share of a scheduled batch: split off the group
+/// subcommunicator, run the group's jobs, and (on world rank 0) gather
+/// every job's result.
+fn run_rank(
+    engine: &SubmatrixEngine,
+    jobs: &[MatrixJob],
+    plan: &SchedulePlan,
+    comm: &ThreadComm,
+) -> Option<Vec<JobResult>> {
+    let group = plan.group_of_rank(comm.rank());
+    let color = group.map_or(IDLE_COLOR, |g| g as u64);
+    // Collective over the whole world — idle ranks participate too.
+    let sub = comm.split(color, comm.rank() as u64);
+
+    if let Some(g) = group {
+        for &j in &plan.groups[g].jobs {
+            let job = &jobs[j];
+            let bytes0 = sub.stats().total_bytes();
+            let msgs0 = sub.stats().total_msgs();
+            let t = Instant::now();
+
+            // Scatter the replicated input: each rank keeps the blocks it
+            // owns under the group-sized process grid (a local selection —
+            // the single-rank handle is replicated shared memory, the
+            // simulator's stand-in for an MPI_COMM_SELF matrix every rank
+            // holds).
+            let mut local = DbcsrMatrix::new(job.matrix.dims().clone(), sub.rank(), sub.size());
+            for (&(br, bc), blk) in job.matrix.store().iter() {
+                if local.is_mine(br, bc) {
+                    local.insert_block(br, bc, blk.clone());
+                }
+            }
+
+            // Plan (through the shared, contended cache) + execute,
+            // collectively on the subgroup.
+            let (eplan, built_now) = engine.plan_for_matrix_traced(&local, &sub);
+            let (mut result, mut report) =
+                engine.execute(&eplan, &local, job.mu0, &job.numeric, &sub);
+            job.output.finalize(&mut result);
+            report.record_planning(built_now, &eplan);
+
+            // Gather result blocks to the group root: plain point-to-point
+            // sends (an alltoallv here would move O(group²) empty
+            // payloads and pollute the per-job traffic telemetry).
+            let mut gathered: Vec<((usize, usize), sm_linalg::Matrix)> = result.store_mut().drain();
+            if sub.rank() != 0 {
+                let (meta, data) = wire::pack_blocks(gathered.iter().map(|(c, b)| (c, b)));
+                sub.send(0, GATHER_META_TAG, Payload::U64(meta));
+                sub.send(0, GATHER_DATA_TAG, Payload::F64(data));
+                gathered.clear();
+            } else {
+                for src in 1..sub.size() {
+                    let meta = sub.recv(src, GATHER_META_TAG).into_u64();
+                    let data = sub.recv(src, GATHER_DATA_TAG).into_f64();
+                    gathered.extend(wire::unpack_blocks(job.matrix.dims(), &meta, &data));
+                }
+            }
+            let seconds = t.elapsed().as_secs_f64();
+
+            // Group-wide telemetry: total subgroup traffic this job moved
+            // (Sum), the critical-path phase timings, and the symbolic
+            // work — any rank may have rebuilt an evicted plan while the
+            // root hit, so plan_cached/symbolic_seconds must be reduced
+            // too, not taken from the root alone (Max doubles as OR for
+            // the 0/1 built flag). The plan's TransferStats are per-rank
+            // shares and are Sum-reduced to whole-run numbers, matching
+            // what the serial queue reports for the same job.
+            let mut traffic = [
+                (sub.stats().total_bytes() - bytes0) as f64,
+                (sub.stats().total_msgs() - msgs0) as f64,
+                report.transfers.unique_bytes as f64,
+                report.transfers.naive_bytes as f64,
+                report.transfers.unique_blocks as f64,
+                report.transfers.total_references as f64,
+            ];
+            sub.allreduce_f64(ReduceOp::Sum, &mut traffic);
+            report.transfers = TransferStats {
+                unique_bytes: traffic[2] as u64,
+                naive_bytes: traffic[3] as u64,
+                unique_blocks: traffic[4] as u64,
+                total_references: traffic[5] as u64,
+            };
+            let mut phases = [
+                report.gather_seconds,
+                report.solve_seconds,
+                report.scatter_seconds,
+                seconds,
+                report.symbolic_seconds,
+                if built_now { 1.0 } else { 0.0 },
+            ];
+            sub.allreduce_f64(ReduceOp::Max, &mut phases);
+            report.gather_seconds = phases[0];
+            report.solve_seconds = phases[1];
+            report.scatter_seconds = phases[2];
+            report.symbolic_seconds = phases[4];
+            report.plan_cached = phases[5] == 0.0;
+
+            // Group root ships the finished job to world rank 0.
+            if sub.rank() == 0 {
+                let mut root_mat = DbcsrMatrix::new(job.matrix.dims().clone(), 0, 1);
+                for ((br, bc), blk) in gathered {
+                    root_mat.insert_block(br, bc, blk);
+                }
+                let (meta, data) = wire::pack_blocks(root_mat.store().iter());
+                comm.send(0, result_tag(j, 0), Payload::U64(meta));
+                comm.send(0, result_tag(j, 1), Payload::F64(data));
+                let telemetry = encode_telemetry(
+                    &report,
+                    phases[3],
+                    sub.size(),
+                    traffic[0] as u64,
+                    traffic[1] as u64,
+                );
+                comm.send(0, result_tag(j, 2), Payload::F64(telemetry));
+            }
+        }
+    }
+
+    if comm.rank() != 0 {
+        return None;
+    }
+    // World rank 0: collect every job from its group root (its own sends
+    // arrive through the local mailbox).
+    let results = (0..jobs.len())
+        .map(|j| {
+            let root = plan.root_of_job(j);
+            let meta = comm.recv(root, result_tag(j, 0)).into_u64();
+            let data = comm.recv(root, result_tag(j, 1)).into_f64();
+            let telemetry = comm.recv(root, result_tag(j, 2)).into_f64();
+            let mut result = DbcsrMatrix::new(jobs[j].matrix.dims().clone(), 0, 1);
+            for ((br, bc), blk) in wire::unpack_blocks(jobs[j].matrix.dims(), &meta, &data) {
+                result.insert_block(br, bc, blk);
+            }
+            let (report, seconds, group_size, comm_bytes, comm_msgs) = decode_telemetry(&telemetry);
+            JobResult {
+                name: jobs[j].name.clone(),
+                result,
+                report,
+                seconds,
+                group_size,
+                comm_bytes,
+                comm_msgs,
+            }
+        })
+        .collect();
+    Some(results)
+}
+
+/// Flatten a job's telemetry — the group root's [`EngineReport`] plus
+/// wall-time, group size and subgroup traffic — into one `f64` record for
+/// the root gather. Counters ride as `f64` (exact up to 2⁵³, far beyond
+/// any simulated run).
+fn encode_telemetry(
+    report: &EngineReport,
+    seconds: f64,
+    group_size: usize,
+    comm_bytes: u64,
+    comm_msgs: u64,
+) -> Vec<f64> {
+    vec![
+        report.n_submatrices as f64,
+        report.max_dim as f64,
+        report.avg_dim,
+        report.total_cost,
+        report.transfers.unique_bytes as f64,
+        report.transfers.naive_bytes as f64,
+        report.transfers.unique_blocks as f64,
+        report.transfers.total_references as f64,
+        report.mu,
+        report.bisect_iterations as f64,
+        report.plan_cached as u64 as f64,
+        report.symbolic_seconds,
+        report.gather_seconds,
+        report.solve_seconds,
+        report.scatter_seconds,
+        seconds,
+        group_size as f64,
+        comm_bytes as f64,
+        comm_msgs as f64,
+    ]
+}
+
+/// Inverse of [`encode_telemetry`].
+fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64) {
+    assert_eq!(x.len(), 19, "telemetry record has 19 fields");
+    (
+        EngineReport {
+            n_submatrices: x[0] as usize,
+            max_dim: x[1] as usize,
+            avg_dim: x[2],
+            total_cost: x[3],
+            transfers: TransferStats {
+                unique_bytes: x[4] as u64,
+                naive_bytes: x[5] as u64,
+                unique_blocks: x[6] as u64,
+                total_references: x[7] as u64,
+            },
+            mu: x[8],
+            bisect_iterations: x[9] as usize,
+            plan_cached: x[10] != 0.0,
+            symbolic_seconds: x[11],
+            gather_seconds: x[12],
+            solve_seconds: x[13],
+            scatter_seconds: x[14],
+        },
+        x[15],
+        x[16] as usize,
+        x[17] as u64,
+        x[18] as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_empty_and_single() {
+        let p = partition(&[], 4, &RankBudget::default());
+        assert!(p.groups.is_empty());
+        let p = partition(&[5.0], 4, &RankBudget::default());
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].ranks, 0..4);
+        assert_eq!(p.groups[0].jobs, vec![0]);
+    }
+
+    #[test]
+    fn partition_allocates_ranks_proportionally() {
+        // Job 0 is 3x the work of each of jobs 1..3; world of 6 ranks,
+        // 4 jobs -> 4 groups, the heavy job's group gets the spare ranks.
+        let p = partition(&[9.0, 3.0, 3.0, 3.0], 6, &RankBudget::default());
+        assert_eq!(p.groups.len(), 4);
+        let g0 = p.group_of_job(0);
+        assert_eq!(p.groups[g0].ranks.len(), 3);
+        let total: usize = p.groups.iter().map(|g| g.ranks.len()).sum();
+        assert_eq!(total, 6);
+        // Ranges are contiguous and disjoint.
+        let mut next = 0;
+        for g in &p.groups {
+            assert_eq!(g.ranks.start, next);
+            next = g.ranks.end;
+        }
+    }
+
+    #[test]
+    fn partition_respects_caps() {
+        let budget = RankBudget {
+            max_group_size: Some(2),
+            max_groups: Some(2),
+        };
+        let p = partition(&[1.0, 1.0, 1.0, 1.0], 8, &budget);
+        assert_eq!(p.groups.len(), 2);
+        for g in &p.groups {
+            assert_eq!(g.ranks.len(), 2);
+            assert_eq!(g.jobs.len(), 2);
+        }
+        // Ranks 4..8 are idle.
+        assert_eq!(p.group_of_rank(3), Some(1));
+        assert_eq!(p.group_of_rank(4), None);
+    }
+
+    #[test]
+    fn partition_is_longest_job_first() {
+        let p = partition(&[1.0, 8.0, 2.0], 2, &RankBudget::default());
+        // Heaviest job (1) alone on one group; 2 and 0 share the other,
+        // heavier first.
+        let g1 = p.group_of_job(1);
+        assert_eq!(p.groups[g1].jobs, vec![1]);
+        let other = 1 - g1;
+        assert_eq!(p.groups[other].jobs, vec![2, 0]);
+    }
+
+    #[test]
+    fn telemetry_roundtrip() {
+        let report = EngineReport {
+            n_submatrices: 7,
+            max_dim: 12,
+            avg_dim: 9.5,
+            total_cost: 1234.0,
+            transfers: TransferStats {
+                unique_bytes: 100,
+                naive_bytes: 300,
+                unique_blocks: 10,
+                total_references: 30,
+            },
+            mu: -0.25,
+            bisect_iterations: 3,
+            plan_cached: true,
+            symbolic_seconds: 0.5,
+            gather_seconds: 0.1,
+            solve_seconds: 0.2,
+            scatter_seconds: 0.3,
+        };
+        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17);
+        let (dec, seconds, group, bytes, msgs) = decode_telemetry(&enc);
+        assert_eq!(dec.n_submatrices, 7);
+        assert_eq!(dec.transfers, report.transfers);
+        assert_eq!(dec.mu, report.mu);
+        assert!(dec.plan_cached);
+        assert_eq!((seconds, group, bytes, msgs), (1.5, 4, 4096, 17));
+    }
+}

@@ -1,0 +1,258 @@
+//! Equivalence suite pinning the distributed [`Scheduler`] to the serial
+//! [`JobQueue`]: mixed job batches run through subcommunicator groups of
+//! 1, 2 and 4 ranks must produce **bitwise-identical** `JobOutput`s
+//! (grand-canonical jobs; canonical µ bisection reduces across ranks, so
+//! it is checked to reduction accuracy separately).
+
+use proptest::prelude::*;
+
+use sm_comsim::SerialComm;
+use sm_core::engine::{Ensemble, NumericOptions};
+use sm_core::solver::{SignMethod, SolveOptions};
+use sm_dbcsr::{BlockedDims, DbcsrMatrix};
+use sm_linalg::Matrix;
+use sm_pipeline::{JobOutput, JobQueue, MatrixJob, RankBudget, Scheduler};
+
+/// Deterministic banded symmetric matrix with a spectral gap at 0.
+fn banded(nb: usize, bs: usize, half: usize, seed: u64) -> DbcsrMatrix {
+    let n = nb * bs;
+    let mut dense = Matrix::from_fn(n, n, |i, j| {
+        let bi = (i / bs) as isize;
+        let bj = (j / bs) as isize;
+        if (bi - bj).unsigned_abs() > half {
+            0.0
+        } else if i == j {
+            let base = if i % 2 == 0 { 1.0 } else { -1.0 };
+            base + ((seed % 13) as f64) * 0.011
+        } else {
+            let w = 0.6 + ((i * 29 + j * 13 + seed as usize) % 7) as f64 / 7.0;
+            0.05 * w / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    dense.symmetrize();
+    DbcsrMatrix::from_dense(&dense, BlockedDims::uniform(nb, bs), 0, 1, 0.0)
+}
+
+/// A mixed grand-canonical batch: sign and density jobs, two solvers,
+/// several sizes, one recurring pattern.
+fn mixed_batch(seed: u64) -> Vec<MatrixJob> {
+    vec![
+        MatrixJob::density("density-small", banded(4, 2, 1, seed), 0.0),
+        MatrixJob {
+            name: "sign-large".into(),
+            matrix: banded(8, 2, 1, seed.wrapping_add(1)),
+            mu0: 0.05,
+            numeric: NumericOptions::default(),
+            output: JobOutput::Sign,
+        },
+        MatrixJob {
+            name: "newton-schulz".into(),
+            matrix: banded(6, 2, 1, seed.wrapping_add(2)),
+            mu0: 0.0,
+            numeric: NumericOptions {
+                solve: SolveOptions {
+                    method: SignMethod::NewtonSchulz,
+                    ..SolveOptions::default()
+                },
+                ..NumericOptions::default()
+            },
+            output: JobOutput::Sign,
+        },
+        // Same pattern as density-small, different values: exercises the
+        // shared plan cache across groups.
+        MatrixJob::density(
+            "density-small-again",
+            banded(4, 2, 1, seed.wrapping_add(3)),
+            0.0,
+        ),
+    ]
+}
+
+fn assert_batches_bitwise_equal(
+    scheduled: &[sm_pipeline::JobResult],
+    serial: &[sm_pipeline::JobResult],
+    ranks_per_job: usize,
+) {
+    let comm = SerialComm::new();
+    assert_eq!(scheduled.len(), serial.len());
+    for (s, q) in scheduled.iter().zip(serial) {
+        assert_eq!(s.name, q.name, "results must come back in submission order");
+        assert!(
+            s.result
+                .to_dense(&comm)
+                .allclose(&q.result.to_dense(&comm), 0.0),
+            "job '{}' deviates from the serial queue at {} ranks/job",
+            s.name,
+            ranks_per_job
+        );
+        assert_eq!(s.report.mu, q.report.mu, "job '{}' µ deviates", s.name);
+    }
+}
+
+#[test]
+fn scheduler_matches_queue_bitwise_at_1_2_4_ranks_per_job() {
+    let jobs = mixed_batch(17);
+    let serial = JobQueue::default().run(jobs.clone());
+    for ranks_per_job in [1usize, 2, 4] {
+        let world = jobs.len() * ranks_per_job;
+        let sched = Scheduler::new(
+            std::sync::Arc::new(sm_pipeline::SubmatrixEngine::new(
+                sm_pipeline::EngineOptions {
+                    parallel: false,
+                    ..sm_pipeline::EngineOptions::default()
+                },
+            )),
+            RankBudget {
+                max_group_size: Some(ranks_per_job),
+                max_groups: None,
+            },
+        );
+        let outcome = sched.run(world, jobs.clone());
+        // The budget cap and world size pin every group to the requested
+        // width.
+        for g in &outcome.plan.groups {
+            assert_eq!(g.ranks.len(), ranks_per_job);
+        }
+        assert_batches_bitwise_equal(&outcome.results, &serial, ranks_per_job);
+        // Telemetry: group sizes reported, and multi-rank groups moved
+        // real subgroup traffic.
+        for r in &outcome.results {
+            assert_eq!(r.group_size, ranks_per_job);
+            assert!(r.seconds >= 0.0);
+            if ranks_per_job > 1 {
+                assert!(
+                    r.comm_bytes > 0,
+                    "job '{}' on {} ranks moved no subgroup bytes",
+                    r.name,
+                    ranks_per_job
+                );
+            } else {
+                assert_eq!(r.comm_bytes, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_handles_more_jobs_than_ranks() {
+    // 4 jobs on a 2-rank world: groups run multiple jobs sequentially.
+    let jobs = mixed_batch(3);
+    let serial = JobQueue::default().run(jobs.clone());
+    let outcome = Scheduler::default().run(2, jobs);
+    assert_eq!(outcome.plan.groups.len(), 2);
+    assert_batches_bitwise_equal(&outcome.results, &serial, 1);
+}
+
+#[test]
+fn scheduler_shares_plan_cache_across_groups() {
+    // Two jobs with the same pattern scheduled on two 1-rank groups: the
+    // second group hits the plan the first built (same (fp, rank, size)
+    // key), so the engine builds exactly one plan.
+    let jobs = vec![
+        MatrixJob::density("a", banded(5, 2, 1, 1), 0.0),
+        MatrixJob::density("b", banded(5, 2, 1, 2), 0.0),
+    ];
+    let sched = Scheduler::default();
+    let outcome = sched.run(2, jobs);
+    assert_eq!(outcome.results.len(), 2);
+    let stats = sched.engine().stats();
+    // Concurrent same-pattern groups may race to build (both miss), but
+    // at least one execution path must exist and the cache holds one plan.
+    assert!(stats.symbolic_builds >= 1);
+    assert_eq!(sched.engine().cached_plans(), 1);
+    assert_eq!(stats.executions, 2);
+}
+
+#[test]
+fn scheduler_with_capacity_one_cache_still_correct() {
+    // The acceptance scenario: a capacity-1 plan cache under a
+    // multi-pattern batch must evict (recorded) and never reuse a wrong
+    // plan.
+    let jobs = mixed_batch(9);
+    let serial = JobQueue::default().run(jobs.clone());
+    let engine = std::sync::Arc::new(sm_pipeline::SubmatrixEngine::new(
+        sm_pipeline::EngineOptions {
+            parallel: false,
+            plan_cache_capacity: Some(1),
+            ..sm_pipeline::EngineOptions::default()
+        },
+    ));
+    let sched = Scheduler::new(engine, RankBudget::default());
+    let outcome = sched.run(2, jobs);
+    assert_batches_bitwise_equal(&outcome.results, &serial, 1);
+    let stats = sched.engine().stats();
+    assert!(
+        stats.evictions > 0,
+        "three distinct patterns through a capacity-1 cache must evict"
+    );
+    assert_eq!(sched.engine().cached_plans(), 1);
+}
+
+#[test]
+fn canonical_jobs_match_to_reduction_accuracy() {
+    // Canonical µ bisection reduces electron counts across the group, so
+    // across group sizes the result matches to summation accuracy, not
+    // bitwise.
+    let comm = SerialComm::new();
+    let jobs = vec![MatrixJob {
+        name: "canonical".into(),
+        matrix: banded(6, 2, 1, 5),
+        mu0: 0.0,
+        numeric: NumericOptions {
+            ensemble: Ensemble::Canonical {
+                n_electrons: 8.0,
+                tol: 1e-9,
+                max_iter: 200,
+            },
+            ..NumericOptions::default()
+        },
+        output: JobOutput::Density,
+    }];
+    let serial = JobQueue::default().run(jobs.clone());
+    let outcome = Scheduler::default().run(2, jobs);
+    let a = outcome.results[0].result.to_dense(&comm);
+    let b = serial[0].result.to_dense(&comm);
+    assert!(
+        a.allclose(&b, 1e-10),
+        "canonical density deviates beyond reduction accuracy"
+    );
+    assert!((outcome.results[0].report.mu - serial[0].report.mu).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property form of the equivalence: random shapes and seeds, random
+    /// world widths, grand-canonical density jobs — always bitwise equal
+    /// to the serial queue.
+    #[test]
+    fn random_batches_match_serial_queue_bitwise(
+        nb in 3usize..7,
+        bs in 1usize..3,
+        seed in 0u64..1000,
+        ranks_per_job in 1usize..3,
+    ) {
+        let jobs = vec![
+            MatrixJob::density("p", banded(nb, bs, 1, seed), 0.0),
+            MatrixJob::density("q", banded(nb + 1, bs, 1, seed.wrapping_add(7)), 0.02),
+        ];
+        let serial = JobQueue::default().run(jobs.clone());
+        let sched = Scheduler::new(
+            std::sync::Arc::new(sm_pipeline::SubmatrixEngine::new(
+                sm_pipeline::EngineOptions {
+                    parallel: false,
+                    ..sm_pipeline::EngineOptions::default()
+                },
+            )),
+            RankBudget { max_group_size: Some(ranks_per_job), max_groups: None },
+        );
+        let outcome = sched.run(jobs.len() * ranks_per_job, jobs);
+        let comm = SerialComm::new();
+        for (s, q) in outcome.results.iter().zip(&serial) {
+            prop_assert!(
+                s.result.to_dense(&comm).allclose(&q.result.to_dense(&comm), 0.0),
+                "job '{}' deviates at {} ranks/job", s.name, ranks_per_job
+            );
+        }
+    }
+}

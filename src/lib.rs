@@ -87,5 +87,8 @@ pub mod prelude {
     };
     pub use sm_dbcsr::{BlockedDims, CooPattern, DbcsrMatrix, PatternFingerprint};
     pub use sm_linalg::Matrix;
-    pub use sm_pipeline::{JobOutput, JobQueue, JobResult, MatrixJob};
+    pub use sm_pipeline::{
+        JobOutput, JobQueue, JobResult, MatrixJob, RankBudget, SchedulePlan, Scheduler,
+        SchedulerOutcome,
+    };
 }
