@@ -84,35 +84,34 @@ pub fn gemm_mode(a: &Matrix, b: &Matrix, mode: PrecisionMode) -> Matrix {
     assert_eq!(a.ncols(), b.nrows(), "gemm_mode dimension mismatch");
     let (m, k) = a.shape();
     let n = b.ncols();
+
+    // The delegating modes hand rounding to the real kernels; only the
+    // emulated rounding schedules need the explicit f64-layout copies.
+    match mode {
+        PrecisionMode::Fp64 => {
+            // Delegate to the real optimized double-precision kernel.
+            return sm_linalg::gemm::matmul(a, b).expect("validated shapes");
+        }
+        PrecisionMode::Fp32 => {
+            // Delegate to the real generic f32 kernel (sm_linalg's GEMM is
+            // generic over the element type): single-precision arithmetic
+            // in the column-streaming order the GPU kernel uses. This is
+            // no longer an emulation — it is the same kernel the
+            // reduced-precision execution path solves submatrices with
+            // (conversion to f32 storage is the device upload).
+            return sm_linalg::gemm::matmul_in(&a.to_f32(), &b.to_f32())
+                .expect("validated shapes")
+                .to_f64();
+        }
+        PrecisionMode::Fp16 | PrecisionMode::Fp16Mixed | PrecisionMode::FpgaFp32 => {}
+    }
+
     let a_r = mode.round_matrix(a);
     let b_r = mode.round_matrix(b);
     let mut c = Matrix::zeros(m, n);
 
     match mode {
-        PrecisionMode::Fp64 => {
-            // Reuse the optimized double-precision kernel.
-            sm_linalg::gemm::gemm(
-                1.0,
-                &a_r,
-                sm_linalg::gemm::Op::NoTrans,
-                &b_r,
-                sm_linalg::gemm::Op::NoTrans,
-                0.0,
-                &mut c,
-            )
-            .expect("validated shapes");
-        }
-        PrecisionMode::Fp32 => {
-            par_columns(&mut c, |j, col| {
-                for (i, ci) in col.iter_mut().enumerate() {
-                    let mut acc: f32 = 0.0;
-                    for kk in 0..k {
-                        acc += (a_r[(i, kk)] as f32) * (b_r[(kk, j)] as f32);
-                    }
-                    *ci = acc as f64;
-                }
-            });
-        }
+        PrecisionMode::Fp64 | PrecisionMode::Fp32 => unreachable!("delegated above"),
         PrecisionMode::FpgaFp32 => {
             // FPGA kernel: k split into blocks of 8, pairwise (tree)
             // summation inside each block, sequential f32 accumulation of

@@ -1,0 +1,199 @@
+//! Ablation: mixed-precision execution path (Fp64 / Fp32 / Fp32Refined).
+//!
+//! The water workloads run as density jobs on a 4-rank scheduler group at
+//! each precision. Reported per precision, all deterministic on the 1-core
+//! CI host:
+//!
+//! * **max elementwise density error** versus the Fp64 reference — the
+//!   paper's approximate-computing accuracy claim (Sec. IV/VI);
+//! * **gathered/scattered value bytes** — exactly halved by the f32 wire
+//!   format — plus total subgroup traffic;
+//! * **modeled time** from `sm_accel::perfmodel` (RTX 2080 Ti peaks with
+//!   utilization at the mean submatrix dimension; the Fp32Refined row adds
+//!   one f64 Newton–Schulz pass), showing the compute-side shift the
+//!   flop model predicts.
+//!
+//! The binary asserts the byte-halving and error contracts before
+//! reporting, then emits the standard CSV + `BENCH_*.json` outputs,
+//! including the acceptance artifact `results/BENCH_precision.json`.
+
+use std::time::Instant;
+
+use sm_accel::perfmodel::{matmul_utilization, DeviceModel};
+use sm_bench::output::{
+    bench_table, paper_scale, print_table, sci, write_bench_json, write_csv, Json,
+};
+use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
+use sm_chem::WaterBox;
+use sm_comsim::SerialComm;
+use sm_core::engine::{EngineOptions, NumericOptions};
+use sm_linalg::{Matrix, Precision};
+use sm_pipeline::{JobOutput, JobResult, MatrixJob, RankBudget, Scheduler, SubmatrixEngine};
+
+/// Density jobs over the water workloads at one precision.
+fn batch(precision: Precision) -> Vec<MatrixJob> {
+    let numeric = NumericOptions {
+        precision,
+        ..NumericOptions::default()
+    };
+    let nrep = if paper_scale() { 2 } else { 1 };
+    let basis = accuracy_basis();
+    let water_a = WaterBox::cubic(nrep, SEED);
+    let (sys_a, mut kt_a) = build_orthogonalized(&water_a, &basis, 1e-11, 1e-9);
+    kt_a.store_mut().filter(3e-2);
+    let water_b = WaterBox::cubic(1, SEED + 5);
+    let (sys_b, mut kt_b) = build_orthogonalized(&water_b, &basis, 1e-11, 1e-9);
+    kt_b.store_mut().filter(8e-2);
+    vec![
+        MatrixJob {
+            name: "A/density".into(),
+            matrix: kt_a,
+            mu0: sys_a.mu,
+            numeric,
+            output: JobOutput::Density,
+        },
+        MatrixJob {
+            name: "B/density".into(),
+            matrix: kt_b,
+            mu0: sys_b.mu,
+            numeric,
+            output: JobOutput::Density,
+        },
+    ]
+}
+
+/// One scheduler group of 4 ranks: every job sees real rank-transfer
+/// traffic, keeping the byte comparison apples-to-apples.
+fn run(precision: Precision) -> (Vec<JobResult>, f64) {
+    let sched = Scheduler::new(
+        std::sync::Arc::new(SubmatrixEngine::new(EngineOptions {
+            parallel: false,
+            ..EngineOptions::default()
+        })),
+        RankBudget {
+            max_groups: Some(1),
+            max_group_size: None,
+        },
+    );
+    let t = Instant::now();
+    let outcome = sched.run(4, batch(precision));
+    (outcome.results, t.elapsed().as_secs_f64())
+}
+
+/// Modeled solve time of one batch on the RTX 2080 Ti flop model: GEMM
+/// flops (2·Σn³ per sign pass) at the precision's peak and utilization,
+/// plus one f64 refinement pass for Fp32Refined.
+fn modeled_seconds(results: &[JobResult], precision: Precision) -> f64 {
+    let dev = DeviceModel::rtx_2080_ti();
+    let (peak, ratio) = match precision {
+        Precision::Fp64 => (dev.peak_fp64, dev.peak_fp64 / dev.peak_fp32),
+        _ => (dev.peak_fp32, 1.0),
+    };
+    let mut seconds = 0.0;
+    for r in results {
+        let flops = 2.0 * r.report.total_cost;
+        let n = r.report.avg_dim.max(1.0) as usize;
+        seconds += flops / (peak * 1e12 * matmul_utilization(ratio, n));
+        if precision == Precision::Fp32Refined {
+            // One f64 Newton–Schulz pass: two GEMMs over the same dims.
+            let r64 = dev.peak_fp64 / dev.peak_fp32;
+            seconds += 2.0 * flops / (dev.peak_fp64 * 1e12 * matmul_utilization(r64, n));
+        }
+    }
+    seconds
+}
+
+fn main() {
+    let comm = SerialComm::new();
+    let (reference, reference_wall) = run(Precision::Fp64);
+    let ref_dense: Vec<Matrix> = reference.iter().map(|r| r.result.to_dense(&comm)).collect();
+    let ref_gather: u64 = reference.iter().map(|r| r.report.gather_value_bytes).sum();
+    let ref_scatter: u64 = reference.iter().map(|r| r.report.scatter_value_bytes).sum();
+    assert!(ref_gather > 0, "4-rank group must gather value bytes");
+
+    let header = [
+        "precision",
+        "max_density_err",
+        "gather_value_bytes",
+        "scatter_value_bytes",
+        "comm_bytes",
+        "modeled_s",
+        "wall_s",
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for precision in Precision::all() {
+        // The Fp64 row *is* the reference run — don't pay for it twice.
+        let (results, wall) = if precision == Precision::Fp64 {
+            (reference.clone(), reference_wall)
+        } else {
+            run(precision)
+        };
+        let max_err = results
+            .iter()
+            .zip(&ref_dense)
+            .map(|(r, d)| r.result.to_dense(&comm).max_abs_diff(d))
+            .fold(0.0, f64::max);
+        let gather: u64 = results.iter().map(|r| r.report.gather_value_bytes).sum();
+        let scatter: u64 = results.iter().map(|r| r.report.scatter_value_bytes).sum();
+        let comm_bytes: u64 = results.iter().map(|r| r.comm_bytes).sum();
+        let modeled = modeled_seconds(&results, precision);
+
+        // Contracts, asserted before reporting (the same bounds the
+        // `precision_equivalence` suite pins in-test).
+        match precision {
+            Precision::Fp64 => assert_eq!(max_err, 0.0),
+            Precision::Fp32 => {
+                assert!(max_err < 1e-4, "fp32 density error {max_err}");
+                assert_eq!(gather * 2, ref_gather, "fp32 gather must halve");
+                assert_eq!(scatter * 2, ref_scatter, "fp32 scatter must halve");
+            }
+            Precision::Fp32Refined => {
+                assert!(max_err < 1e-6, "fp32-refined density error {max_err}");
+                assert_eq!(gather * 2, ref_gather);
+                assert_eq!(scatter, ref_scatter, "refined scatters f64");
+            }
+        }
+
+        eprintln!(
+            "{}: err {max_err:.3e}, gather {gather} B, scatter {scatter} B, \
+             comm {comm_bytes} B, modeled {modeled:.3e} s",
+            precision.label()
+        );
+        rows.push(vec![
+            precision.label().to_string(),
+            sci(max_err),
+            gather.to_string(),
+            scatter.to_string(),
+            comm_bytes.to_string(),
+            sci(modeled),
+            sci(wall),
+        ]);
+        series.push(Json::obj([
+            ("precision", Json::Str(precision.label().into())),
+            ("max_density_err", Json::Num(max_err)),
+            ("gather_value_bytes", Json::Num(gather as f64)),
+            ("scatter_value_bytes", Json::Num(scatter as f64)),
+            ("comm_bytes", Json::Num(comm_bytes as f64)),
+            ("modeled_s", Json::Num(modeled)),
+            ("wall_s", Json::Num(wall)),
+            (
+                "gather_fraction_of_fp64",
+                Json::Num(gather as f64 / ref_gather as f64),
+            ),
+        ]));
+    }
+
+    println!("\nAblation — mixed-precision execution path over the water workloads");
+    print_table(&header, &rows);
+    write_csv("ablation_precision.csv", &header, &rows);
+    // The acceptance artifact: the precision sweep under its stable name.
+    write_bench_json(
+        "precision",
+        Json::obj([
+            ("workload", Json::Str("water density (4-rank group)".into())),
+            ("series", Json::Arr(series)),
+            ("table", bench_table(&header, &rows)),
+        ]),
+    );
+}

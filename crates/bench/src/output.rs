@@ -13,6 +13,11 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write a CSV file into [`results_dir`] and announce it on stdout.
+///
+/// Every CSV additionally materializes as a stable-schema
+/// `BENCH_<stem>.json` trajectory document (see [`write_bench_json`]), so
+/// all experiment binaries feed the machine-readable result trajectory
+/// without per-binary plumbing.
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     let path = results_dir().join(name);
     let mut f = fs::File::create(&path).expect("cannot create CSV file");
@@ -21,6 +26,47 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
         writeln!(f, "{}", row.join(",")).expect("write row");
     }
     println!("wrote {} ({} rows)", path.display(), rows.len());
+    let stem = name.strip_suffix(".csv").unwrap_or(name);
+    write_bench_json(stem, bench_table(header, rows));
+}
+
+/// Schema version of the `BENCH_*.json` trajectory documents. Bump only
+/// with a migration note; downstream tooling keys on it.
+pub const BENCH_SCHEMA_VERSION: f64 = 1.0;
+
+/// Tabular payload for a `BENCH_*.json` document: column names plus
+/// stringly-typed rows (exactly the CSV cells, so the two outputs can
+/// never disagree).
+pub fn bench_table(header: &[&str], rows: &[Vec<String>]) -> Json {
+    Json::obj([
+        (
+            "columns",
+            Json::Arr(header.iter().map(|h| Json::Str(h.to_string())).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Write `results/BENCH_<name>.json`, the stable-schema machine-readable
+/// trajectory record of one experiment binary:
+/// `{"bench", "schema_version", "data"}` where `data` is the
+/// binary-specific payload (usually [`bench_table`], optionally richer).
+pub fn write_bench_json(name: &str, data: Json) {
+    let doc = Json::obj([
+        ("bench", Json::Str(name.to_string())),
+        ("schema_version", Json::Num(BENCH_SCHEMA_VERSION)),
+        ("data", data),
+    ]);
+    let path = results_dir().join(format!("BENCH_{name}.json"));
+    fs::write(&path, format!("{doc}\n")).expect("cannot write BENCH json");
+    println!("wrote {}", path.display());
 }
 
 /// Print an aligned table to stdout.
@@ -181,5 +227,14 @@ mod tests {
             std::fs::read_to_string(results_dir().join("test_output_helper.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
         std::fs::remove_file(results_dir().join("test_output_helper.csv")).unwrap();
+        // The CSV also materialized as a stable-schema BENCH document.
+        let bench =
+            std::fs::read_to_string(results_dir().join("BENCH_test_output_helper.json")).unwrap();
+        assert_eq!(
+            bench,
+            "{\"bench\":\"test_output_helper\",\"schema_version\":1,\
+             \"data\":{\"columns\":[\"a\",\"b\"],\"rows\":[[\"1\",\"2\"]]}}\n"
+        );
+        std::fs::remove_file(results_dir().join("BENCH_test_output_helper.json")).unwrap();
     }
 }

@@ -138,6 +138,11 @@ impl ScfDriver {
                 ..self.opts.numeric.solve
             },
             use_selected_columns: false,
+            // The caller's precision knob is honored: Fp32* runs the
+            // gathers over the f32 wire and diagonalizes the f32-rounded
+            // operator (see sm_core::solver); the SCF feedback loop damps
+            // the remaining rounding noise like any other perturbation.
+            precision: self.opts.numeric.precision,
         };
         let avg_occ = n_electrons / (2.0 * kt0.n() as f64);
         let stats_at_start = self.engine.stats();
@@ -260,6 +265,36 @@ mod tests {
         // Energy settles: the final change is below tolerance.
         let last = result.iterations.last().unwrap();
         assert!(last.de.abs() < 1e-8);
+    }
+
+    #[test]
+    fn scf_runs_in_reduced_precision_and_stays_close_to_fp64() {
+        use sm_linalg::Precision;
+        let (kt, mu, n_elec) = small_system();
+        let comm = SerialComm::new();
+        let reference = ScfDriver::new(ScfOptions::default()).run(&kt, mu, n_elec, &comm);
+        assert!(reference.converged);
+        let driver = ScfDriver::new(ScfOptions {
+            numeric: NumericOptions {
+                precision: Precision::Fp32Refined,
+                ..NumericOptions::default()
+            },
+            ..ScfOptions::default()
+        });
+        let result = driver.run(&kt, mu, n_elec, &comm);
+        assert!(result.converged, "fp32-refined SCF did not converge");
+        // One cached plan still serves every iteration — precision never
+        // touches the symbolic phase.
+        assert_eq!(result.symbolic_builds, 1);
+        let e64 = reference.iterations.last().unwrap().energy;
+        let e32 = result.iterations.last().unwrap().energy;
+        assert!(
+            (e64 - e32).abs() < 1e-5,
+            "refined-precision SCF energy drifted: {e64} vs {e32}"
+        );
+        for it in &result.iterations {
+            assert!((it.electrons - n_elec).abs() < 1e-4);
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@ use std::collections::{HashMap, VecDeque};
 pub enum Payload {
     /// Dense floating-point data (matrix blocks, reduction operands).
     F64(Vec<f64>),
+    /// Single-precision dense data — the reduced-precision value wire
+    /// format of `sm_dbcsr::wire` (half the bytes of `F64`).
+    F32(Vec<f32>),
     /// Index/ID lists (block IDs, counts, permutations).
     U64(Vec<u64>),
     /// Opaque bytes.
@@ -20,6 +23,7 @@ impl Payload {
     pub fn byte_len(&self) -> usize {
         match self {
             Payload::F64(v) => v.len() * 8,
+            Payload::F32(v) => v.len() * 4,
             Payload::U64(v) => v.len() * 8,
             Payload::Bytes(v) => v.len(),
         }
@@ -33,6 +37,17 @@ impl Payload {
         match self {
             Payload::F64(v) => v,
             other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an `F32` payload.
+    ///
+    /// # Panics
+    /// Panics if the payload has a different variant — a protocol error.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            other => panic!("expected F32 payload, got {other:?}"),
         }
     }
 
@@ -217,6 +232,7 @@ mod tests {
     #[test]
     fn payload_byte_len() {
         assert_eq!(Payload::F64(vec![0.0; 3]).byte_len(), 24);
+        assert_eq!(Payload::F32(vec![0.0; 3]).byte_len(), 12);
         assert_eq!(Payload::U64(vec![0; 2]).byte_len(), 16);
         assert_eq!(Payload::Bytes(vec![0; 5]).byte_len(), 5);
     }
@@ -224,8 +240,15 @@ mod tests {
     #[test]
     fn payload_unwrap() {
         assert_eq!(Payload::F64(vec![1.0]).into_f64(), vec![1.0]);
+        assert_eq!(Payload::F32(vec![1.5]).into_f32(), vec![1.5]);
         assert_eq!(Payload::U64(vec![2]).into_u64(), vec![2]);
         assert_eq!(Payload::Bytes(vec![3]).into_bytes(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn payload_wrong_f32_unwrap_panics() {
+        Payload::F64(vec![1.0]).into_f32();
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! same methods collectively. Plans are cached per `(fingerprint, rank,
 //! size, grouping)`, so one engine instance may be shared between
 //! rank-per-thread executors.
+//!
+//! **Precision is numeric-phase-only.** [`NumericOptions::precision`]
+//! selects the solve kernels' scalar type and the wire encoding of
+//! gathered/scattered block values (`f32` payloads move half the bytes),
+//! but it deliberately does **not** appear in the pattern fingerprint, the
+//! plan-cache key, or any symbolic decision: precision changes *values*,
+//! never *patterns*, so one cached plan serves every precision — and the
+//! collective hit/miss consensus below stays precision-blind (two groups
+//! running the same pattern at different precisions must still agree on
+//! hit/miss, or they would deadlock in the pattern gather).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,9 +43,9 @@ use std::time::Instant;
 use rayon::prelude::*;
 
 use sm_comsim::Comm;
-use sm_dbcsr::wire::PatternFingerprint;
+use sm_dbcsr::wire::{PatternFingerprint, ValueFormat};
 use sm_dbcsr::{ops, wire, BlockedDims, CooPattern, DbcsrMatrix};
-use sm_linalg::Matrix;
+use sm_linalg::{Matrix, Precision};
 
 use crate::assembly::SubmatrixSpec;
 use crate::loadbalance::greedy_contiguous;
@@ -135,8 +145,23 @@ pub struct NumericOptions {
     pub ensemble: Ensemble,
     /// Compute only the *contributing* columns of each submatrix's sign
     /// function (the paper's Sec. VII future-work optimization). Requires
-    /// the diagonalization solver and a grand-canonical ensemble.
+    /// the diagonalization solver, a grand-canonical ensemble, and `Fp64`.
     pub use_selected_columns: bool,
+    /// Numeric precision of the whole execution (paper Sec. VI): the dense
+    /// solve kernels *and* the value encoding of the rank-transfer wire.
+    /// With `Fp32`/`Fp32Refined` the gather moves `f32` value payloads
+    /// (half the bytes); plain `Fp32` also scatters results as `f32`
+    /// (losslessly — the solve rounds its output to `f32` storage), while
+    /// `Fp32Refined` scatters its `f64` refinement intact.
+    ///
+    /// **Invariant:** precision is numeric-phase-only. It never enters the
+    /// pattern fingerprint, the plan-cache key, or any symbolic decision —
+    /// one cached plan serves every precision, and the collective hit/miss
+    /// consensus of [`SubmatrixEngine::plan_for_matrix_traced`] is
+    /// untouched by precision changes. This field overrides
+    /// `solve.precision` during execution, so it is the engine-level
+    /// source of truth.
+    pub precision: Precision,
 }
 
 impl Default for NumericOptions {
@@ -145,6 +170,7 @@ impl Default for NumericOptions {
             solve: SolveOptions::default(),
             ensemble: Ensemble::GrandCanonical,
             use_selected_columns: false,
+            precision: Precision::Fp64,
         }
     }
 }
@@ -434,6 +460,14 @@ pub struct EngineReport {
     pub total_cost: f64,
     /// This rank's transfer statistics (from the cached plan).
     pub transfers: TransferStats,
+    /// Numeric precision this execution ran in.
+    pub precision: Precision,
+    /// Value-payload bytes this rank received from remote ranks during the
+    /// gather (deterministic; halves under the `f32` wire format).
+    pub gather_value_bytes: u64,
+    /// Value-payload bytes this rank sent to remote ranks during the
+    /// result scatter (deterministic).
+    pub scatter_value_bytes: u64,
     /// The µ actually used (after canonical adjustment, if any).
     pub mu: f64,
     /// Bisection steps of Algorithm 1 (0 for grand canonical).
@@ -733,16 +767,41 @@ impl SubmatrixEngine {
         );
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
 
+        // Precision is engine-authoritative: thread it into the per-
+        // submatrix solve options so the solver and the wire agree.
+        let precision = numeric.precision;
+        let mut numeric = *numeric;
+        numeric.solve.precision = precision;
+        let numeric = &numeric;
+        let gather_format = if precision.gather_is_f32() {
+            ValueFormat::F32
+        } else {
+            ValueFormat::F64
+        };
+        let scatter_format = if precision.scatter_is_f32() {
+            ValueFormat::F32
+        } else {
+            ValueFormat::F64
+        };
+
         // Gather: fetch every remote block once, along the cached transfer
-        // plan.
+        // plan. Under f32 precision the value payloads move half the
+        // bytes; the rounding is idempotent with the solve's own f32
+        // input rounding, so results are independent of the distribution.
         let t0 = Instant::now();
-        let fetched = ops::fetch_blocks(values, &plan.remote_wanted, comm);
+        let (fetched, gather_value_bytes) =
+            ops::fetch_blocks_prec(values, &plan.remote_wanted, gather_format, comm);
         let block_of =
             |br: usize, bc: usize| values.block(br, bc).or_else(|| fetched.get(&(br, bc)));
         let gather_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let (mu, bisect_iterations, extracted) = if numeric.use_selected_columns {
+            assert_eq!(
+                precision,
+                Precision::Fp64,
+                "selected-columns evaluation is Fp64-only"
+            );
             assert_eq!(
                 numeric.solve.method,
                 SignMethod::Diagonalization,
@@ -825,11 +884,13 @@ impl SubmatrixEngine {
                     let signs: Vec<Matrix> = results
                         .iter()
                         .map(|r| {
-                            sign_from_decomposition(
+                            let mut s = sign_from_decomposition(
                                 r.decomposition.as_ref().expect("diagonalization stores Q"),
                                 adj.mu,
                                 numeric.solve.kt,
-                            )
+                            );
+                            crate::solver::round_sign_output(&mut s, precision);
+                            s
                         })
                         .collect();
                     (adj.mu, adj.iterations, signs)
@@ -844,7 +905,9 @@ impl SubmatrixEngine {
         };
         let solve_seconds = t1.elapsed().as_secs_f64();
 
-        // Scatter result blocks to their owning ranks.
+        // Scatter result blocks to their owning ranks. Plain-Fp32 results
+        // are f32-representable, so the f32 result wire is lossless;
+        // refined results ship in f64 to keep the recovered accuracy.
         let t2 = Instant::now();
         let mut result = DbcsrMatrix::new(plan.dims.clone(), comm.rank(), comm.size());
         let mut outgoing: Vec<BTreeMap<(usize, usize), Matrix>> =
@@ -852,7 +915,9 @@ impl SubmatrixEngine {
         for (coord, blk) in extracted.into_iter().flatten() {
             outgoing[result.owner(coord.0, coord.1)].insert(coord, blk);
         }
-        for ((br, bc), blk) in wire::exchange_blocks(outgoing, &plan.dims, comm) {
+        let (received, scatter_value_bytes) =
+            wire::exchange_blocks_prec(outgoing, &plan.dims, scatter_format, comm);
+        for ((br, bc), blk) in received {
             result.insert_block(br, bc, blk);
         }
         let scatter_seconds = t2.elapsed().as_secs_f64();
@@ -863,6 +928,9 @@ impl SubmatrixEngine {
             avg_dim: plan.avg_dim,
             total_cost: plan.total_cost,
             transfers: plan.transfers,
+            precision,
+            gather_value_bytes,
+            scatter_value_bytes,
             mu,
             bisect_iterations,
             // A direct execute performs no symbolic work by contract;
@@ -1142,6 +1210,111 @@ mod tests {
         assert_eq!(stats.symbolic_builds, 2);
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn one_plan_serves_every_precision() {
+        // Precision is numeric-only: all three modes hit the same cached
+        // plan (no fingerprint or cache-key contamination), and their
+        // results agree within the documented tolerances.
+        let (dense, dims) = banded_gapped(8, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::default();
+        let mut results = Vec::new();
+        for precision in Precision::all() {
+            let numeric = NumericOptions {
+                precision,
+                ..NumericOptions::default()
+            };
+            let (sign, report) = engine.sign(&m, 0.0, &numeric, &comm);
+            assert_eq!(report.precision, precision);
+            results.push(sign.to_dense(&comm));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.symbolic_builds, 1, "precision must share one plan");
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(engine.cached_plans(), 1);
+        assert!(results[1].max_abs_diff(&results[0]) < 1e-4, "fp32 vs fp64");
+        assert!(
+            results[2].max_abs_diff(&results[0]) < 1e-6,
+            "fp32-refined vs fp64: {}",
+            results[2].max_abs_diff(&results[0])
+        );
+    }
+
+    #[test]
+    fn fp32_serial_execution_has_zero_wire_value_bytes() {
+        let (dense, dims) = banded_gapped(6, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::default();
+        let numeric = NumericOptions {
+            precision: Precision::Fp32,
+            ..NumericOptions::default()
+        };
+        let (_, report) = engine.sign(&m, 0.0, &numeric, &comm);
+        // Single rank: everything is local, nothing crosses a wire.
+        assert_eq!(report.gather_value_bytes, 0);
+        assert_eq!(report.scatter_value_bytes, 0);
+    }
+
+    #[test]
+    fn distributed_fp32_gather_moves_half_the_value_bytes_of_fp64() {
+        let (dense, dims) = banded_gapped(9, 2);
+        let engine = SubmatrixEngine::default();
+        let bytes_for = |precision: Precision| {
+            let numeric = NumericOptions {
+                precision,
+                ..NumericOptions::default()
+            };
+            let (results, _) = run_ranks(4, |c| {
+                let m = DbcsrMatrix::from_dense(&dense, dims.clone(), c.rank(), c.size(), 0.0);
+                let (_, report) = engine.sign(&m, 0.0, &numeric, c);
+                (report.gather_value_bytes, report.scatter_value_bytes)
+            });
+            let gather: u64 = results.iter().map(|r| r.0).sum();
+            let scatter: u64 = results.iter().map(|r| r.1).sum();
+            (gather, scatter)
+        };
+        let (g64, s64) = bytes_for(Precision::Fp64);
+        let (g32, s32) = bytes_for(Precision::Fp32);
+        let (gref, sref) = bytes_for(Precision::Fp32Refined);
+        assert!(g64 > 0 && s64 > 0, "4-rank run must move value bytes");
+        assert_eq!(g32 * 2, g64, "f32 gather must move exactly half");
+        assert_eq!(s32 * 2, s64, "f32 scatter must move exactly half");
+        // Refined gathers in f32 but scatters the f64 refinement.
+        assert_eq!(gref, g32);
+        assert_eq!(sref, s64);
+    }
+
+    #[test]
+    fn distributed_fp32_matches_serial_bitwise() {
+        // The keystone determinism property: f32 wire rounding is
+        // idempotent with the solve's input rounding, and plain-Fp32
+        // results are f32-representable, so any distribution produces the
+        // identical matrix.
+        let (dense, dims) = banded_gapped(8, 2);
+        let comm = SerialComm::new();
+        let numeric = NumericOptions {
+            precision: Precision::Fp32,
+            ..NumericOptions::default()
+        };
+        let serial = {
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), 0, 1, 0.0);
+            SubmatrixEngine::default()
+                .sign(&m, 0.1, &numeric, &comm)
+                .0
+                .to_dense(&comm)
+        };
+        let engine = SubmatrixEngine::default();
+        let (results, _) = run_ranks(4, |c| {
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), c.rank(), c.size(), 0.0);
+            engine.sign(&m, 0.1, &numeric, c).0.to_dense(c)
+        });
+        for r in results {
+            assert!(r.allclose(&serial, 0.0), "fp32 distribution changed bits");
+        }
     }
 
     #[test]

@@ -65,6 +65,9 @@ impl SubmatrixOptions {
                 solve: self.solve,
                 ensemble: self.ensemble,
                 use_selected_columns: self.use_selected_columns,
+                // The one-shot drivers expose precision through their
+                // solver options; the engine-level knob mirrors it.
+                precision: self.solve.precision,
             },
         )
     }

@@ -7,9 +7,13 @@
 //! finite-temperature purification for free.
 
 use sm_linalg::eigh::{eigh, Eigh};
+use sm_linalg::elem::F32_SIGN_TOL;
 use sm_linalg::fermi::smeared_sign;
-use sm_linalg::sign::{extended_signum, sign_iteration, SignIterationOptions};
-use sm_linalg::{LinalgError, Matrix};
+use sm_linalg::sign::{
+    extended_signum, refine_sign_newton_schulz, sign_iteration, sign_iteration_in,
+    SignIterationOptions,
+};
+use sm_linalg::{LinalgError, Matrix, Precision};
 
 /// How to evaluate `sign(a − µI)` on a dense submatrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +48,25 @@ pub struct SolveOptions {
     pub tol: f64,
     /// Iteration budget of the iterative methods.
     pub max_iter: usize,
+    /// Numeric precision of the dense kernels (paper Sec. VI's
+    /// approximate-computing mode). Strictly a numeric knob — it never
+    /// shapes patterns or plans:
+    ///
+    /// * `Fp64` — the reference path, unchanged.
+    /// * `Fp32` / `Fp32Refined` — the assembled submatrix is first rounded
+    ///   elementwise through `f32` storage (idempotent with the `f32` wire
+    ///   gather, so single-rank and distributed execution solve the exact
+    ///   same matrix). Iterative methods then run the *generic* `f32` sign
+    ///   kernels (`f64`-accumulating GEMM, tolerance clamped to
+    ///   [`F32_SIGN_TOL`]); diagonalization runs the `f64` eigensolver on
+    ///   the rounded input (no native `f32` eigensolver — this models
+    ///   device storage, not compute). Plain `Fp32` rounds the result back
+    ///   to `f32` storage (so it ships losslessly over the `f32` wire);
+    ///   `Fp32Refined` instead applies one `f64` Newton–Schulz refinement
+    ///   pass (iterative methods) or keeps the full `f64` back-transform
+    ///   (diagonalization), recovering ≤1e-6 elementwise agreement with
+    ///   `Fp64`. [`SignMethod::ElementSparse`] is `f64`-only.
+    pub precision: Precision,
 }
 
 impl Default for SolveOptions {
@@ -53,6 +76,7 @@ impl Default for SolveOptions {
             kt: 0.0,
             tol: 1e-10,
             max_iter: 100,
+            precision: Precision::Fp64,
         }
     }
 }
@@ -69,12 +93,32 @@ pub struct SolveResult {
     pub iterations: usize,
 }
 
+/// Round a solved sign matrix to the precision's storage format. A no-op
+/// for `Fp64` and `Fp32Refined` (the refinement's whole point is keeping
+/// the `f64` bits); plain `Fp32` results are rounded through `f32` so they
+/// ship losslessly over the `f32` result wire.
+pub fn round_sign_output(sign: &mut Matrix, precision: Precision) {
+    if precision == Precision::Fp32 {
+        *sign = sign.round_f32_storage();
+    }
+}
+
 /// Evaluate `sign(a − µI)` on one dense symmetric submatrix.
 pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResult, LinalgError> {
     match opts.method {
         SignMethod::Diagonalization => {
-            let dec = eigh(a)?;
-            let sign = sign_from_decomposition(&dec, mu, opts.kt);
+            // Reduced precision: diagonalize the f32-rounded input (the
+            // values an f32 wire/device memory would hold). Idempotent with
+            // the f32 gather, so every execution path solves the same
+            // matrix. There is no native f32 eigensolver — this models
+            // storage precision; the iterative methods model compute too.
+            let dec = if opts.precision.storage_is_f32() {
+                eigh(&a.round_f32_storage())?
+            } else {
+                eigh(a)?
+            };
+            let mut sign = sign_from_decomposition(&dec, mu, opts.kt);
+            round_sign_output(&mut sign, opts.precision);
             Ok(SolveResult {
                 sign,
                 decomposition: Some(dec),
@@ -85,6 +129,10 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
             assert!(
                 opts.kt == 0.0,
                 "the element-sparse iteration only supports zero temperature"
+            );
+            assert!(
+                opts.precision == Precision::Fp64,
+                "the element-sparse iteration has no reduced-precision kernel"
             );
             let r = sm_linalg::sparse::sparse_sign_iteration(
                 a,
@@ -117,6 +165,9 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
                 SignMethod::Pade(p) => p,
                 _ => unreachable!(),
             };
+            if opts.precision.storage_is_f32() {
+                return solve_sign_iterative_f32(a, mu, order, opts);
+            }
             let mut shifted = a.clone();
             shifted.shift_diag(-mu);
             let r = sign_iteration(
@@ -141,6 +192,53 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
             })
         }
     }
+}
+
+/// The reduced-precision iterative path: run the *generic* `f32` sign
+/// kernel (single-precision storage, `f64`-accumulating GEMM — the CPU
+/// analogue of tensor-core mixed accumulation), then optionally one `f64`
+/// Newton–Schulz refinement pass (`Fp32Refined`).
+///
+/// The input is rounded to `f32` first and the µ shift applied in `f32`,
+/// so the solve is bitwise-identical whether the values arrived over an
+/// `f32` wire (distributed gather) or straight from local `f64` storage.
+fn solve_sign_iterative_f32(
+    a: &Matrix,
+    mu: f64,
+    order: usize,
+    opts: &SolveOptions,
+) -> Result<SolveResult, LinalgError> {
+    let mut shifted = a.to_f32();
+    shifted.shift_diag(-(mu as f32));
+    let r = sign_iteration_in(
+        &shifted,
+        order,
+        SignIterationOptions {
+            // f32 iterates bottom out near n·ε_f32; don't spin the budget
+            // chasing an f64 tolerance the arithmetic cannot reach.
+            tol: opts.tol.max(F32_SIGN_TOL),
+            max_iter: opts.max_iter,
+            prescale: true,
+        },
+        true,
+    )?;
+    if !r.converged {
+        return Err(LinalgError::NoConvergence {
+            op: "f32 submatrix sign iteration",
+            iterations: r.trace.len(),
+        });
+    }
+    let mut sign = r.sign.to_f64();
+    let mut iterations = r.trace.len();
+    if opts.precision == Precision::Fp32Refined {
+        sign = refine_sign_newton_schulz(&sign)?;
+        iterations += 1;
+    }
+    Ok(SolveResult {
+        sign,
+        decomposition: None,
+        iterations,
+    })
 }
 
 /// `sign(a − µI)` from a stored decomposition of `a` — the reuse that makes
@@ -459,5 +557,156 @@ mod element_sparse_tests {
             ..SolveOptions::default()
         };
         let _ = solve_sign(&a, 0.0, &opts);
+    }
+}
+
+#[cfg(test)]
+mod precision_tests {
+    use super::*;
+
+    /// Banded gapped test matrix (the satellite-pattern analogue).
+    fn banded(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i % 2 == 0 {
+                    1.3
+                } else {
+                    -1.3
+                }
+            } else if (i as isize - j as isize).unsigned_abs() <= 3 {
+                0.06 / (1.0 + (i as f64 - j as f64).abs())
+            } else {
+                0.0
+            }
+        });
+        a.symmetrize();
+        a
+    }
+
+    fn with_precision(method: SignMethod, precision: Precision) -> SolveOptions {
+        SolveOptions {
+            method,
+            precision,
+            ..SolveOptions::default()
+        }
+    }
+
+    /// Documented tolerance contract: f32 solves match f64 within 1e-4,
+    /// f32-refined within 1e-6, elementwise — across solver methods and a
+    /// sweep of sizes/chemical potentials (the property the engine-level
+    /// wire tests build on).
+    #[test]
+    fn f32_and_refined_match_f64_within_documented_tolerances() {
+        for n in [8usize, 14, 23] {
+            let a = banded(n);
+            for mu in [0.0, 0.15, -0.2] {
+                for method in [
+                    SignMethod::Diagonalization,
+                    SignMethod::NewtonSchulz,
+                    SignMethod::Pade(3),
+                ] {
+                    let reference = solve_sign(&a, mu, &with_precision(method, Precision::Fp64))
+                        .unwrap()
+                        .sign;
+                    let r32 = solve_sign(&a, mu, &with_precision(method, Precision::Fp32))
+                        .unwrap()
+                        .sign;
+                    let d32 = r32.max_abs_diff(&reference);
+                    assert!(d32 < 1e-4, "{method:?} n={n} mu={mu}: fp32 off by {d32}");
+                    let rref = solve_sign(&a, mu, &with_precision(method, Precision::Fp32Refined))
+                        .unwrap()
+                        .sign;
+                    let dref = rref.max_abs_diff(&reference);
+                    assert!(
+                        dref < 1e-6,
+                        "{method:?} n={n} mu={mu}: fp32-refined off by {dref}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_fp32_outputs_are_f32_representable() {
+        let a = banded(12);
+        for method in [SignMethod::Diagonalization, SignMethod::NewtonSchulz] {
+            let r = solve_sign(&a, 0.1, &with_precision(method, Precision::Fp32)).unwrap();
+            // Round-tripping through f32 storage changes nothing: the f32
+            // result wire is lossless for plain-Fp32 results.
+            assert!(r.sign.allclose(&r.sign.round_f32_storage(), 0.0));
+        }
+    }
+
+    #[test]
+    fn f32_solve_is_invariant_to_prior_wire_rounding() {
+        // The bitwise-equivalence keystone: solving the f64 values and
+        // solving their f32-wire-rounded copy produce identical results,
+        // because the solve rounds its input first (idempotent).
+        let a = banded(16);
+        let rounded = a.round_f32_storage();
+        for prec in [Precision::Fp32, Precision::Fp32Refined] {
+            for method in [SignMethod::Diagonalization, SignMethod::NewtonSchulz] {
+                let direct = solve_sign(&a, 0.05, &with_precision(method, prec)).unwrap();
+                let wired = solve_sign(&rounded, 0.05, &with_precision(method, prec)).unwrap();
+                assert!(
+                    direct.sign.allclose(&wired.sign, 0.0),
+                    "{method:?}/{prec:?} diverged after wire rounding"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refined_iterative_counts_the_refinement_pass() {
+        let a = banded(10);
+        let plain = solve_sign(
+            &a,
+            0.0,
+            &with_precision(SignMethod::NewtonSchulz, Precision::Fp32),
+        )
+        .unwrap();
+        let refined = solve_sign(
+            &a,
+            0.0,
+            &with_precision(SignMethod::NewtonSchulz, Precision::Fp32Refined),
+        )
+        .unwrap();
+        assert_eq!(refined.iterations, plain.iterations + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reduced-precision kernel")]
+    fn element_sparse_rejects_f32() {
+        let a = banded(6);
+        let opts = SolveOptions {
+            method: SignMethod::ElementSparse {
+                order: 2,
+                eps: 1e-10,
+            },
+            precision: Precision::Fp32,
+            ..SolveOptions::default()
+        };
+        let _ = solve_sign(&a, 0.0, &opts);
+    }
+
+    #[test]
+    fn finite_temperature_diag_supports_f32_storage() {
+        let a = banded(8);
+        let opts = SolveOptions {
+            kt: 0.05,
+            precision: Precision::Fp32Refined,
+            ..SolveOptions::default()
+        };
+        let r = solve_sign(&a, 0.0, &opts).unwrap();
+        let reference = solve_sign(
+            &a,
+            0.0,
+            &SolveOptions {
+                kt: 0.05,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(r.sign.max_abs_diff(&reference.sign) < 1e-5);
     }
 }

@@ -141,6 +141,21 @@ pub fn fetch_blocks<C: Comm>(
     wanted: &[(usize, usize)],
     comm: &C,
 ) -> std::collections::BTreeMap<(usize, usize), Matrix> {
+    fetch_blocks_prec(m, wanted, crate::wire::ValueFormat::F64, comm).0
+}
+
+/// [`fetch_blocks`] with a chosen value encoding — the engine's gather hot
+/// path. With [`ValueFormat::F32`](crate::wire::ValueFormat) the owners'
+/// replies move half the value bytes (values rounded through `f32`
+/// storage, which the reduced-precision solve does anyway). Additionally
+/// returns the value-payload bytes received from **remote** ranks — the
+/// deterministic gather byte counter of the precision telemetry.
+pub fn fetch_blocks_prec<C: Comm>(
+    m: &DbcsrMatrix,
+    wanted: &[(usize, usize)],
+    format: crate::wire::ValueFormat,
+    comm: &C,
+) -> (std::collections::BTreeMap<(usize, usize), Matrix>, u64) {
     use sm_comsim::Payload;
     let size = comm.size();
     // Round 1: send requests (block coords) to owners.
@@ -153,8 +168,7 @@ pub fn fetch_blocks<C: Comm>(
     let incoming = comm.alltoallv(requests.into_iter().map(Payload::U64).collect());
     // Round 2: answer with the requested blocks we actually store, packed
     // in the shared wire format straight from the store (no block copies
-    // besides the wire buffer itself — this is the engine's gather hot
-    // path).
+    // besides the wire buffer itself).
     let mut replies_meta: Vec<Payload> = Vec::with_capacity(size);
     let mut replies_data: Vec<Payload> = Vec::with_capacity(size);
     for req in incoming {
@@ -166,20 +180,24 @@ pub fn fetch_blocks<C: Comm>(
                 m.store().get(&coord).map(|blk| (coord, blk))
             })
             .collect();
-        let (meta, data) = crate::wire::pack_blocks(found.iter().map(|(c, b)| (c, *b)));
+        let (meta, data) =
+            crate::wire::pack_blocks_prec(found.iter().map(|(c, b)| (c, *b)), format);
         replies_meta.push(Payload::U64(meta));
-        replies_data.push(Payload::F64(data));
+        replies_data.push(data);
     }
     let metas = comm.alltoallv(replies_meta);
     let datas = comm.alltoallv(replies_data);
     let mut out = std::collections::BTreeMap::new();
-    for (meta, data) in metas.into_iter().zip(datas) {
-        for (coord, blk) in crate::wire::unpack_blocks(m.dims(), &meta.into_u64(), &data.into_f64())
-        {
+    let mut value_bytes = 0u64;
+    for (src, (meta, data)) in metas.into_iter().zip(datas).enumerate() {
+        if src != comm.rank() {
+            value_bytes += data.byte_len() as u64;
+        }
+        for (coord, blk) in crate::wire::unpack_blocks_prec(m.dims(), &meta.into_u64(), data) {
             out.insert(coord, blk);
         }
     }
-    out
+    (out, value_bytes)
 }
 
 #[cfg(test)]

@@ -45,30 +45,149 @@ pub fn user_tag(tag: u64) -> u64 {
     tag
 }
 
-/// Serialize blocks into `(meta, data)` payload vectors.
+/// Element encoding of a block-value payload. `F64` is the historical
+/// format; `F32` halves the value bytes for evaluations whose numeric phase
+/// runs in single precision (`Precision::Fp32*` — see `sm_linalg::elem`).
+///
+/// The format is **self-describing**: the packer sets [`F32_FORMAT_BIT`]
+/// in the meta header's count word, and [`unpack_blocks_prec`] rejects a
+/// meta/payload combination whose flags disagree — a mixed-precision
+/// protocol error surfaces at the unpack site, not as silent garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueFormat {
+    /// 8-byte elements (exact).
+    F64,
+    /// 4-byte elements (values rounded through `f32` storage).
+    F32,
+}
+
+impl ValueFormat {
+    /// Bytes per element on the wire.
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            ValueFormat::F64 => 8,
+            ValueFormat::F32 => 4,
+        }
+    }
+}
+
+/// Bit set in the meta count word (`meta[0]`) when the companion data
+/// payload is `f32`-encoded. Block counts are far below 2⁶², so the flag
+/// can never collide with a real count.
+pub const F32_FORMAT_BIT: u64 = 1 << 62;
+
+/// Serialize blocks into `(meta, data)` payload vectors (f64 values — the
+/// historical wire format).
 pub fn pack_blocks<'a>(
     blocks: impl Iterator<Item = (&'a BlockCoord, &'a Matrix)>,
 ) -> (Vec<u64>, Vec<f64>) {
+    let (meta, payload) = pack_blocks_prec(blocks, ValueFormat::F64);
+    (meta, payload.into_f64())
+}
+
+/// Serialize blocks into a meta vector plus a value payload in the given
+/// [`ValueFormat`]. `F32` rounds every element through single precision
+/// and moves half the bytes.
+pub fn pack_blocks_prec<'a>(
+    blocks: impl Iterator<Item = (&'a BlockCoord, &'a Matrix)>,
+    format: ValueFormat,
+) -> (Vec<u64>, Payload) {
     let mut meta = vec![0u64];
-    let mut data = Vec::new();
     let mut count = 0u64;
-    for (&(br, bc), blk) in blocks {
-        meta.push(br as u64);
-        meta.push(bc as u64);
-        data.extend_from_slice(blk.as_slice());
-        count += 1;
+    match format {
+        ValueFormat::F64 => {
+            let mut data: Vec<f64> = Vec::new();
+            for (&(br, bc), blk) in blocks {
+                meta.push(br as u64);
+                meta.push(bc as u64);
+                data.extend_from_slice(blk.as_slice());
+                count += 1;
+            }
+            meta[0] = count;
+            (meta, Payload::F64(data))
+        }
+        ValueFormat::F32 => {
+            let mut data: Vec<f32> = Vec::new();
+            for (&(br, bc), blk) in blocks {
+                meta.push(br as u64);
+                meta.push(bc as u64);
+                data.extend(blk.as_slice().iter().map(|&v| v as f32));
+                count += 1;
+            }
+            meta[0] = count | F32_FORMAT_BIT;
+            (meta, Payload::F32(data))
+        }
     }
-    meta[0] = count;
-    (meta, data)
 }
 
 /// Inverse of [`pack_blocks`]: reconstruct `(coord, block)` pairs using the
-/// partition to recover block shapes.
+/// partition to recover block shapes (f64 wire format only).
 pub fn unpack_blocks(dims: &BlockedDims, meta: &[u64], data: &[f64]) -> Vec<(BlockCoord, Matrix)> {
     if meta.is_empty() {
         return Vec::new();
     }
-    let count = meta[0] as usize;
+    assert_eq!(
+        meta[0] & F32_FORMAT_BIT,
+        0,
+        "unpack_blocks: f32-tagged meta routed to the f64 unpacker"
+    );
+    unpack_into(
+        dims,
+        meta,
+        |off, len| data[off..off + len].to_vec(),
+        data.len(),
+    )
+}
+
+/// Inverse of [`pack_blocks_prec`] for either value format. The meta
+/// header's format flag must agree with the payload variant.
+pub fn unpack_blocks_prec(
+    dims: &BlockedDims,
+    meta: &[u64],
+    payload: Payload,
+) -> Vec<(BlockCoord, Matrix)> {
+    if meta.is_empty() {
+        return Vec::new();
+    }
+    let tagged_f32 = meta[0] & F32_FORMAT_BIT != 0;
+    match payload {
+        Payload::F64(data) => {
+            assert!(
+                !tagged_f32,
+                "unpack_blocks_prec: f32-tagged meta with an f64 payload"
+            );
+            unpack_into(
+                dims,
+                meta,
+                |off, len| data[off..off + len].to_vec(),
+                data.len(),
+            )
+        }
+        Payload::F32(data) => {
+            assert!(
+                tagged_f32,
+                "unpack_blocks_prec: f64-tagged meta with an f32 payload"
+            );
+            unpack_into(
+                dims,
+                meta,
+                |off, len| data[off..off + len].iter().map(|&v| v as f64).collect(),
+                data.len(),
+            )
+        }
+        other => panic!("unpack_blocks_prec: unexpected payload variant {other:?}"),
+    }
+}
+
+/// Shared meta walk of the unpackers: `read(offset, len)` materializes the
+/// column-major values of one block.
+fn unpack_into(
+    dims: &BlockedDims,
+    meta: &[u64],
+    read: impl Fn(usize, usize) -> Vec<f64>,
+    data_len: usize,
+) -> Vec<(BlockCoord, Matrix)> {
+    let count = (meta[0] & !F32_FORMAT_BIT) as usize;
     let mut out = Vec::with_capacity(count);
     let mut off = 0usize;
     for k in 0..count {
@@ -76,11 +195,11 @@ pub fn unpack_blocks(dims: &BlockedDims, meta: &[u64], data: &[f64]) -> Vec<(Blo
         let bc = meta[2 + 2 * k] as usize;
         let (rows, cols) = (dims.size(br), dims.size(bc));
         let len = rows * cols;
-        let blk = Matrix::from_col_major(rows, cols, data[off..off + len].to_vec());
+        let blk = Matrix::from_col_major(rows, cols, read(off, len));
         off += len;
         out.push(((br, bc), blk));
     }
-    assert_eq!(off, data.len(), "unpack_blocks: trailing data");
+    assert_eq!(off, data_len, "unpack_blocks: trailing data");
     out
 }
 
@@ -93,6 +212,19 @@ pub fn exchange_blocks<C: Comm>(
     dims: &BlockedDims,
     comm: &C,
 ) -> Vec<(BlockCoord, Matrix)> {
+    exchange_blocks_prec(outgoing, dims, ValueFormat::F64, comm).0
+}
+
+/// [`exchange_blocks`] with a chosen value encoding. Additionally returns
+/// the **value-payload bytes this rank sent to remote ranks** — the
+/// deterministic per-rank byte counter the engine's precision telemetry
+/// reports (meta traffic and local passthrough excluded).
+pub fn exchange_blocks_prec<C: Comm>(
+    outgoing: Vec<BTreeMap<BlockCoord, Matrix>>,
+    dims: &BlockedDims,
+    format: ValueFormat,
+    comm: &C,
+) -> (Vec<(BlockCoord, Matrix)>, u64) {
     assert_eq!(
         outgoing.len(),
         comm.size(),
@@ -101,24 +233,30 @@ pub fn exchange_blocks<C: Comm>(
     let mut local: Vec<(BlockCoord, Matrix)> = Vec::new();
     let mut metas: Vec<Payload> = Vec::with_capacity(outgoing.len());
     let mut datas: Vec<Payload> = Vec::with_capacity(outgoing.len());
+    let mut value_bytes = 0u64;
+    let (empty_meta, empty_data) = match format {
+        ValueFormat::F64 => (0u64, Payload::F64(Vec::new())),
+        ValueFormat::F32 => (F32_FORMAT_BIT, Payload::F32(Vec::new())),
+    };
     for (dst, m) in outgoing.into_iter().enumerate() {
         if dst == comm.rank() {
             local.extend(m);
-            metas.push(Payload::U64(vec![0]));
-            datas.push(Payload::F64(Vec::new()));
+            metas.push(Payload::U64(vec![empty_meta]));
+            datas.push(empty_data.clone());
         } else {
-            let (meta, data) = pack_blocks(m.iter());
+            let (meta, data) = pack_blocks_prec(m.iter(), format);
+            value_bytes += data.byte_len() as u64;
             metas.push(Payload::U64(meta));
-            datas.push(Payload::F64(data));
+            datas.push(data);
         }
     }
     let metas_in = comm.alltoallv(metas);
     let datas_in = comm.alltoallv(datas);
     let mut out = local;
     for (meta, data) in metas_in.into_iter().zip(datas_in) {
-        out.extend(unpack_blocks(dims, &meta.into_u64(), &data.into_f64()));
+        out.extend(unpack_blocks_prec(dims, &meta.into_u64(), data));
     }
-    out
+    (out, value_bytes)
 }
 
 /// Send a block store to `dst` and receive one from `src` over a pair of
@@ -269,6 +407,89 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, (0, 0));
         assert!(got[0].1.allclose(&Matrix::identity(2), 0.0));
+    }
+
+    #[test]
+    fn f32_payload_roundtrip_rounds_through_single_precision() {
+        let dims = dims3();
+        let mut blocks: BTreeMap<(usize, usize), Matrix> = BTreeMap::new();
+        blocks.insert(
+            (0, 0),
+            Matrix::from_fn(2, 2, |i, j| 0.1 * (i * 2 + j) as f64 + 0.01),
+        );
+        blocks.insert((1, 2), Matrix::from_fn(3, 1, |i, _| -(i as f64) * 0.3));
+        let (meta, payload) = pack_blocks_prec(blocks.iter(), ValueFormat::F32);
+        assert!(meta[0] & F32_FORMAT_BIT != 0, "f32 meta must be tagged");
+        assert_eq!(meta[0] & !F32_FORMAT_BIT, 2, "count survives the tag");
+        // Half the bytes of the f64 encoding of the same blocks.
+        let (_, f64_payload) = pack_blocks_prec(blocks.iter(), ValueFormat::F64);
+        assert_eq!(payload.byte_len() * 2, f64_payload.byte_len());
+        let got = unpack_blocks_prec(&dims, &meta, payload);
+        assert_eq!(got.len(), 2);
+        for (coord, blk) in got {
+            let expect = blocks[&coord].round_f32_storage();
+            assert!(
+                blk.allclose(&expect, 0.0),
+                "block {coord:?} not f32-rounded"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_values_already_in_storage_roundtrip_losslessly() {
+        // Values that are f32-representable (a plain-Fp32 solve's output)
+        // survive the f32 wire bit-for-bit.
+        let dims = dims3();
+        let mut blocks: BTreeMap<(usize, usize), Matrix> = BTreeMap::new();
+        blocks.insert(
+            (1, 1),
+            Matrix::from_fn(3, 3, |i, j| (0.7 * (i + 2 * j) as f64) as f32 as f64),
+        );
+        let (meta, payload) = pack_blocks_prec(blocks.iter(), ValueFormat::F32);
+        let got = unpack_blocks_prec(&dims, &meta, payload);
+        assert!(got[0].1.allclose(&blocks[&(1, 1)], 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "f32-tagged meta with an f64 payload")]
+    fn format_mismatch_is_a_protocol_error() {
+        let dims = dims3();
+        let mut blocks: BTreeMap<(usize, usize), Matrix> = BTreeMap::new();
+        blocks.insert((0, 0), Matrix::identity(2));
+        let (meta, _) = pack_blocks_prec(blocks.iter(), ValueFormat::F32);
+        // Deliver an f64 payload against the f32-tagged meta.
+        unpack_blocks_prec(&dims, &meta, Payload::F64(vec![0.0; 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "f32-tagged meta routed to the f64 unpacker")]
+    fn legacy_unpacker_rejects_f32_meta() {
+        let dims = dims3();
+        let mut blocks: BTreeMap<(usize, usize), Matrix> = BTreeMap::new();
+        blocks.insert((0, 0), Matrix::identity(2));
+        let (meta, _) = pack_blocks_prec(blocks.iter(), ValueFormat::F32);
+        unpack_blocks(&dims, &meta, &[0.0; 4]);
+    }
+
+    #[test]
+    fn exchange_blocks_prec_serial_f32_counts_no_self_bytes() {
+        let dims = dims3();
+        let mut m = BTreeMap::new();
+        m.insert((0usize, 0usize), Matrix::identity(2));
+        let comm = SerialComm::new();
+        let (got, value_bytes) = exchange_blocks_prec(vec![m], &dims, ValueFormat::F32, &comm);
+        assert_eq!(got.len(), 1);
+        assert_eq!(value_bytes, 0, "local passthrough moves no wire bytes");
+        assert!(got[0].1.allclose(&Matrix::identity(2), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved subgroup namespace")]
+    fn f32_wire_traffic_still_obeys_the_subgroup_tag_guard() {
+        // The reserved-tag discipline is format-independent: a caller
+        // shipping f32 payloads must still pass its tags through
+        // `user_tag`, which rejects SUBGROUP_BIT trespass identically.
+        let _ = user_tag(SUBGROUP_BIT | 42);
     }
 
     #[test]

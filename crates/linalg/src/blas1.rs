@@ -2,18 +2,23 @@
 //!
 //! These are the scalar building blocks used by the factorizations and the
 //! eigensolver. They are deliberately simple; the hot O(n³) work happens in
-//! [`crate::gemm`].
+//! [`crate::gemm`]. The kernels GEMM builds on ([`dot`], [`axpy`],
+//! [`scal`]) are generic over the [`Elem`](crate::elem::Elem) scalar so
+//! the same code path serves the `f32` and `f64` instances; the
+//! factorization-only helpers stay `f64`.
 
-/// Dot product `x · y`.
+use crate::elem::Elem;
+
+/// Dot product `x · y`, accumulated in the element type.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<E: Elem>(x: &[E], y: &[E]) -> E {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     // Unrolled by 4 to expose instruction-level parallelism; falls back to a
     // scalar loop for the tail.
-    let mut acc = [0.0f64; 4];
+    let mut acc = [E::ZERO; 4];
     let chunks = x.len() / 4;
     for c in 0..chunks {
         let b = c * 4;
@@ -34,9 +39,9 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<E: Elem>(alpha: E, x: &[E], y: &mut [E]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    if alpha == 0.0 {
+    if alpha == E::ZERO {
         return;
     }
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
@@ -64,7 +69,7 @@ pub fn nrm2(x: &[f64]) -> f64 {
 
 /// Scale a vector in place: `x *= alpha`.
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<E: Elem>(alpha: E, x: &mut [E]) {
     for v in x {
         *v *= alpha;
     }
@@ -116,7 +121,7 @@ mod tests {
 
     #[test]
     fn dot_empty_is_zero() {
-        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
     }
 
     #[test]
@@ -179,6 +184,18 @@ mod tests {
     #[test]
     fn asum_sums_abs() {
         assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn generic_kernels_work_in_f32() {
+        let x = [1.0f32, 2.0, 3.0];
+        let y = [4.0f32, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0f32);
+        let mut z = [0.0f32; 3];
+        axpy(2.0f32, &x, &mut z);
+        assert_eq!(z, [2.0, 4.0, 6.0]);
+        scal(0.5f32, &mut z);
+        assert_eq!(z, [1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -23,14 +23,20 @@
 //! * element-wise sparse (CSR) kernels and sign iterations implementing the
 //!   paper's Sec. V-C proposal ([`sparse`]).
 //!
-//! All routines operate on `f64`; reduced-precision variants used for the
-//! accelerator study live in the `sm-accel` crate.
+//! The hot dense kernels (GEMM, the sign/Padé iterations) are generic over
+//! the [`Elem`] scalar trait with `f32` and `f64` instances ([`Matrix`] is
+//! the `f64` matrix, [`MatrixF32`] the single-precision one) — the real
+//! mixed-precision execution path of the paper's approximate-computing
+//! mode, selected by [`Precision`]. The factorizations (eigensolver,
+//! Cholesky, LU) remain `f64`; device-*emulating* kernels (FP16 tensor-core
+//! rounding schedules, FPGA summation orders) live in the `sm-accel` crate.
 
 pub mod bisect;
 pub mod blas1;
 pub mod blas2;
 pub mod cholesky;
 pub mod eigh;
+pub mod elem;
 pub mod error;
 pub mod fermi;
 pub mod gemm;
@@ -42,8 +48,9 @@ pub mod sign;
 pub mod sparse;
 pub mod tridiag;
 
+pub use elem::{Elem, Precision};
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixBase, MatrixF32};
 
 /// Convenience result alias for fallible linear-algebra routines.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -4,20 +4,32 @@
 //! sparse operator and evaluates matrix functions on them (paper Sec. III).
 //! This module provides the dense container those evaluations run on.
 //! Column-major storage matches the BLAS/LAPACK convention used by CP2K.
+//!
+//! [`MatrixBase`] is generic over the [`Elem`] scalar so the hot kernels
+//! (GEMM, sign iterations) can run in single precision for the paper's
+//! approximate-computing mode; [`Matrix`] is the `f64` instance every
+//! existing API works in, [`MatrixF32`] the single-precision one.
 
+use crate::elem::Elem;
 use crate::error::LinalgError;
 
-/// Dense column-major `f64` matrix.
+/// Dense column-major matrix over an [`Elem`] scalar.
 ///
 /// Element `(i, j)` lives at linear index `i + j * nrows`.
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct MatrixBase<E: Elem> {
     nrows: usize,
     ncols: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl std::fmt::Debug for Matrix {
+/// Double-precision matrix — the default scalar of the whole stack.
+pub type Matrix = MatrixBase<f64>;
+
+/// Single-precision matrix used by the reduced-precision solve kernels.
+pub type MatrixF32 = MatrixBase<f32>;
+
+impl<E: Elem> std::fmt::Debug for MatrixBase<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.nrows, self.ncols)?;
         let show_r = self.nrows.min(8);
@@ -39,21 +51,21 @@ impl std::fmt::Debug for Matrix {
     }
 }
 
-impl Matrix {
+impl<E: Elem> MatrixBase<E> {
     /// Create a zero-filled matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Matrix {
+        MatrixBase {
             nrows,
             ncols,
-            data: vec![0.0; nrows * ncols],
+            data: vec![E::ZERO; nrows * ncols],
         }
     }
 
     /// Create the `n`-by-`n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        let mut m = Matrix::zeros(n, n);
+        let mut m = MatrixBase::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = E::ONE;
         }
         m
     }
@@ -62,7 +74,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
-    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<E>) -> Self {
         assert_eq!(
             data.len(),
             nrows * ncols,
@@ -71,16 +83,16 @@ impl Matrix {
             nrows,
             ncols
         );
-        Matrix { nrows, ncols, data }
+        MatrixBase { nrows, ncols, data }
     }
 
     /// Build a matrix from row-major data (convenient for literals in tests).
     ///
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
-    pub fn from_row_major(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+    pub fn from_row_major(nrows: usize, ncols: usize, data: &[E]) -> Self {
         assert_eq!(data.len(), nrows * ncols);
-        let mut m = Matrix::zeros(nrows, ncols);
+        let mut m = MatrixBase::zeros(nrows, ncols);
         for i in 0..nrows {
             for j in 0..ncols {
                 m[(i, j)] = data[i * ncols + j];
@@ -90,8 +102,8 @@ impl Matrix {
     }
 
     /// Build a matrix by evaluating `f(i, j)` for every element.
-    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut m = Matrix::zeros(nrows, ncols);
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> E) -> Self {
+        let mut m = MatrixBase::zeros(nrows, ncols);
         for j in 0..ncols {
             for i in 0..nrows {
                 m[(i, j)] = f(i, j);
@@ -101,9 +113,9 @@ impl Matrix {
     }
 
     /// Build a square diagonal matrix from the given diagonal entries.
-    pub fn from_diag(diag: &[f64]) -> Self {
+    pub fn from_diag(diag: &[E]) -> Self {
         let n = diag.len();
-        let mut m = Matrix::zeros(n, n);
+        let mut m = MatrixBase::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
             m[(i, i)] = d;
         }
@@ -136,55 +148,59 @@ impl Matrix {
 
     /// Raw column-major data slice.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable raw column-major data slice.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Consume the matrix, returning its column-major data.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<E> {
         self.data
     }
 
     /// Borrow column `j` as a contiguous slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[E] {
         debug_assert!(j < self.ncols);
         &self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Mutably borrow column `j` as a contiguous slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [E] {
         debug_assert!(j < self.ncols);
         &mut self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Copy row `i` into a freshly allocated vector.
-    pub fn row(&self, i: usize) -> Vec<f64> {
+    pub fn row(&self, i: usize) -> Vec<E> {
         (0..self.ncols).map(|j| self[(i, j)]).collect()
     }
 
     /// Copy the main diagonal into a vector.
-    pub fn diag(&self) -> Vec<f64> {
+    pub fn diag(&self) -> Vec<E> {
         let n = self.nrows.min(self.ncols);
         (0..n).map(|i| self[(i, i)]).collect()
     }
 
     /// Trace (sum of diagonal elements). Requires a square matrix only in
     /// spirit; for rectangular input the min-dimension diagonal is summed.
-    pub fn trace(&self) -> f64 {
-        self.diag().iter().sum()
+    pub fn trace(&self) -> E {
+        let mut s = E::ZERO;
+        for d in self.diag() {
+            s += d;
+        }
+        s
     }
 
     /// Return the transposed matrix.
-    pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.ncols, self.nrows);
+    pub fn transpose(&self) -> MatrixBase<E> {
+        let mut t = MatrixBase::zeros(self.ncols, self.nrows);
         for j in 0..self.ncols {
             for i in 0..self.nrows {
                 t[(j, i)] = self[(i, j)];
@@ -198,9 +214,9 @@ impl Matrix {
     /// This is the core selection operation of the submatrix method: given
     /// the index set of nonzero rows of a column, it carves the induced
     /// dense principal submatrix out of `self`.
-    pub fn principal_submatrix(&self, idx: &[usize]) -> Matrix {
+    pub fn principal_submatrix(&self, idx: &[usize]) -> MatrixBase<E> {
         let k = idx.len();
-        let mut s = Matrix::zeros(k, k);
+        let mut s = MatrixBase::zeros(k, k);
         for (jj, &j) in idx.iter().enumerate() {
             for (ii, &i) in idx.iter().enumerate() {
                 s[(ii, jj)] = self[(i, j)];
@@ -211,8 +227,8 @@ impl Matrix {
 
     /// Extract a general (possibly rectangular) submatrix from row indices
     /// `rows` and column indices `cols`.
-    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Matrix {
-        let mut s = Matrix::zeros(rows.len(), cols.len());
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> MatrixBase<E> {
+        let mut s = MatrixBase::zeros(rows.len(), cols.len());
         for (jj, &j) in cols.iter().enumerate() {
             for (ii, &i) in rows.iter().enumerate() {
                 s[(ii, jj)] = self[(i, j)];
@@ -222,7 +238,7 @@ impl Matrix {
     }
 
     /// Elementwise `self + other`.
-    pub fn add(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+    pub fn add(&self, other: &MatrixBase<E>) -> Result<MatrixBase<E>, LinalgError> {
         if self.shape() != other.shape() {
             return Err(LinalgError::DimensionMismatch {
                 op: "add",
@@ -238,7 +254,7 @@ impl Matrix {
     }
 
     /// Elementwise `self - other`.
-    pub fn sub(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+    pub fn sub(&self, other: &MatrixBase<E>) -> Result<MatrixBase<E>, LinalgError> {
         if self.shape() != other.shape() {
             return Err(LinalgError::DimensionMismatch {
                 op: "sub",
@@ -254,7 +270,7 @@ impl Matrix {
     }
 
     /// In-place `self += alpha * other`.
-    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<(), LinalgError> {
+    pub fn axpy(&mut self, alpha: E, other: &MatrixBase<E>) -> Result<(), LinalgError> {
         if self.shape() != other.shape() {
             return Err(LinalgError::DimensionMismatch {
                 op: "axpy",
@@ -269,21 +285,21 @@ impl Matrix {
     }
 
     /// Scale every element in place.
-    pub fn scale(&mut self, alpha: f64) {
+    pub fn scale(&mut self, alpha: E) {
         for v in &mut self.data {
             *v *= alpha;
         }
     }
 
     /// Return `alpha * self` as a new matrix.
-    pub fn scaled(&self, alpha: f64) -> Matrix {
+    pub fn scaled(&self, alpha: E) -> MatrixBase<E> {
         let mut out = self.clone();
         out.scale(alpha);
         out
     }
 
     /// Add `alpha` to each diagonal element in place (`self += alpha * I`).
-    pub fn shift_diag(&mut self, alpha: f64) {
+    pub fn shift_diag(&mut self, alpha: E) {
         let n = self.nrows.min(self.ncols);
         for i in 0..n {
             self[(i, i)] += alpha;
@@ -293,9 +309,10 @@ impl Matrix {
     /// Symmetrize in place: `self = (self + self^T) / 2`. Square only.
     pub fn symmetrize(&mut self) {
         assert!(self.is_square(), "symmetrize requires a square matrix");
+        let half = E::from_f64(0.5);
         for j in 0..self.ncols {
             for i in 0..j {
-                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                let avg = half * (self[(i, j)] + self[(j, i)]);
                 self[(i, j)] = avg;
                 self[(j, i)] = avg;
             }
@@ -308,38 +325,41 @@ impl Matrix {
         let mut worst = 0.0f64;
         for j in 0..self.ncols {
             for i in 0..j {
-                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs().to_f64());
             }
         }
         worst
     }
 
     /// True if every element differs from `other` by at most `tol`.
-    pub fn allclose(&self, other: &Matrix, tol: f64) -> bool {
+    pub fn allclose(&self, other: &MatrixBase<E>, tol: f64) -> bool {
         self.shape() == other.shape()
             && self
                 .data
                 .iter()
                 .zip(other.data.iter())
-                .all(|(a, b)| (a - b).abs() <= tol)
+                .all(|(&a, &b)| (a - b).abs().to_f64() <= tol)
     }
 
     /// Largest absolute element difference to `other`.
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+    pub fn max_abs_diff(&self, other: &MatrixBase<E>) -> f64 {
         assert_eq!(self.shape(), other.shape());
         self.data
             .iter()
             .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
+            .map(|(&a, &b)| (a - b).abs().to_f64())
             .fold(0.0, f64::max)
     }
 
     /// Number of elements with absolute value above `threshold`.
     pub fn count_above(&self, threshold: f64) -> usize {
-        self.data.iter().filter(|v| v.abs() > threshold).count()
+        self.data
+            .iter()
+            .filter(|v| v.abs().to_f64() > threshold)
+            .count()
     }
 
     /// Zero out all elements with `|a_ij| <= threshold`, returning how many
@@ -348,28 +368,62 @@ impl Matrix {
     pub fn filter(&mut self, threshold: f64) -> usize {
         let mut dropped = 0;
         for v in &mut self.data {
-            if v.abs() <= threshold && *v != 0.0 {
-                *v = 0.0;
+            if v.abs().to_f64() <= threshold && *v != E::ZERO {
+                *v = E::ZERO;
                 dropped += 1;
             }
         }
         dropped
     }
+
+    /// Convert to another element type, rounding every value through the
+    /// target storage format.
+    pub fn cast<F: Elem>(&self) -> MatrixBase<F> {
+        MatrixBase {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|v| F::from_f64(v.to_f64())).collect(),
+        }
+    }
 }
 
-impl std::ops::Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl Matrix {
+    /// Round to single precision (the reduced-precision solve input).
+    pub fn to_f32(&self) -> MatrixF32 {
+        self.cast()
+    }
+
+    /// Round every element through `f32` storage, keeping `f64` layout —
+    /// models values that crossed an `f32` wire or device memory.
+    pub fn round_f32_storage(&self) -> Matrix {
+        MatrixBase {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|&v| v as f32 as f64).collect(),
+        }
+    }
+}
+
+impl MatrixF32 {
+    /// Widen to double precision (exact).
+    pub fn to_f64(&self) -> Matrix {
+        self.cast()
+    }
+}
+
+impl<E: Elem> std::ops::Index<(usize, usize)> for MatrixBase<E> {
+    type Output = E;
 
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &E {
         debug_assert!(i < self.nrows && j < self.ncols);
         &self.data[i + j * self.nrows]
     }
 }
 
-impl std::ops::IndexMut<(usize, usize)> for Matrix {
+impl<E: Elem> std::ops::IndexMut<(usize, usize)> for MatrixBase<E> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut E {
         debug_assert!(i < self.nrows && j < self.ncols);
         &mut self.data[i + j * self.nrows]
     }
@@ -526,5 +580,31 @@ mod tests {
         let s = format!("{m:?}");
         assert!(s.contains("Matrix 20x20"));
         assert!(s.contains("..."));
+    }
+
+    #[test]
+    fn f32_matrix_basic_ops() {
+        let a = MatrixF32::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a[(0, 1)], 2.0f32);
+        let mut b = a.clone();
+        b.scale(2.0);
+        assert_eq!(b[(1, 1)], 8.0f32);
+        assert_eq!(a.transpose()[(1, 0)], 2.0f32);
+        assert_eq!(a.trace(), 5.0f32);
+    }
+
+    #[test]
+    fn cast_roundtrips_and_rounds() {
+        let a = Matrix::from_row_major(2, 2, &[0.1, 1.0 + 1e-12, -3.0, 0.0]);
+        let a32 = a.to_f32();
+        // Widening back is exact, but carries the f32 rounding.
+        let back = a32.to_f64();
+        assert_eq!(back[(0, 0)], 0.1f32 as f64);
+        assert_eq!(back[(0, 1)], 1.0);
+        assert_eq!(back[(1, 0)], -3.0);
+        // round_f32_storage is the same rounding with f64 layout.
+        assert_eq!(a.round_f32_storage(), back);
+        // Idempotent: rounding an already-rounded matrix changes nothing.
+        assert_eq!(back.round_f32_storage(), back);
     }
 }

@@ -4,53 +4,59 @@
 //! (the involutority residual ‖Xₖ² − I‖_F of paper Fig. 13); the 1- and
 //! ∞-norms bound spectral radii for iteration scaling.
 
-use crate::matrix::Matrix;
+use crate::elem::Elem;
+use crate::matrix::{Matrix, MatrixBase};
 
 /// Frobenius norm `sqrt(Σ a_ij²)` with overflow-safe scaling.
 pub fn fro_norm(a: &Matrix) -> f64 {
     crate::blas1::nrm2(a.as_slice())
 }
 
-/// 1-norm: maximum absolute column sum.
-pub fn one_norm(a: &Matrix) -> f64 {
+/// 1-norm: maximum absolute column sum (any element type; accumulated in
+/// `f64` so the bound is reliable for `f32` storage too).
+pub fn one_norm<E: Elem>(a: &MatrixBase<E>) -> f64 {
     (0..a.ncols())
-        .map(|j| crate::blas1::asum(a.col(j)))
+        .map(|j| a.col(j).iter().map(|v| v.abs().to_f64()).sum::<f64>())
         .fold(0.0, f64::max)
 }
 
-/// ∞-norm: maximum absolute row sum.
-pub fn inf_norm(a: &Matrix) -> f64 {
+/// ∞-norm: maximum absolute row sum (any element type).
+pub fn inf_norm<E: Elem>(a: &MatrixBase<E>) -> f64 {
     let mut sums = vec![0.0f64; a.nrows()];
     for j in 0..a.ncols() {
         for (i, &v) in a.col(j).iter().enumerate() {
-            sums[i] += v.abs();
+            sums[i] += v.abs().to_f64();
         }
     }
     sums.into_iter().fold(0.0, f64::max)
 }
 
-/// Largest absolute element.
-pub fn max_norm(a: &Matrix) -> f64 {
-    a.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max)
+/// Largest absolute element (any element type).
+pub fn max_norm<E: Elem>(a: &MatrixBase<E>) -> f64 {
+    a.as_slice()
+        .iter()
+        .map(|v| v.abs().to_f64())
+        .fold(0.0, f64::max)
 }
 
 /// Cheap upper bound on the spectral radius of a symmetric matrix:
 /// `sqrt(‖A‖₁ · ‖A‖∞)` (equals ‖A‖₁ for symmetric input). Used to scale
 /// Newton–Schulz style iterations into their convergence region.
-pub fn spectral_bound(a: &Matrix) -> f64 {
+pub fn spectral_bound<E: Elem>(a: &MatrixBase<E>) -> f64 {
     (one_norm(a) * inf_norm(a)).sqrt()
 }
 
 /// Frobenius norm of `A² - I` without forming the subtraction separately —
 /// the involutority residual used as the convergence criterion of the sign
-/// iterations (paper Fig. 13).
-pub fn involutority_residual(a2: &Matrix) -> f64 {
+/// iterations (paper Fig. 13). Accumulated in `f64` for every element type
+/// so the `f32` iterations get a trustworthy convergence test.
+pub fn involutority_residual<E: Elem>(a2: &MatrixBase<E>) -> f64 {
     assert!(a2.is_square());
     let n = a2.nrows();
     let mut ssq = 0.0f64;
     for j in 0..n {
         for (i, &v) in a2.col(j).iter().enumerate() {
-            let r = if i == j { v - 1.0 } else { v };
+            let r = if i == j { v.to_f64() - 1.0 } else { v.to_f64() };
             ssq += r * r;
         }
     }

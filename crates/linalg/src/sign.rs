@@ -11,8 +11,9 @@
 //!   order 3 reproduces Eq. 19 used in the GPU/FPGA study.
 
 use crate::eigh::eigh;
-use crate::gemm::{gemm, matmul, Op};
-use crate::matrix::Matrix;
+use crate::elem::Elem;
+use crate::gemm::{matmul, matmul_in, matmul_wide};
+use crate::matrix::{Matrix, MatrixBase};
 use crate::norms::{involutority_residual, spectral_bound};
 use crate::LinalgError;
 
@@ -44,15 +45,56 @@ pub struct SignStep {
     pub residual: f64,
 }
 
-/// Result of an iterative sign evaluation.
+/// Result of an iterative sign evaluation (generic over the element type;
+/// the historical `f64` entry points use [`SignIterationResult`]).
 #[derive(Debug, Clone)]
-pub struct SignIterationResult {
+pub struct SignIterationResultIn<E: Elem> {
     /// Converged (or best-effort) sign matrix.
-    pub sign: Matrix,
+    pub sign: MatrixBase<E>,
     /// Per-iteration residual trace.
     pub trace: Vec<SignStep>,
     /// Whether the tolerance was met within the iteration budget.
     pub converged: bool,
+}
+
+/// Result of an iterative sign evaluation in double precision.
+pub type SignIterationResult = SignIterationResultIn<f64>;
+
+/// The scalar types the iterative sign kernels run in. Adds the one piece
+/// of per-type dispatch the generic iteration needs: the square multiply,
+/// which for `f32` may use the `f64`-accumulating inner kernel
+/// ([`matmul_wide`]).
+pub trait SignElem: Elem {
+    /// `A · B` with the element type's accumulation policy.
+    fn multiply(
+        a: &MatrixBase<Self>,
+        b: &MatrixBase<Self>,
+        wide_acc: bool,
+    ) -> Result<MatrixBase<Self>, LinalgError>;
+}
+
+impl SignElem for f64 {
+    fn multiply(
+        a: &MatrixBase<f64>,
+        b: &MatrixBase<f64>,
+        _wide_acc: bool,
+    ) -> Result<MatrixBase<f64>, LinalgError> {
+        matmul_in(a, b)
+    }
+}
+
+impl SignElem for f32 {
+    fn multiply(
+        a: &MatrixBase<f32>,
+        b: &MatrixBase<f32>,
+        wide_acc: bool,
+    ) -> Result<MatrixBase<f32>, LinalgError> {
+        if wide_acc {
+            matmul_wide(a, b)
+        } else {
+            matmul_in(a, b)
+        }
+    }
 }
 
 /// Options for the iterative sign evaluations.
@@ -97,16 +139,22 @@ pub fn pade_coefficients(order: usize) -> Vec<f64> {
     c
 }
 
-/// Arbitrary-order Padé sign iteration on a symmetric matrix.
+/// Arbitrary-order Padé sign iteration on a symmetric matrix, generic over
+/// the element type (the reduced-precision execution path runs this very
+/// kernel in `f32`).
 ///
 /// Every step computes `Y = X²` (also used for the convergence test), then
 /// evaluates the order-`p` polynomial in `Y` by Horner's rule in the
-/// variable `E = I − Y`, and finally multiplies by `X`.
-pub fn sign_iteration(
-    a: &Matrix,
+/// variable `E = I − Y`, and finally multiplies by `X`. With
+/// `wide_acc = true` the `f32` instance accumulates every multiply in
+/// `f64` ([`matmul_wide`]) — single-precision storage, double-precision
+/// sums; the flag is a no-op for `f64`.
+pub fn sign_iteration_in<E: SignElem>(
+    a: &MatrixBase<E>,
     order: usize,
     opts: SignIterationOptions,
-) -> Result<SignIterationResult, LinalgError> {
+    wide_acc: bool,
+) -> Result<SignIterationResultIn<E>, LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare {
             op: "sign_iteration",
@@ -121,7 +169,7 @@ pub fn sign_iteration(
     if opts.prescale {
         let bound = spectral_bound(a);
         if bound > 0.0 {
-            x.scale(1.0 / bound);
+            x.scale(E::from_f64(1.0 / bound));
         }
     }
 
@@ -130,7 +178,7 @@ pub fn sign_iteration(
 
     for it in 0..opts.max_iter {
         // Y = X².
-        let y = matmul(&x, &x)?;
+        let y = E::multiply(&x, &x, wide_acc)?;
         let residual = involutority_residual(&y) / sqrt_n;
         trace.push(SignStep {
             iteration: it,
@@ -143,26 +191,46 @@ pub fn sign_iteration(
 
         // E = I − Y; evaluate P(E) = Σ c_i E^i by Horner.
         let mut e = y;
-        e.scale(-1.0);
-        e.shift_diag(1.0);
-        let mut p = Matrix::identity(n);
-        p.scale(coeffs[order - 1]);
+        e.scale(E::from_f64(-1.0));
+        e.shift_diag(E::ONE);
+        let mut p = MatrixBase::<E>::identity(n);
+        p.scale(E::from_f64(coeffs[order - 1]));
         for i in (0..order - 1).rev() {
             // p = p*E + c_i I
-            let mut next = Matrix::zeros(n, n);
-            gemm(1.0, &p, Op::NoTrans, &e, Op::NoTrans, 0.0, &mut next)?;
-            next.shift_diag(coeffs[i]);
+            let mut next = E::multiply(&p, &e, wide_acc)?;
+            next.shift_diag(E::from_f64(coeffs[i]));
             p = next;
         }
         // X = X * P
-        x = matmul(&x, &p)?;
+        x = E::multiply(&x, &p, wide_acc)?;
     }
 
-    Ok(SignIterationResult {
+    Ok(SignIterationResultIn {
         sign: x,
         trace,
         converged,
     })
+}
+
+/// Double-precision Padé sign iteration (the historical entry point).
+pub fn sign_iteration(
+    a: &Matrix,
+    order: usize,
+    opts: SignIterationOptions,
+) -> Result<SignIterationResult, LinalgError> {
+    sign_iteration_in(a, order, opts, false)
+}
+
+/// One double-precision Newton–Schulz step `X ← X·(3I − X²)/2` — the cheap
+/// `f64` refinement pass applied after an `f32` sign solve
+/// (`Precision::Fp32Refined`). The NS map converges quadratically near an
+/// involutory matrix, so a single step takes an `f32`-accurate iterate
+/// (residual ~1e-5) to well below 1e-6 without re-running the iteration.
+pub fn refine_sign_newton_schulz(x: &Matrix) -> Result<Matrix, LinalgError> {
+    let y = matmul(x, x)?;
+    let mut q = y.scaled(-0.5);
+    q.shift_diag(1.5);
+    matmul(x, &q)
 }
 
 /// 2nd-order Newton–Schulz sign iteration (paper Eq. 11).
@@ -311,6 +379,52 @@ mod tests {
         .unwrap();
         assert!(!r.converged);
         assert_eq!(r.trace.len(), 3);
+    }
+
+    #[test]
+    fn f32_iteration_matches_f64_to_single_precision() {
+        let a = gapped_matrix(14);
+        let s_ref = sign_eig(&a).unwrap();
+        for wide in [false, true] {
+            let r = sign_iteration_in(
+                &a.to_f32(),
+                2,
+                SignIterationOptions {
+                    tol: crate::elem::F32_SIGN_TOL,
+                    ..SignIterationOptions::default()
+                },
+                wide,
+            )
+            .unwrap();
+            assert!(r.converged, "f32 NS (wide={wide}) did not converge");
+            let diff = r.sign.to_f64().max_abs_diff(&s_ref);
+            assert!(diff < 1e-4, "f32 sign (wide={wide}) off by {diff}");
+        }
+    }
+
+    #[test]
+    fn refinement_step_recovers_f64_accuracy() {
+        let a = gapped_matrix(12);
+        let s_ref = sign_eig(&a).unwrap();
+        let r32 = sign_iteration_in(
+            &a.to_f32(),
+            2,
+            SignIterationOptions {
+                tol: crate::elem::F32_SIGN_TOL,
+                ..SignIterationOptions::default()
+            },
+            true,
+        )
+        .unwrap();
+        let coarse = r32.sign.to_f64();
+        let refined = refine_sign_newton_schulz(&coarse).unwrap();
+        let e_coarse = coarse.max_abs_diff(&s_ref);
+        let e_refined = refined.max_abs_diff(&s_ref);
+        assert!(
+            e_refined < e_coarse,
+            "refinement must improve: {e_refined} vs {e_coarse}"
+        );
+        assert!(e_refined < 1e-6, "refined error {e_refined}");
     }
 
     #[test]

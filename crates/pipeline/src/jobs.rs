@@ -38,10 +38,21 @@ impl JobOutput {
     /// in place. The single definition both the serial queue and the
     /// distributed scheduler apply — the bitwise-equivalence contract
     /// between the two paths depends on them sharing it.
-    pub fn finalize(&self, sign: &mut DbcsrMatrix) {
+    ///
+    /// A plain-`Fp32` job's deliverable is single-precision end to end:
+    /// the finalized blocks are rounded back through `f32` storage, so the
+    /// scheduler's `f32` result gather is lossless and the serial queue
+    /// produces the identical bits. (`Fp32Refined` results stay `f64` —
+    /// the refinement's accuracy is the product.)
+    pub fn finalize(&self, sign: &mut DbcsrMatrix, precision: sm_linalg::Precision) {
         if *self == JobOutput::Density {
             ops::scale(sign, -0.5);
             ops::shift_diag(sign, 0.5);
+        }
+        if precision == sm_linalg::Precision::Fp32 {
+            for (_, blk) in sign.store_mut().iter_mut() {
+                *blk = blk.round_f32_storage();
+            }
         }
     }
 }
@@ -104,6 +115,20 @@ impl JobResult {
     /// work was performed on its behalf).
     pub fn plan_cached(&self) -> bool {
         self.report.plan_cached
+    }
+
+    /// The numeric precision this job ran in (from the engine report).
+    pub fn precision(&self) -> sm_linalg::Precision {
+        self.report.precision
+    }
+
+    /// Deterministic value-payload bytes this job moved over the wire
+    /// (group-summed gather + scatter; 0 on the serial queue). Under
+    /// `Precision::Fp32` this is exactly half the `Fp64` figure for the
+    /// same job on the same group — the mixed-precision bandwidth win,
+    /// measurable without wall clocks.
+    pub fn value_bytes(&self) -> u64 {
+        self.report.gather_value_bytes + self.report.scatter_value_bytes
     }
 }
 
@@ -181,7 +206,7 @@ impl JobQueue {
             let t = Instant::now();
             let (mut result, mut report) =
                 engine.execute(plan, &job.matrix, job.mu0, &job.numeric, &comm);
-            job.output.finalize(&mut result);
+            job.output.finalize(&mut result, job.numeric.precision);
             report.record_planning(*built_now, plan);
             (
                 i,

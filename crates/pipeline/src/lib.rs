@@ -32,6 +32,19 @@
 //! submatrix_density}` are thin wrappers over the same engine, so every
 //! historical call site already runs on this subsystem.
 //!
+//! ## Mixed precision
+//!
+//! A job's `NumericOptions::precision` (`Fp64`/`Fp32`/`Fp32Refined`)
+//! selects the dense solve kernels' scalar type *and* the wire encoding of
+//! its rank transfers: `Fp32*` gathers (and plain-`Fp32` result scatters)
+//! move `f32` value payloads — exactly half the bytes, reported by the
+//! deterministic `gather_value_bytes`/`scatter_value_bytes` counters in
+//! every [`JobResult`]'s report. Precision is numeric-phase-only: it never
+//! enters a plan fingerprint or cache key, so jobs at different precisions
+//! share one cached plan, and plain-`Fp32` batches remain bitwise-identical
+//! between the serial queue and the scheduler at any world size (the
+//! `precision_equivalence` suite pins all three properties).
+//!
 //! ## Phase contract
 //!
 //! `plan*` performs **all** pattern-dependent work; `execute` performs

@@ -56,7 +56,9 @@ use sm_accel::perfmodel;
 use sm_comsim::{run_ranks, Comm, CommStats, Payload, ReduceOp, SerialComm, ThreadComm};
 use sm_core::engine::{EngineOptions, EngineReport, SubmatrixEngine};
 use sm_core::transfers::TransferStats;
+use sm_dbcsr::wire::ValueFormat;
 use sm_dbcsr::{wire, DbcsrMatrix};
+use sm_linalg::Precision;
 
 use crate::jobs::{JobResult, MatrixJob};
 
@@ -352,23 +354,32 @@ fn run_rank(
             let (eplan, built_now) = engine.plan_for_matrix_traced(&local, &sub);
             let (mut result, mut report) =
                 engine.execute(&eplan, &local, job.mu0, &job.numeric, &sub);
-            job.output.finalize(&mut result);
+            job.output.finalize(&mut result, job.numeric.precision);
             report.record_planning(built_now, &eplan);
 
             // Gather result blocks to the group root: plain point-to-point
             // sends (an alltoallv here would move O(group²) empty
-            // payloads and pollute the per-job traffic telemetry).
+            // payloads and pollute the per-job traffic telemetry). The
+            // value encoding follows the job's precision: plain-Fp32
+            // results are f32-representable, so the f32 wire is lossless
+            // and halves the result-gather bytes too.
+            let result_format = if job.numeric.precision.scatter_is_f32() {
+                ValueFormat::F32
+            } else {
+                ValueFormat::F64
+            };
             let mut gathered: Vec<((usize, usize), sm_linalg::Matrix)> = result.store_mut().drain();
             if sub.rank() != 0 {
-                let (meta, data) = wire::pack_blocks(gathered.iter().map(|(c, b)| (c, b)));
+                let (meta, data) =
+                    wire::pack_blocks_prec(gathered.iter().map(|(c, b)| (c, b)), result_format);
                 sub.send(0, GATHER_META_TAG, Payload::U64(meta));
-                sub.send(0, GATHER_DATA_TAG, Payload::F64(data));
+                sub.send(0, GATHER_DATA_TAG, data);
                 gathered.clear();
             } else {
                 for src in 1..sub.size() {
                     let meta = sub.recv(src, GATHER_META_TAG).into_u64();
-                    let data = sub.recv(src, GATHER_DATA_TAG).into_f64();
-                    gathered.extend(wire::unpack_blocks(job.matrix.dims(), &meta, &data));
+                    let data = sub.recv(src, GATHER_DATA_TAG);
+                    gathered.extend(wire::unpack_blocks_prec(job.matrix.dims(), &meta, data));
                 }
             }
             let seconds = t.elapsed().as_secs_f64();
@@ -388,6 +399,8 @@ fn run_rank(
                 report.transfers.naive_bytes as f64,
                 report.transfers.unique_blocks as f64,
                 report.transfers.total_references as f64,
+                report.gather_value_bytes as f64,
+                report.scatter_value_bytes as f64,
             ];
             sub.allreduce_f64(ReduceOp::Sum, &mut traffic);
             report.transfers = TransferStats {
@@ -396,6 +409,8 @@ fn run_rank(
                 unique_blocks: traffic[4] as u64,
                 total_references: traffic[5] as u64,
             };
+            report.gather_value_bytes = traffic[6] as u64;
+            report.scatter_value_bytes = traffic[7] as u64;
             let mut phases = [
                 report.gather_seconds,
                 report.solve_seconds,
@@ -411,15 +426,17 @@ fn run_rank(
             report.symbolic_seconds = phases[4];
             report.plan_cached = phases[5] == 0.0;
 
-            // Group root ships the finished job to world rank 0.
+            // Group root ships the finished job to world rank 0 — in the
+            // job's result format too: the largest per-job message also
+            // halves for plain-Fp32 jobs, still losslessly.
             if sub.rank() == 0 {
                 let mut root_mat = DbcsrMatrix::new(job.matrix.dims().clone(), 0, 1);
                 for ((br, bc), blk) in gathered {
                     root_mat.insert_block(br, bc, blk);
                 }
-                let (meta, data) = wire::pack_blocks(root_mat.store().iter());
+                let (meta, data) = wire::pack_blocks_prec(root_mat.store().iter(), result_format);
                 comm.send(0, result_tag(j, 0), Payload::U64(meta));
-                comm.send(0, result_tag(j, 1), Payload::F64(data));
+                comm.send(0, result_tag(j, 1), data);
                 let telemetry = encode_telemetry(
                     &report,
                     phases[3],
@@ -441,10 +458,12 @@ fn run_rank(
         .map(|j| {
             let root = plan.root_of_job(j);
             let meta = comm.recv(root, result_tag(j, 0)).into_u64();
-            let data = comm.recv(root, result_tag(j, 1)).into_f64();
+            let data = comm.recv(root, result_tag(j, 1));
             let telemetry = comm.recv(root, result_tag(j, 2)).into_f64();
             let mut result = DbcsrMatrix::new(jobs[j].matrix.dims().clone(), 0, 1);
-            for ((br, bc), blk) in wire::unpack_blocks(jobs[j].matrix.dims(), &meta, &data) {
+            // The meta header self-describes the value format (f32 for
+            // plain-Fp32 jobs), so the unpack needs no job context.
+            for ((br, bc), blk) in wire::unpack_blocks_prec(jobs[j].matrix.dims(), &meta, data) {
                 result.insert_block(br, bc, blk);
             }
             let (report, seconds, group_size, comm_bytes, comm_msgs) = decode_telemetry(&telemetry);
@@ -460,6 +479,25 @@ fn run_rank(
         })
         .collect();
     Some(results)
+}
+
+/// Stable wire code of a [`Precision`] inside the telemetry record.
+fn precision_code(p: Precision) -> f64 {
+    match p {
+        Precision::Fp64 => 0.0,
+        Precision::Fp32 => 1.0,
+        Precision::Fp32Refined => 2.0,
+    }
+}
+
+/// Inverse of [`precision_code`].
+fn precision_from_code(x: f64) -> Precision {
+    match x as u64 {
+        0 => Precision::Fp64,
+        1 => Precision::Fp32,
+        2 => Precision::Fp32Refined,
+        other => panic!("unknown precision code {other}"),
+    }
 }
 
 /// Flatten a job's telemetry — the group root's [`EngineReport`] plus
@@ -493,12 +531,15 @@ fn encode_telemetry(
         group_size as f64,
         comm_bytes as f64,
         comm_msgs as f64,
+        precision_code(report.precision),
+        report.gather_value_bytes as f64,
+        report.scatter_value_bytes as f64,
     ]
 }
 
 /// Inverse of [`encode_telemetry`].
 fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64) {
-    assert_eq!(x.len(), 19, "telemetry record has 19 fields");
+    assert_eq!(x.len(), 22, "telemetry record has 22 fields");
     (
         EngineReport {
             n_submatrices: x[0] as usize,
@@ -511,6 +552,9 @@ fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64) {
                 unique_blocks: x[6] as u64,
                 total_references: x[7] as u64,
             },
+            precision: precision_from_code(x[19]),
+            gather_value_bytes: x[20] as u64,
+            scatter_value_bytes: x[21] as u64,
             mu: x[8],
             bisect_iterations: x[9] as usize,
             plan_cached: x[10] != 0.0,
@@ -599,6 +643,9 @@ mod tests {
                 unique_blocks: 10,
                 total_references: 30,
             },
+            precision: Precision::Fp32Refined,
+            gather_value_bytes: 2048,
+            scatter_value_bytes: 512,
             mu: -0.25,
             bisect_iterations: 3,
             plan_cached: true,
@@ -613,6 +660,16 @@ mod tests {
         assert_eq!(dec.transfers, report.transfers);
         assert_eq!(dec.mu, report.mu);
         assert!(dec.plan_cached);
+        assert_eq!(dec.precision, Precision::Fp32Refined);
+        assert_eq!(dec.gather_value_bytes, 2048);
+        assert_eq!(dec.scatter_value_bytes, 512);
         assert_eq!((seconds, group, bytes, msgs), (1.5, 4, 4096, 17));
+    }
+
+    #[test]
+    fn precision_codes_roundtrip() {
+        for p in Precision::all() {
+            assert_eq!(precision_from_code(precision_code(p)), p);
+        }
     }
 }
