@@ -1,0 +1,200 @@
+//! Ablation: static per-batch scheduler groups vs epoch-based work
+//! stealing between groups.
+//!
+//! A constructed straggler batch — one large job plus many small jobs of
+//! a recurring pattern — runs through the `Scheduler` at several world
+//! sizes with stealing disabled (the static baseline) and enabled. The
+//! binary asserts the PR's acceptance contract in-place: grand-canonical
+//! results stay **bitwise-identical** to the serial `JobQueue` under any
+//! steal schedule, the straggler batch at world ≥ 6 actually steals
+//! (`stolen_jobs ≥ 1`), and the deterministic cost model shows the
+//! re-deal lowering the max-rank idle estimate versus the static
+//! schedule. It then reports the steal telemetry — epochs, stolen
+//! jobs/ranks, estimated idle recovered, measured idle seconds — and
+//! writes `results/BENCH_stealing.json`.
+//!
+//! As with the scheduler ablation, wall-clock speedup on a laptop host is
+//! not the signal (thread ranks share cores); the deterministic estimate
+//! columns are what transfer to a real cluster.
+
+use std::time::Instant;
+
+use sm_bench::output::{bench_table, fixed, print_table, sci, write_bench_json, write_csv, Json};
+use sm_comsim::SerialComm;
+use sm_core::engine::EngineOptions;
+use sm_dbcsr::{BlockedDims, DbcsrMatrix};
+use sm_linalg::Matrix;
+use sm_pipeline::{
+    JobQueue, JobResult, MatrixJob, RankBudget, Scheduler, StealPolicy, SubmatrixEngine,
+};
+
+/// Deterministic banded symmetric matrix with a spectral gap at 0.
+fn banded(nb: usize, bs: usize, seed: u64) -> DbcsrMatrix {
+    let n = nb * bs;
+    let mut dense = Matrix::from_fn(n, n, |i, j| {
+        let bi = (i / bs) as isize;
+        let bj = (j / bs) as isize;
+        if (bi - bj).abs() > 1 {
+            0.0
+        } else if i == j {
+            (if i % 2 == 0 { 1.0 } else { -1.0 }) + ((seed % 13) as f64) * 0.011
+        } else {
+            0.05 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    dense.symmetrize();
+    DbcsrMatrix::from_dense(&dense, BlockedDims::uniform(nb, bs), 0, 1, 0.0)
+}
+
+/// The straggler batch: one large job + 18 smalls of one recurring
+/// pattern. Under LPT at 6 ranks the large job pins the steal horizon
+/// while three groups queue beyond it, so a tail of smalls defers to a
+/// second epoch and runs on re-dealt ranks.
+fn straggler_batch() -> Vec<MatrixJob> {
+    let mut jobs = vec![MatrixJob::density("large", banded(10, 2, 1), 0.0)];
+    for i in 0..18u64 {
+        jobs.push(MatrixJob::density(
+            format!("small-{i}"),
+            banded(4, 2, i),
+            0.0,
+        ));
+    }
+    jobs
+}
+
+fn fresh_engine() -> std::sync::Arc<SubmatrixEngine> {
+    std::sync::Arc::new(SubmatrixEngine::new(EngineOptions {
+        parallel: false,
+        ..EngineOptions::default()
+    }))
+}
+
+fn bitwise_equal(a: &[JobResult], b: &[JobResult]) -> bool {
+    let comm = SerialComm::new();
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.result
+                .to_dense(&comm)
+                .allclose(&y.result.to_dense(&comm), 0.0)
+        })
+}
+
+fn main() {
+    let jobs = straggler_batch();
+    let n_jobs = jobs.len();
+    println!(
+        "straggler batch: {n_jobs} jobs (1 large + {} small)",
+        n_jobs - 1
+    );
+
+    let queue = JobQueue::new(fresh_engine());
+    let t = Instant::now();
+    let serial = queue.run(jobs.clone());
+    let serial_seconds = t.elapsed().as_secs_f64();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let header = [
+        "world",
+        "policy",
+        "epochs",
+        "stolen_jobs",
+        "stolen_ranks",
+        "est_max_idle_static",
+        "est_max_idle_epochs",
+        "est_idle_recovered",
+        "measured_idle_s",
+        "total_s",
+    ];
+    for world in [4usize, 6, 8] {
+        for policy in [StealPolicy::Disabled, StealPolicy::EpochRebalance] {
+            let sched = Scheduler::new(fresh_engine(), RankBudget::default()).with_policy(policy);
+            let t = Instant::now();
+            let outcome = sched.run(world, jobs.clone());
+            let seconds = t.elapsed().as_secs_f64();
+            assert!(
+                bitwise_equal(&outcome.results, &serial),
+                "world {world} policy {policy:?} deviates from the serial queue"
+            );
+            let s = outcome.steal_stats;
+            if policy == StealPolicy::Disabled {
+                assert_eq!(s.epochs, 1, "static baseline must stay single-epoch");
+                assert_eq!(s.stolen_jobs, 0);
+            } else if world == 6 {
+                // The acceptance contract of the stealing PR (at 6 ranks;
+                // larger worlds may legitimately balance statically — the
+                // proportional rank deal absorbs the straggler — which is
+                // a single-epoch schedule with nothing to steal).
+                assert!(s.stolen_jobs >= 1, "straggler batch must steal: {s:?}");
+                assert!(
+                    s.est_max_rank_idle_epochs < s.est_max_rank_idle_static,
+                    "stealing must lower the max-rank idle estimate: {s:?}"
+                );
+            }
+            let policy_name = match policy {
+                StealPolicy::Disabled => "static",
+                StealPolicy::EpochRebalance => "stealing",
+            };
+            eprintln!(
+                "world {world} {policy_name}: {} epochs, {} stolen jobs ({} ranks), \
+                 est idle recovered {:.3e}, {seconds:.4} s",
+                s.epochs,
+                s.stolen_jobs,
+                s.stolen_ranks,
+                s.est_idle_cost_recovered(),
+            );
+            rows.push(vec![
+                world.to_string(),
+                policy_name.to_string(),
+                s.epochs.to_string(),
+                s.stolen_jobs.to_string(),
+                s.stolen_ranks.to_string(),
+                sci(s.est_max_rank_idle_static),
+                sci(s.est_max_rank_idle_epochs),
+                sci(s.est_idle_cost_recovered()),
+                fixed(s.measured_idle_seconds, 4),
+                sci(seconds),
+            ]);
+            series.push(Json::obj([
+                ("world", Json::Num(world as f64)),
+                ("policy", Json::Str(policy_name.into())),
+                ("epochs", Json::Num(s.epochs as f64)),
+                ("stolen_jobs", Json::Num(s.stolen_jobs as f64)),
+                ("stolen_ranks", Json::Num(s.stolen_ranks as f64)),
+                (
+                    "est_max_rank_idle_static",
+                    Json::Num(s.est_max_rank_idle_static),
+                ),
+                (
+                    "est_max_rank_idle_epochs",
+                    Json::Num(s.est_max_rank_idle_epochs),
+                ),
+                ("est_idle_recovered", Json::Num(s.est_idle_cost_recovered())),
+                ("measured_idle_s", Json::Num(s.measured_idle_seconds)),
+                (
+                    "measured_max_rank_idle_s",
+                    Json::Num(s.measured_max_rank_idle_seconds),
+                ),
+                ("total_s", Json::Num(seconds)),
+            ]));
+        }
+    }
+
+    println!("\nAblation — static scheduler groups vs epoch-based work stealing");
+    print_table(&header, &rows);
+    write_csv("ablation_stealing.csv", &header, &rows);
+    // The acceptance artifact: the steal sweep under its stable name.
+    write_bench_json(
+        "stealing",
+        Json::obj([
+            (
+                "workload",
+                Json::Str("straggler batch: 1 large + 18 small".into()),
+            ),
+            ("jobs", Json::Num(n_jobs as f64)),
+            ("serial_total_s", Json::Num(serial_seconds)),
+            ("series", Json::Arr(series)),
+            ("table", bench_table(&header, &rows)),
+        ]),
+    );
+}

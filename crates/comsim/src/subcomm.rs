@@ -27,6 +27,21 @@
 //! One restriction is enforced at runtime: subcommunicators cannot be
 //! split again (nested namespaces would overflow the tag word).
 //!
+//! ## Re-split lifecycle
+//!
+//! Splits are cheap, borrow-scoped handles, so a scheduler can tear a
+//! grouping down and re-deal the same world every **epoch**: drop the
+//! epoch's `SubComm`s, then call [`Comm::split`] again on the *world*
+//! comm — regrouping is always a fresh one-level split, never a nested
+//! one, so the tag-namespace invariant survives any number of epochs.
+//! Same-color re-splits share a tag salt, which is safe because every
+//! protocol here fully drains its messages before the handle is dropped;
+//! callers that want per-epoch namespaces mix the epoch index into the
+//! color (the scheduler does). Each new handle starts with **fresh
+//! zeroed [`CommStats`]**, giving per-epoch traffic accounting for free,
+//! while the parent's counters keep accumulating across epochs. The
+//! `resplit_lifecycle` integration suite pins all of this.
+//!
 //! ## Statistics
 //!
 //! Each [`SubComm`] handle carries its own [`CommStats`] sized to the

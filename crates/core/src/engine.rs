@@ -707,6 +707,18 @@ impl SubmatrixEngine {
     /// the hitting rank would skip the collective pattern gather the
     /// missing rank is entering, and the group would deadlock. The extra
     /// allreduce is one scalar; on a hit everyone still skips the gather.
+    ///
+    /// The consensus is **per-group per-epoch**: it carries no state
+    /// between calls — the allreduce runs on whatever communicator this
+    /// call was handed — so a scheduler that tears groups down and
+    /// re-splits the world between epochs (changing every `(rank, size)`
+    /// cache key) can never leave two ranks of one group disagreeing
+    /// about entering the gather. Each traced call increments exactly one
+    /// of the hit/build counters, so `hits + builds` equals the number of
+    /// planning decisions across all groups and epochs — the accounting
+    /// identity the `stealing_equivalence` suite uses to detect divergent
+    /// consensus. (Precision stays out of the cache key entirely; see the
+    /// module docs.)
     pub fn plan_for_matrix_traced<C: Comm>(
         &self,
         m: &DbcsrMatrix,
@@ -1315,6 +1327,65 @@ mod tests {
         for r in results {
             assert!(r.allclose(&serial, 0.0), "fp32 distribution changed bits");
         }
+    }
+
+    #[test]
+    fn consensus_survives_regrouping_with_bounded_cache() {
+        // The scheduler's epoch pattern: the same engine (bounded cache)
+        // is planned through by 2-rank groups, then — after a drop and a
+        // fresh world-level re-split — by one 4-rank group. Every
+        // membership change alters the (rank, size) keys, so the second
+        // epoch's probes all miss; the per-call consensus must walk every
+        // rank of the new group into the collective gather together (a
+        // divergence deadlocks the barriered world). Counters: each traced
+        // call bumps exactly one of hits/builds, so their sum equals the
+        // 4 + 4 planning decisions regardless of cache races.
+        let (dense, dims) = banded_gapped(8, 2);
+        let serial = {
+            let comm = SerialComm::new();
+            let m = DbcsrMatrix::from_dense(&dense, dims.clone(), 0, 1, 0.0);
+            SubmatrixEngine::default()
+                .sign(&m, 0.0, &NumericOptions::default(), &comm)
+                .0
+                .to_dense(&comm)
+        };
+        let engine = SubmatrixEngine::new(EngineOptions {
+            plan_cache_capacity: Some(2),
+            ..EngineOptions::default()
+        });
+        let (results, _) = run_ranks(4, |c| {
+            // Epoch 0: two groups of two.
+            let a = {
+                let sub = c.split((c.rank() / 2) as u64, c.rank() as u64);
+                let m = DbcsrMatrix::from_dense(&dense, dims.clone(), sub.rank(), sub.size(), 0.0);
+                engine
+                    .sign(&m, 0.0, &NumericOptions::default(), &sub)
+                    .0
+                    .to_dense(&sub)
+            };
+            // Epoch boundary: regroup into one group of four.
+            let b = {
+                let sub = c.split(1 << 32, c.rank() as u64);
+                let m = DbcsrMatrix::from_dense(&dense, dims.clone(), sub.rank(), sub.size(), 0.0);
+                engine
+                    .sign(&m, 0.0, &NumericOptions::default(), &sub)
+                    .0
+                    .to_dense(&sub)
+            };
+            (a, b)
+        });
+        for (a, b) in results {
+            assert!(a.allclose(&serial, 1e-13));
+            assert!(b.allclose(&serial, 1e-13));
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.cache_hits + stats.symbolic_builds,
+            8,
+            "every rank decides hit/miss once per epoch: {stats:?}"
+        );
+        assert_eq!(stats.executions, 8);
+        assert!(engine.cached_plans() <= 2, "bounded cache overflowed");
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct JobResult {
     pub comm_bytes: u64,
     /// Messages sent within the job's communicator group.
     pub comm_msgs: u64,
+    /// Scheduler epoch this job executed in (0 on the serial queue and on
+    /// single-epoch schedules).
+    pub epoch: usize,
+    /// Ranks of this job's executing group that were re-dealt from other
+    /// groups' static allocations by the epoch steal plan (0 = the job ran
+    /// on its home group; always 0 on the serial queue).
+    pub stolen_ranks: usize,
 }
 
 impl JobResult {
@@ -120,6 +127,12 @@ impl JobResult {
     /// The numeric precision this job ran in (from the engine report).
     pub fn precision(&self) -> sm_linalg::Precision {
         self.report.precision
+    }
+
+    /// Whether this job executed on rank capacity stolen from another
+    /// group's static allocation (never true on the serial queue).
+    pub fn was_stolen(&self) -> bool {
+        self.stolen_ranks > 0
     }
 
     /// Deterministic value-payload bytes this job moved over the wire
@@ -218,6 +231,8 @@ impl JobQueue {
                     group_size: 1,
                     comm_bytes: 0,
                     comm_msgs: 0,
+                    epoch: 0,
+                    stolen_ranks: 0,
                 },
             )
         };

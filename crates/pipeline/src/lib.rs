@@ -25,8 +25,14 @@
 //!   job's estimated submatrix work (via `sm_accel::perfmodel`), runs each
 //!   job's plan/execute collectively on its group over the *same* shared
 //!   engine, and gathers results plus per-job comm/compute telemetry back
-//!   to world rank 0. Grand-canonical jobs are bitwise-identical to the
-//!   serial queue at any group size.
+//!   to world rank 0. Batches run in **epochs**: between waves the world
+//!   is re-split (a fresh one-level split, never nested) so ranks whose
+//!   group drained are re-dealt onto straggler groups' remaining jobs —
+//!   deterministic, estimate-driven work stealing, reported through
+//!   `StealStats` and per-job `epoch`/`stolen_ranks` fields
+//!   (`StealPolicy::Disabled` restores the static single-epoch schedule).
+//!   Grand-canonical jobs are bitwise-identical to the serial queue at
+//!   any group size and any steal schedule.
 //!
 //! The one-shot drivers `sm_core::method::{submatrix_sign,
 //! submatrix_density}` are thin wrappers over the same engine, so every
@@ -71,7 +77,10 @@ pub mod jobs;
 pub mod sched;
 
 pub use jobs::{JobOutput, JobQueue, JobResult, MatrixJob};
-pub use sched::{partition, RankBudget, SchedulePlan, Scheduler, SchedulerOutcome};
+pub use sched::{
+    estimate_job_cost, partition, plan_epochs, Epoch, EpochSchedule, GroupPlan, RankBudget,
+    SchedulePlan, Scheduler, SchedulerOutcome, StealPolicy, StealStats,
+};
 pub use sm_core::engine::{
     AssemblyMap, EngineOptions, EngineReport, EngineStats, Ensemble, ExecutionPlan, ExtractionMap,
     Grouping, NumericOptions, SubmatrixEngine,

@@ -1,4 +1,5 @@
-//! Distributed job scheduler: per-job subcommunicators over a rank world.
+//! Distributed job scheduler: per-job subcommunicators with epoch-based
+//! work stealing between groups.
 //!
 //! [`JobQueue`](crate::jobs::JobQueue) runs every job of a batch on a
 //! single process; the world's other ranks idle. [`Scheduler`] instead
@@ -14,12 +15,29 @@
 //! 2. **Partition** ([`partition`]): jobs are packed longest-first onto
 //!    `G = min(world, jobs)` groups (classic LPT), then the world's ranks
 //!    are dealt to groups proportionally to estimated load (every group
-//!    gets at least one rank; [`RankBudget`] can cap group size or count).
-//! 3. **Execute**: each group's ranks split off a subcommunicator, scatter
-//!    the replicated input across the group, run the shared
-//!    [`SubmatrixEngine`]'s plan + execute on it, and gather the result to
-//!    the group root.
-//! 4. **Gather**: group roots ship each finished job — result blocks in
+//!    gets at least one rank; [`RankBudget`] can cap group size or count —
+//!    leftover ranks that no cap-respecting group may take are folded into
+//!    the largest group rather than idling).
+//! 3. **Epoch plan** ([`plan_epochs`]): the batch is cut into **epochs** —
+//!    waves of jobs. Within an epoch every group commits a greedy fill of
+//!    its LPT queue up to the *steal horizon* (the longest single-job
+//!    commitment any group must make, by the same perfmodel estimates);
+//!    jobs beyond the horizon are deferred. Between epochs the current
+//!    subcommunicators are torn down and the **world** comm is re-split
+//!    over the deferred jobs — a fresh one-level split, never a nested one,
+//!    preserving the tag-namespace invariant — so ranks whose group's
+//!    queue has drained are re-dealt onto the straggler groups' remaining
+//!    jobs. A job that thereby runs on ranks outside its original (static)
+//!    group counts as **stolen**; [`StealStats`] reports epochs, steals,
+//!    and the idle-rank time the re-deal recovers. A batch the static
+//!    partition already balances collapses to a single epoch identical to
+//!    the static schedule ([`StealPolicy::Disabled`] forces that shape).
+//! 4. **Execute**: each epoch, each group's ranks split off a
+//!    subcommunicator (fresh per-group [`CommStats`], so traffic is
+//!    attributed per epoch), scatter the replicated input across the
+//!    group, run the shared [`SubmatrixEngine`]'s plan + execute on it,
+//!    and gather the result to the group root.
+//! 5. **Gather**: group roots ship each finished job — result blocks in
 //!    the `sm_dbcsr::wire` format plus an encoded telemetry record — to
 //!    world rank 0, which returns the batch in submission order.
 //!
@@ -27,26 +45,34 @@
 //! resource: recurring patterns hit plans built by *other* groups (same
 //! `(fingerprint, rank, size)` key), and a bounded cache
 //! (`EngineOptions::plan_cache_capacity`) evicts cold plans under
-//! multi-tenant traffic.
+//! multi-tenant traffic. The cache's collective hit/miss **consensus** is
+//! per-group **per-epoch**: it is decided by an allreduce on the group's
+//! current subcommunicator at every planning call, so regrouping between
+//! epochs (which changes every `(rank, size)` key) can never leave two
+//! ranks of one group disagreeing about entering the collective pattern
+//! gather.
 //!
 //! ## Determinism
 //!
-//! Everything pattern- and schedule-shaping is deterministic, and the
-//! numeric path performs the same per-submatrix solves with the same
-//! inputs regardless of the group size, so grand-canonical jobs produce
-//! **bitwise-identical** results to the serial [`JobQueue`] for any world
-//! size (pinned by the `scheduler_equivalence` suite). Canonical-ensemble
-//! jobs bisect µ through a cross-rank reduction whose summation order
-//! depends on the group size, so they match to floating-point reduction
-//! accuracy instead.
+//! Everything pattern- and schedule-shaping is deterministic — the epoch
+//! plan is a pure function of the estimated costs, the world size and the
+//! budget, never of measured wall time — and the numeric path performs the
+//! same per-submatrix solves with the same inputs regardless of the group
+//! size, so grand-canonical jobs produce **bitwise-identical** results to
+//! the serial [`JobQueue`] for any world size *and any steal schedule*
+//! (pinned by the `scheduler_equivalence` and `stealing_equivalence`
+//! suites). Canonical-ensemble jobs bisect µ through a cross-rank
+//! reduction whose summation order depends on the group size, so they
+//! match to floating-point reduction accuracy instead.
 //!
 //! ## Tags
 //!
 //! Subgroup traffic rides the parent tag namespace reserved by
-//! `sm_comsim::SUBGROUP_BIT`; the only parent-level user traffic is the
-//! root gather, on tags derived from the job index (see [`result_tag`]).
-//! The `sm_dbcsr::wire::user_tag` guard applies unchanged inside
-//! subgroups.
+//! `sm_comsim::SUBGROUP_BIT`; each epoch's groups split with a color that
+//! mixes the epoch index, so successive epochs salt their tag namespaces
+//! differently. The only parent-level user traffic is the root gather, on
+//! tags derived from the job index (see [`result_tag`]). The
+//! `sm_dbcsr::wire::user_tag` guard applies unchanged inside subgroups.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -62,8 +88,8 @@ use sm_linalg::Precision;
 
 use crate::jobs::{JobResult, MatrixJob};
 
-/// Color given to ranks left without a group (only possible when
-/// [`RankBudget`] caps shrink the schedule below the world size).
+/// Color given to ranks left without a group (only possible for an empty
+/// batch; the partition itself never leaves a rank groupless).
 const IDLE_COLOR: u64 = u64::MAX;
 
 /// Subgroup user tags of the per-job result gather to the group root.
@@ -81,9 +107,25 @@ pub struct RankBudget {
     /// Upper bound on ranks per group (`None` = no cap). With
     /// `world = jobs × k` and a cap of `k`, every group gets exactly `k`
     /// ranks — the knob the equivalence suite uses to pin group sizes.
+    /// The cap is *soft* in one case: when every group is capped and
+    /// spare ranks remain, the leftovers fold into the largest group
+    /// instead of idling for the whole batch.
     pub max_group_size: Option<usize>,
     /// Upper bound on the number of concurrent groups (`None` = no cap).
     pub max_groups: Option<usize>,
+}
+
+/// Whether the scheduler may rebalance between epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Epoch-based work stealing (the default): between epochs the world
+    /// is re-split over the deferred jobs, so drained ranks are re-dealt
+    /// onto straggler groups' queues.
+    #[default]
+    EpochRebalance,
+    /// One epoch, static groups for the whole batch — the pre-stealing
+    /// behavior, kept as the ablation baseline.
+    Disabled,
 }
 
 /// One group of the schedule: which jobs it runs (longest first) on which
@@ -155,7 +197,8 @@ pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
 /// longest-job-first packing onto `min(world, jobs)` groups (respecting
 /// `budget.max_groups`), then proportional rank allocation (respecting
 /// `budget.max_group_size`; every group gets at least one rank; ranks no
-/// group may take are left idle).
+/// group may take under the cap are folded into the largest group so no
+/// rank sits idle for the whole batch).
 pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> SchedulePlan {
     assert!(world_size >= 1, "need at least one rank");
     let n = costs.len();
@@ -205,10 +248,21 @@ pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> Sched
                 .then(b.cmp(&a)) // prefer the lower group index
         });
         match candidate {
-            Some(g) => sizes[g] += 1,
-            None => break, // every group capped; leftover ranks idle
+            Some(g) => {
+                sizes[g] += 1;
+                spare -= 1;
+            }
+            None => {
+                // Every group is capped. Fold the leftovers into the
+                // largest group (lowest index breaking ties) instead of
+                // leaving them idle for the whole batch.
+                let g = (0..n_groups)
+                    .max_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(b.cmp(&a)))
+                    .expect("n_groups >= 1");
+                sizes[g] += spare;
+                spare = 0;
+            }
         }
-        spare -= 1;
     }
 
     let mut groups = Vec::with_capacity(n_groups);
@@ -228,22 +282,273 @@ pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> Sched
     }
 }
 
+/// Work-stealing telemetry of one scheduled batch: how many epochs the
+/// planner cut, how much rank capacity moved between groups, and how much
+/// idle-rank time the re-deal recovers. The `est_*` figures are in the
+/// perfmodel's deterministic cost units (a pure function of the batch, so
+/// tests can assert them exactly); the `measured_*` figures are wall-clock
+/// seconds observed on this run (reported, never asserted — thread ranks
+/// share cores).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StealStats {
+    /// Number of epochs (1 = the static schedule; no re-split happened).
+    pub epochs: usize,
+    /// Jobs that executed on at least one rank outside their static
+    /// (epoch-0) group.
+    pub stolen_jobs: usize,
+    /// Total foreign ranks across all stolen jobs.
+    pub stolen_ranks: usize,
+    /// Σ over ranks of estimated idle time under the static schedule.
+    pub est_idle_cost_static: f64,
+    /// Σ over ranks of estimated idle time under the epoch schedule.
+    pub est_idle_cost_epochs: f64,
+    /// Estimated idle time of the *most idle* rank, static schedule.
+    pub est_max_rank_idle_static: f64,
+    /// Estimated idle time of the *most idle* rank, epoch schedule.
+    pub est_max_rank_idle_epochs: f64,
+    /// Measured Σ over ranks of (batch wall − rank busy) seconds.
+    pub measured_idle_seconds: f64,
+    /// Measured idle seconds of the most idle rank.
+    pub measured_max_rank_idle_seconds: f64,
+}
+
+impl StealStats {
+    /// Estimated idle-rank time the epoch re-deal recovers over the static
+    /// schedule (cost units; ≥ 0 exactly when the re-deal shortens the
+    /// estimated makespan).
+    pub fn est_idle_cost_recovered(&self) -> f64 {
+        self.est_idle_cost_static - self.est_idle_cost_epochs
+    }
+}
+
+/// One epoch of the schedule: a fresh one-level split of the world into
+/// groups, each committing a wave of jobs.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// The epoch's groups, in world-rank order (ranks cover the world).
+    pub groups: Vec<GroupPlan>,
+}
+
+impl Epoch {
+    /// The group index a world rank belongs to in this epoch.
+    pub fn group_of_rank(&self, rank: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.ranks.contains(&rank))
+    }
+
+    /// The group index running a job in this epoch (`None` if the job
+    /// belongs to another epoch).
+    pub fn group_of_job(&self, job: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.jobs.contains(&job))
+    }
+}
+
+/// Deterministic epoch/steal plan produced by [`plan_epochs`]: the static
+/// partition plus the epoch waves actually executed, with per-job steal
+/// attribution and the planned [`StealStats`].
+#[derive(Debug, Clone)]
+pub struct EpochSchedule {
+    /// World size the schedule was built for.
+    pub world_size: usize,
+    /// The static (single-epoch) partition — the baseline the steal
+    /// telemetry is measured against, and epoch 0's grouping.
+    pub static_plan: SchedulePlan,
+    /// The epochs, in execution order.
+    pub epochs: Vec<Epoch>,
+    /// Each job's static group index (its "home" group).
+    pub home_group: Vec<usize>,
+    /// The epoch each job executes in.
+    pub job_epoch: Vec<usize>,
+    /// Per job: ranks of its executing group that are outside its home
+    /// group's static allocation (0 = no stealing).
+    pub job_stolen_ranks: Vec<usize>,
+    /// Planned steal telemetry (`measured_*` fields are zero until the
+    /// scheduler fills them from an actual run).
+    pub planned: StealStats,
+}
+
+impl EpochSchedule {
+    /// The world rank acting as a job's group root (in its epoch).
+    pub fn root_of_job(&self, job: usize) -> usize {
+        let e = self.job_epoch[job];
+        let g = self.epochs[e]
+            .group_of_job(job)
+            .expect("job_epoch indexes the epoch that runs the job");
+        self.epochs[e].groups[g].ranks.start
+    }
+
+    /// The ranks executing a job (in its epoch).
+    pub fn ranks_of_job(&self, job: usize) -> Range<usize> {
+        let e = self.job_epoch[job];
+        let g = self.epochs[e]
+            .group_of_job(job)
+            .expect("job_epoch indexes the epoch that runs the job");
+        self.epochs[e].groups[g].ranks.clone()
+    }
+}
+
+/// Cut a batch into epochs (see the module docs, phase 3). Pure and
+/// deterministic: a function of the estimated costs, the world size, the
+/// budget and the policy only — never of measured time — so the steal
+/// schedule is reproducible and the equivalence suites can assert on it.
+///
+/// Every epoch re-partitions the *remaining* jobs over the whole world
+/// with [`partition`] (LPT within the epoch), then each group commits a
+/// greedy fill of its queue up to the epoch's **steal horizon** — the
+/// largest single-job wall estimate `cost / ranks` any group's leading job
+/// imposes (that job cannot be split, so no re-deal can beat its
+/// commitment). Deferred jobs form the next epoch's input. Each epoch
+/// commits at least one job per group, so the planner terminates in at
+/// most `jobs` epochs.
+pub fn plan_epochs(
+    costs: &[f64],
+    world_size: usize,
+    budget: &RankBudget,
+    policy: StealPolicy,
+) -> EpochSchedule {
+    let static_plan = partition(costs, world_size, budget);
+    let n = costs.len();
+    let mut home_group = vec![0usize; n];
+    for (g, grp) in static_plan.groups.iter().enumerate() {
+        for &j in &grp.jobs {
+            home_group[j] = g;
+        }
+    }
+
+    let mut epochs: Vec<Epoch> = Vec::new();
+    let mut job_epoch = vec![0usize; n];
+    let mut job_stolen_ranks = vec![0usize; n];
+
+    if n > 0 && policy == StealPolicy::Disabled {
+        epochs.push(Epoch {
+            groups: static_plan.groups.clone(),
+        });
+    } else if n > 0 {
+        let mut remaining: Vec<usize> = (0..n).collect(); // ascending original indices
+        while !remaining.is_empty() {
+            let e = epochs.len();
+            assert!(e < n, "epoch planner failed to converge");
+            let rcosts: Vec<f64> = remaining.iter().map(|&j| costs[j]).collect();
+            let p = partition(&rcosts, world_size, budget);
+
+            // Steal horizon: the longest single-job commitment any group's
+            // leading job imposes this epoch. LPT can leave a group empty
+            // when zero-cost jobs all pile onto the first zero-load group;
+            // empty groups impose no commitment (and commit nothing below).
+            let horizon = p
+                .groups
+                .iter()
+                .filter(|g| !g.jobs.is_empty())
+                .map(|g| rcosts[g.jobs[0]] / g.ranks.len() as f64)
+                .fold(0.0f64, f64::max);
+
+            let mut groups = Vec::with_capacity(p.groups.len());
+            let mut deferred: Vec<usize> = Vec::new();
+            for grp in &p.groups {
+                let ranks_f = grp.ranks.len() as f64;
+                let mut committed = Vec::with_capacity(grp.jobs.len());
+                let mut cum = 0.0f64;
+                for (pos, &k) in grp.jobs.iter().enumerate() {
+                    // Greedy fill to the horizon (LPT order, so later jobs
+                    // are smaller and may still fit); the leading job is
+                    // always committed.
+                    if pos == 0 || (cum + rcosts[k]) / ranks_f <= horizon * (1.0 + 1e-9) {
+                        committed.push(remaining[k]);
+                        cum += rcosts[k];
+                    } else {
+                        deferred.push(remaining[k]);
+                    }
+                }
+                for &j in &committed {
+                    job_epoch[j] = e;
+                    let home = &static_plan.groups[home_group[j]].ranks;
+                    job_stolen_ranks[j] = grp.ranks.clone().filter(|r| !home.contains(r)).count();
+                }
+                groups.push(GroupPlan {
+                    jobs: committed,
+                    ranks: grp.ranks.clone(),
+                    est_cost: cum,
+                });
+            }
+            epochs.push(Epoch { groups });
+            deferred.sort_unstable();
+            remaining = deferred;
+        }
+    }
+
+    let planned = steal_stats_for(&static_plan, &epochs, &job_stolen_ranks, world_size);
+    EpochSchedule {
+        world_size,
+        static_plan,
+        epochs,
+        home_group,
+        job_epoch,
+        job_stolen_ranks,
+        planned,
+    }
+}
+
+/// Planned steal telemetry: per-rank estimated idle under the static plan
+/// (every rank waits for the slowest group) versus under the epoch plan
+/// (per epoch, every rank waits for the slowest committed group).
+fn steal_stats_for(
+    static_plan: &SchedulePlan,
+    epochs: &[Epoch],
+    job_stolen_ranks: &[usize],
+    world_size: usize,
+) -> StealStats {
+    let rank_idle = |groups: &[GroupPlan]| -> Vec<f64> {
+        let wall = |g: &GroupPlan| g.est_cost / g.ranks.len() as f64;
+        let makespan = groups.iter().map(wall).fold(0.0f64, f64::max);
+        let mut idle = vec![makespan; world_size];
+        for g in groups {
+            for r in g.ranks.clone() {
+                idle[r] = makespan - wall(g);
+            }
+        }
+        idle
+    };
+    let static_idle = rank_idle(&static_plan.groups);
+    let mut epoch_idle = vec![0.0f64; world_size];
+    for e in epochs {
+        for (r, idle) in rank_idle(&e.groups).into_iter().enumerate() {
+            epoch_idle[r] += idle;
+        }
+    }
+    let stolen_jobs = job_stolen_ranks.iter().filter(|&&s| s > 0).count();
+    StealStats {
+        epochs: epochs.len(),
+        stolen_jobs,
+        stolen_ranks: job_stolen_ranks.iter().sum(),
+        est_idle_cost_static: static_idle.iter().sum(),
+        est_idle_cost_epochs: epoch_idle.iter().sum(),
+        est_max_rank_idle_static: static_idle.iter().fold(0.0f64, |a, &b| a.max(b)),
+        est_max_rank_idle_epochs: epoch_idle.iter().fold(0.0f64, |a, &b| a.max(b)),
+        measured_idle_seconds: 0.0,
+        measured_max_rank_idle_seconds: 0.0,
+    }
+}
+
 /// Outcome of one scheduled batch.
 pub struct SchedulerOutcome {
     /// Per-job results in submission order (gathered on world rank 0).
     pub results: Vec<JobResult>,
-    /// The work partition the batch ran under.
+    /// The static work partition (epoch 0's grouping; the steal baseline).
     pub plan: SchedulePlan,
+    /// The epoch/steal schedule the batch actually ran under.
+    pub schedule: EpochSchedule,
+    /// Steal telemetry: planned figures plus measured idle seconds.
+    pub steal_stats: StealStats,
     /// World-level transfer counters (includes all subgroup traffic).
     pub world_stats: Arc<CommStats>,
 }
 
 /// Distributed batch executor: a rank world carved into per-job
-/// subcommunicator groups over one shared [`SubmatrixEngine`]. See the
-/// module docs for the four phases.
+/// subcommunicator groups over one shared [`SubmatrixEngine`], rebalanced
+/// between epochs. See the module docs for the five phases.
 pub struct Scheduler {
     engine: Arc<SubmatrixEngine>,
     budget: RankBudget,
+    policy: StealPolicy,
 }
 
 impl Default for Scheduler {
@@ -263,9 +568,20 @@ impl Default for Scheduler {
 
 impl Scheduler {
     /// Build a scheduler over an existing engine (sharing its plan cache,
-    /// e.g. with a serial [`JobQueue`](crate::jobs::JobQueue)).
+    /// e.g. with a serial [`JobQueue`](crate::jobs::JobQueue)). Epoch
+    /// stealing is on by default; see [`Scheduler::with_policy`].
     pub fn new(engine: Arc<SubmatrixEngine>, budget: RankBudget) -> Self {
-        Scheduler { engine, budget }
+        Scheduler {
+            engine,
+            budget,
+            policy: StealPolicy::default(),
+        }
+    }
+
+    /// Set the steal policy (builder style).
+    pub fn with_policy(mut self, policy: StealPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The shared engine.
@@ -278,6 +594,11 @@ impl Scheduler {
         &self.budget
     }
 
+    /// The steal policy.
+    pub fn policy(&self) -> StealPolicy {
+        self.policy
+    }
+
     /// Run a batch over a `world_size`-rank world and gather the results
     /// (in submission order) on world rank 0.
     pub fn run(&self, world_size: usize, jobs: Vec<MatrixJob>) -> SchedulerOutcome {
@@ -288,22 +609,24 @@ impl Scheduler {
                 "job matrices must be single-rank (replicated) handles"
             );
         }
-        let plan = partition(
-            &jobs.iter().map(estimate_job_cost).collect::<Vec<_>>(),
-            world_size,
-            &self.budget,
-        );
+        let costs: Vec<f64> = jobs.iter().map(estimate_job_cost).collect();
+        let schedule = plan_epochs(&costs, world_size, &self.budget, self.policy);
         let engine = &self.engine;
-        let (jobs_ref, plan_ref) = (&jobs, &plan);
+        let (jobs_ref, sched_ref) = (&jobs, &schedule);
         let (mut per_rank, world_stats) = run_ranks(world_size, |comm| {
-            run_rank(engine, jobs_ref, plan_ref, comm)
+            run_rank(engine, jobs_ref, sched_ref, comm)
         });
-        let results = per_rank[0]
+        let (results, (measured_idle, measured_max_idle)) = per_rank[0]
             .take()
             .expect("world rank 0 gathers every job result");
+        let mut steal_stats = schedule.planned;
+        steal_stats.measured_idle_seconds = measured_idle;
+        steal_stats.measured_max_rank_idle_seconds = measured_max_idle;
         SchedulerOutcome {
             results,
-            plan,
+            plan: schedule.static_plan.clone(),
+            schedule,
+            steal_stats,
             world_stats,
         }
     }
@@ -316,22 +639,29 @@ fn result_tag(job: usize, part: u64) -> u64 {
     wire::user_tag((1 << 40) | ((job as u64) * 4 + part))
 }
 
-/// One world rank's share of a scheduled batch: split off the group
-/// subcommunicator, run the group's jobs, and (on world rank 0) gather
-/// every job's result.
+/// One world rank's share of a scheduled batch: per epoch, split off the
+/// group subcommunicator (tearing down the previous epoch's — regrouping
+/// is always a fresh one-level split from the world comm), run the
+/// epoch's jobs, and (on world rank 0) gather every job's result plus the
+/// measured `(total, max)` per-rank idle seconds.
 fn run_rank(
     engine: &SubmatrixEngine,
     jobs: &[MatrixJob],
-    plan: &SchedulePlan,
+    schedule: &EpochSchedule,
     comm: &ThreadComm,
-) -> Option<Vec<JobResult>> {
-    let group = plan.group_of_rank(comm.rank());
-    let color = group.map_or(IDLE_COLOR, |g| g as u64);
-    // Collective over the whole world — idle ranks participate too.
-    let sub = comm.split(color, comm.rank() as u64);
+) -> Option<(Vec<JobResult>, (f64, f64))> {
+    let t_start = Instant::now();
+    let mut busy = 0.0f64;
+    for (e, epoch) in schedule.epochs.iter().enumerate() {
+        let group = epoch.group_of_rank(comm.rank());
+        // Mixing the epoch into the color gives every epoch's groups a
+        // fresh tag-namespace salt; the split is collective over the whole
+        // world, so it doubles as the epoch barrier.
+        let color = group.map_or(IDLE_COLOR, |g| ((e as u64) << 32) | g as u64);
+        let sub = comm.split(color, comm.rank() as u64);
+        let Some(g) = group else { continue };
 
-    if let Some(g) = group {
-        for &j in &plan.groups[g].jobs {
+        for &j in &epoch.groups[g].jobs {
             let job = &jobs[j];
             let bytes0 = sub.stats().total_bytes();
             let msgs0 = sub.stats().total_msgs();
@@ -350,7 +680,10 @@ fn run_rank(
             }
 
             // Plan (through the shared, contended cache) + execute,
-            // collectively on the subgroup.
+            // collectively on the subgroup. The hit/miss consensus inside
+            // plan_for_matrix_traced runs on `sub`, i.e. per-group
+            // per-epoch — exactly the ranks that must agree on entering
+            // the collective pattern gather.
             let (eplan, built_now) = engine.plan_for_matrix_traced(&local, &sub);
             let (mut result, mut report) =
                 engine.execute(&eplan, &local, job.mu0, &job.numeric, &sub);
@@ -443,20 +776,38 @@ fn run_rank(
                     sub.size(),
                     traffic[0] as u64,
                     traffic[1] as u64,
+                    e,
+                    schedule.job_stolen_ranks[j],
                 );
                 comm.send(0, result_tag(j, 2), Payload::F64(telemetry));
             }
+            busy += t.elapsed().as_secs_f64();
         }
     }
+
+    // Measured idle accounting: one world-level collective after the last
+    // epoch (every rank reaches it, so it cannot interleave with subgroup
+    // traffic).
+    let wall = t_start.elapsed().as_secs_f64();
+    let per_rank = comm.allgather_f64(&[busy, wall]);
 
     if comm.rank() != 0 {
         return None;
     }
+    let wall_max = per_rank.iter().map(|v| v[1]).fold(0.0f64, f64::max);
+    let mut idle_total = 0.0f64;
+    let mut idle_max = 0.0f64;
+    for v in &per_rank {
+        let idle = (wall_max - v[0]).max(0.0);
+        idle_total += idle;
+        idle_max = idle_max.max(idle);
+    }
+
     // World rank 0: collect every job from its group root (its own sends
     // arrive through the local mailbox).
     let results = (0..jobs.len())
         .map(|j| {
-            let root = plan.root_of_job(j);
+            let root = schedule.root_of_job(j);
             let meta = comm.recv(root, result_tag(j, 0)).into_u64();
             let data = comm.recv(root, result_tag(j, 1));
             let telemetry = comm.recv(root, result_tag(j, 2)).into_f64();
@@ -466,7 +817,8 @@ fn run_rank(
             for ((br, bc), blk) in wire::unpack_blocks_prec(jobs[j].matrix.dims(), &meta, data) {
                 result.insert_block(br, bc, blk);
             }
-            let (report, seconds, group_size, comm_bytes, comm_msgs) = decode_telemetry(&telemetry);
+            let (report, seconds, group_size, comm_bytes, comm_msgs, epoch, stolen_ranks) =
+                decode_telemetry(&telemetry);
             JobResult {
                 name: jobs[j].name.clone(),
                 result,
@@ -475,10 +827,12 @@ fn run_rank(
                 group_size,
                 comm_bytes,
                 comm_msgs,
+                epoch,
+                stolen_ranks,
             }
         })
         .collect();
-    Some(results)
+    Some((results, (idle_total, idle_max)))
 }
 
 /// Stable wire code of a [`Precision`] inside the telemetry record.
@@ -501,15 +855,17 @@ fn precision_from_code(x: f64) -> Precision {
 }
 
 /// Flatten a job's telemetry — the group root's [`EngineReport`] plus
-/// wall-time, group size and subgroup traffic — into one `f64` record for
-/// the root gather. Counters ride as `f64` (exact up to 2⁵³, far beyond
-/// any simulated run).
+/// wall-time, group size, subgroup traffic and steal attribution — into
+/// one `f64` record for the root gather. Counters ride as `f64` (exact up
+/// to 2⁵³, far beyond any simulated run).
 fn encode_telemetry(
     report: &EngineReport,
     seconds: f64,
     group_size: usize,
     comm_bytes: u64,
     comm_msgs: u64,
+    epoch: usize,
+    stolen_ranks: usize,
 ) -> Vec<f64> {
     vec![
         report.n_submatrices as f64,
@@ -534,12 +890,15 @@ fn encode_telemetry(
         precision_code(report.precision),
         report.gather_value_bytes as f64,
         report.scatter_value_bytes as f64,
+        epoch as f64,
+        stolen_ranks as f64,
     ]
 }
 
 /// Inverse of [`encode_telemetry`].
-fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64) {
-    assert_eq!(x.len(), 22, "telemetry record has 22 fields");
+#[allow(clippy::type_complexity)]
+fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64, usize, usize) {
+    assert_eq!(x.len(), 24, "telemetry record has 24 fields");
     (
         EngineReport {
             n_submatrices: x[0] as usize,
@@ -567,6 +926,8 @@ fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64) {
         x[16] as usize,
         x[17] as u64,
         x[18] as u64,
+        x[22] as usize,
+        x[23] as usize,
     )
 }
 
@@ -603,20 +964,40 @@ mod tests {
     }
 
     #[test]
-    fn partition_respects_caps() {
+    fn partition_folds_leftover_ranks_into_largest_group() {
+        // Regression: with every group capped, spare ranks used to sit
+        // idle for the whole batch; they now fold into the largest group
+        // (lowest index breaking ties).
         let budget = RankBudget {
             max_group_size: Some(2),
             max_groups: Some(2),
         };
         let p = partition(&[1.0, 1.0, 1.0, 1.0], 8, &budget);
         assert_eq!(p.groups.len(), 2);
+        // Both groups reach the cap (2), then the 4 leftover ranks fold
+        // into group 0.
+        assert_eq!(p.groups[0].ranks, 0..6);
+        assert_eq!(p.groups[1].ranks, 6..8);
+        // No rank is idle.
+        for r in 0..8 {
+            assert!(p.group_of_rank(r).is_some(), "rank {r} left idle");
+        }
+    }
+
+    #[test]
+    fn partition_respects_caps() {
+        let budget = RankBudget {
+            max_group_size: Some(2),
+            max_groups: Some(2),
+        };
+        // World exactly covered by the caps: no folding needed.
+        let p = partition(&[1.0, 1.0, 1.0, 1.0], 4, &budget);
+        assert_eq!(p.groups.len(), 2);
         for g in &p.groups {
             assert_eq!(g.ranks.len(), 2);
             assert_eq!(g.jobs.len(), 2);
         }
-        // Ranks 4..8 are idle.
         assert_eq!(p.group_of_rank(3), Some(1));
-        assert_eq!(p.group_of_rank(4), None);
     }
 
     #[test]
@@ -628,6 +1009,125 @@ mod tests {
         assert_eq!(p.groups[g1].jobs, vec![1]);
         let other = 1 - g1;
         assert_eq!(p.groups[other].jobs, vec![2, 0]);
+    }
+
+    #[test]
+    fn balanced_batch_collapses_to_one_epoch() {
+        // 4 equal jobs on 4 groups: nothing to steal, the epoch plan IS
+        // the static plan.
+        let s = plan_epochs(&[1.0; 4], 4, &RankBudget::default(), StealPolicy::default());
+        assert_eq!(s.epochs.len(), 1);
+        assert_eq!(s.planned.epochs, 1);
+        assert_eq!(s.planned.stolen_jobs, 0);
+        assert_eq!(s.planned.stolen_ranks, 0);
+        assert_eq!(
+            s.planned.est_idle_cost_epochs,
+            s.planned.est_idle_cost_static
+        );
+        for (g, grp) in s.epochs[0].groups.iter().enumerate() {
+            assert_eq!(grp.jobs, s.static_plan.groups[g].jobs);
+            assert_eq!(grp.ranks, s.static_plan.groups[g].ranks);
+        }
+    }
+
+    #[test]
+    fn disabled_policy_is_the_static_schedule() {
+        let costs = [3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let s = plan_epochs(&costs, 4, &RankBudget::default(), StealPolicy::Disabled);
+        assert_eq!(s.epochs.len(), 1);
+        assert_eq!(s.planned.stolen_jobs, 0);
+        assert_eq!(s.planned.est_idle_cost_recovered(), 0.0);
+        for (g, grp) in s.epochs[0].groups.iter().enumerate() {
+            assert_eq!(grp.jobs, s.static_plan.groups[g].jobs);
+        }
+    }
+
+    #[test]
+    fn straggler_batch_steals_and_recovers_idle_time() {
+        // 1 large (3x) + 18 small jobs on 6 ranks: LPT leaves three
+        // groups with a 4-cost queue against a 3-cost horizon, so three
+        // smalls defer to epoch 1 and run on re-dealt 2-rank groups.
+        let mut costs = vec![3.0];
+        costs.extend(std::iter::repeat_n(1.0, 18));
+        let s = plan_epochs(&costs, 6, &RankBudget::default(), StealPolicy::default());
+        assert_eq!(s.epochs.len(), 2);
+        assert_eq!(s.planned.stolen_jobs, 3);
+        assert!(s.planned.stolen_ranks >= 3);
+        // Epoch 0 commits the large job plus 3-cost small queues (walls
+        // all 3); epoch 1 spreads the 3 deferred smalls over 2-rank
+        // groups (walls 0.5) — the estimated makespan drops from 4 to
+        // 3.5, recovering idle time and flattening the worst rank.
+        assert!(s.planned.est_idle_cost_recovered() > 0.0);
+        assert!(s.planned.est_max_rank_idle_epochs < s.planned.est_max_rank_idle_static);
+        // Every job runs exactly once, in the epoch the plan records.
+        for j in 0..costs.len() {
+            let runs: usize = s
+                .epochs
+                .iter()
+                .map(|e| e.groups.iter().filter(|g| g.jobs.contains(&j)).count())
+                .sum();
+            assert_eq!(runs, 1, "job {j} scheduled {runs} times");
+            assert!(s.epochs[s.job_epoch[j]].group_of_job(j).is_some());
+        }
+        // Stolen jobs all run in epoch 1.
+        for j in 0..costs.len() {
+            if s.job_stolen_ranks[j] > 0 {
+                assert_eq!(s.job_epoch[j], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn seven_equal_jobs_on_six_ranks_steal_the_odd_job() {
+        // The minimal integer-granularity straggler: LPT gives one group
+        // two jobs; the second defers and runs on the whole world.
+        let s = plan_epochs(&[1.0; 7], 6, &RankBudget::default(), StealPolicy::default());
+        assert_eq!(s.epochs.len(), 2);
+        assert_eq!(s.epochs[1].groups.len(), 1);
+        assert_eq!(s.epochs[1].groups[0].ranks, 0..6);
+        assert_eq!(s.planned.stolen_jobs, 1);
+        assert_eq!(s.planned.stolen_ranks, 5);
+        assert!(s.planned.est_idle_cost_recovered() > 0.0);
+    }
+
+    #[test]
+    fn zero_cost_jobs_do_not_break_the_planner() {
+        // Regression: LPT piles every zero-cost job onto the first
+        // zero-load group, leaving later groups empty; the steal-horizon
+        // scan must skip them instead of indexing an empty queue. (A zero
+        // cost is real — any matrix with all-empty block columns.)
+        for policy in [StealPolicy::EpochRebalance, StealPolicy::Disabled] {
+            let s = plan_epochs(&[1.0, 0.0, 0.0], 3, &RankBudget::default(), policy);
+            let scheduled: usize = s
+                .epochs
+                .iter()
+                .flat_map(|e| e.groups.iter())
+                .map(|g| g.jobs.len())
+                .sum();
+            assert_eq!(scheduled, 3, "every job scheduled exactly once");
+            for j in 0..3 {
+                assert!(s.epochs[s.job_epoch[j]].group_of_job(j).is_some());
+            }
+        }
+        // All-zero batches collapse to a single epoch.
+        let s = plan_epochs(&[0.0; 4], 2, &RankBudget::default(), StealPolicy::default());
+        assert_eq!(s.epochs.len(), 1);
+    }
+
+    #[test]
+    fn epoch_planner_terminates_on_adversarial_costs() {
+        // Geometric cost spread: every epoch defers something, but the
+        // planner is bounded by the job count.
+        let costs: Vec<f64> = (0..20).map(|i| 1.5f64.powi(i)).collect();
+        let s = plan_epochs(&costs, 3, &RankBudget::default(), StealPolicy::default());
+        assert!(s.epochs.len() <= costs.len());
+        let scheduled: usize = s
+            .epochs
+            .iter()
+            .flat_map(|e| e.groups.iter())
+            .map(|g| g.jobs.len())
+            .sum();
+        assert_eq!(scheduled, costs.len());
     }
 
     #[test]
@@ -654,8 +1154,8 @@ mod tests {
             solve_seconds: 0.2,
             scatter_seconds: 0.3,
         };
-        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17);
-        let (dec, seconds, group, bytes, msgs) = decode_telemetry(&enc);
+        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3);
+        let (dec, seconds, group, bytes, msgs, epoch, stolen) = decode_telemetry(&enc);
         assert_eq!(dec.n_submatrices, 7);
         assert_eq!(dec.transfers, report.transfers);
         assert_eq!(dec.mu, report.mu);
@@ -664,6 +1164,7 @@ mod tests {
         assert_eq!(dec.gather_value_bytes, 2048);
         assert_eq!(dec.scatter_value_bytes, 512);
         assert_eq!((seconds, group, bytes, msgs), (1.5, 4, 4096, 17));
+        assert_eq!((epoch, stolen), (2, 3));
     }
 
     #[test]

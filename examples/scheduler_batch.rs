@@ -105,4 +105,13 @@ fn main() {
         "shared engine: {} plans built, {} cache hits, {} evictions",
         stats.symbolic_builds, stats.cache_hits, stats.evictions
     );
+    let steals = outcome.steal_stats;
+    println!(
+        "epoch plan: {} epoch(s), {} stolen job(s) on {} re-dealt rank(s), \
+         est. idle recovered {:.3e} cost units",
+        steals.epochs,
+        steals.stolen_jobs,
+        steals.stolen_ranks,
+        steals.est_idle_cost_recovered(),
+    );
 }

@@ -88,7 +88,7 @@ pub mod prelude {
     pub use sm_dbcsr::{BlockedDims, CooPattern, DbcsrMatrix, PatternFingerprint};
     pub use sm_linalg::Matrix;
     pub use sm_pipeline::{
-        JobOutput, JobQueue, JobResult, MatrixJob, RankBudget, SchedulePlan, Scheduler,
-        SchedulerOutcome,
+        EpochSchedule, JobOutput, JobQueue, JobResult, MatrixJob, RankBudget, SchedulePlan,
+        Scheduler, SchedulerOutcome, StealPolicy, StealStats,
     };
 }
