@@ -1,0 +1,225 @@
+//! Ablation: the batched multi-system SCF service vs a serial loop of
+//! `ScfDriver` runs.
+//!
+//! A straggler batch of independent grand-canonical SCF systems — one
+//! large system plus many small ones of a recurring pattern — runs
+//! through `ScfService` at several world sizes, stealing disabled (static
+//! groups) and enabled. The binary asserts the PR's acceptance contract
+//! in-place: grand-canonical densities stay **bitwise-identical** to the
+//! serial driver loop under any schedule, iteration counts and
+//! convergence flags agree, and the plan-cache consensus accounting
+//! (`hits + builds = Σ_jobs group_size × iterations`) holds exactly. It
+//! then reports the batch telemetry — SCF iterations, epochs, steals,
+//! plan builds vs hits, per-batch wall time — and writes
+//! `results/BENCH_scf_service.json`.
+//!
+//! As with the other scheduler ablations, wall-clock speedup on a shared
+//! host is not the signal (thread ranks share cores); the deterministic
+//! iteration/steal/cache columns are what transfer to a real cluster.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sm_bench::output::{bench_table, print_table, sci, write_bench_json, write_csv, Json};
+use sm_chem::{ScfEnsemble, ScfResult};
+use sm_comsim::SerialComm;
+use sm_core::engine::EngineOptions;
+use sm_dbcsr::{BlockedDims, DbcsrMatrix};
+use sm_linalg::Matrix;
+use sm_pipeline::{
+    serial_scf_loop, RankBudget, ScfJobSpec, ScfOutcomeExt, ScfService, SchedulerOutcome,
+    StealPolicy, SubmatrixEngine,
+};
+
+/// Deterministic banded symmetric matrix with a spectral gap at 0.
+fn banded(nb: usize, bs: usize, seed: u64) -> DbcsrMatrix {
+    let n = nb * bs;
+    let mut dense = Matrix::from_fn(n, n, |i, j| {
+        let bi = (i / bs) as isize;
+        let bj = (j / bs) as isize;
+        if (bi - bj).abs() > 1 {
+            0.0
+        } else if i == j {
+            (if i % 2 == 0 { 1.0 } else { -1.0 }) + ((seed % 13) as f64) * 0.011
+        } else {
+            0.05 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    dense.symmetrize();
+    DbcsrMatrix::from_dense(&dense, BlockedDims::uniform(nb, bs), 0, 1, 0.0)
+}
+
+/// The SCF straggler batch: one large grand-canonical system plus 18
+/// smalls with one recurring pattern, every job a full damped SCF loop at
+/// fixed µ = 0 and half filling.
+fn straggler_specs() -> Vec<ScfJobSpec> {
+    let spec = |name: &str, nb: usize, seed: u64| {
+        let kt0 = banded(nb, 2, seed);
+        let n_electrons = kt0.n() as f64;
+        let mut s = ScfJobSpec::new(name, kt0, 0.0, n_electrons);
+        s.scf.max_iter = 30;
+        s.scf.tol = 1e-7;
+        s.scf.ensemble = ScfEnsemble::GrandCanonical;
+        s
+    };
+    let mut specs = vec![spec("large", 10, 1)];
+    for i in 0..18u64 {
+        specs.push(spec(&format!("small-{i}"), 4, i));
+    }
+    specs
+}
+
+fn fresh_engine() -> Arc<SubmatrixEngine> {
+    Arc::new(SubmatrixEngine::new(EngineOptions {
+        parallel: false,
+        ..EngineOptions::default()
+    }))
+}
+
+fn assert_bitwise(outcome: &SchedulerOutcome, serial: &[ScfResult], what: &str) {
+    let comm = SerialComm::new();
+    assert_eq!(outcome.results.len(), serial.len());
+    for (r, s) in outcome.results.iter().zip(serial) {
+        assert!(
+            r.result
+                .to_dense(&comm)
+                .allclose(&s.density.to_dense(&comm), 0.0),
+            "job '{}' density deviates from the serial driver loop ({what})",
+            r.name
+        );
+        let scf = r.scf.as_ref().expect("SCF telemetry present");
+        assert_eq!(scf.iterations, s.iterations.len(), "{what}");
+        assert_eq!(scf.converged, s.converged, "{what}");
+    }
+}
+
+fn main() {
+    let specs = straggler_specs();
+    let n_jobs = specs.len();
+    println!(
+        "SCF straggler batch: {n_jobs} systems (1 large + {} small), grand canonical",
+        n_jobs - 1
+    );
+
+    let serial_engine = fresh_engine();
+    let t = Instant::now();
+    let serial = serial_scf_loop(&serial_engine, &specs);
+    let serial_seconds = t.elapsed().as_secs_f64();
+    let serial_iters: usize = serial.iter().map(|r| r.iterations.len()).sum();
+    let serial_stats = serial_engine.stats();
+    println!(
+        "serial driver loop: {serial_iters} SCF iterations, {} plan builds, {} cache hits, \
+         {serial_seconds:.3} s",
+        serial_stats.symbolic_builds, serial_stats.cache_hits
+    );
+
+    let header = [
+        "world",
+        "policy",
+        "iterations",
+        "converged",
+        "epochs",
+        "stolen_jobs",
+        "stolen_ranks",
+        "plan_builds",
+        "cache_hits",
+        "consensus_decisions",
+        "total_s",
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for world in [2usize, 4, 6] {
+        for policy in [StealPolicy::Disabled, StealPolicy::EpochRebalance] {
+            let engine = fresh_engine();
+            let service =
+                ScfService::new(engine.clone(), RankBudget::default()).with_policy(policy);
+            let t = Instant::now();
+            let outcome = service.run(world, specs.clone());
+            let seconds = t.elapsed().as_secs_f64();
+            let policy_name = match policy {
+                StealPolicy::Disabled => "static",
+                StealPolicy::EpochRebalance => "stealing",
+            };
+
+            // Acceptance contract, asserted in-binary.
+            assert_bitwise(&outcome, &serial, &format!("world {world} {policy_name}"));
+            let stats = engine.stats();
+            let decisions: usize = outcome
+                .results
+                .iter()
+                .enumerate()
+                .map(|(j, r)| {
+                    outcome.schedule.ranks_of_job(j).len()
+                        * r.scf.as_ref().map_or(1, |s| s.iterations)
+                })
+                .sum();
+            assert_eq!(
+                stats.cache_hits + stats.symbolic_builds,
+                decisions,
+                "consensus accounting broken at world {world} {policy_name}"
+            );
+            let s = outcome.steal_stats;
+            if policy == StealPolicy::Disabled {
+                assert_eq!(s.epochs, 1, "static baseline must stay single-epoch");
+            } else if world == 6 {
+                // Same relative cost skew as the one-shot straggler batch
+                // (iteration budgets are uniform), so the steal contract
+                // carries over.
+                assert!(s.stolen_jobs >= 1, "SCF straggler batch must steal: {s:?}");
+            }
+
+            let iterations = outcome.results.total_iterations();
+            let converged = outcome.results.converged_jobs();
+            eprintln!(
+                "world {world} {policy_name}: {iterations} iterations ({converged}/{n_jobs} \
+                 converged), {} epochs, {} stolen jobs, {} builds, {} hits, {seconds:.3} s",
+                s.epochs, s.stolen_jobs, stats.symbolic_builds, stats.cache_hits
+            );
+            rows.push(vec![
+                world.to_string(),
+                policy_name.to_string(),
+                iterations.to_string(),
+                converged.to_string(),
+                s.epochs.to_string(),
+                s.stolen_jobs.to_string(),
+                s.stolen_ranks.to_string(),
+                stats.symbolic_builds.to_string(),
+                stats.cache_hits.to_string(),
+                decisions.to_string(),
+                sci(seconds),
+            ]);
+            series.push(Json::obj([
+                ("world", Json::Num(world as f64)),
+                ("policy", Json::Str(policy_name.into())),
+                ("iterations", Json::Num(iterations as f64)),
+                ("converged_jobs", Json::Num(converged as f64)),
+                ("epochs", Json::Num(s.epochs as f64)),
+                ("stolen_jobs", Json::Num(s.stolen_jobs as f64)),
+                ("stolen_ranks", Json::Num(s.stolen_ranks as f64)),
+                ("plan_builds", Json::Num(stats.symbolic_builds as f64)),
+                ("cache_hits", Json::Num(stats.cache_hits as f64)),
+                ("consensus_decisions", Json::Num(decisions as f64)),
+                ("bitwise_vs_serial", Json::Bool(true)),
+                ("total_s", Json::Num(seconds)),
+            ]));
+        }
+    }
+
+    println!("\nAblation — batched SCF service vs serial ScfDriver loop");
+    print_table(&header, &rows);
+    write_csv("ablation_scf_service.csv", &header, &rows);
+    write_bench_json(
+        "scf_service",
+        Json::obj([
+            (
+                "workload",
+                Json::Str("SCF straggler batch: 1 large + 18 small, grand canonical".into()),
+            ),
+            ("jobs", Json::Num(n_jobs as f64)),
+            ("serial_iterations", Json::Num(serial_iters as f64)),
+            ("serial_total_s", Json::Num(serial_seconds)),
+            ("series", Json::Arr(series)),
+            ("table", bench_table(&header, &rows)),
+        ]),
+    );
+}

@@ -15,7 +15,10 @@
 
 use std::time::Instant;
 
-use sm_bench::output::{fixed, paper_scale, print_table, sci, write_csv, write_json, Json};
+use sm_bench::output::{
+    bench_table, fixed, paper_scale, print_table, sci, write_bench_json, write_csv, write_json,
+    Json,
+};
 use sm_bench::workloads::{accuracy_basis, build_orthogonalized, SEED};
 use sm_chem::WaterBox;
 use sm_comsim::SerialComm;
@@ -195,7 +198,20 @@ fn main() {
             ),
             ("serial_total_s", Json::Num(serial_seconds)),
             ("serial_checksum", Json::Num(serial_checksum)),
+            ("series", Json::Arr(series.clone())),
+        ]),
+    );
+    // The acceptance artifact under its stable short name, like the other
+    // contract benches (precision/stealing/scf_service) — CI checks for
+    // results/BENCH_scheduler.json by this name.
+    write_bench_json(
+        "scheduler",
+        Json::obj([
+            ("jobs", Json::Num(n_jobs as f64)),
+            ("serial_total_s", Json::Num(serial_seconds)),
+            ("serial_checksum", Json::Num(serial_checksum)),
             ("series", Json::Arr(series)),
+            ("table", bench_table(&header, &rows)),
         ]),
     );
 }

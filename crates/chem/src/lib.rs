@@ -42,5 +42,5 @@ pub mod water;
 pub use basis::{BasisKind, BasisSet};
 pub use builder::SystemMatrices;
 pub use geometry::{Cell, Vec3};
-pub use scf::{ScfDriver, ScfOptions, ScfResult};
+pub use scf::{ScfDriver, ScfEnsemble, ScfOptions, ScfResult};
 pub use water::WaterBox;

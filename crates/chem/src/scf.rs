@@ -9,13 +9,75 @@
 //! potential shifted by the local-charge deviation, linear mixing) and
 //! reuses **one cached plan across all iterations**: after the first
 //! iteration every density build is a numeric-phase replay.
+//!
+//! ## Service re-entrancy
+//!
+//! A driver normally owns a private engine ([`ScfDriver::new`]), but a
+//! batched multi-system service wants many concurrent SCF loops to share
+//! *one* engine — one bounded plan cache amortized across every system —
+//! so [`ScfDriver::with_engine`] accepts a shared [`Arc`]`<`[`SubmatrixEngine`]`>`.
+//! To stay correct under that sharing, all per-run accounting
+//! ([`ScfResult::symbolic_builds`], [`ScfResult::cache_hits`], the
+//! aggregated [`ScfResult::report`]) is derived from this run's own
+//! per-iteration reports, never from deltas of the engine's global
+//! counters (which other jobs bump concurrently).
+//!
+//! ## Ensembles
+//!
+//! The driver-level [`ScfOptions::ensemble`] selector (payload-free, so
+//! there is nothing a caller could set and have silently ignored) picks
+//! between:
+//!
+//! * [`ScfEnsemble::Canonical`] (the default, and the historical
+//!   behavior) — the engine target is built from the run's electron
+//!   count and the `mu_tol`/`mu_max_iter` knobs, with the solver forced
+//!   to diagonalization (the µ bisection needs stored decompositions).
+//!   Multi-rank runs match serial runs to floating-point reduction
+//!   accuracy (the bisection reduces electron counts across ranks).
+//! * [`ScfEnsemble::GrandCanonical`] — fixed µ (`mu0`), no
+//!   electron-count adjustment, any solver method. The engine's
+//!   grand-canonical numeric phase is **bitwise-identical** across
+//!   communicator sizes, so a grand-canonical SCF run produces
+//!   bit-identical densities on any subgroup — the property the
+//!   `scf_service_equivalence` suite pins. (One caveat rides the
+//!   *convergence decision*: `|ΔE|` is computed from a group-summed
+//!   energy whose rounding depends on the group size, so iteration
+//!   counts — and with them final densities — agree across group sizes
+//!   provided no iteration's `|ΔE|` lands within an ulp of `tol`; the
+//!   per-iteration densities themselves are unconditionally bitwise.)
+
+use std::sync::Arc;
 
 use sm_comsim::Comm;
-use sm_core::engine::{EngineOptions, Ensemble, NumericOptions, SubmatrixEngine};
+use sm_core::engine::{EngineOptions, EngineReport, Ensemble, NumericOptions, SubmatrixEngine};
 use sm_core::solver::SolveOptions;
 use sm_dbcsr::{ops, DbcsrMatrix};
 
 use crate::energy::{band_energy, electron_count};
+
+/// Which statistical ensemble the SCF loop's density builds use — a
+/// **payload-free, driver-level** selector. Deliberately not the engine's
+/// [`Ensemble`]: the canonical target is always rebuilt from
+/// [`ScfDriver::run`]'s `n_electrons` argument and the
+/// `mu_tol`/`mu_max_iter` knobs of [`ScfOptions`], so there is no payload
+/// a caller could set and have silently ignored — and splicing
+/// `..NumericOptions::default()` into `ScfOptions::numeric` cannot
+/// accidentally change the ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScfEnsemble {
+    /// Fixed electron count (the default, and the historical behavior):
+    /// µ is bisected every iteration to hold `n_electrons`; the solver is
+    /// forced to diagonalization (the bisection needs stored
+    /// decompositions). Multi-rank runs match serial runs to
+    /// floating-point reduction accuracy.
+    #[default]
+    Canonical,
+    /// Fixed chemical potential `mu0`, no electron-count adjustment, any
+    /// solver method. The engine's grand-canonical numeric phase is
+    /// bit-reproducible across communicator sizes — the bitwise path the
+    /// `scf_service_equivalence` suite pins.
+    GrandCanonical,
+}
 
 /// SCF-loop configuration.
 #[derive(Debug, Clone)]
@@ -34,13 +96,17 @@ pub struct ScfOptions {
     pub mu_tol: f64,
     /// Bisection budget of the canonical µ adjustment.
     pub mu_max_iter: usize,
-    /// Numeric-phase options of the inner density build. The ensemble is
-    /// replaced by the canonical target of [`ScfDriver::run`] (built from
-    /// `mu_tol`/`mu_max_iter`), the solver method is forced to
-    /// diagonalization (canonical µ adjustment needs stored
-    /// decompositions), and `use_selected_columns` is forced off (it is
-    /// grand-canonical only); the remaining solver knobs (`kt`, `tol`,
-    /// `max_iter`) are honored.
+    /// The ensemble of the density builds (see [`ScfEnsemble`]).
+    pub ensemble: ScfEnsemble,
+    /// Numeric-phase options of the inner density build. The `ensemble`
+    /// field of this struct is **ignored** — the driver-level
+    /// [`ScfOptions::ensemble`] selector governs (so a spliced
+    /// `..NumericOptions::default()` cannot change the ensemble), and
+    /// under [`ScfEnsemble::Canonical`] the solver method is forced to
+    /// diagonalization. `use_selected_columns` is forced off in both
+    /// modes (the SCF loop needs full density diagonals for its
+    /// feedback); the remaining solver knobs (`kt`, `tol`, `max_iter`)
+    /// and `precision` are honored.
     pub numeric: NumericOptions,
     /// Symbolic-phase options of the shared engine.
     pub engine: EngineOptions,
@@ -55,6 +121,7 @@ impl Default for ScfOptions {
             tol: 1e-8,
             mu_tol: 1e-9,
             mu_max_iter: 200,
+            ensemble: ScfEnsemble::Canonical,
             numeric: NumericOptions::default(),
             engine: EngineOptions::default(),
         }
@@ -74,6 +141,12 @@ pub struct ScfIteration {
     pub mu: f64,
     /// True if this iteration's plan came from the engine cache.
     pub plan_cached: bool,
+    /// Value-payload bytes this rank received in the iteration's gather
+    /// (deterministic; halves under the `f32` wire of `Fp32*` precision).
+    pub gather_value_bytes: u64,
+    /// Value-payload bytes this rank sent in the iteration's result
+    /// scatter (deterministic).
+    pub scatter_value_bytes: u64,
 }
 
 /// Result of an SCF run.
@@ -85,23 +158,42 @@ pub struct ScfResult {
     pub iterations: Vec<ScfIteration>,
     /// The final density matrix.
     pub density: DbcsrMatrix,
-    /// Symbolic plans built over the whole run (1 per rank when the
-    /// pattern is fixed, as in this model feedback).
+    /// Symbolic plans built *on this run's behalf* (1 per rank when the
+    /// pattern is fixed and nothing else warmed the cache, as in this
+    /// model feedback). Counted from this run's own iteration reports, so
+    /// the figure stays exact when the engine is shared with concurrent
+    /// jobs.
     pub symbolic_builds: usize,
-    /// Plan-cache hits over the whole run.
+    /// Plan-cache hits over the whole run (same job-local accounting).
     pub cache_hits: usize,
+    /// Whole-run engine instrumentation: every iteration's
+    /// [`EngineReport`] folded into one record via
+    /// [`EngineReport::absorb_iteration`] — additive counters (transfer
+    /// and value bytes, phase seconds, bisection steps) summed across
+    /// iterations, plan-shape figures from the (shared) cached plan, `mu`
+    /// from the final iteration.
+    pub report: EngineReport,
 }
 
 /// Damped SCF loop reusing one cached submatrix plan across iterations.
 pub struct ScfDriver {
     opts: ScfOptions,
-    engine: SubmatrixEngine,
+    engine: Arc<SubmatrixEngine>,
 }
 
 impl ScfDriver {
     /// Build a driver (and its private engine) from options.
     pub fn new(opts: ScfOptions) -> Self {
-        let engine = SubmatrixEngine::new(opts.engine.clone());
+        let engine = Arc::new(SubmatrixEngine::new(opts.engine.clone()));
+        ScfDriver { opts, engine }
+    }
+
+    /// Build a driver over an existing **shared** engine — the re-entrancy
+    /// hook a batched multi-system service uses so every concurrent SCF
+    /// loop plans through one (optionally bounded) cache. `opts.engine` is
+    /// ignored in this form: the shared engine's own options govern the
+    /// symbolic phase.
+    pub fn with_engine(opts: ScfOptions, engine: Arc<SubmatrixEngine>) -> Self {
         ScfDriver { opts, engine }
     }
 
@@ -126,29 +218,44 @@ impl ScfDriver {
         n_electrons: f64,
         comm: &C,
     ) -> ScfResult {
-        let numeric = NumericOptions {
-            ensemble: Ensemble::Canonical {
-                n_electrons,
-                tol: self.opts.mu_tol,
-                max_iter: self.opts.mu_max_iter,
+        let numeric = match self.opts.ensemble {
+            // Grand canonical: fixed µ = `mu0`, no electron-count
+            // adjustment, any solver method. This is the bitwise path —
+            // the engine's grand-canonical numeric phase is
+            // bit-reproducible across communicator sizes.
+            ScfEnsemble::GrandCanonical => NumericOptions {
+                ensemble: Ensemble::GrandCanonical,
+                solve: self.opts.numeric.solve,
+                use_selected_columns: false,
+                precision: self.opts.numeric.precision,
             },
-            solve: SolveOptions {
-                // Canonical µ adjustment needs stored decompositions.
-                method: sm_core::solver::SignMethod::Diagonalization,
-                ..self.opts.numeric.solve
+            // Canonical (the default): the target is built from this
+            // run's electron count and the driver's µ-bisection knobs.
+            ScfEnsemble::Canonical => NumericOptions {
+                ensemble: Ensemble::Canonical {
+                    n_electrons,
+                    tol: self.opts.mu_tol,
+                    max_iter: self.opts.mu_max_iter,
+                },
+                solve: SolveOptions {
+                    // Canonical µ adjustment needs stored decompositions.
+                    method: sm_core::solver::SignMethod::Diagonalization,
+                    ..self.opts.numeric.solve
+                },
+                use_selected_columns: false,
+                // The caller's precision knob is honored: Fp32* runs the
+                // gathers over the f32 wire and diagonalizes the
+                // f32-rounded operator (see sm_core::solver); the SCF
+                // feedback loop damps the remaining rounding noise like
+                // any other perturbation.
+                precision: self.opts.numeric.precision,
             },
-            use_selected_columns: false,
-            // The caller's precision knob is honored: Fp32* runs the
-            // gathers over the f32 wire and diagonalizes the f32-rounded
-            // operator (see sm_core::solver); the SCF feedback loop damps
-            // the remaining rounding noise like any other perturbation.
-            precision: self.opts.numeric.precision,
         };
         let avg_occ = n_electrons / (2.0 * kt0.n() as f64);
-        let stats_at_start = self.engine.stats();
 
         let mut kt = kt0.clone();
         let mut iterations: Vec<ScfIteration> = Vec::new();
+        let mut aggregate: Option<EngineReport> = None;
         let mut density = None;
         let mut previous_energy = f64::INFINITY;
         let mut converged = false;
@@ -166,7 +273,13 @@ impl ScfDriver {
                 electrons,
                 mu: report.mu,
                 plan_cached,
+                gather_value_bytes: report.gather_value_bytes,
+                scatter_value_bytes: report.scatter_value_bytes,
             });
+            match &mut aggregate {
+                Some(agg) => agg.absorb_iteration(&report),
+                None => aggregate = Some(report),
+            }
 
             if de.abs() < self.opts.tol {
                 density = Some(d);
@@ -201,15 +314,18 @@ impl ScfDriver {
             density = Some(d);
         }
 
-        // Report per-run deltas, not the engine's lifetime counters, so a
-        // reused driver gives each run its own accounting.
-        let stats = self.engine.stats();
+        // Job-local accounting from this run's own iteration reports —
+        // never deltas of the engine's lifetime counters, which other
+        // jobs sharing the engine bump concurrently.
+        let symbolic_builds = iterations.iter().filter(|i| !i.plan_cached).count();
+        let cache_hits = iterations.len() - symbolic_builds;
         ScfResult {
             converged,
             iterations,
             density: density.expect("max_iter >= 1 produces a density"),
-            symbolic_builds: stats.symbolic_builds - stats_at_start.symbolic_builds,
-            cache_hits: stats.cache_hits - stats_at_start.cache_hits,
+            symbolic_builds,
+            cache_hits,
+            report: aggregate.expect("max_iter >= 1 produces a report"),
         }
     }
 }
@@ -295,6 +411,52 @@ mod tests {
         for it in &result.iterations {
             assert!((it.electrons - n_elec).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn grand_canonical_scf_runs_at_fixed_mu() {
+        let (kt, mu, n_elec) = small_system();
+        let comm = SerialComm::new();
+        let driver = ScfDriver::new(ScfOptions {
+            ensemble: ScfEnsemble::GrandCanonical,
+            ..ScfOptions::default()
+        });
+        let result = driver.run(&kt, mu, n_elec, &comm);
+        assert!(result.converged, "grand-canonical SCF did not converge");
+        // Fixed µ: every iteration reports exactly the seed µ and zero
+        // bisection steps.
+        for it in &result.iterations {
+            assert_eq!(it.mu, mu);
+        }
+        assert_eq!(result.report.bisect_iterations, 0);
+        assert_eq!(result.report.mu, mu);
+        // One cached plan still serves every iteration.
+        assert_eq!(result.symbolic_builds, 1);
+        assert_eq!(result.cache_hits, result.iterations.len() - 1);
+    }
+
+    #[test]
+    fn shared_engine_accounting_is_job_local() {
+        let (kt, mu, n_elec) = small_system();
+        let comm = SerialComm::new();
+        let engine = Arc::new(SubmatrixEngine::new(EngineOptions::default()));
+        let opts = ScfOptions::default();
+        let first =
+            ScfDriver::with_engine(opts.clone(), engine.clone()).run(&kt, mu, n_elec, &comm);
+        // First run over the fresh shared engine pays for the plan once.
+        assert_eq!(first.symbolic_builds, 1);
+        // A second driver on the same engine finds the plan warm: *its*
+        // accounting shows zero builds — engine-lifetime deltas would
+        // misattribute concurrent jobs' work, per-iteration flags cannot.
+        let second =
+            ScfDriver::with_engine(opts.clone(), engine.clone()).run(&kt, mu, n_elec, &comm);
+        assert_eq!(second.symbolic_builds, 0);
+        assert_eq!(second.cache_hits, second.iterations.len());
+        assert!(second.report.plan_cached);
+        assert_eq!(engine.stats().symbolic_builds, 1);
+        // The aggregated report sums the per-iteration byte telemetry.
+        let gather_sum: u64 = second.iterations.iter().map(|i| i.gather_value_bytes).sum();
+        assert_eq!(second.report.gather_value_bytes, gather_sum);
     }
 
     #[test]

@@ -498,6 +498,37 @@ impl EngineReport {
             0.0
         };
     }
+
+    /// Fold a later iteration's report into this one, turning a
+    /// per-execution report into a whole-run aggregate — the accounting an
+    /// iterative driver (an SCF loop) needs to describe *all* of its
+    /// engine executions as one record.
+    ///
+    /// Additive instrumentation — transfer statistics, gather/scatter
+    /// value bytes, bisection steps, and every phase timing — is summed.
+    /// Plan-shape figures (`n_submatrices`, `max_dim`, `avg_dim`,
+    /// `total_cost`) are invariants of the cached plan, identical across
+    /// iterations of a fixed pattern, and are kept from `self`. `mu` and
+    /// `precision` take the *latest* iteration's values (µ may drift under
+    /// canonical adjustment; the last value is the converged one).
+    /// `plan_cached` becomes the conjunction: the aggregate reports a
+    /// fully-amortized run only if *every* folded execution hit the cache.
+    pub fn absorb_iteration(&mut self, later: &EngineReport) {
+        self.transfers.unique_bytes += later.transfers.unique_bytes;
+        self.transfers.naive_bytes += later.transfers.naive_bytes;
+        self.transfers.unique_blocks += later.transfers.unique_blocks;
+        self.transfers.total_references += later.transfers.total_references;
+        self.gather_value_bytes += later.gather_value_bytes;
+        self.scatter_value_bytes += later.scatter_value_bytes;
+        self.bisect_iterations += later.bisect_iterations;
+        self.symbolic_seconds += later.symbolic_seconds;
+        self.gather_seconds += later.gather_seconds;
+        self.solve_seconds += later.solve_seconds;
+        self.scatter_seconds += later.scatter_seconds;
+        self.mu = later.mu;
+        self.precision = later.precision;
+        self.plan_cached &= later.plan_cached;
+    }
 }
 
 /// Cumulative engine counters (monotone; snapshot via
@@ -1054,6 +1085,42 @@ mod tests {
         assert_eq!(stats.executions, 5);
         assert!(first.unwrap().symbolic_seconds > 0.0);
         assert_eq!(engine.cached_plans(), 1);
+    }
+
+    #[test]
+    fn report_aggregation_sums_counters_and_keeps_plan_shape() {
+        let (dense, dims) = banded_gapped(6, 2);
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::default();
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let (_, first) = engine.sign(&m, 0.0, &NumericOptions::default(), &comm);
+        let (_, second) = engine.sign(&m, 0.0, &NumericOptions::default(), &comm);
+        let mut agg = first.clone();
+        agg.absorb_iteration(&second);
+        // Additive counters sum; plan-shape figures stay those of the
+        // (identical) cached plan.
+        assert_eq!(
+            agg.transfers.unique_bytes,
+            first.transfers.unique_bytes + second.transfers.unique_bytes
+        );
+        assert_eq!(
+            agg.gather_value_bytes,
+            first.gather_value_bytes + second.gather_value_bytes
+        );
+        assert_eq!(
+            agg.scatter_value_bytes,
+            first.scatter_value_bytes + second.scatter_value_bytes
+        );
+        assert_eq!(agg.n_submatrices, first.n_submatrices);
+        assert_eq!(agg.total_cost, first.total_cost);
+        // The first execution built the plan, the second hit: the
+        // aggregate must NOT claim a fully-amortized run.
+        assert!(!first.plan_cached && second.plan_cached);
+        assert!(!agg.plan_cached);
+        // Folding two hits keeps plan_cached true.
+        let mut hits = second.clone();
+        hits.absorb_iteration(&second);
+        assert!(hits.plan_cached);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! One-shot submatrix-method drivers.
 //!
 //! These are thin compatibility wrappers over the persistent
-//! [`SubmatrixEngine`](crate::engine::SubmatrixEngine): each call builds a
+//! [`SubmatrixEngine`]: each call builds a
 //! fresh engine, runs the symbolic phase (pattern → plan → load balance →
 //! deduplicated transfers → index maps) and one numeric phase, and maps
 //! the engine report onto the historical [`SubmatrixReport`] shape. Callers

@@ -3,7 +3,7 @@
 //! These are the scalar building blocks used by the factorizations and the
 //! eigensolver. They are deliberately simple; the hot O(n³) work happens in
 //! [`crate::gemm`]. The kernels GEMM builds on ([`dot`], [`axpy`],
-//! [`scal`]) are generic over the [`Elem`](crate::elem::Elem) scalar so
+//! [`scal`]) are generic over the [`Elem`] scalar so
 //! the same code path serves the `f32` and `f64` instances; the
 //! factorization-only helpers stay `f64`.
 

@@ -14,12 +14,19 @@
 //!    the batch tail.
 //!
 //! Results return in submission order with per-job [`EngineReport`]s.
+//!
+//! This module also defines the scheduler's **job-kind abstraction**:
+//! [`BatchJob`] generalizes "one engine execute" ([`MatrixJob`]) to
+//! "iterative job with per-iteration cost re-estimation"
+//! ([`ScfJobSpec`], a whole SCF loop), and [`ScfTelemetry`] carries the
+//! per-iteration observables back through [`JobResult::scf`].
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
 
+use sm_chem::ScfOptions;
 use sm_comsim::SerialComm;
 use sm_core::engine::{EngineOptions, EngineReport, NumericOptions, SubmatrixEngine};
 use sm_dbcsr::{ops, DbcsrMatrix};
@@ -85,6 +92,121 @@ impl MatrixJob {
     }
 }
 
+/// One self-consistent-field problem submitted to the batched SCF service
+/// ([`ScfService`](crate::scf_service::ScfService)): the system (its
+/// orthogonalized Kohn–Sham matrix), the chemical data, and the full SCF
+/// configuration. The scheduler runs the whole multi-iteration
+/// [`sm_chem::ScfDriver`] loop as one job on a per-job subcommunicator.
+#[derive(Debug, Clone)]
+pub struct ScfJobSpec {
+    /// Caller-chosen identifier, echoed in the result.
+    pub name: String,
+    /// The system: its orthogonalized Kohn–Sham matrix `K̃₀` as a
+    /// (single-rank, replicated) handle; the scheduler redistributes it
+    /// over the job's group.
+    pub kt0: DbcsrMatrix,
+    /// Seed chemical potential (the *fixed* µ for grand-canonical specs).
+    pub mu0: f64,
+    /// Electron target of the canonical ensemble (and of the model
+    /// feedback's average occupation in both ensembles).
+    pub n_electrons: f64,
+    /// Full SCF configuration: convergence knobs, model feedback, the
+    /// driver-level [`sm_chem::ScfEnsemble`] selector, and
+    /// [`NumericOptions`] (solver, precision). `scf.engine` is ignored —
+    /// the service's shared engine governs the symbolic phase.
+    pub scf: ScfOptions,
+    /// Iteration count the cost model should assume when sizing this
+    /// job's rank group (`None` = the full `scf.max_iter` budget). The
+    /// scheduler estimates a *per-iteration* cost from the sparsity
+    /// pattern and multiplies by this figure, so callers that know a
+    /// system converges quickly can keep its group small.
+    pub expected_iterations: Option<usize>,
+}
+
+impl ScfJobSpec {
+    /// Convenience constructor with default SCF options.
+    pub fn new(name: impl Into<String>, kt0: DbcsrMatrix, mu0: f64, n_electrons: f64) -> Self {
+        ScfJobSpec {
+            name: name.into(),
+            kt0,
+            mu0,
+            n_electrons,
+            scf: ScfOptions::default(),
+            expected_iterations: None,
+        }
+    }
+
+    /// The iteration count the scheduler's cost model assumes.
+    pub fn iteration_budget(&self) -> usize {
+        self.expected_iterations.unwrap_or(self.scf.max_iter).max(1)
+    }
+}
+
+/// The scheduler's job abstraction: either a single engine execution
+/// (one matrix-function evaluation) or an iterative multi-evaluation job
+/// (a whole SCF loop). Cost estimation, group placement, epoch stealing,
+/// result gathering and telemetry are shared; only the per-group
+/// execution body differs.
+#[derive(Debug, Clone)]
+pub enum BatchJob {
+    /// One matrix-function evaluation (`sign`/`density`).
+    Matrix(MatrixJob),
+    /// One multi-iteration SCF run driven by [`sm_chem::ScfDriver`] on
+    /// the job's subcommunicator group.
+    Scf(ScfJobSpec),
+}
+
+impl BatchJob {
+    /// The job's identifier.
+    pub fn name(&self) -> &str {
+        match self {
+            BatchJob::Matrix(j) => &j.name,
+            BatchJob::Scf(j) => &j.name,
+        }
+    }
+
+    /// The (single-rank, replicated) input matrix handle — the source of
+    /// the sparsity pattern the cost model estimates from, and of the
+    /// blocks the scheduler scatters over the job's group.
+    pub fn input(&self) -> &DbcsrMatrix {
+        match self {
+            BatchJob::Matrix(j) => &j.matrix,
+            BatchJob::Scf(j) => &j.kt0,
+        }
+    }
+
+    /// How many engine evaluations the cost model should assume: 1 for a
+    /// one-shot matrix job, the iteration budget for an SCF job (each
+    /// iteration replays the same cached plan, so total cost scales
+    /// linearly in the iteration count).
+    pub fn iteration_budget(&self) -> usize {
+        match self {
+            BatchJob::Matrix(_) => 1,
+            BatchJob::Scf(j) => j.iteration_budget(),
+        }
+    }
+}
+
+/// Per-iteration SCF telemetry of one [`BatchJob::Scf`] job, threaded
+/// from the group that ran the loop back to world rank 0 alongside the
+/// engine report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScfTelemetry {
+    /// SCF iterations performed.
+    pub iterations: usize,
+    /// True if `|ΔE|` dropped below the spec's tolerance in budget.
+    pub converged: bool,
+    /// Band-structure energy of the final iteration.
+    pub final_energy: f64,
+    /// Electron count of the final iteration.
+    pub final_electrons: f64,
+    /// Group-summed gather value-payload bytes, per iteration (length =
+    /// `iterations`; deterministic, halves under the `Fp32*` wire).
+    pub gather_value_bytes: Vec<u64>,
+    /// Group-summed scatter value-payload bytes, per iteration.
+    pub scatter_value_bytes: Vec<u64>,
+}
+
 /// Outcome of one job. Produced by both the serial [`JobQueue`] and the
 /// distributed [`Scheduler`](crate::sched::Scheduler) with the same
 /// telemetry semantics, so the two paths are directly comparable.
@@ -115,6 +237,10 @@ pub struct JobResult {
     /// groups' static allocations by the epoch steal plan (0 = the job ran
     /// on its home group; always 0 on the serial queue).
     pub stolen_ranks: usize,
+    /// Per-iteration SCF telemetry — `Some` exactly for [`BatchJob::Scf`]
+    /// jobs, whose [`report`](JobResult::report) is then the whole-run
+    /// aggregate across iterations.
+    pub scf: Option<ScfTelemetry>,
 }
 
 impl JobResult {
@@ -233,6 +359,7 @@ impl JobQueue {
                     comm_msgs: 0,
                     epoch: 0,
                     stolen_ranks: 0,
+                    scf: None,
                 },
             )
         };

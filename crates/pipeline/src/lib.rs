@@ -33,6 +33,14 @@
 //!   (`StealPolicy::Disabled` restores the static single-epoch schedule).
 //!   Grand-canonical jobs are bitwise-identical to the serial queue at
 //!   any group size and any steal schedule.
+//! * [`ScfService`] (module [`scf_service`]) lifts the scheduler from
+//!   one-shot evaluations to whole **chemical systems**: each
+//!   [`ScfJobSpec`] is wrapped as an iterative [`BatchJob::Scf`] job — a
+//!   full multi-iteration [`sm_chem::ScfDriver`] loop on the job's
+//!   subcommunicator — with rank groups sized by *per-iteration* pattern
+//!   cost times iteration budget, per-iteration SCF telemetry in
+//!   [`JobResult::scf`], and grand-canonical batches bitwise-identical
+//!   to a serial loop of driver runs (`scf_service_equivalence` suite).
 //!
 //! The one-shot drivers `sm_core::method::{submatrix_sign,
 //! submatrix_density}` are thin wrappers over the same engine, so every
@@ -74,12 +82,15 @@
 //! [`CooPattern`]: sm_dbcsr::CooPattern
 
 pub mod jobs;
+pub mod scf_service;
 pub mod sched;
 
-pub use jobs::{JobOutput, JobQueue, JobResult, MatrixJob};
+pub use jobs::{BatchJob, JobOutput, JobQueue, JobResult, MatrixJob, ScfJobSpec, ScfTelemetry};
+pub use scf_service::{serial_scf_loop, ScfOutcomeExt, ScfService};
 pub use sched::{
-    estimate_job_cost, partition, plan_epochs, Epoch, EpochSchedule, GroupPlan, RankBudget,
-    SchedulePlan, Scheduler, SchedulerOutcome, StealPolicy, StealStats,
+    estimate_batch_job_cost, estimate_job_cost, estimate_pattern_cost, partition, plan_epochs,
+    steal_horizon, Epoch, EpochSchedule, GroupPlan, RankBudget, SchedulePlan, Scheduler,
+    SchedulerOutcome, StealPolicy, StealStats,
 };
 pub use sm_core::engine::{
     AssemblyMap, EngineOptions, EngineReport, EngineStats, Ensemble, ExecutionPlan, ExtractionMap,

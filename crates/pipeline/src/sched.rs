@@ -59,7 +59,7 @@
 //! budget, never of measured wall time — and the numeric path performs the
 //! same per-submatrix solves with the same inputs regardless of the group
 //! size, so grand-canonical jobs produce **bitwise-identical** results to
-//! the serial [`JobQueue`] for any world size *and any steal schedule*
+//! the serial [`JobQueue`](crate::jobs::JobQueue) for any world size *and any steal schedule*
 //! (pinned by the `scheduler_equivalence` and `stealing_equivalence`
 //! suites). Canonical-ensemble jobs bisect µ through a cross-rank
 //! reduction whose summation order depends on the group size, so they
@@ -71,7 +71,7 @@
 //! `sm_comsim::SUBGROUP_BIT`; each epoch's groups split with a color that
 //! mixes the epoch index, so successive epochs salt their tag namespaces
 //! differently. The only parent-level user traffic is the root gather, on
-//! tags derived from the job index (see [`result_tag`]). The
+//! tags derived from the job index (see the private `result_tag`). The
 //! `sm_dbcsr::wire::user_tag` guard applies unchanged inside subgroups.
 
 use std::ops::Range;
@@ -79,6 +79,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sm_accel::perfmodel;
+use sm_chem::ScfDriver;
 use sm_comsim::{run_ranks, Comm, CommStats, Payload, ReduceOp, SerialComm, ThreadComm};
 use sm_core::engine::{EngineOptions, EngineReport, SubmatrixEngine};
 use sm_core::transfers::TransferStats;
@@ -86,7 +87,7 @@ use sm_dbcsr::wire::ValueFormat;
 use sm_dbcsr::{wire, DbcsrMatrix};
 use sm_linalg::Precision;
 
-use crate::jobs::{JobResult, MatrixJob};
+use crate::jobs::{BatchJob, JobResult, MatrixJob, ScfTelemetry};
 
 /// Color given to ranks left without a group (only possible for an empty
 /// batch; the partition itself never leaves a rank groupless).
@@ -173,15 +174,15 @@ impl SchedulePlan {
     }
 }
 
-/// Estimate one job's submatrix work from its sparsity pattern: for each
-/// block column, the induced submatrix dimension `n` costs `2n³` FLOPs
-/// (one dense solve), inflated by the perfmodel utilization curve —
-/// small matrices run far from peak, so their FLOPs buy more wall time.
-/// Pattern-only and cheap; no plan is built.
-pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
+/// Estimate the submatrix work of **one engine evaluation** of a sparsity
+/// pattern: for each block column, the induced submatrix dimension `n`
+/// costs `2n³` FLOPs (one dense solve), inflated by the perfmodel
+/// utilization curve — small matrices run far from peak, so their FLOPs
+/// buy more wall time. Pattern-only and cheap; no plan is built.
+pub fn estimate_pattern_cost(matrix: &DbcsrMatrix) -> f64 {
     let comm = SerialComm::new();
-    let pattern = job.matrix.global_pattern(&comm);
-    let dims = job.matrix.dims();
+    let pattern = matrix.global_pattern(&comm);
+    let dims = matrix.dims();
     let mut cost = 0.0;
     for bc in 0..dims.nb() {
         let n: usize = pattern.rows_in_col(bc).map(|br| dims.size(br)).sum();
@@ -191,6 +192,23 @@ pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
         }
     }
     cost
+}
+
+/// Estimate one matrix job's submatrix work (a single evaluation of its
+/// pattern; see [`estimate_pattern_cost`]).
+pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
+    estimate_pattern_cost(&job.matrix)
+}
+
+/// Estimate a [`BatchJob`]'s total work: the **per-iteration** pattern
+/// cost times the job's iteration budget. A one-shot matrix job is one
+/// iteration; an SCF job re-evaluates the same pattern every iteration
+/// (on the same cached plan), so its commitment scales linearly with the
+/// expected iteration count — this is the cost-model generalization that
+/// lets iterative jobs ride the same LPT/steal machinery as one-shot
+/// evaluations.
+pub fn estimate_batch_job_cost(job: &BatchJob) -> f64 {
+    estimate_pattern_cost(job.input()) * job.iteration_budget() as f64
 }
 
 /// Deterministically partition `costs.len()` jobs over `world_size` ranks:
@@ -280,6 +298,30 @@ pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> Sched
         groups,
         job_costs: costs.to_vec(),
     }
+}
+
+/// The **steal horizon** of one epoch's partition: the longest single-job
+/// wall-clock commitment any group's *leading* job imposes, in estimated
+/// cost units —
+///
+/// ```text
+/// horizon = max over non-empty groups g of  cost(g.jobs[0]) / |g.ranks|
+/// ```
+///
+/// A job cannot be split across epochs, so no re-deal can finish the
+/// epoch faster than the largest leading job runs on its own group; any
+/// queue a group holds *beyond* that horizon is pure straggler tail that
+/// later epochs can re-deal over drained ranks. Groups that LPT left
+/// empty (possible when zero-cost jobs all pile onto the first zero-load
+/// group) impose no commitment and are skipped. The
+/// `steal_horizon_is_max_leading_cost_per_ranks` regression test pins
+/// this formula directly against [`plan_epochs`]'s commit/defer behavior.
+pub fn steal_horizon(plan: &SchedulePlan) -> f64 {
+    plan.groups
+        .iter()
+        .filter(|g| !g.jobs.is_empty())
+        .map(|g| plan.job_costs[g.jobs[0]] / g.ranks.len() as f64)
+        .fold(0.0f64, f64::max)
 }
 
 /// Work-stealing telemetry of one scheduled batch: how many epochs the
@@ -430,16 +472,11 @@ pub fn plan_epochs(
             let rcosts: Vec<f64> = remaining.iter().map(|&j| costs[j]).collect();
             let p = partition(&rcosts, world_size, budget);
 
-            // Steal horizon: the longest single-job commitment any group's
-            // leading job imposes this epoch. LPT can leave a group empty
-            // when zero-cost jobs all pile onto the first zero-load group;
-            // empty groups impose no commitment (and commit nothing below).
-            let horizon = p
-                .groups
-                .iter()
-                .filter(|g| !g.jobs.is_empty())
-                .map(|g| rcosts[g.jobs[0]] / g.ranks.len() as f64)
-                .fold(0.0f64, f64::max);
+            // Steal horizon of this epoch's partition: `max cost/ranks`
+            // over leading jobs (see [`steal_horizon`] for the formula and
+            // why empty groups are skipped). `p.job_costs` is exactly
+            // `rcosts`, so the indices in `p.groups` line up.
+            let horizon = steal_horizon(&p);
 
             let mut groups = Vec::with_capacity(p.groups.len());
             let mut deferred: Vec<usize> = Vec::new();
@@ -599,17 +636,44 @@ impl Scheduler {
         self.policy
     }
 
-    /// Run a batch over a `world_size`-rank world and gather the results
-    /// (in submission order) on world rank 0.
+    /// Run a batch of one-shot matrix jobs over a `world_size`-rank world
+    /// and gather the results (in submission order) on world rank 0.
+    /// Convenience wrapper over [`Scheduler::run_batch`].
     pub fn run(&self, world_size: usize, jobs: Vec<MatrixJob>) -> SchedulerOutcome {
+        self.run_batch(world_size, jobs.into_iter().map(BatchJob::Matrix).collect())
+    }
+
+    /// Run a mixed batch of [`BatchJob`]s — one-shot matrix evaluations
+    /// and/or multi-iteration SCF jobs — over a `world_size`-rank world
+    /// and gather the results (in submission order) on world rank 0.
+    ///
+    /// Every job kind rides the same machinery: perfmodel cost estimation
+    /// (scaled by the job's iteration budget, see
+    /// [`estimate_batch_job_cost`]), LPT group packing, epoch stealing,
+    /// the shared plan cache with its per-group per-epoch hit/miss
+    /// consensus, and the telemetry gather to world rank 0. SCF jobs
+    /// additionally return per-iteration telemetry in
+    /// [`JobResult::scf`].
+    pub fn run_batch(&self, world_size: usize, jobs: Vec<BatchJob>) -> SchedulerOutcome {
         for j in &jobs {
             assert_eq!(
-                j.matrix.grid().size(),
+                j.input().grid().size(),
                 1,
                 "job matrices must be single-rank (replicated) handles"
             );
+            // Validate on the caller thread: a zero iteration budget would
+            // otherwise panic deep inside a rank thread (ScfDriver::run
+            // produces no density) and strand its group's peers in their
+            // collectives.
+            if let BatchJob::Scf(spec) = j {
+                assert!(
+                    spec.scf.max_iter >= 1,
+                    "SCF job '{}' has max_iter == 0 (needs at least one iteration)",
+                    spec.name
+                );
+            }
         }
-        let costs: Vec<f64> = jobs.iter().map(estimate_job_cost).collect();
+        let costs: Vec<f64> = jobs.iter().map(estimate_batch_job_cost).collect();
         let schedule = plan_epochs(&costs, world_size, &self.budget, self.policy);
         let engine = &self.engine;
         let (jobs_ref, sched_ref) = (&jobs, &schedule);
@@ -645,8 +709,8 @@ fn result_tag(job: usize, part: u64) -> u64 {
 /// epoch's jobs, and (on world rank 0) gather every job's result plus the
 /// measured `(total, max)` per-rank idle seconds.
 fn run_rank(
-    engine: &SubmatrixEngine,
-    jobs: &[MatrixJob],
+    engine: &Arc<SubmatrixEngine>,
+    jobs: &[BatchJob],
     schedule: &EpochSchedule,
     comm: &ThreadComm,
 ) -> Option<(Vec<JobResult>, (f64, f64))> {
@@ -672,35 +736,86 @@ fn run_rank(
             // the single-rank handle is replicated shared memory, the
             // simulator's stand-in for an MPI_COMM_SELF matrix every rank
             // holds).
-            let mut local = DbcsrMatrix::new(job.matrix.dims().clone(), sub.rank(), sub.size());
-            for (&(br, bc), blk) in job.matrix.store().iter() {
+            let input = job.input();
+            let mut local = DbcsrMatrix::new(input.dims().clone(), sub.rank(), sub.size());
+            for (&(br, bc), blk) in input.store().iter() {
                 if local.is_mine(br, bc) {
                     local.insert_block(br, bc, blk.clone());
                 }
             }
 
-            // Plan (through the shared, contended cache) + execute,
-            // collectively on the subgroup. The hit/miss consensus inside
-            // plan_for_matrix_traced runs on `sub`, i.e. per-group
-            // per-epoch — exactly the ranks that must agree on entering
-            // the collective pattern gather.
-            let (eplan, built_now) = engine.plan_for_matrix_traced(&local, &sub);
-            let (mut result, mut report) =
-                engine.execute(&eplan, &local, job.mu0, &job.numeric, &sub);
-            job.output.finalize(&mut result, job.numeric.precision);
-            report.record_planning(built_now, &eplan);
+            // Execute collectively on the subgroup — one engine
+            // evaluation for a matrix job, the whole multi-iteration SCF
+            // loop for an SCF job. Either way every plan goes through the
+            // shared, contended cache, whose hit/miss consensus runs on
+            // `sub`, i.e. per-group per-epoch — exactly the ranks that
+            // must agree on entering the collective pattern gather (SCF
+            // jobs re-run that consensus every iteration, still on `sub`).
+            let (mut result, mut report, built_now, result_format, scf_local) = match job {
+                BatchJob::Matrix(mjob) => {
+                    let (eplan, built_now) = engine.plan_for_matrix_traced(&local, &sub);
+                    let (mut result, mut report) =
+                        engine.execute(&eplan, &local, mjob.mu0, &mjob.numeric, &sub);
+                    mjob.output.finalize(&mut result, mjob.numeric.precision);
+                    report.record_planning(built_now, &eplan);
+                    // The value encoding of the result gather follows the
+                    // job's precision: plain-Fp32 results are
+                    // f32-representable, so the f32 wire is lossless and
+                    // halves the result-gather bytes too.
+                    let format = if mjob.numeric.precision.scatter_is_f32() {
+                        ValueFormat::F32
+                    } else {
+                        ValueFormat::F64
+                    };
+                    (result, report, built_now, format, None)
+                }
+                BatchJob::Scf(spec) => {
+                    // The driver shares the scheduler's engine (and its
+                    // bounded plan cache) across every concurrent system.
+                    let driver = ScfDriver::with_engine(spec.scf.clone(), engine.clone());
+                    let r = driver.run(&local, spec.mu0, spec.n_electrons, &sub);
+                    // Group-sum the per-iteration byte telemetry: the
+                    // iteration count is group-collective (the convergence
+                    // decision is made on a reduced energy every rank
+                    // holds), so the flattened vectors line up and the
+                    // per-rank shares sum to whole-group traffic.
+                    let mut bytes: Vec<f64> = r
+                        .iterations
+                        .iter()
+                        .flat_map(|i| [i.gather_value_bytes as f64, i.scatter_value_bytes as f64])
+                        .collect();
+                    sub.allreduce_f64(ReduceOp::Sum, &mut bytes);
+                    let last = r.iterations.last().expect("SCF runs ≥ 1 iteration");
+                    let scf = ScfTelemetry {
+                        iterations: r.iterations.len(),
+                        converged: r.converged,
+                        final_energy: last.energy,
+                        final_electrons: last.electrons,
+                        gather_value_bytes: bytes.iter().step_by(2).map(|&b| b as u64).collect(),
+                        scatter_value_bytes: bytes
+                            .iter()
+                            .skip(1)
+                            .step_by(2)
+                            .map(|&b| b as u64)
+                            .collect(),
+                    };
+                    // SCF densities stay f64 under every precision (the
+                    // driver never applies the plain-Fp32 result
+                    // rounding), so the result gather always rides the
+                    // f64 wire — losslessly.
+                    (
+                        r.density,
+                        r.report,
+                        r.symbolic_builds > 0,
+                        ValueFormat::F64,
+                        Some(scf),
+                    )
+                }
+            };
 
             // Gather result blocks to the group root: plain point-to-point
             // sends (an alltoallv here would move O(group²) empty
-            // payloads and pollute the per-job traffic telemetry). The
-            // value encoding follows the job's precision: plain-Fp32
-            // results are f32-representable, so the f32 wire is lossless
-            // and halves the result-gather bytes too.
-            let result_format = if job.numeric.precision.scatter_is_f32() {
-                ValueFormat::F32
-            } else {
-                ValueFormat::F64
-            };
+            // payloads and pollute the per-job traffic telemetry).
             let mut gathered: Vec<((usize, usize), sm_linalg::Matrix)> = result.store_mut().drain();
             if sub.rank() != 0 {
                 let (meta, data) =
@@ -712,7 +827,7 @@ fn run_rank(
                 for src in 1..sub.size() {
                     let meta = sub.recv(src, GATHER_META_TAG).into_u64();
                     let data = sub.recv(src, GATHER_DATA_TAG);
-                    gathered.extend(wire::unpack_blocks_prec(job.matrix.dims(), &meta, data));
+                    gathered.extend(wire::unpack_blocks_prec(input.dims(), &meta, data));
                 }
             }
             let seconds = t.elapsed().as_secs_f64();
@@ -763,7 +878,7 @@ fn run_rank(
             // job's result format too: the largest per-job message also
             // halves for plain-Fp32 jobs, still losslessly.
             if sub.rank() == 0 {
-                let mut root_mat = DbcsrMatrix::new(job.matrix.dims().clone(), 0, 1);
+                let mut root_mat = DbcsrMatrix::new(input.dims().clone(), 0, 1);
                 for ((br, bc), blk) in gathered {
                     root_mat.insert_block(br, bc, blk);
                 }
@@ -778,6 +893,7 @@ fn run_rank(
                     traffic[1] as u64,
                     e,
                     schedule.job_stolen_ranks[j],
+                    scf_local.as_ref(),
                 );
                 comm.send(0, result_tag(j, 2), Payload::F64(telemetry));
             }
@@ -811,16 +927,17 @@ fn run_rank(
             let meta = comm.recv(root, result_tag(j, 0)).into_u64();
             let data = comm.recv(root, result_tag(j, 1));
             let telemetry = comm.recv(root, result_tag(j, 2)).into_f64();
-            let mut result = DbcsrMatrix::new(jobs[j].matrix.dims().clone(), 0, 1);
+            let dims = jobs[j].input().dims();
+            let mut result = DbcsrMatrix::new(dims.clone(), 0, 1);
             // The meta header self-describes the value format (f32 for
             // plain-Fp32 jobs), so the unpack needs no job context.
-            for ((br, bc), blk) in wire::unpack_blocks_prec(jobs[j].matrix.dims(), &meta, data) {
+            for ((br, bc), blk) in wire::unpack_blocks_prec(dims, &meta, data) {
                 result.insert_block(br, bc, blk);
             }
-            let (report, seconds, group_size, comm_bytes, comm_msgs, epoch, stolen_ranks) =
+            let (report, seconds, group_size, comm_bytes, comm_msgs, epoch, stolen_ranks, scf) =
                 decode_telemetry(&telemetry);
             JobResult {
-                name: jobs[j].name.clone(),
+                name: jobs[j].name().to_string(),
                 result,
                 report,
                 seconds,
@@ -829,6 +946,7 @@ fn run_rank(
                 comm_msgs,
                 epoch,
                 stolen_ranks,
+                scf,
             }
         })
         .collect();
@@ -858,6 +976,13 @@ fn precision_from_code(x: f64) -> Precision {
 /// wall-time, group size, subgroup traffic and steal attribution — into
 /// one `f64` record for the root gather. Counters ride as `f64` (exact up
 /// to 2⁵³, far beyond any simulated run).
+///
+/// The base record is 24 fields. An SCF job appends a variable-length
+/// extension — `[iterations, converged, final_energy, final_electrons]`
+/// followed by the per-iteration gather bytes then the per-iteration
+/// scatter bytes — so one wire format carries both job kinds and
+/// [`decode_telemetry`] distinguishes them by length.
+#[allow(clippy::too_many_arguments)]
 fn encode_telemetry(
     report: &EngineReport,
     seconds: f64,
@@ -866,8 +991,9 @@ fn encode_telemetry(
     comm_msgs: u64,
     epoch: usize,
     stolen_ranks: usize,
+    scf: Option<&ScfTelemetry>,
 ) -> Vec<f64> {
-    vec![
+    let mut record = vec![
         report.n_submatrices as f64,
         report.max_dim as f64,
         report.avg_dim,
@@ -892,13 +1018,51 @@ fn encode_telemetry(
         report.scatter_value_bytes as f64,
         epoch as f64,
         stolen_ranks as f64,
-    ]
+    ];
+    if let Some(s) = scf {
+        record.push(s.iterations as f64);
+        record.push(if s.converged { 1.0 } else { 0.0 });
+        record.push(s.final_energy);
+        record.push(s.final_electrons);
+        record.extend(s.gather_value_bytes.iter().map(|&b| b as f64));
+        record.extend(s.scatter_value_bytes.iter().map(|&b| b as f64));
+    }
+    record
 }
 
 /// Inverse of [`encode_telemetry`].
 #[allow(clippy::type_complexity)]
-fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64, usize, usize) {
-    assert_eq!(x.len(), 24, "telemetry record has 24 fields");
+fn decode_telemetry(
+    x: &[f64],
+) -> (
+    EngineReport,
+    f64,
+    usize,
+    u64,
+    u64,
+    usize,
+    usize,
+    Option<ScfTelemetry>,
+) {
+    assert!(x.len() >= 24, "telemetry record has ≥ 24 fields");
+    let scf = if x.len() > 24 {
+        let iterations = x[24] as usize;
+        assert_eq!(
+            x.len(),
+            28 + 2 * iterations,
+            "SCF telemetry extension length mismatch"
+        );
+        Some(ScfTelemetry {
+            iterations,
+            converged: x[25] != 0.0,
+            final_energy: x[26],
+            final_electrons: x[27],
+            gather_value_bytes: x[28..28 + iterations].iter().map(|&b| b as u64).collect(),
+            scatter_value_bytes: x[28 + iterations..].iter().map(|&b| b as u64).collect(),
+        })
+    } else {
+        None
+    };
     (
         EngineReport {
             n_submatrices: x[0] as usize,
@@ -928,6 +1092,7 @@ fn decode_telemetry(x: &[f64]) -> (EngineReport, f64, usize, u64, u64, usize, us
         x[18] as u64,
         x[22] as usize,
         x[23] as usize,
+        scf,
     )
 }
 
@@ -1154,8 +1319,9 @@ mod tests {
             solve_seconds: 0.2,
             scatter_seconds: 0.3,
         };
-        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3);
-        let (dec, seconds, group, bytes, msgs, epoch, stolen) = decode_telemetry(&enc);
+        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, None);
+        assert_eq!(enc.len(), 24, "base record is 24 fields");
+        let (dec, seconds, group, bytes, msgs, epoch, stolen, scf) = decode_telemetry(&enc);
         assert_eq!(dec.n_submatrices, 7);
         assert_eq!(dec.transfers, report.transfers);
         assert_eq!(dec.mu, report.mu);
@@ -1165,6 +1331,77 @@ mod tests {
         assert_eq!(dec.scatter_value_bytes, 512);
         assert_eq!((seconds, group, bytes, msgs), (1.5, 4, 4096, 17));
         assert_eq!((epoch, stolen), (2, 3));
+        assert!(scf.is_none());
+
+        // The SCF extension rides the same record, distinguished by
+        // length, and roundtrips exactly.
+        let scf_in = ScfTelemetry {
+            iterations: 3,
+            converged: true,
+            final_energy: -4.25,
+            final_electrons: 16.0,
+            gather_value_bytes: vec![100, 200, 300],
+            scatter_value_bytes: vec![10, 20, 30],
+        };
+        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, Some(&scf_in));
+        assert_eq!(enc.len(), 28 + 2 * 3);
+        let (_, _, _, _, _, _, _, scf_out) = decode_telemetry(&enc);
+        assert_eq!(scf_out, Some(scf_in));
+    }
+
+    #[test]
+    fn steal_horizon_is_max_leading_cost_per_ranks() {
+        // The documented horizon formula, asserted directly: horizon =
+        // max over non-empty groups of (leading-job cost / group ranks).
+        let costs = [3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let p = partition(&costs, 6, &RankBudget::default());
+        let expected = p
+            .groups
+            .iter()
+            .filter(|g| !g.jobs.is_empty())
+            .map(|g| costs[g.jobs[0]] / g.ranks.len() as f64)
+            .fold(0.0f64, f64::max);
+        assert_eq!(steal_horizon(&p), expected);
+
+        // And the planner honors it: every epoch-0 group's committed
+        // queue fits within the horizon (the leading job is exempt — it
+        // *defines* the commitment), and every deferred job would have
+        // overflowed it.
+        let s = plan_epochs(&costs, 6, &RankBudget::default(), StealPolicy::default());
+        let h = steal_horizon(&s.static_plan);
+        for grp in &s.epochs[0].groups {
+            let mut cum = 0.0;
+            for (pos, &j) in grp.jobs.iter().enumerate() {
+                cum += costs[j];
+                if pos > 0 {
+                    assert!(
+                        cum / grp.ranks.len() as f64 <= h * (1.0 + 1e-9),
+                        "group committed past the steal horizon"
+                    );
+                }
+            }
+        }
+        for j in 0..costs.len() {
+            if s.job_epoch[j] > 0 {
+                let home = &s.static_plan.groups[s.home_group[j]];
+                let committed: f64 = home
+                    .jobs
+                    .iter()
+                    .filter(|&&k| s.job_epoch[k] == 0)
+                    .map(|&k| costs[k])
+                    .sum();
+                assert!(
+                    (committed + costs[j]) / home.ranks.len() as f64 > h,
+                    "job {j} was deferred although it fit the horizon"
+                );
+            }
+        }
+
+        // Empty batch: no commitment.
+        assert_eq!(
+            steal_horizon(&partition(&[], 4, &RankBudget::default())),
+            0.0
+        );
     }
 
     #[test]

@@ -181,7 +181,7 @@ pub mod collection {
         VecStrategy { element, count }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         count: usize,

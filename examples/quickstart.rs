@@ -1,11 +1,36 @@
 //! Quickstart: compute a density matrix with the submatrix method.
 //!
-//! Builds a periodic liquid-water system, Löwdin-orthogonalizes the
-//! Kohn–Sham matrix, purifies it into the one-particle density matrix with
-//! the submatrix method (paper Eq. 16 + Sec. III), and checks the result
-//! against the dense reference and the Newton–Schulz baseline.
-//!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! This is the first of the walkthroughs referenced from the README
+//! (`quickstart` → `scf_loop` → `scheduler_batch` →
+//! `scf_service_batch`). It traces one density-matrix evaluation end to
+//! end, in five steps that mirror the paper's pipeline:
+//!
+//! 1. **Build a system.** `WaterBox::cubic(nrep, seed)` generates the
+//!    paper's benchmark family — a 32-molecule periodic cell replicated
+//!    `nrep³` times — and `build_system` assembles the overlap matrix `S`
+//!    and a gapped Kohn–Sham matrix `K` directly in block-sparse (DBCSR)
+//!    form, one block per molecule. `sys.mu` is the mid-gap chemical
+//!    potential.
+//! 2. **Orthogonalize.** The submatrix method needs the orthogonalized
+//!    operator `K̃ = S^{-1/2} K S^{-1/2}`; `orthogonalize_sparse` computes
+//!    `S^{-1/2}` with the sparse Newton–Schulz inverse square root,
+//!    filtering small blocks at `eps_filter`.
+//! 3. **Purify.** `submatrix_density` evaluates `D̃ = (I − sign(K̃ − µI))/2`
+//!    (paper Eq. 16): for each block column it assembles the dense
+//!    principal submatrix induced by the column's sparsity pattern, runs a
+//!    dense sign solve on it, and keeps the result's relevant columns.
+//!    The report tells how many submatrices were built and how large.
+//! 4. **Check observables.** The electron count `2·Tr(D̃)` must hit the
+//!    system's electron number; the band energy `2·Tr(D̃K̃)` is the paper's
+//!    accuracy metric, compared in meV/atom against a dense
+//!    diagonalization reference.
+//! 5. **Baseline.** The same density via Newton–Schulz sign iteration —
+//!    the method CP2K used before — for an error/effort comparison.
+//!
+//! Where to next: `scf_loop` wraps step 3 in a self-consistency loop and
+//! shows why the persistent engine's plan caching matters.
 
 use cp2k_submatrix::prelude::*;
 

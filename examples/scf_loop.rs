@@ -1,15 +1,34 @@
 //! A miniature self-consistent-field loop on the persistent submatrix
 //! engine.
 //!
-//! In CP2K the density matrix is recomputed every SCF step (and every MD
-//! step) — purification is the inner kernel of a fixed-point iteration in
-//! which the Kohn–Sham matrix depends on the density. The sparsity pattern
-//! stays fixed while values change, so [`sm_chem::ScfDriver`] plans the
-//! submatrix method **once** and replays the cached plan numerically every
-//! iteration; this example prints the convergence table plus the
-//! plan-reuse statistics that make the amortization visible.
-//!
 //! Run with: `cargo run --release --example scf_loop`
+//!
+//! Second walkthrough (after `quickstart`, before `scheduler_batch` and
+//! `scf_service_batch`). In CP2K the density matrix is recomputed every
+//! SCF step (and every MD step) — purification is the inner kernel of a
+//! fixed-point iteration in which the Kohn–Sham matrix depends on the
+//! density. The key structural fact: the **sparsity pattern stays fixed
+//! while values change**, so all pattern-dependent work can be done once.
+//!
+//! The walkthrough:
+//!
+//! 1. **Build + orthogonalize** a water system exactly as in
+//!    `quickstart`, yielding `K̃₀` and the electron target.
+//! 2. **Run the driver.** [`sm_chem::ScfDriver`] closes the
+//!    self-consistency loop with a damped model feedback: each iteration
+//!    evaluates the density on the engine (canonical ensemble — µ is
+//!    bisected to hold the electron count), shifts the onsite potential
+//!    by the local-charge deviation, and mixes linearly for stability.
+//!    The driver's engine plans the submatrix method **once**, in
+//!    iteration 1; every later density build is a pure numeric-phase
+//!    replay of that cached plan.
+//! 3. **Read the table.** The `plan` column prints `build` exactly once,
+//!    then `cache` forever — the amortization the engine's
+//!    symbolic/numeric phase split exists for. The run asserts
+//!    `symbolic_builds == 1` and electron conservation at the end.
+//!
+//! Where to next: `scf_service_batch` runs many of these loops
+//! concurrently on one rank world through `sm_pipeline::ScfService`.
 
 use cp2k_submatrix::prelude::*;
 use sm_chem::{ScfDriver, ScfOptions};

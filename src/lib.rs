@@ -11,7 +11,7 @@
 //! | [`dbcsr`] | distributed block-compressed sparse matrices with Cannon multiplication (libDBCSR) |
 //! | [`chem`] | synthetic liquid-water systems, SZV/DZVP basis models, S and K builders, SCF driver |
 //! | [`core`] | **the submatrix method**: assembly, clustering, load balancing, µ adjustment, engine, drivers |
-//! | [`pipeline`] | persistent `SubmatrixEngine` facade + batched multi-job execution (`JobQueue`) |
+//! | [`pipeline`] | persistent `SubmatrixEngine` facade, `JobQueue`, distributed `Scheduler`, batched `ScfService` |
 //! | [`accel`] | emulated FP16/FP32 tensor-core & FPGA kernels, Padé iteration traces, Table I model |
 //!
 //! ## Quickstart
@@ -39,7 +39,8 @@
 //!
 //! The one-shot driver above replans from scratch on every call. Workloads
 //! that evaluate a *fixed* sparsity pattern repeatedly — SCF and MD loops,
-//! batched services — should hold a [`SubmatrixEngine`], which splits each
+//! batched services — should hold a [`SubmatrixEngine`](prelude::SubmatrixEngine),
+//! which splits each
 //! evaluation into a one-time cached **symbolic phase** (plan, load
 //! balance, deduplicated transfers, assembly/extraction index maps, keyed
 //! by a pattern fingerprint) and a cheap per-call **numeric phase**:
@@ -62,6 +63,17 @@
 //!
 //! `sm_chem::ScfDriver` runs a damped SCF loop on one cached plan, and
 //! [`pipeline`]'s `JobQueue` batches many mixed jobs over a shared engine.
+//!
+//! ## Scaling out: scheduler and SCF service
+//!
+//! [`pipeline`]'s `Scheduler` distributes a batch over a simulated rank
+//! world — per-job subcommunicator groups sized by estimated cost, with
+//! epoch-based work stealing — and `ScfService` lifts that to whole
+//! chemical systems: each job a multi-iteration SCF loop, all sharing one
+//! bounded plan cache. See `examples/scheduler_batch.rs` and
+//! `examples/scf_service_batch.rs` for worked walkthroughs, and
+//! `ARCHITECTURE.md` for the invariants that keep every path
+//! bitwise-equivalent to its serial baseline.
 
 pub use sm_accel as accel;
 pub use sm_chem as chem;
@@ -74,7 +86,9 @@ pub use sm_pipeline as pipeline;
 /// Everything a typical application needs in scope.
 pub mod prelude {
     pub use sm_chem::builder::{build_system, molecular_gap, molecular_mu};
-    pub use sm_chem::{BasisKind, BasisSet, ScfDriver, ScfOptions, SystemMatrices, WaterBox};
+    pub use sm_chem::{
+        BasisKind, BasisSet, ScfDriver, ScfEnsemble, ScfOptions, SystemMatrices, WaterBox,
+    };
     pub use sm_comsim::{run_ranks, ClusterModel, Comm, SerialComm};
     pub use sm_core::baseline::{newton_schulz_density, orthogonalize_sparse, NewtonSchulzOptions};
     pub use sm_core::engine::{
@@ -88,7 +102,8 @@ pub mod prelude {
     pub use sm_dbcsr::{BlockedDims, CooPattern, DbcsrMatrix, PatternFingerprint};
     pub use sm_linalg::Matrix;
     pub use sm_pipeline::{
-        EpochSchedule, JobOutput, JobQueue, JobResult, MatrixJob, RankBudget, SchedulePlan,
-        Scheduler, SchedulerOutcome, StealPolicy, StealStats,
+        BatchJob, EpochSchedule, JobOutput, JobQueue, JobResult, MatrixJob, RankBudget, ScfJobSpec,
+        ScfService, ScfTelemetry, SchedulePlan, Scheduler, SchedulerOutcome, StealPolicy,
+        StealStats,
     };
 }
