@@ -205,6 +205,27 @@ fn main() {
         }
     }
 
+    // Instrumented rerun at the largest world, stealing on: the trace
+    // must not perturb the numerics (bitwise contract re-asserted with
+    // every span/metric live), and its JSONL artifact feeds `smdoctor`.
+    {
+        let session = sm_trace::TraceSession::start("svc");
+        let engine = fresh_engine();
+        let service = ScfService::new(engine, RankBudget::default())
+            .with_policy(StealPolicy::EpochRebalance)
+            .with_trace_label("svc");
+        let outcome = service.run(6, specs.clone());
+        assert_bitwise(&outcome, &serial, "world 6 stealing, traced");
+        let trace_path = sm_bench::output::results_dir().join("TRACE_scf_service.jsonl");
+        session.write_jsonl(&trace_path).expect("write trace JSONL");
+        println!(
+            "wrote {} ({} events, {} metrics)",
+            trace_path.display(),
+            session.events().len(),
+            session.metrics().len()
+        );
+    }
+
     println!("\nAblation — batched SCF service vs serial ScfDriver loop");
     print_table(&header, &rows);
     write_csv("ablation_scf_service.csv", &header, &rows);

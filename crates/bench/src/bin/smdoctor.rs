@@ -1,0 +1,352 @@
+//! `smdoctor` — operational health report over the workspace's results
+//! directory.
+//!
+//! Reads every `BENCH_*.json` trajectory document and `TRACE_*.jsonl`
+//! structured trace in `results/` (or the paths given on the command
+//! line) and reports, per run:
+//!
+//! * **plan-cache pressure** — builds vs hits, evictions, final
+//!   occupancy (from the `plan_cache.*` metrics);
+//! * **steal effectiveness per epoch** — committed vs deferred jobs,
+//!   groups, and ranks moved by each steal (from the `sched.*` events);
+//! * **idle-time breakdown** — per-rank idle seconds against the batch
+//!   makespan (from the `rank.idle` events);
+//! * **byte budgets by precision** — engine value traffic split
+//!   fp64 / fp32 / fp32_refined, plus collective vs point-to-point
+//!   communicator bytes (from the `engine.value_bytes.*` and `comm.*`
+//!   counters);
+//! * **schema drift** — every BENCH document must carry
+//!   [`BENCH_SCHEMA_VERSION`] and the provenance stamps
+//!   (`git_commit`, `generated_at`); every trace header must speak
+//!   [`sm_trace::TRACE_SCHEMA_VERSION`] and contain at least one event.
+//!
+//! With `--check`, any drift, corruption, or an empty artifact set is a
+//! hard failure (exit 1) — CI runs `smdoctor --check` after the bench
+//! binaries so the machine-readable result trajectory can never silently
+//! rot.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sm_bench::output::{results_dir, Json, BENCH_SCHEMA_VERSION};
+
+/// One problem found while auditing the artifacts. Printed with the file
+/// it was found in; any of these fails `--check`.
+struct Drift {
+    file: String,
+    what: String,
+}
+
+fn drift(report: &mut Vec<Drift>, file: &Path, what: impl Into<String>) {
+    report.push(Drift {
+        file: file.display().to_string(),
+        what: what.into(),
+    });
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "smdoctor [--check] [paths...]\n\n\
+                     Audit BENCH_*.json and TRACE_*.jsonl artifacts (default: results/).\n\
+                     --check  exit non-zero on schema drift, corruption, or no artifacts"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        let dir = results_dir();
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map(|rd| rd.filter_map(|e| e.ok()).map(|e| e.path()).collect())
+            .unwrap_or_default();
+        entries.sort();
+        paths = entries
+            .into_iter()
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                (name.starts_with("BENCH_") && name.ends_with(".json"))
+                    || (name.starts_with("TRACE_") && name.ends_with(".jsonl"))
+            })
+            .collect();
+    }
+
+    let mut report = Vec::new();
+    let mut benches = 0usize;
+    let mut traces = 0usize;
+    for path in &paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".jsonl") {
+            traces += 1;
+            audit_trace(path, &mut report);
+        } else {
+            benches += 1;
+            audit_bench(path, &mut report);
+        }
+    }
+
+    println!(
+        "\nsmdoctor: audited {benches} BENCH document(s), {traces} trace(s), \
+         {} problem(s)",
+        report.len()
+    );
+    for d in &report {
+        println!("  DRIFT {}: {}", d.file, d.what);
+    }
+    if check && (benches + traces == 0) {
+        println!("smdoctor --check: no artifacts found — nothing to vouch for");
+        return ExitCode::FAILURE;
+    }
+    if check && !report.is_empty() {
+        println!("smdoctor --check: FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Audit one `BENCH_*.json` trajectory document: parseable, stamped,
+/// schema-current.
+fn audit_bench(path: &Path, report: &mut Vec<Drift>) {
+    println!("\n== {} ==", path.display());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return drift(report, path, format!("unreadable: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return drift(report, path, format!("malformed JSON: {e}")),
+    };
+    match doc.get("schema_version").and_then(Json::as_f64) {
+        Some(v) if v == BENCH_SCHEMA_VERSION => {}
+        Some(v) => drift(
+            report,
+            path,
+            format!("schema_version {v} != current {BENCH_SCHEMA_VERSION}"),
+        ),
+        None => drift(report, path, "missing schema_version"),
+    }
+    for key in ["bench", "git_commit", "generated_at"] {
+        match doc.get(key).and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => {}
+            _ => drift(report, path, format!("missing provenance stamp '{key}'")),
+        }
+    }
+    if doc.get("data").is_none() {
+        drift(report, path, "missing data payload");
+    }
+    println!(
+        "  bench={} commit={} at={}",
+        doc.get("bench").and_then(Json::as_str).unwrap_or("?"),
+        doc.get("git_commit")
+            .and_then(Json::as_str)
+            .map(|c| &c[..c.len().min(12)])
+            .unwrap_or("?"),
+        doc.get("generated_at")
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+    );
+}
+
+/// Parsed view of one trace line (event or metric).
+struct TraceLine {
+    doc: Json,
+}
+
+impl TraceLine {
+    fn str(&self, key: &str) -> &str {
+        self.doc.get(key).and_then(Json::as_str).unwrap_or("")
+    }
+    fn num(&self, key: &str) -> f64 {
+        self.doc.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+    }
+    fn field(&self, key: &str) -> f64 {
+        self.doc
+            .get("fields")
+            .and_then(|f| f.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Audit one `TRACE_*.jsonl` structured trace and print the ops report.
+fn audit_trace(path: &Path, report: &mut Vec<Drift>) {
+    println!("\n== {} ==", path.display());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return drift(report, path, format!("unreadable: {e}")),
+    };
+    let mut lines = text.lines();
+    let header = match lines.next().map(Json::parse) {
+        Some(Ok(h)) => h,
+        Some(Err(e)) => return drift(report, path, format!("malformed header: {e}")),
+        None => return drift(report, path, "empty trace file"),
+    };
+    if header.get("schema").and_then(Json::as_str) != Some("sm-trace") {
+        return drift(report, path, "header is not an sm-trace header");
+    }
+    match header.get("version").and_then(Json::as_f64) {
+        Some(v) if v == sm_trace::TRACE_SCHEMA_VERSION as f64 => {}
+        v => {
+            return drift(
+                report,
+                path,
+                format!(
+                    "trace schema version {v:?} != current {}",
+                    sm_trace::TRACE_SCHEMA_VERSION
+                ),
+            )
+        }
+    }
+    let label = header.get("label").and_then(Json::as_str).unwrap_or("?");
+
+    let mut events = Vec::new();
+    let mut metrics = Vec::new();
+    for (i, line) in lines.enumerate() {
+        match Json::parse(line) {
+            Ok(doc) => {
+                let t = TraceLine { doc };
+                match t.str("type") {
+                    "event" => events.push(t),
+                    "metric" => metrics.push(t),
+                    other => drift(
+                        report,
+                        path,
+                        format!("line {}: unknown type '{other}'", i + 2),
+                    ),
+                }
+            }
+            Err(e) => drift(report, path, format!("line {}: {e}", i + 2)),
+        }
+    }
+    if events.is_empty() {
+        drift(
+            report,
+            path,
+            "trace contains no events (instrumentation off?)",
+        );
+    }
+    println!(
+        "  label={label} events={} metrics={}",
+        events.len(),
+        metrics.len()
+    );
+
+    // Plan-cache pressure: per-engine-root builds/hits/evictions counters
+    // plus the final occupancy gauge.
+    let metric_u64 = |suffix: &str| -> u64 {
+        metrics
+            .iter()
+            .filter(|m| m.str("name").ends_with(suffix))
+            .map(|m| m.num("value") as u64)
+            .sum()
+    };
+    let builds = metric_u64("/plan_cache.builds");
+    let hits = metric_u64("/plan_cache.hits");
+    let evictions = metric_u64("/plan_cache.evictions");
+    let occupancy = metrics
+        .iter()
+        .filter(|m| m.str("name").ends_with("/plan_cache.occupancy"))
+        .map(|m| m.num("value"))
+        .fold(0.0f64, f64::max);
+    if builds + hits > 0 {
+        println!(
+            "  plan cache: {hits} hits / {builds} builds ({:.1}% hit rate), \
+             {evictions} evictions, occupancy {occupancy:.0}",
+            100.0 * hits as f64 / (hits + builds) as f64
+        );
+    }
+
+    // Steal effectiveness: sched.epoch narrates each epoch's committed vs
+    // deferred split; sched.steal lists the ranks each straggler borrowed.
+    let mut epochs: BTreeMap<u64, (f64, f64, f64)> = BTreeMap::new();
+    let mut steals: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for ev in &events {
+        let epoch_idx = ev
+            .doc
+            .get("path")
+            .and_then(Json::as_str)
+            .and_then(epoch_of_path);
+        match ev.str("name") {
+            "sched.epoch" => {
+                if let Some(e) = epoch_idx {
+                    epochs.insert(
+                        e,
+                        (
+                            ev.field("groups"),
+                            ev.field("committed"),
+                            ev.field("deferred"),
+                        ),
+                    );
+                }
+            }
+            "sched.steal" => {
+                if let Some(e) = epoch_idx {
+                    let s = steals.entry(e).or_default();
+                    s.0 += 1;
+                    s.1 += ev.field("stolen_ranks") as u64;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (e, (groups, committed, deferred)) in &epochs {
+        let (stolen_jobs, stolen_ranks) = steals.get(e).copied().unwrap_or((0, 0));
+        println!(
+            "  epoch {e}: {groups:.0} groups, {committed:.0} committed / {deferred:.0} deferred, \
+             {stolen_jobs} stolen job(s) over {stolen_ranks} rank(s)"
+        );
+    }
+
+    // Idle breakdown: rank.idle events (emitted once per world rank from
+    // rank 0) carry idle wall seconds plus busy/wall fields.
+    let idles: Vec<&TraceLine> = events
+        .iter()
+        .filter(|e| e.str("name") == "rank.idle")
+        .collect();
+    if !idles.is_empty() {
+        let wall = idles.iter().map(|e| e.field("wall_s")).fold(0.0, f64::max);
+        let idle_sum: f64 = idles.iter().map(|e| e.num("wall_s")).sum();
+        let worst = idles
+            .iter()
+            .max_by(|a, b| a.num("wall_s").total_cmp(&b.num("wall_s")))
+            .expect("non-empty");
+        println!(
+            "  idle: {} ranks, makespan {wall:.3}s, total idle {idle_sum:.3}s \
+             (worst rank {:.0}: {:.3}s)",
+            idles.len(),
+            worst.field("rank"),
+            worst.num("wall_s"),
+        );
+    }
+
+    // Byte budgets: engine value traffic by precision, communicator
+    // traffic by class.
+    for prec in ["fp64", "fp32", "fp32_refined"] {
+        let bytes = metric_u64(&format!("/engine.value_bytes.{prec}"));
+        if bytes > 0 {
+            println!("  engine value bytes [{prec}]: {bytes}");
+        }
+    }
+    for class in ["collective", "p2p"] {
+        let bytes = metric_u64(&format!("/comm.{class}.bytes"));
+        let msgs = metric_u64(&format!("/comm.{class}.msgs"));
+        if msgs > 0 {
+            println!("  comm [{class}]: {bytes} bytes in {msgs} message(s)");
+        }
+    }
+}
+
+/// Extract the epoch index from a span path like
+/// `batch:svc/epoch:2/group:0/...`.
+fn epoch_of_path(path: &str) -> Option<u64> {
+    path.split('/')
+        .find_map(|seg| seg.strip_prefix("epoch:"))
+        .and_then(|v| v.parse().ok())
+}

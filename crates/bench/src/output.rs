@@ -55,18 +55,68 @@ pub fn bench_table(header: &[&str], rows: &[Vec<String>]) -> Json {
 }
 
 /// Write `results/BENCH_<name>.json`, the stable-schema machine-readable
-/// trajectory record of one experiment binary:
-/// `{"bench", "schema_version", "data"}` where `data` is the
-/// binary-specific payload (usually [`bench_table`], optionally richer).
+/// trajectory record of one experiment binary. Stable key order:
+/// `{"bench", "schema_version", "git_commit", "generated_at", "data"}` —
+/// every document stamps the schema version, the workspace git commit it
+/// was produced from, and an ISO-8601 UTC timestamp, so a results
+/// directory is self-describing long after the run (`smdoctor --check`
+/// verifies the stamps). `data` is the binary-specific payload (usually
+/// [`bench_table`], optionally richer).
 pub fn write_bench_json(name: &str, data: Json) {
     let doc = Json::obj([
         ("bench", Json::Str(name.to_string())),
         ("schema_version", Json::Num(BENCH_SCHEMA_VERSION)),
+        ("git_commit", Json::Str(workspace_git_commit())),
+        ("generated_at", Json::Str(iso8601_utc_now())),
         ("data", data),
     ]);
     let path = results_dir().join(format!("BENCH_{name}.json"));
     fs::write(&path, format!("{doc}\n")).expect("cannot write BENCH json");
     println!("wrote {}", path.display());
+}
+
+/// The workspace git commit (`git rev-parse HEAD`), or `"unknown"` when
+/// git or the repository is unavailable — provenance stamping must never
+/// fail a bench run.
+pub fn workspace_git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Current UTC time as an ISO-8601 string (`2026-02-03T17:05:00Z`),
+/// derived from the system clock without external crates.
+pub fn iso8601_utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    iso8601_from_unix(secs)
+}
+
+/// Render Unix seconds as an ISO-8601 UTC timestamp. Civil-from-days
+/// conversion after Howard Hinnant's algorithm (proleptic Gregorian).
+pub fn iso8601_from_unix(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // day of year [0, 365]
+    let mp = (5 * doy + 2) / 153; // March-based month [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
 }
 
 /// Print an aligned table to stdout.
@@ -98,6 +148,8 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
 /// output (the workspace has no serde; this covers what the benches emit).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// The null value (also what non-finite numbers serialize as).
+    Null,
     /// A finite number.
     Num(f64),
     /// A string.
@@ -115,11 +167,203 @@ impl Json {
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
+
+    /// Parse a JSON document (recursive descent over the full grammar the
+    /// benches and traces emit). Returns a readable error with the byte
+    /// offset on malformed input — `smdoctor` reports it as corruption.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (first match; `None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", want as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect_byte(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII number bytes");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("malformed number '{text}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape".to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unmodified).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for Json {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Json::Null => write!(f, "null"),
             Json::Num(x) => {
                 if !x.is_finite() {
                     // JSON has no NaN/inf; null keeps the document valid.
@@ -227,14 +471,74 @@ mod tests {
             std::fs::read_to_string(results_dir().join("test_output_helper.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
         std::fs::remove_file(results_dir().join("test_output_helper.csv")).unwrap();
-        // The CSV also materialized as a stable-schema BENCH document.
+        // The CSV also materialized as a stable-schema BENCH document,
+        // stamped with provenance in a fixed key order.
         let bench =
             std::fs::read_to_string(results_dir().join("BENCH_test_output_helper.json")).unwrap();
+        let doc = Json::parse(&bench).expect("BENCH document parses");
+        let keys: Vec<&str> = match &doc {
+            Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("expected object, got {other:?}"),
+        };
         assert_eq!(
-            bench,
-            "{\"bench\":\"test_output_helper\",\"schema_version\":1,\
-             \"data\":{\"columns\":[\"a\",\"b\"],\"rows\":[[\"1\",\"2\"]]}}\n"
+            keys,
+            [
+                "bench",
+                "schema_version",
+                "git_commit",
+                "generated_at",
+                "data"
+            ]
+        );
+        assert_eq!(
+            doc.get("bench").unwrap().as_str(),
+            Some("test_output_helper")
+        );
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_f64(),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        assert!(!doc.get("git_commit").unwrap().as_str().unwrap().is_empty());
+        let stamp = doc.get("generated_at").unwrap().as_str().unwrap();
+        assert!(
+            stamp.len() == 20 && stamp.ends_with('Z') && &stamp[4..5] == "-",
+            "ISO-8601 UTC stamp, got {stamp:?}"
+        );
+        let data = doc.get("data").unwrap();
+        assert_eq!(
+            data.get("columns").unwrap().as_arr().unwrap(),
+            &[Json::Str("a".into()), Json::Str("b".into())]
         );
         std::fs::remove_file(results_dir().join("BENCH_test_output_helper.json")).unwrap();
+    }
+
+    #[test]
+    fn iso8601_conversion_matches_known_instants() {
+        assert_eq!(iso8601_from_unix(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_from_unix(86_399), "1970-01-01T23:59:59Z");
+        assert_eq!(iso8601_from_unix(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso8601_from_unix(1_700_000_000), "2023-11-14T22:13:20Z");
+    }
+
+    #[test]
+    fn json_parser_roundtrips_serializer_output() {
+        let doc = Json::obj([
+            ("name", Json::Str("a \"quoted\" name\n".into())),
+            ("count", Json::Num(42.0)),
+            ("ratio", Json::Num(-0.5)),
+            ("flag", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "nested",
+                Json::Arr(vec![Json::Num(1.0), Json::Obj(vec![]), Json::Arr(vec![])]),
+            ),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Accessors walk the tree without pattern matching at call sites.
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(doc.get("nested").unwrap().as_arr().unwrap().len(), 3);
+        assert!(Json::parse("{\"x\": 1} trailing").is_err());
+        assert!(Json::parse("{\"x\": }").is_err());
     }
 }

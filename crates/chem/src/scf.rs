@@ -260,13 +260,29 @@ impl ScfDriver {
         let mut previous_energy = f64::INFINITY;
         let mut converged = false;
 
-        for _ in 0..self.opts.max_iter {
+        for it in 0..self.opts.max_iter {
+            // Span over the whole iteration, so the engine's plan/phase
+            // events nest under `iter:<n>`. The iteration count is
+            // group-collective (the convergence decision compares a
+            // reduced energy every rank holds), so traced span trees stay
+            // deterministic at fixed world size.
+            let _iter_span = sm_trace::span(sm_trace::SpanKind::Iteration, it);
             let (d, report) = self.engine.density(&kt, mu0, &numeric, comm);
             let plan_cached = report.plan_cached;
 
             let energy = band_energy(&d, kt0, comm);
             let electrons = electron_count(&d, comm);
             let de = energy - previous_energy;
+            sm_trace::emit(
+                "scf.iteration",
+                report.total_cost,
+                0.0,
+                &[
+                    ("energy", energy),
+                    ("electrons", electrons),
+                    ("plan_cached", if plan_cached { 1.0 } else { 0.0 }),
+                ],
+            );
             iterations.push(ScfIteration {
                 energy,
                 de,
@@ -282,6 +298,7 @@ impl ScfDriver {
             }
 
             if de.abs() < self.opts.tol {
+                sm_trace::emit("scf.converged", (it + 1) as f64, 0.0, &[("energy", energy)]);
                 density = Some(d);
                 converged = true;
                 break;

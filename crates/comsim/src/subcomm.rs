@@ -192,7 +192,25 @@ impl<'a, C: Comm> SubComm<'a, C> {
 
     fn send_raw(&self, dst: usize, parent_tag: u64, payload: Payload) {
         if dst != self.rank {
-            self.stats.record_send(self.rank, payload.byte_len());
+            let bytes = payload.byte_len();
+            self.stats.record_send(self.rank, bytes);
+            if sm_trace::enabled() {
+                // Every subgroup send funnels through here, so this one
+                // chokepoint tags all group traffic with the sender's
+                // span context. The collective/p2p distinction is already
+                // on the wire: internal collectives carry
+                // SUB_COLLECTIVE_BIT, user sends keep it clear.
+                let class = if parent_tag & SUB_COLLECTIVE_BIT != 0 {
+                    "collective"
+                } else {
+                    "p2p"
+                };
+                sm_trace::counter_add(
+                    &sm_trace::scoped(&format!("comm.{class}.bytes")),
+                    bytes as u64,
+                );
+                sm_trace::counter_add(&sm_trace::scoped(&format!("comm.{class}.msgs")), 1);
+            }
         }
         self.parent
             .send_subgroup(self.members[dst], parent_tag, payload);

@@ -545,6 +545,21 @@ pub struct EngineStats {
     pub executions: usize,
 }
 
+impl EngineStats {
+    /// Saturating component-wise difference `self − earlier`: the
+    /// counter deltas accumulated between two [`SubmatrixEngine::stats`]
+    /// snapshots — the windowed reading an observer takes around a batch
+    /// without a scheduler round-trip.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            symbolic_builds: self.symbolic_builds.saturating_sub(earlier.symbolic_builds),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            executions: self.executions.saturating_sub(earlier.executions),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     builds: AtomicUsize,
@@ -663,6 +678,15 @@ impl SubmatrixEngine {
             .len()
     }
 
+    /// Plan-cache occupancy: `(plans currently cached, capacity bound)`
+    /// — `None` capacity means unbounded. Together with
+    /// [`EngineStats::since`] this is the full read-only cache-pressure
+    /// view (`smdoctor` reports occupancy against capacity plus the
+    /// eviction counter).
+    pub fn cache_occupancy(&self) -> (usize, Option<usize>) {
+        (self.cached_plans(), self.opts.plan_cache_capacity)
+    }
+
     fn cache_key(&self, fp: PatternFingerprint, rank: usize, size: usize) -> CacheKey {
         (fp.0 ^ self.opts.grouping.cache_tag(), rank, size)
     }
@@ -690,6 +714,18 @@ impl SubmatrixEngine {
             self.counters
                 .evictions
                 .fetch_add(evicted, Ordering::Relaxed);
+        }
+        if sm_trace::enabled() {
+            if evicted > 0 {
+                sm_trace::counter_add(
+                    &sm_trace::scoped_root("plan_cache.evictions"),
+                    evicted as u64,
+                );
+            }
+            sm_trace::gauge_set(
+                &sm_trace::scoped_root("plan_cache.occupancy"),
+                self.cached_plans() as f64,
+            );
         }
     }
 
@@ -761,13 +797,16 @@ impl SubmatrixEngine {
         comm.allreduce_f64(sm_comsim::ReduceOp::Max, &mut any_miss);
         if any_miss[0] == 0.0 {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            return (local_hit.expect("consensus hit implies local hit"), false);
+            let hit = local_hit.expect("consensus hit implies local hit");
+            self.trace_plan_decision(&hit, false);
+            return (hit, false);
         }
         // At least one rank misses: every rank enters the collective
         // gather; ranks that hit locally keep their cached plan.
         let pattern = m.global_pattern(comm);
         if let Some(hit) = local_hit {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.trace_plan_decision(&hit, false);
             return (hit, false);
         }
         let plan = Arc::new(ExecutionPlan::build(
@@ -779,7 +818,35 @@ impl SubmatrixEngine {
         ));
         self.counters.builds.fetch_add(1, Ordering::Relaxed);
         self.insert(Arc::clone(&plan));
+        self.trace_plan_decision(&plan, true);
         (plan, true)
+    }
+
+    /// Narrate one traced planning decision. Exactly one `plan.decision`
+    /// event fires per rank per planning call, so traced span trees stay
+    /// deterministic; the hit/build *split* can shift with benign
+    /// cross-group cache races (only `hits + builds` is pinned), so it
+    /// rides in the event's fields and in counters, both of which are
+    /// excluded from the deterministic tree rendering.
+    fn trace_plan_decision(&self, plan: &ExecutionPlan, built: bool) {
+        if !sm_trace::enabled() {
+            return;
+        }
+        let _phase = sm_trace::span(sm_trace::SpanKind::Phase, "plan");
+        sm_trace::emit(
+            "plan.decision",
+            plan.total_cost,
+            0.0,
+            &[("built", if built { 1.0 } else { 0.0 })],
+        );
+        sm_trace::counter_add(
+            &sm_trace::scoped_root(if built {
+                "plan_cache.builds"
+            } else {
+                "plan_cache.hits"
+            }),
+            1,
+        );
     }
 
     /// Numeric phase: compute `sign(values − µI)` along a cached plan
@@ -964,6 +1031,58 @@ impl SubmatrixEngine {
             result.insert_block(br, bc, blk);
         }
         let scatter_seconds = t2.elapsed().as_secs_f64();
+
+        if sm_trace::enabled() {
+            // One `engine.phase` event per phase per rank per execution —
+            // deterministic counts with deterministic costs (planned cost,
+            // planned value bytes); wall seconds ride as annotations.
+            {
+                let _p = sm_trace::span(sm_trace::SpanKind::Phase, "gather");
+                sm_trace::emit(
+                    "engine.phase",
+                    gather_value_bytes as f64,
+                    gather_seconds,
+                    &[],
+                );
+            }
+            {
+                let _p = sm_trace::span(sm_trace::SpanKind::Phase, "solve");
+                sm_trace::emit(
+                    "engine.phase",
+                    plan.total_cost,
+                    solve_seconds,
+                    &[("n_submatrices", plan.n_submatrices as f64)],
+                );
+            }
+            {
+                let _p = sm_trace::span(sm_trace::SpanKind::Phase, "scatter");
+                sm_trace::emit(
+                    "engine.phase",
+                    scatter_value_bytes as f64,
+                    scatter_seconds,
+                    &[],
+                );
+            }
+            // Byte budget by precision: exact whole-batch tallies (each
+            // rank's value bytes are themselves deterministic).
+            let prec = match precision {
+                Precision::Fp64 => "fp64",
+                Precision::Fp32 => "fp32",
+                Precision::Fp32Refined => "fp32_refined",
+            };
+            sm_trace::counter_add(
+                &sm_trace::scoped_root(&format!("engine.value_bytes.{prec}")),
+                gather_value_bytes + scatter_value_bytes,
+            );
+            sm_trace::hist_bytes(
+                &sm_trace::scoped_root("engine.gather_bytes"),
+                gather_value_bytes,
+            );
+            sm_trace::hist_bytes(
+                &sm_trace::scoped_root("engine.scatter_bytes"),
+                scatter_value_bytes,
+            );
+        }
 
         let report = EngineReport {
             n_submatrices: plan.n_submatrices,
@@ -1242,6 +1361,29 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.symbolic_builds, 4); // A, B, C, B again
         assert_eq!(stats.evictions, 2); // B once, then A or C for B's return
+    }
+
+    #[test]
+    fn stats_windows_and_occupancy_read_without_a_scheduler() {
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::new(EngineOptions {
+            plan_cache_capacity: Some(2),
+            ..EngineOptions::default()
+        });
+        assert_eq!(engine.cache_occupancy(), (0, Some(2)));
+        let (d, dims) = banded_gapped(4, 2);
+        let m = DbcsrMatrix::from_dense(&d, dims, 0, 1, 0.0);
+        let before = engine.stats();
+        engine.sign(&m, 0.0, &NumericOptions::default(), &comm);
+        engine.sign(&m, 0.0, &NumericOptions::default(), &comm);
+        let window = engine.stats().since(&before);
+        assert_eq!(window.symbolic_builds, 1);
+        assert_eq!(window.cache_hits, 1);
+        assert_eq!(window.executions, 2);
+        assert_eq!(window.evictions, 0);
+        assert_eq!(engine.cache_occupancy(), (1, Some(2)));
+        // Saturating: a stale "later" snapshot cannot underflow.
+        assert_eq!(before.since(&engine.stats()).executions, 0);
     }
 
     #[test]

@@ -369,6 +369,210 @@ impl FingerprintAccumulator {
     }
 }
 
+/// Version of the self-describing telemetry wire record
+/// ([`TelemetryRecord`]). Decoders reject any other version with
+/// [`TelemetryError::VersionMismatch`] instead of misparsing — bump this
+/// whenever a field's *meaning* changes (adding new field ids is
+/// backward-compatible and needs no bump).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+
+/// Field-id registry for [`TelemetryRecord`]. Ids are stable wire
+/// artifacts: never renumber, only append. Repeatable ids
+/// ([`tele::SCF_ITER_GATHER_BYTES`], [`tele::SCF_ITER_SCATTER_BYTES`])
+/// occur once per SCF iteration, in iteration order.
+pub mod tele {
+    /// Number of submatrices in the plan.
+    pub const N_SUBMATRICES: u32 = 0;
+    /// Largest submatrix dimension.
+    pub const MAX_DIM: u32 = 1;
+    /// Mean submatrix dimension.
+    pub const AVG_DIM: u32 = 2;
+    /// Perfmodel total cost of the plan.
+    pub const TOTAL_COST: u32 = 3;
+    /// Deduplicated transfer bytes.
+    pub const UNIQUE_BYTES: u32 = 4;
+    /// Naive (un-deduplicated) transfer bytes.
+    pub const NAIVE_BYTES: u32 = 5;
+    /// Distinct blocks fetched.
+    pub const UNIQUE_BLOCKS: u32 = 6;
+    /// Total block references across submatrices.
+    pub const TOTAL_REFERENCES: u32 = 7;
+    /// Chemical potential after adjustment.
+    pub const MU: u32 = 8;
+    /// µ-bisection iterations taken.
+    pub const BISECT_ITERATIONS: u32 = 9;
+    /// 1.0 when the execution plan came from cache, 0.0 when built.
+    pub const PLAN_CACHED: u32 = 10;
+    /// Symbolic-phase wall seconds.
+    pub const SYMBOLIC_SECONDS: u32 = 11;
+    /// Gather-phase wall seconds.
+    pub const GATHER_SECONDS: u32 = 12;
+    /// Solve-phase wall seconds.
+    pub const SOLVE_SECONDS: u32 = 13;
+    /// Scatter-phase wall seconds.
+    pub const SCATTER_SECONDS: u32 = 14;
+    /// Whole-job wall seconds.
+    pub const SECONDS: u32 = 15;
+    /// Ranks in the executing group.
+    pub const GROUP_SIZE: u32 = 16;
+    /// Simulated communication bytes for the job.
+    pub const COMM_BYTES: u32 = 17;
+    /// Simulated communication messages for the job.
+    pub const COMM_MSGS: u32 = 18;
+    /// Numeric precision code (see `precision_code` in the scheduler).
+    pub const PRECISION_CODE: u32 = 19;
+    /// Gather-phase value-payload bytes.
+    pub const GATHER_VALUE_BYTES: u32 = 20;
+    /// Scatter-phase value-payload bytes.
+    pub const SCATTER_VALUE_BYTES: u32 = 21;
+    /// Epoch index the job ran in.
+    pub const EPOCH: u32 = 22;
+    /// Ranks this job absorbed via stealing.
+    pub const STOLEN_RANKS: u32 = 23;
+    /// SCF iterations executed (SCF jobs only).
+    pub const SCF_ITERATIONS: u32 = 24;
+    /// 1.0 when the SCF loop converged within budget.
+    pub const SCF_CONVERGED: u32 = 25;
+    /// Final SCF band-structure energy.
+    pub const SCF_FINAL_ENERGY: u32 = 26;
+    /// Final SCF electron count.
+    pub const SCF_FINAL_ELECTRONS: u32 = 27;
+    /// Per-iteration gather value bytes (repeatable, iteration order).
+    pub const SCF_ITER_GATHER_BYTES: u32 = 28;
+    /// Per-iteration scatter value bytes (repeatable, iteration order).
+    pub const SCF_ITER_SCATTER_BYTES: u32 = 29;
+}
+
+/// Decode failure for a [`TelemetryRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryError {
+    /// The record was produced under a different schema version.
+    VersionMismatch {
+        /// Version found on the wire.
+        found: u32,
+        /// Version this decoder speaks ([`TELEMETRY_SCHEMA_VERSION`]).
+        expected: u32,
+    },
+    /// The buffer is shorter than its own header/entry count claims.
+    Truncated {
+        /// Buffer length in f64 words.
+        len: usize,
+        /// Length the header implies.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::VersionMismatch { found, expected } => write!(
+                f,
+                "telemetry schema version mismatch: record is v{found}, decoder speaks \
+                 v{expected} (TELEMETRY_SCHEMA_VERSION) — refusing to misparse"
+            ),
+            TelemetryError::Truncated { len, needed } => write!(
+                f,
+                "telemetry record truncated: {len} f64 words on the wire, header implies {needed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// Versioned, self-describing telemetry record: a flat list of
+/// `(field_id, value)` entries shipped as f64s (so it rides the same
+/// float wire as block payloads). Layout:
+///
+/// ```text
+/// [ version, n_entries, id₀, value₀, id₁, value₁, ... ]
+/// ```
+///
+/// Unknown field ids are preserved by decode (forward compatibility);
+/// a wrong *version* is rejected ([`TelemetryError::VersionMismatch`])
+/// because it signals a semantic change, not an extension. Field ids
+/// live in [`tele`]; repeatable ids keep their relative order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryRecord {
+    entries: Vec<(u32, f64)>,
+}
+
+impl TelemetryRecord {
+    /// Empty record.
+    pub fn new() -> Self {
+        TelemetryRecord::default()
+    }
+
+    /// Append one `(field, value)` entry (fields may repeat).
+    pub fn push(&mut self, field: u32, value: f64) {
+        self.entries.push((field, value));
+    }
+
+    /// First value recorded under `field`, if any.
+    pub fn get(&self, field: u32) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|(_, v)| *v)
+    }
+
+    /// Every value recorded under `field`, in record order.
+    pub fn get_all(&self, field: u32) -> Vec<f64> {
+        self.entries
+            .iter()
+            .filter(|(f, _)| *f == field)
+            .map(|(_, v)| *v)
+            .collect()
+    }
+
+    /// All entries, in record order.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Encode as f64 words: header (version, entry count) then entries.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(2 + 2 * self.entries.len());
+        out.push(TELEMETRY_SCHEMA_VERSION as f64);
+        out.push(self.entries.len() as f64);
+        for &(field, value) in &self.entries {
+            out.push(field as f64);
+            out.push(value);
+        }
+        out
+    }
+
+    /// Decode, rejecting version mismatches and truncation with a clear
+    /// error instead of panicking or silently misparsing.
+    pub fn decode(buf: &[f64]) -> Result<Self, TelemetryError> {
+        if buf.len() < 2 {
+            return Err(TelemetryError::Truncated {
+                len: buf.len(),
+                needed: 2,
+            });
+        }
+        let version = buf[0] as u32;
+        if version != TELEMETRY_SCHEMA_VERSION {
+            return Err(TelemetryError::VersionMismatch {
+                found: version,
+                expected: TELEMETRY_SCHEMA_VERSION,
+            });
+        }
+        let n = buf[1] as usize;
+        let needed = 2 + 2 * n;
+        if buf.len() < needed {
+            return Err(TelemetryError::Truncated {
+                len: buf.len(),
+                needed,
+            });
+        }
+        let entries = (0..n)
+            .map(|i| (buf[2 + 2 * i] as u32, buf[3 + 2 * i]))
+            .collect();
+        Ok(TelemetryRecord { entries })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +734,50 @@ mod tests {
             acc.add_block(r, c);
         }
         assert_eq!(via_pattern, acc.finish(&dims));
+    }
+
+    #[test]
+    fn telemetry_record_roundtrips_with_repeated_fields() {
+        let mut rec = TelemetryRecord::new();
+        rec.push(tele::N_SUBMATRICES, 6.0);
+        rec.push(tele::TOTAL_COST, 123.5);
+        rec.push(tele::SCF_ITER_GATHER_BYTES, 100.0);
+        rec.push(tele::SCF_ITER_GATHER_BYTES, 200.0);
+        let enc = rec.encode();
+        assert_eq!(enc[0], TELEMETRY_SCHEMA_VERSION as f64);
+        assert_eq!(enc[1], 4.0);
+        let dec = TelemetryRecord::decode(&enc).unwrap();
+        assert_eq!(dec, rec);
+        assert_eq!(dec.get(tele::TOTAL_COST), Some(123.5));
+        assert_eq!(dec.get_all(tele::SCF_ITER_GATHER_BYTES), vec![100.0, 200.0]);
+        assert_eq!(dec.get(tele::MU), None);
+    }
+
+    #[test]
+    fn telemetry_decode_rejects_version_mismatch_and_truncation() {
+        let mut rec = TelemetryRecord::new();
+        rec.push(tele::MU, -0.25);
+        let mut enc = rec.encode();
+        enc[0] = (TELEMETRY_SCHEMA_VERSION + 1) as f64;
+        match TelemetryRecord::decode(&enc) {
+            Err(TelemetryError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, TELEMETRY_SCHEMA_VERSION + 1);
+                assert_eq!(expected, TELEMETRY_SCHEMA_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        let enc = rec.encode();
+        assert!(matches!(
+            TelemetryRecord::decode(&enc[..enc.len() - 1]),
+            Err(TelemetryError::Truncated { .. })
+        ));
+        assert!(TelemetryRecord::decode(&[]).is_err());
+        // The error message names the versions explicitly.
+        let msg = TelemetryError::VersionMismatch {
+            found: 9,
+            expected: TELEMETRY_SCHEMA_VERSION,
+        }
+        .to_string();
+        assert!(msg.contains("v9") && msg.contains("schema version mismatch"));
     }
 }

@@ -85,6 +85,14 @@ impl ScfService {
         self
     }
 
+    /// Set the batch label used as the root span of every trace this
+    /// service records (builder style; see
+    /// [`Scheduler::with_trace_label`]).
+    pub fn with_trace_label(mut self, label: &str) -> Self {
+        self.sched = self.sched.with_trace_label(label);
+        self
+    }
+
     /// The shared engine.
     pub fn engine(&self) -> &Arc<SubmatrixEngine> {
         self.sched.engine()

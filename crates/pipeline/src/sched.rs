@@ -83,9 +83,10 @@ use sm_chem::ScfDriver;
 use sm_comsim::{run_ranks, Comm, CommStats, Payload, ReduceOp, SerialComm, ThreadComm};
 use sm_core::engine::{EngineOptions, EngineReport, SubmatrixEngine};
 use sm_core::transfers::TransferStats;
-use sm_dbcsr::wire::ValueFormat;
+use sm_dbcsr::wire::{tele, TelemetryRecord, ValueFormat};
 use sm_dbcsr::{wire, DbcsrMatrix};
 use sm_linalg::Precision;
+use sm_trace::SpanKind;
 
 use crate::jobs::{BatchJob, JobResult, MatrixJob, ScfTelemetry};
 
@@ -586,6 +587,7 @@ pub struct Scheduler {
     engine: Arc<SubmatrixEngine>,
     budget: RankBudget,
     policy: StealPolicy,
+    trace_label: String,
 }
 
 impl Default for Scheduler {
@@ -612,6 +614,7 @@ impl Scheduler {
             engine,
             budget,
             policy: StealPolicy::default(),
+            trace_label: "batch".to_string(),
         }
     }
 
@@ -619,6 +622,22 @@ impl Scheduler {
     pub fn with_policy(mut self, policy: StealPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Set the batch label used as the root `batch:<label>` span of every
+    /// trace this scheduler records (builder style). Sessions asserting
+    /// on span trees should pick a unique label and filter with
+    /// `sm_trace::TraceSession::span_tree_under`, so unrelated concurrent
+    /// batches cannot pollute the view. Purely observational: the label
+    /// never influences scheduling.
+    pub fn with_trace_label(mut self, label: &str) -> Self {
+        self.trace_label = label.to_string();
+        self
+    }
+
+    /// The batch label used for trace spans.
+    pub fn trace_label(&self) -> &str {
+        &self.trace_label
     }
 
     /// The shared engine.
@@ -675,10 +694,18 @@ impl Scheduler {
         }
         let costs: Vec<f64> = jobs.iter().map(estimate_batch_job_cost).collect();
         let schedule = plan_epochs(&costs, world_size, &self.budget, self.policy);
+        {
+            // Narrate the (already fixed) plan on the caller thread, under
+            // the batch root span: planning stays a pure function of the
+            // estimates, the trace only observes its output.
+            let _batch = sm_trace::span(SpanKind::Batch, &self.trace_label);
+            trace_schedule(&schedule);
+        }
         let engine = &self.engine;
+        let label = self.trace_label.as_str();
         let (jobs_ref, sched_ref) = (&jobs, &schedule);
         let (mut per_rank, world_stats) = run_ranks(world_size, |comm| {
-            run_rank(engine, jobs_ref, sched_ref, comm)
+            run_rank(engine, jobs_ref, sched_ref, label, comm)
         });
         let (results, (measured_idle, measured_max_idle)) = per_rank[0]
             .take()
@@ -703,6 +730,68 @@ fn result_tag(job: usize, part: u64) -> u64 {
     wire::user_tag((1 << 40) | ((job as u64) * 4 + part))
 }
 
+/// Narrate a finished epoch/steal plan into the active trace (no-op when
+/// tracing is disabled): one `sched.epoch` event per epoch (cost = the
+/// epoch's steal horizon, with committed/deferred queue snapshots), one
+/// `sched.queue` per group (cost = committed estimated cost), and one
+/// `sched.steal` per stolen job at its decision point. Everything emitted
+/// here is a pure function of the schedule, so traced span trees stay
+/// deterministic across reruns.
+fn trace_schedule(s: &EpochSchedule) {
+    if !sm_trace::enabled() {
+        return;
+    }
+    let costs = &s.static_plan.job_costs;
+    for (e, ep) in s.epochs.iter().enumerate() {
+        let _epoch = sm_trace::span(SpanKind::Epoch, e);
+        let horizon = ep
+            .groups
+            .iter()
+            .filter(|g| !g.jobs.is_empty())
+            .map(|g| costs[g.jobs[0]] / g.ranks.len() as f64)
+            .fold(0.0f64, f64::max);
+        let committed: usize = ep.groups.iter().map(|g| g.jobs.len()).sum();
+        let deferred = s.job_epoch.iter().filter(|&&je| je > e).count();
+        sm_trace::emit(
+            "sched.epoch",
+            horizon,
+            0.0,
+            &[
+                ("groups", ep.groups.len() as f64),
+                ("committed", committed as f64),
+                ("deferred", deferred as f64),
+            ],
+        );
+        for (g, grp) in ep.groups.iter().enumerate() {
+            let _group = sm_trace::span(SpanKind::Group, g);
+            sm_trace::emit(
+                "sched.queue",
+                grp.est_cost,
+                0.0,
+                &[
+                    ("jobs", grp.jobs.len() as f64),
+                    ("ranks", grp.ranks.len() as f64),
+                    ("rank_start", grp.ranks.start as f64),
+                ],
+            );
+            for &j in &grp.jobs {
+                if s.job_stolen_ranks[j] > 0 {
+                    sm_trace::emit(
+                        "sched.steal",
+                        costs[j],
+                        0.0,
+                        &[
+                            ("job", j as f64),
+                            ("home_group", s.home_group[j] as f64),
+                            ("stolen_ranks", s.job_stolen_ranks[j] as f64),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// One world rank's share of a scheduled batch: per epoch, split off the
 /// group subcommunicator (tearing down the previous epoch's — regrouping
 /// is always a fresh one-level split from the world comm), run the
@@ -712,8 +801,13 @@ fn run_rank(
     engine: &Arc<SubmatrixEngine>,
     jobs: &[BatchJob],
     schedule: &EpochSchedule,
+    label: &str,
     comm: &ThreadComm,
 ) -> Option<(Vec<JobResult>, (f64, f64))> {
+    // Root span of everything this rank does for the batch: rank threads
+    // are created fresh per batch, so the context stack starts empty and
+    // every nested span/metric lands under `batch:<label>/...`.
+    let _batch_span = sm_trace::span(SpanKind::Batch, label);
     let t_start = Instant::now();
     let mut busy = 0.0f64;
     for (e, epoch) in schedule.epochs.iter().enumerate() {
@@ -724,9 +818,12 @@ fn run_rank(
         let color = group.map_or(IDLE_COLOR, |g| ((e as u64) << 32) | g as u64);
         let sub = comm.split(color, comm.rank() as u64);
         let Some(g) = group else { continue };
+        let _epoch_span = sm_trace::span(SpanKind::Epoch, e);
+        let _group_span = sm_trace::span(SpanKind::Group, g);
 
         for &j in &epoch.groups[g].jobs {
             let job = &jobs[j];
+            let _job_span = sm_trace::span(SpanKind::Job, j);
             let bytes0 = sub.stats().total_bytes();
             let msgs0 = sub.stats().total_msgs();
             let t = Instant::now();
@@ -831,6 +928,20 @@ fn run_rank(
                 }
             }
             let seconds = t.elapsed().as_secs_f64();
+            if sm_trace::enabled() {
+                // Deterministic cost = the job's perfmodel estimate; wall
+                // seconds and stolen ranks ride as annotations only.
+                sm_trace::emit(
+                    "job.done",
+                    schedule.static_plan.job_costs[j],
+                    seconds,
+                    &[
+                        ("group_size", sub.size() as f64),
+                        ("stolen_ranks", schedule.job_stolen_ranks[j] as f64),
+                    ],
+                );
+                sm_trace::hist_seconds(&sm_trace::scoped_root("job.seconds"), seconds);
+            }
 
             // Group-wide telemetry: total subgroup traffic this job moved
             // (Sum), the critical-path phase timings, and the symbolic
@@ -913,10 +1024,19 @@ fn run_rank(
     let wall_max = per_rank.iter().map(|v| v[1]).fold(0.0f64, f64::max);
     let mut idle_total = 0.0f64;
     let mut idle_max = 0.0f64;
-    for v in &per_rank {
+    for (r, v) in per_rank.iter().enumerate() {
         let idle = (wall_max - v[0]).max(0.0);
         idle_total += idle;
         idle_max = idle_max.max(idle);
+        // One `rank.idle` per world rank, emitted by rank 0 under the
+        // batch root: deterministic count, wall-derived values confined
+        // to annotations (wall_s/fields), cost pinned at 0.
+        sm_trace::emit(
+            "rank.idle",
+            0.0,
+            idle,
+            &[("rank", r as f64), ("busy_s", v[0]), ("wall_s", v[1])],
+        );
     }
 
     // World rank 0: collect every job from its group root (its own sends
@@ -973,15 +1093,14 @@ fn precision_from_code(x: f64) -> Precision {
 }
 
 /// Flatten a job's telemetry — the group root's [`EngineReport`] plus
-/// wall-time, group size, subgroup traffic and steal attribution — into
-/// one `f64` record for the root gather. Counters ride as `f64` (exact up
-/// to 2⁵³, far beyond any simulated run).
-///
-/// The base record is 24 fields. An SCF job appends a variable-length
-/// extension — `[iterations, converged, final_energy, final_electrons]`
-/// followed by the per-iteration gather bytes then the per-iteration
-/// scatter bytes — so one wire format carries both job kinds and
-/// [`decode_telemetry`] distinguishes them by length.
+/// wall-time, group size, subgroup traffic and steal attribution — into a
+/// versioned self-describing [`TelemetryRecord`]
+/// (`sm_dbcsr::wire::TELEMETRY_SCHEMA_VERSION`) for the root gather.
+/// Counters ride as `f64` (exact up to 2⁵³, far beyond any simulated
+/// run). An SCF job appends its extension fields, with the per-iteration
+/// byte telemetry as repeated `tele::SCF_ITER_*` entries in iteration
+/// order — one wire format carries both job kinds, distinguished by the
+/// presence of [`tele::SCF_ITERATIONS`].
 #[allow(clippy::too_many_arguments)]
 fn encode_telemetry(
     report: &EngineReport,
@@ -993,44 +1112,53 @@ fn encode_telemetry(
     stolen_ranks: usize,
     scf: Option<&ScfTelemetry>,
 ) -> Vec<f64> {
-    let mut record = vec![
-        report.n_submatrices as f64,
-        report.max_dim as f64,
-        report.avg_dim,
-        report.total_cost,
-        report.transfers.unique_bytes as f64,
-        report.transfers.naive_bytes as f64,
-        report.transfers.unique_blocks as f64,
+    let mut rec = TelemetryRecord::new();
+    rec.push(tele::N_SUBMATRICES, report.n_submatrices as f64);
+    rec.push(tele::MAX_DIM, report.max_dim as f64);
+    rec.push(tele::AVG_DIM, report.avg_dim);
+    rec.push(tele::TOTAL_COST, report.total_cost);
+    rec.push(tele::UNIQUE_BYTES, report.transfers.unique_bytes as f64);
+    rec.push(tele::NAIVE_BYTES, report.transfers.naive_bytes as f64);
+    rec.push(tele::UNIQUE_BLOCKS, report.transfers.unique_blocks as f64);
+    rec.push(
+        tele::TOTAL_REFERENCES,
         report.transfers.total_references as f64,
-        report.mu,
-        report.bisect_iterations as f64,
-        report.plan_cached as u64 as f64,
-        report.symbolic_seconds,
-        report.gather_seconds,
-        report.solve_seconds,
-        report.scatter_seconds,
-        seconds,
-        group_size as f64,
-        comm_bytes as f64,
-        comm_msgs as f64,
-        precision_code(report.precision),
-        report.gather_value_bytes as f64,
-        report.scatter_value_bytes as f64,
-        epoch as f64,
-        stolen_ranks as f64,
-    ];
+    );
+    rec.push(tele::MU, report.mu);
+    rec.push(tele::BISECT_ITERATIONS, report.bisect_iterations as f64);
+    rec.push(tele::PLAN_CACHED, report.plan_cached as u64 as f64);
+    rec.push(tele::SYMBOLIC_SECONDS, report.symbolic_seconds);
+    rec.push(tele::GATHER_SECONDS, report.gather_seconds);
+    rec.push(tele::SOLVE_SECONDS, report.solve_seconds);
+    rec.push(tele::SCATTER_SECONDS, report.scatter_seconds);
+    rec.push(tele::SECONDS, seconds);
+    rec.push(tele::GROUP_SIZE, group_size as f64);
+    rec.push(tele::COMM_BYTES, comm_bytes as f64);
+    rec.push(tele::COMM_MSGS, comm_msgs as f64);
+    rec.push(tele::PRECISION_CODE, precision_code(report.precision));
+    rec.push(tele::GATHER_VALUE_BYTES, report.gather_value_bytes as f64);
+    rec.push(tele::SCATTER_VALUE_BYTES, report.scatter_value_bytes as f64);
+    rec.push(tele::EPOCH, epoch as f64);
+    rec.push(tele::STOLEN_RANKS, stolen_ranks as f64);
     if let Some(s) = scf {
-        record.push(s.iterations as f64);
-        record.push(if s.converged { 1.0 } else { 0.0 });
-        record.push(s.final_energy);
-        record.push(s.final_electrons);
-        record.extend(s.gather_value_bytes.iter().map(|&b| b as f64));
-        record.extend(s.scatter_value_bytes.iter().map(|&b| b as f64));
+        rec.push(tele::SCF_ITERATIONS, s.iterations as f64);
+        rec.push(tele::SCF_CONVERGED, if s.converged { 1.0 } else { 0.0 });
+        rec.push(tele::SCF_FINAL_ENERGY, s.final_energy);
+        rec.push(tele::SCF_FINAL_ELECTRONS, s.final_electrons);
+        for &b in &s.gather_value_bytes {
+            rec.push(tele::SCF_ITER_GATHER_BYTES, b as f64);
+        }
+        for &b in &s.scatter_value_bytes {
+            rec.push(tele::SCF_ITER_SCATTER_BYTES, b as f64);
+        }
     }
-    record
+    rec.encode()
 }
 
-/// Inverse of [`encode_telemetry`].
+/// Inverse of [`encode_telemetry`]. Panics (with the decoder's own clear
+/// message) on schema-version mismatch or truncation — inside one
+/// process both ends are compiled together, so a mismatch here is a bug,
+/// not an input error.
 #[allow(clippy::type_complexity)]
 fn decode_telemetry(
     x: &[f64],
@@ -1044,54 +1172,56 @@ fn decode_telemetry(
     usize,
     Option<ScfTelemetry>,
 ) {
-    assert!(x.len() >= 24, "telemetry record has ≥ 24 fields");
-    let scf = if x.len() > 24 {
-        let iterations = x[24] as usize;
-        assert_eq!(
-            x.len(),
-            28 + 2 * iterations,
-            "SCF telemetry extension length mismatch"
-        );
-        Some(ScfTelemetry {
-            iterations,
-            converged: x[25] != 0.0,
-            final_energy: x[26],
-            final_electrons: x[27],
-            gather_value_bytes: x[28..28 + iterations].iter().map(|&b| b as u64).collect(),
-            scatter_value_bytes: x[28 + iterations..].iter().map(|&b| b as u64).collect(),
-        })
-    } else {
-        None
+    let rec = TelemetryRecord::decode(x).unwrap_or_else(|e| panic!("result-gather {e}"));
+    let get = |field: u32| {
+        rec.get(field)
+            .unwrap_or_else(|| panic!("telemetry record missing field id {field}"))
     };
+    let scf = rec.get(tele::SCF_ITERATIONS).map(|iters| ScfTelemetry {
+        iterations: iters as usize,
+        converged: get(tele::SCF_CONVERGED) != 0.0,
+        final_energy: get(tele::SCF_FINAL_ENERGY),
+        final_electrons: get(tele::SCF_FINAL_ELECTRONS),
+        gather_value_bytes: rec
+            .get_all(tele::SCF_ITER_GATHER_BYTES)
+            .into_iter()
+            .map(|b| b as u64)
+            .collect(),
+        scatter_value_bytes: rec
+            .get_all(tele::SCF_ITER_SCATTER_BYTES)
+            .into_iter()
+            .map(|b| b as u64)
+            .collect(),
+    });
     (
         EngineReport {
-            n_submatrices: x[0] as usize,
-            max_dim: x[1] as usize,
-            avg_dim: x[2],
-            total_cost: x[3],
+            n_submatrices: get(tele::N_SUBMATRICES) as usize,
+            max_dim: get(tele::MAX_DIM) as usize,
+            avg_dim: get(tele::AVG_DIM),
+            total_cost: get(tele::TOTAL_COST),
             transfers: TransferStats {
-                unique_bytes: x[4] as u64,
-                naive_bytes: x[5] as u64,
-                unique_blocks: x[6] as u64,
-                total_references: x[7] as u64,
+                unique_bytes: get(tele::UNIQUE_BYTES) as u64,
+                naive_bytes: get(tele::NAIVE_BYTES) as u64,
+                unique_blocks: get(tele::UNIQUE_BLOCKS) as u64,
+                total_references: get(tele::TOTAL_REFERENCES) as u64,
             },
-            precision: precision_from_code(x[19]),
-            gather_value_bytes: x[20] as u64,
-            scatter_value_bytes: x[21] as u64,
-            mu: x[8],
-            bisect_iterations: x[9] as usize,
-            plan_cached: x[10] != 0.0,
-            symbolic_seconds: x[11],
-            gather_seconds: x[12],
-            solve_seconds: x[13],
-            scatter_seconds: x[14],
+            precision: precision_from_code(get(tele::PRECISION_CODE)),
+            gather_value_bytes: get(tele::GATHER_VALUE_BYTES) as u64,
+            scatter_value_bytes: get(tele::SCATTER_VALUE_BYTES) as u64,
+            mu: get(tele::MU),
+            bisect_iterations: get(tele::BISECT_ITERATIONS) as usize,
+            plan_cached: get(tele::PLAN_CACHED) != 0.0,
+            symbolic_seconds: get(tele::SYMBOLIC_SECONDS),
+            gather_seconds: get(tele::GATHER_SECONDS),
+            solve_seconds: get(tele::SOLVE_SECONDS),
+            scatter_seconds: get(tele::SCATTER_SECONDS),
         },
-        x[15],
-        x[16] as usize,
-        x[17] as u64,
-        x[18] as u64,
-        x[22] as usize,
-        x[23] as usize,
+        get(tele::SECONDS),
+        get(tele::GROUP_SIZE) as usize,
+        get(tele::COMM_BYTES) as u64,
+        get(tele::COMM_MSGS) as u64,
+        get(tele::EPOCH) as usize,
+        get(tele::STOLEN_RANKS) as usize,
         scf,
     )
 }
@@ -1320,7 +1450,10 @@ mod tests {
             scatter_seconds: 0.3,
         };
         let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, None);
-        assert_eq!(enc.len(), 24, "base record is 24 fields");
+        // Self-describing layout: version + entry-count header, then
+        // (field_id, value) pairs — 24 base fields.
+        assert_eq!(enc[0], wire::TELEMETRY_SCHEMA_VERSION as f64);
+        assert_eq!(enc.len(), 2 + 2 * 24, "base record is 24 entries");
         let (dec, seconds, group, bytes, msgs, epoch, stolen, scf) = decode_telemetry(&enc);
         assert_eq!(dec.n_submatrices, 7);
         assert_eq!(dec.transfers, report.transfers);
@@ -1344,9 +1477,34 @@ mod tests {
             scatter_value_bytes: vec![10, 20, 30],
         };
         let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, Some(&scf_in));
-        assert_eq!(enc.len(), 28 + 2 * 3);
+        assert_eq!(enc.len(), 2 + 2 * (28 + 2 * 3));
         let (_, _, _, _, _, _, _, scf_out) = decode_telemetry(&enc);
         assert_eq!(scf_out, Some(scf_in));
+    }
+
+    #[test]
+    #[should_panic(expected = "schema version mismatch")]
+    fn telemetry_decode_rejects_foreign_schema_version() {
+        let report = EngineReport {
+            n_submatrices: 1,
+            max_dim: 2,
+            avg_dim: 2.0,
+            total_cost: 16.0,
+            transfers: TransferStats::default(),
+            precision: Precision::Fp64,
+            gather_value_bytes: 0,
+            scatter_value_bytes: 0,
+            mu: 0.0,
+            bisect_iterations: 0,
+            plan_cached: false,
+            symbolic_seconds: 0.0,
+            gather_seconds: 0.0,
+            solve_seconds: 0.0,
+            scatter_seconds: 0.0,
+        };
+        let mut enc = encode_telemetry(&report, 0.0, 1, 0, 0, 0, 0, None);
+        enc[0] += 1.0; // a future schema version
+        let _ = decode_telemetry(&enc);
     }
 
     #[test]

@@ -245,6 +245,54 @@ fn consensus_survives_bounded_cache_under_scf_regrouping() {
 }
 
 #[test]
+fn traced_scf_batches_stay_bitwise_with_deterministic_span_trees() {
+    // The observability gate for the service path: the full SCF straggler
+    // batch with tracing live must stay bitwise-identical to the serial
+    // driver loop, and the logical span tree — which nests SCF iteration
+    // spans between job and engine-phase spans — must be identical across
+    // reruns at a fixed world size.
+    let specs = straggler_specs(5);
+    let serial = serial_scf_loop(&fresh_engine(None), &specs);
+
+    let run_traced = |label: &'static str| {
+        let session = sm_trace::TraceSession::start(label);
+        let engine = fresh_engine(None);
+        let service =
+            ScfService::new(engine.clone(), RankBudget::default()).with_trace_label(label);
+        let outcome = service.run(6, specs.clone());
+        assert_matches_serial(&outcome, &serial, label);
+        assert_consensus_accounting(&outcome, &engine);
+        session.span_tree_under(&format!("batch:{label}"))
+    };
+
+    let first = run_traced("svc-trace-a");
+    assert!(
+        first.contains("/iter:0/"),
+        "missing SCF iteration level:\n{first}"
+    );
+    assert!(
+        first.contains("/iter:0/phase:solve"),
+        "phases must nest under iterations"
+    );
+    assert!(
+        first.contains("scf.iteration"),
+        "missing per-iteration events"
+    );
+    assert!(
+        first.contains("plan.decision"),
+        "missing plan consensus events"
+    );
+
+    let second = run_traced("svc-trace-b");
+    let relabeled = |tree: &str, label: &str| tree.replace(&format!("batch:{label}"), "batch:#");
+    assert_eq!(
+        relabeled(&first, "svc-trace-a"),
+        relabeled(&second, "svc-trace-b"),
+        "service span tree must be deterministic across reruns"
+    );
+}
+
+#[test]
 fn canonical_specs_match_serial_to_reduction_accuracy() {
     // Canonical µ bisection reduces electron counts across the group, so
     // multi-rank groups match the serial loop to floating-point reduction

@@ -238,6 +238,60 @@ fn no_epoch_observes_divergent_consensus_under_bounded_cache() {
     assert!(cached <= 1, "bounded cache overflowed: {cached} plans");
 }
 
+#[test]
+fn tracing_is_non_perturbing_and_span_trees_are_deterministic() {
+    // The observability acceptance gate: running the exact straggler
+    // batch with every span and metric live must (a) leave the results
+    // bitwise-identical to the serial queue and (b) produce the same
+    // logical span tree on every rerun at a fixed world size — the tree
+    // is built from logical clocks and perfmodel costs only, so wall-time
+    // jitter and thread interleaving cannot show up in it.
+    let jobs = straggler_batch(11);
+    let serial = JobQueue::new(fresh_engine(None)).run(jobs.clone());
+
+    let run_traced = |label: &'static str| {
+        let session = sm_trace::TraceSession::start(label);
+        let engine = fresh_engine(None);
+        let sched = Scheduler::new(engine.clone(), RankBudget::default()).with_trace_label(label);
+        let outcome = sched.run(6, jobs.clone());
+        assert_bitwise_equal(&outcome.results, &serial, label);
+        assert_consensus_accounting(&outcome, &engine);
+        session.span_tree_under(&format!("batch:{label}"))
+    };
+
+    let first = run_traced("steal-trace-a");
+    // Hierarchy spot-checks: the tree nests epoch/group/job/phase and
+    // carries the scheduler narration plus the engine's per-phase events.
+    assert!(first.contains("epoch:0/"), "missing epoch level:\n{first}");
+    assert!(
+        first.contains("epoch:1/"),
+        "straggler batch must reach epoch 1"
+    );
+    assert!(first.contains("/group:"), "missing group level:\n{first}");
+    assert!(first.contains("/job:"), "missing job level:\n{first}");
+    assert!(
+        first.contains("/phase:solve"),
+        "missing engine phases:\n{first}"
+    );
+    assert!(
+        first.contains("plan.decision"),
+        "missing plan consensus events"
+    );
+    assert!(
+        first.contains("job.done"),
+        "missing per-job completion events"
+    );
+    assert!(first.contains("sched.steal"), "missing steal narration");
+
+    let second = run_traced("steal-trace-b");
+    let relabeled = |tree: &str, label: &str| tree.replace(&format!("batch:{label}"), "batch:#");
+    assert_eq!(
+        relabeled(&first, "steal-trace-a"),
+        relabeled(&second, "steal-trace-b"),
+        "span tree must be deterministic across reruns"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

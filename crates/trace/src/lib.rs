@@ -1,0 +1,712 @@
+//! # sm-trace — deterministic structured tracing + typed metrics
+//!
+//! The observability substrate of the submatrix stack: hierarchical
+//! structured **spans** (batch → epoch → group → job → SCF iteration →
+//! phase), a typed **metrics registry** (counters, gauges, byte/time
+//! histograms), and a JSONL emitter the `smdoctor` CLI consumes.
+//!
+//! ## The two-clock rule
+//!
+//! Every event carries two clocks:
+//!
+//! * a **deterministic logical clock** — the event's span path plus its
+//!   per-thread sequence number and a *cost* in perfmodel units (plan
+//!   cost, planned bytes). These are pure functions of the schedule and
+//!   the inputs, so tests may assert on them exactly: the
+//!   [`TraceSession::span_tree`] rendering (paths, event names, event
+//!   counts, cost maxima) is **bit-identical across reruns** at a fixed
+//!   world size.
+//! * **wall-time annotations** (`wall_s`, seconds histograms) — recorded
+//!   for humans and for `smdoctor`'s idle breakdowns, but *never* fed
+//!   back into scheduling and never part of the deterministic view.
+//!
+//! Metric counters are exact tallies but their hit/build *splits* can
+//! shift with benign plan-cache races between concurrent groups (the
+//! consensus identity fixes only the sum), so the deterministic contract
+//! covers the span tree, not the metric registry.
+//!
+//! ## Non-perturbation
+//!
+//! Tracing is **off by default** (one relaxed atomic load on the hot
+//! path) and, when enabled, only *observes*: nothing in this crate feeds
+//! measurements back into any scheduling or numeric decision. The
+//! `stealing_equivalence`/`scf_service_equivalence` suites pin that
+//! instrumented grand-canonical batches stay bitwise-identical to serial
+//! execution.
+//!
+//! ## Sessions
+//!
+//! Recording happens inside a [`TraceSession`], which holds a global
+//! lock so concurrent tests cannot interleave sessions. Instrumented
+//! code that runs *outside* any span context while a session is active
+//! records under the `untraced` root; session consumers filter with
+//! [`TraceSession::span_tree_under`] / [`TraceSession::metrics_under`]
+//! using their own batch label, so unrelated concurrent work cannot
+//! pollute an assertion.
+//!
+//! ## Schema
+//!
+//! [`TraceSession::write_jsonl`] emits one self-describing header line
+//! (carrying [`TRACE_SCHEMA_VERSION`]), then one line per event and one
+//! per metric. Consumers must reject header version mismatches — the
+//! `smdoctor --check` mode does, and CI runs it over every bench
+//! artifact.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Version of the JSONL trace schema. Bump only with a migration note in
+/// `ARCHITECTURE.md`; `smdoctor --check` fails on any mismatch.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Root path used for events and metrics recorded while no span context
+/// is installed on the emitting thread.
+pub const UNTRACED_ROOT: &str = "untraced";
+
+/// The typed span hierarchy, top to bottom. Each level contributes one
+/// `kind:value` segment to the span path (e.g.
+/// `batch:svc/epoch:0/group:1/job:3/iter:2/phase:solve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// One scheduled batch (the root; its value is the batch label).
+    Batch,
+    /// One epoch of the steal schedule.
+    Epoch,
+    /// One subcommunicator group within an epoch.
+    Group,
+    /// One job (by submission index).
+    Job,
+    /// One SCF iteration within an iterative job.
+    Iteration,
+    /// One engine phase (`plan` / `gather` / `solve` / `scatter` / ...).
+    Phase,
+}
+
+impl SpanKind {
+    /// Stable lowercase label used in span paths and the JSONL stream.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Batch => "batch",
+            SpanKind::Epoch => "epoch",
+            SpanKind::Group => "group",
+            SpanKind::Job => "job",
+            SpanKind::Iteration => "iter",
+            SpanKind::Phase => "phase",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Hierarchical span path the event was emitted under.
+    pub path: String,
+    /// Event name (a stable identifier, e.g. `engine.phase`).
+    pub name: &'static str,
+    /// Per-thread logical sequence number (deterministic: every rank
+    /// thread's execution order is deterministic, and rank threads are
+    /// created fresh per batch).
+    pub seq: u64,
+    /// Deterministic logical cost of the event, in perfmodel units
+    /// (estimated cost, planned bytes); safe to assert on.
+    pub cost: f64,
+    /// Wall-time annotation in seconds (never deterministic, never fed
+    /// back into scheduling, never part of the deterministic view).
+    pub wall_s: f64,
+    /// Auxiliary numeric fields; excluded from the deterministic span
+    /// tree (they may carry wall-derived values).
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+/// A log₂-bucketed histogram. For byte histograms the recorded values are
+/// integers and the whole record is deterministic; for seconds histograms
+/// it is a wall-time annotation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Sample counts keyed by `floor(log2(value))` (`-1` for values
+    /// `< 1`); sorted, so snapshots render deterministically.
+    pub buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        let bucket = if value < 1.0 { -1 } else { value.log2() as i32 };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+    }
+}
+
+/// One entry of the typed metrics registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone integer tally (exact; bytes, messages, cache decisions).
+    Counter(u64),
+    /// Last-write-wins instantaneous value (cache occupancy).
+    Gauge(f64),
+    /// Log₂ histogram of byte sizes (deterministic).
+    BytesHistogram(Histogram),
+    /// Log₂ histogram of wall seconds (annotation only).
+    SecondsHistogram(Histogram),
+}
+
+impl Metric {
+    fn kind_label(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::BytesHistogram(_) => "bytes_hist",
+            Metric::SecondsHistogram(_) => "seconds_hist",
+        }
+    }
+}
+
+#[derive(Default)]
+struct TraceState {
+    events: Vec<Event>,
+    metrics: BTreeMap<String, Metric>,
+    label: String,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn state() -> &'static Mutex<TraceState> {
+    static STATE: OnceLock<Mutex<TraceState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(TraceState::default()))
+}
+
+fn lock_state() -> MutexGuard<'static, TraceState> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether a [`TraceSession`] is currently recording. One relaxed atomic
+/// load — the entire overhead instrumented hot paths pay when tracing is
+/// off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// RAII guard of one span segment; pops the segment from the emitting
+/// thread's context stack on drop.
+#[must_use = "the span ends when the guard drops"]
+pub struct SpanGuard {
+    pop: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.pop {
+            CONTEXT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Push a `kind:value` segment onto the current thread's span context.
+/// No-op (and allocation-free) when tracing is disabled.
+pub fn span(kind: SpanKind, value: impl std::fmt::Display) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { pop: false };
+    }
+    CONTEXT.with(|c| c.borrow_mut().push(format!("{}:{value}", kind.label())));
+    SpanGuard { pop: true }
+}
+
+/// Convenience: a [`SpanKind::Phase`] span.
+pub fn phase_span(name: &str) -> SpanGuard {
+    span(SpanKind::Phase, name)
+}
+
+/// The emitting thread's current span path (`/`-joined segments), or
+/// [`UNTRACED_ROOT`] when no span is installed.
+pub fn current_path() -> String {
+    CONTEXT.with(|c| {
+        let c = c.borrow();
+        if c.is_empty() {
+            UNTRACED_ROOT.to_string()
+        } else {
+            c.join("/")
+        }
+    })
+}
+
+/// A metric key scoped under the full current span path
+/// (`batch:x/epoch:0/group:1/job:3/<name>`). Use for per-group /
+/// per-job attribution (communication bytes).
+pub fn scoped(name: &str) -> String {
+    format!("{}/{name}", current_path())
+}
+
+/// A metric key scoped under the current span *root* only
+/// (`batch:x/<name>`). Use for engine-global figures (the shared plan
+/// cache) that should aggregate per batch, not per job.
+pub fn scoped_root(name: &str) -> String {
+    let root = CONTEXT.with(|c| {
+        c.borrow()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| UNTRACED_ROOT.to_string())
+    });
+    format!("{root}/{name}")
+}
+
+/// Record an event at the current span path. `cost` is the deterministic
+/// logical cost; `wall_s` a wall-time annotation; `fields` auxiliary
+/// values (excluded from the deterministic span tree). No-op when
+/// tracing is disabled.
+pub fn emit(name: &'static str, cost: f64, wall_s: f64, fields: &[(&'static str, f64)]) {
+    if !enabled() {
+        return;
+    }
+    let path = current_path();
+    let seq = SEQ.with(|s| {
+        let v = s.get();
+        s.set(v + 1);
+        v
+    });
+    lock_state().events.push(Event {
+        path,
+        name,
+        seq,
+        cost,
+        wall_s,
+        fields: fields.to_vec(),
+    });
+}
+
+fn with_metric(name: &str, init: impl FnOnce() -> Metric, update: impl FnOnce(&mut Metric)) {
+    let mut st = lock_state();
+    let entry = st.metrics.entry(name.to_string()).or_insert_with(init);
+    update(entry);
+}
+
+/// Add to a counter metric, creating it at zero on first use. Panics if
+/// `name` is already registered as a different metric type.
+pub fn counter_add(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Counter(0),
+        |m| match m {
+            Metric::Counter(c) => *c += value,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind_label()),
+        },
+    );
+}
+
+/// Set a gauge metric (last write wins). Panics on metric-type mismatch.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Gauge(value),
+        |m| match m {
+            Metric::Gauge(g) => *g = value,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind_label()),
+        },
+    );
+}
+
+/// Record a sample into a byte-size histogram (deterministic). Panics on
+/// metric-type mismatch.
+pub fn hist_bytes(name: &str, bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::BytesHistogram(Histogram::default()),
+        |m| match m {
+            Metric::BytesHistogram(h) => h.record(bytes as f64),
+            other => panic!(
+                "metric '{name}' is a {}, not a bytes histogram",
+                other.kind_label()
+            ),
+        },
+    );
+}
+
+/// Record a sample into a wall-seconds histogram (annotation only).
+/// Panics on metric-type mismatch.
+pub fn hist_seconds(name: &str, seconds: f64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::SecondsHistogram(Histogram::default()),
+        |m| match m {
+            Metric::SecondsHistogram(h) => h.record(seconds),
+            other => panic!(
+                "metric '{name}' is a {}, not a seconds histogram",
+                other.kind_label()
+            ),
+        },
+    );
+}
+
+/// An exclusive recording session: clears all buffers, enables tracing,
+/// and holds a global lock so concurrent sessions serialize. Tracing is
+/// disabled again when the session drops.
+pub struct TraceSession {
+    _excl: MutexGuard<'static, ()>,
+    label: String,
+}
+
+impl TraceSession {
+    /// Start recording under `label` (conventionally the batch label the
+    /// traced scheduler run uses, so consumers can filter with
+    /// [`span_tree_under`](Self::span_tree_under)).
+    pub fn start(label: &str) -> TraceSession {
+        let excl = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut st = lock_state();
+            st.events.clear();
+            st.metrics.clear();
+            st.label = label.to_string();
+        }
+        ENABLED.store(true, Ordering::SeqCst);
+        TraceSession {
+            _excl: excl,
+            label: label.to_string(),
+        }
+    }
+
+    /// The session label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Snapshot of every recorded event, in arrival order (arrival order
+    /// is *not* deterministic across rank threads; sort by `(path, name,
+    /// seq)` — or use [`span_tree`](Self::span_tree) — for a
+    /// deterministic view).
+    pub fn events(&self) -> Vec<Event> {
+        lock_state().events.clone()
+    }
+
+    /// Snapshot of the metric registry, sorted by key.
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        lock_state()
+            .metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// [`metrics`](Self::metrics) restricted to keys under `prefix`
+    /// (exactly `prefix` or starting with `prefix/`).
+    pub fn metrics_under(&self, prefix: &str) -> Vec<(String, Metric)> {
+        self.metrics()
+            .into_iter()
+            .filter(|(k, _)| under_prefix(k, prefix))
+            .collect()
+    }
+
+    /// The **deterministic span tree**: every span path (sorted), each
+    /// with its event names, counts and per-name cost maxima. Wall-time
+    /// annotations, auxiliary fields and metric values are excluded, so
+    /// this rendering is bit-identical across reruns of a deterministic
+    /// schedule at fixed world size — the representation tests assert on.
+    pub fn span_tree(&self) -> String {
+        self.span_tree_under("")
+    }
+
+    /// [`span_tree`](Self::span_tree) restricted to paths under `prefix`
+    /// (use the traced batch's label root, e.g. `batch:mylabel`, to
+    /// exclude unrelated concurrent work).
+    pub fn span_tree_under(&self, prefix: &str) -> String {
+        let mut tree: BTreeMap<String, BTreeMap<&'static str, (u64, f64)>> = BTreeMap::new();
+        for ev in lock_state().events.iter() {
+            if !prefix.is_empty() && !under_prefix(&ev.path, prefix) {
+                continue;
+            }
+            let names = tree.entry(ev.path.clone()).or_default();
+            let slot = names.entry(ev.name).or_insert((0, f64::NEG_INFINITY));
+            slot.0 += 1;
+            slot.1 = slot.1.max(ev.cost);
+        }
+        let mut out = String::new();
+        for (path, names) in &tree {
+            let _ = writeln!(out, "{path}");
+            for (name, (count, cost_max)) in names {
+                let _ = writeln!(out, "  {name} x{count} cost_max={cost_max:.6e}");
+            }
+        }
+        out
+    }
+
+    /// Write the session as a JSONL trace: a self-describing header line
+    /// (schema name, [`TRACE_SCHEMA_VERSION`], label, counts), then one
+    /// line per event, then one per metric.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let st = lock_state();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"sm-trace\",\"version\":{TRACE_SCHEMA_VERSION},\"label\":{},\"events\":{},\"metrics\":{}}}",
+            json_str(&st.label),
+            st.events.len(),
+            st.metrics.len()
+        );
+        for ev in &st.events {
+            let _ = write!(
+                out,
+                "{{\"type\":\"event\",\"path\":{},\"name\":{},\"seq\":{},\"cost\":{},\"wall_s\":{},\"fields\":{{",
+                json_str(&ev.path),
+                json_str(ev.name),
+                ev.seq,
+                json_num(ev.cost),
+                json_num(ev.wall_s)
+            );
+            for (i, (k, v)) in ev.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_num(*v));
+            }
+            out.push_str("}}\n");
+        }
+        for (name, metric) in &st.metrics {
+            let _ = write!(
+                out,
+                "{{\"type\":\"metric\",\"name\":{},\"kind\":\"{}\"",
+                json_str(name),
+                metric.kind_label()
+            );
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, ",\"value\":{c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, ",\"value\":{}", json_num(*g));
+                }
+                Metric::BytesHistogram(h) | Metric::SecondsHistogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"buckets\":{{",
+                        h.count,
+                        json_num(h.sum)
+                    );
+                    for (i, (bucket, n)) in h.buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{bucket}\":{n}");
+                    }
+                    out.push('}');
+                }
+            }
+            out.push_str("}\n");
+        }
+        std::fs::write(path, out)
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+fn under_prefix(key: &str, prefix: &str) -> bool {
+    prefix.is_empty()
+        || key == prefix
+        || (key.starts_with(prefix) && key.as_bytes().get(prefix.len()) == Some(&b'/'))
+}
+
+/// Minimal JSON string escaping (the paths/names this crate emits are
+/// plain ASCII, but stay valid for anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number rendering: integers without a fraction, `null` for
+/// non-finite values (JSON has neither NaN nor infinities).
+fn json_num(x: f64) -> String {
+    if !x.is_finite() {
+        "null".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_session_scoped() {
+        assert!(!enabled());
+        emit("noop", 1.0, 0.0, &[]); // dropped silently
+        let session = TraceSession::start("t-session");
+        assert!(enabled());
+        emit("hello", 2.0, 0.0, &[]);
+        assert_eq!(session.events().len(), 1);
+        drop(session);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_scope_keys() {
+        let _session = TraceSession::start("t-spans");
+        assert_eq!(current_path(), UNTRACED_ROOT);
+        let _b = span(SpanKind::Batch, "x");
+        {
+            let _e = span(SpanKind::Epoch, 0);
+            let _g = span(SpanKind::Group, 2);
+            assert_eq!(current_path(), "batch:x/epoch:0/group:2");
+            assert_eq!(scoped("comm.bytes"), "batch:x/epoch:0/group:2/comm.bytes");
+            assert_eq!(scoped_root("plan_cache.hits"), "batch:x/plan_cache.hits");
+        }
+        assert_eq!(current_path(), "batch:x");
+    }
+
+    #[test]
+    fn span_tree_is_deterministic_across_thread_interleavings() {
+        let tree = |spread: u64| {
+            let session = TraceSession::start("t-tree");
+            std::thread::scope(|s| {
+                for r in 0..4u64 {
+                    s.spawn(move || {
+                        // Perturb the interleaving; the tree must not care.
+                        std::thread::sleep(std::time::Duration::from_micros(r * spread));
+                        let _b = span(SpanKind::Batch, "t-tree");
+                        let _g = span(SpanKind::Group, r % 2);
+                        emit(
+                            "work",
+                            10.0 * (r % 2) as f64,
+                            r as f64,
+                            &[("rank", r as f64)],
+                        );
+                    });
+                }
+            });
+            session.span_tree_under("batch:t-tree")
+        };
+        let a = tree(0);
+        let b = tree(700);
+        assert_eq!(a, b);
+        assert!(a.contains("batch:t-tree/group:0"));
+        assert!(a.contains("work x2"));
+    }
+
+    #[test]
+    fn typed_metrics_accumulate() {
+        let session = TraceSession::start("t-metrics");
+        counter_add("a/bytes", 10);
+        counter_add("a/bytes", 5);
+        gauge_set("a/occupancy", 3.0);
+        gauge_set("a/occupancy", 2.0);
+        hist_bytes("a/sizes", 1024);
+        hist_bytes("a/sizes", 1500);
+        hist_seconds("a/latency", 0.25);
+        let m: BTreeMap<String, Metric> = session.metrics().into_iter().collect();
+        assert_eq!(m["a/bytes"], Metric::Counter(15));
+        assert_eq!(m["a/occupancy"], Metric::Gauge(2.0));
+        match &m["a/sizes"] {
+            Metric::BytesHistogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.buckets[&10], 2); // both in [1024, 2048)
+            }
+            other => panic!("wrong metric type: {other:?}"),
+        }
+        assert_eq!(
+            session.metrics_under("a").len(),
+            4,
+            "prefix filter sees all four"
+        );
+        assert!(session.metrics_under("b").is_empty());
+    }
+
+    #[test]
+    fn jsonl_has_versioned_header_and_one_line_per_record() {
+        let session = TraceSession::start("t-jsonl");
+        let _b = span(SpanKind::Batch, "j");
+        emit("ev", 1.5, 0.125, &[("k", 2.0)]);
+        counter_add("j/c", 7);
+        let path = std::env::temp_dir().join("sm_trace_test_trace.jsonl");
+        session.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&format!("\"version\":{TRACE_SCHEMA_VERSION}")));
+        assert!(lines[0].contains("\"schema\":\"sm-trace\""));
+        assert!(lines[1].contains("\"path\":\"batch:j\""));
+        assert!(lines[1].contains("\"cost\":1.5"));
+        assert!(lines[2].contains("\"kind\":\"counter\""));
+        assert!(lines[2].contains("\"value\":7"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_balanced_json_for_every_metric_kind() {
+        let session = TraceSession::start("t-jsonl-balanced");
+        let _b = span(SpanKind::Batch, "j");
+        emit("ev", 1.0, 0.0, &[("k", 2.0)]);
+        counter_add("j/c", 7);
+        gauge_set("j/g", 0.5);
+        hist_bytes("j/hb", 1500);
+        hist_seconds("j/hs", 0.25);
+        let path = std::env::temp_dir().join("sm_trace_test_balanced.jsonl");
+        session.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for line in text.lines() {
+            let opens = line.matches('{').count();
+            let closes = line.matches('}').count();
+            assert_eq!(opens, closes, "unbalanced JSONL line: {line}");
+            assert!(line.ends_with('}'), "line ends mid-object: {line}");
+        }
+    }
+
+    #[test]
+    fn untraced_root_collects_contextless_records() {
+        let session = TraceSession::start("t-untraced");
+        emit("stray", 0.0, 0.0, &[]);
+        counter_add(&scoped("stray.bytes"), 1);
+        let tree = session.span_tree();
+        assert!(tree.contains(UNTRACED_ROOT));
+        assert!(session
+            .metrics()
+            .iter()
+            .any(|(k, _)| k == "untraced/stray.bytes"));
+        // And a labeled filter excludes them.
+        assert!(session.span_tree_under("batch:none").is_empty());
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`core`] | **the submatrix method**: assembly, clustering, load balancing, µ adjustment, engine, drivers |
 //! | [`pipeline`] | persistent `SubmatrixEngine` facade, `JobQueue`, distributed `Scheduler`, batched `ScfService` |
 //! | [`accel`] | emulated FP16/FP32 tensor-core & FPGA kernels, Padé iteration traces, Table I model |
+//! | [`trace`] | deterministic structured spans + typed metrics (the `smdoctor` CLI's substrate) |
 //!
 //! ## Quickstart
 //!
@@ -82,6 +83,7 @@ pub use sm_core as core;
 pub use sm_dbcsr as dbcsr;
 pub use sm_linalg as linalg;
 pub use sm_pipeline as pipeline;
+pub use sm_trace as trace;
 
 /// Everything a typical application needs in scope.
 pub mod prelude {
