@@ -224,6 +224,28 @@ fn main() {
             session.events().len(),
             session.metrics().len()
         );
+
+        // Perfetto export of the same session (pid=rank, tid=group; opens
+        // in ui.perfetto.dev), plus the perfmodel calibration report. The
+        // report is report-only: the scheduler never reads it back, which
+        // the assert_bitwise above already re-proved with the artifact
+        // about to exist on disk.
+        let chrome = session
+            .to_chrome_trace(Some("svc"))
+            .expect("chrome export of the traced run");
+        let perfetto_path = sm_bench::output::results_dir().join("PERFETTO_scf_service.json");
+        std::fs::write(&perfetto_path, format!("{chrome}\n")).expect("write Perfetto JSON");
+        println!("wrote {}", perfetto_path.display());
+        let doc = session.to_doc();
+        sm_bench::calibrate::write_calibration(&doc, "svc");
+        let cp = sm_trace::analyze::critical_path(&doc, Some("svc"))
+            .expect("critical path of the traced run");
+        println!(
+            "critical path: {:.6e} cost units over {} epoch(s), straggler job {:?}",
+            cp.total_units,
+            cp.epochs.len(),
+            cp.straggler_job
+        );
     }
 
     println!("\nAblation — batched SCF service vs serial ScfDriver loop");

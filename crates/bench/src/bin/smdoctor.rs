@@ -1,35 +1,557 @@
-//! `smdoctor` — operational health report over the workspace's results
-//! directory.
+//! `smdoctor` — operational health report and trace analysis over the
+//! workspace's results directory.
 //!
-//! Reads every `BENCH_*.json` trajectory document and `TRACE_*.jsonl`
-//! structured trace in `results/` (or the paths given on the command
-//! line) and reports, per run:
+//! ```text
+//! smdoctor [--check] [paths...]          audit artifacts (default: results/)
+//! smdoctor critical-path <trace.jsonl>   deterministic cost-unit critical path
+//! smdoctor export-perfetto <trace.jsonl> [out.json]   Chrome trace-event export
+//! smdoctor calibrate <trace.jsonl>       fit perfmodel coefficients (report-only)
+//! smdoctor compare <old.json> <new.json> deterministic-counter regression gate
+//! ```
 //!
-//! * **plan-cache pressure** — builds vs hits, evictions, final
-//!   occupancy (from the `plan_cache.*` metrics);
-//! * **steal effectiveness per epoch** — committed vs deferred jobs,
-//!   groups, and ranks moved by each steal (from the `sched.*` events);
-//! * **idle-time breakdown** — per-rank idle seconds against the batch
-//!   makespan (from the `rank.idle` events);
-//! * **byte budgets by precision** — engine value traffic split
-//!   fp64 / fp32 / fp32_refined, plus collective vs point-to-point
-//!   communicator bytes (from the `engine.value_bytes.*` and `comm.*`
-//!   counters);
-//! * **schema drift** — every BENCH document must carry
-//!   [`BENCH_SCHEMA_VERSION`] and the provenance stamps
-//!   (`git_commit`, `generated_at`); every trace header must speak
-//!   [`sm_trace::TRACE_SCHEMA_VERSION`] and contain at least one event.
+//! **Audit mode** reads every `BENCH_*.json`, `TRACE_*.jsonl`,
+//! `PERFETTO_*.json`, `CALIB_*.json` and `*.csv` artifact in `results/`
+//! (or the paths given; directories are globbed) and reports plan-cache
+//! pressure, steal effectiveness, idle breakdowns, byte budgets, and
+//! **schema drift** — with `--check`, any drift or an empty artifact set
+//! is a hard failure (exit 1).
 //!
-//! With `--check`, any drift, corruption, or an empty artifact set is a
-//! hard failure (exit 1) — CI runs `smdoctor --check` after the bench
-//! binaries so the machine-readable result trajectory can never silently
-//! rot.
+//! **`critical-path`** reconstructs the epoch/group/job schedule from the
+//! trace's scheduler narration and prints the longest chain of job
+//! executions through the epoch barriers in perfmodel cost units — a pure
+//! function of the schedule, bit-identical across traced reruns (the
+//! two-clock rule) — plus wall-clock annotations, per-rank idle
+//! attribution and per-job model-vs-measured skew.
+//!
+//! **`compare`** is the regression gate over the bench trajectory: it
+//! diffs two stamped bench documents and exits 1 when any
+//! **deterministic** quantity changed (schema versions, counters like
+//! value bytes / eviction counts / stolen jobs, row sets). The plan-cache
+//! `plan_builds`/`cache_hits` *split* may shift with benign races — only
+//! their **sum** is deterministic (the consensus identity), so the gate
+//! compares the sum. Wall-clock columns (`*_s`, `*seconds*`) only
+//! soft-warn beyond a drift threshold.
+//!
+//! Exit codes: `0` healthy, `1` drift/regression, `2` usage errors
+//! (missing/empty/unreadable inputs).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use sm_bench::output::{results_dir, Json, BENCH_SCHEMA_VERSION};
+use sm_bench::calibrate::{calibration_json, calibration_report};
+use sm_bench::output::{results_dir, Json, BENCH_SCHEMA_VERSION, CSV_SCHEMA_VERSION};
+use sm_trace::analyze::{
+    critical_path, idle_attribution, job_phase_skew, phase_samples, TraceDoc, TraceError,
+};
+
+/// Exit code for usage errors: missing/empty/unreadable inputs.
+const EXIT_USAGE: u8 = 2;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("critical-path") => cmd_critical_path(&args[1..]),
+        Some("export-perfetto") => cmd_export_perfetto(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("--help" | "-h") => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        _ => cmd_audit(&args),
+    }
+}
+
+fn print_help() {
+    println!(
+        "smdoctor [--check] [paths...]\n\
+         smdoctor critical-path <trace.jsonl>\n\
+         smdoctor export-perfetto <trace.jsonl> [out.json]\n\
+         smdoctor calibrate <trace.jsonl>\n\
+         smdoctor compare <old-bench.json> <new-bench.json>\n\n\
+         Audit BENCH_*.json / TRACE_*.jsonl / PERFETTO_*.json / CALIB_*.json / *.csv\n\
+         artifacts (default: results/; directories are globbed), analyze traces,\n\
+         and gate deterministic counters between bench runs.\n\
+         --check  exit 1 on schema drift, corruption, or no artifacts\n\
+         exit codes: 0 healthy, 1 drift/regression, 2 usage (missing/empty input)"
+    );
+}
+
+/// Read a file that must exist and be non-empty; usage-error otherwise.
+fn read_input(path: &Path) -> Result<String, ExitCode> {
+    match std::fs::read_to_string(path) {
+        Ok(t) if t.trim().is_empty() => {
+            eprintln!("smdoctor: {} is empty", path.display());
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+        Ok(t) => Ok(t),
+        Err(e) => {
+            eprintln!("smdoctor: cannot read {}: {e}", path.display());
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+    }
+}
+
+/// Parse a trace file into a [`TraceDoc`]; schema mismatches and
+/// corruption are drift (exit 1), missing/empty files usage (exit 2).
+fn load_trace(path: &Path) -> Result<TraceDoc, ExitCode> {
+    let text = read_input(path)?;
+    TraceDoc::parse(&text).map_err(|e| {
+        eprintln!("smdoctor: {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+/// `smdoctor critical-path <trace.jsonl>`: the deterministic cost-unit
+/// critical path, wall annotations, idle attribution, and per-job
+/// model-vs-measured skew.
+fn cmd_critical_path(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: smdoctor critical-path <trace.jsonl>");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let path = Path::new(path);
+    let doc = match load_trace(path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let cp = match critical_path(&doc, None) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("smdoctor: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // The deterministic rendering first — bit-identical across traced
+    // reruns of the same schedule, pinned by the critical_path test
+    // suite. Wall-clock annotations follow, clearly separated.
+    print!("{}", cp.render());
+    println!(
+        "-- wall annotations (not deterministic) --\n\
+         path wall {:.6}s over {} epoch(s)",
+        cp.total_wall_s,
+        cp.epochs.len()
+    );
+
+    if let Ok(idle) = idle_attribution(&doc, None) {
+        for (r, units) in idle.est_idle_units.iter().enumerate() {
+            let measured = idle
+                .measured_busy_wall_s
+                .get(r)
+                .map(|(busy, wall)| format!(", measured busy {busy:.4}s / wall {wall:.4}s"))
+                .unwrap_or_default();
+            println!(
+                "rank {r}: est idle {units:.6e} of {:.6e} units{measured}",
+                idle.est_makespan_units
+            );
+        }
+    }
+
+    // Model-vs-measured skew: each job's cost-units-per-second against
+    // the batch-wide mean for the same phase (1.00 = the perfmodel's
+    // relative estimate matched; < 1 = slower than the model expected).
+    // Report-only — never fed back into scheduling.
+    let batch = phase_samples(&doc, &cp.label);
+    let batch_rate: BTreeMap<&str, f64> = batch
+        .iter()
+        .filter_map(|(phase, pairs)| {
+            let (c, w) = pairs
+                .iter()
+                .fold((0.0, 0.0), |(c, w), (pc, pw)| (c + pc, w + pw));
+            (w > 0.0).then_some((phase.as_str(), c / w))
+        })
+        .collect();
+    let skew = job_phase_skew(&doc, &cp.label);
+    if !skew.is_empty() {
+        println!("-- model-vs-measured skew by job (units/s vs batch mean; report-only) --");
+        let mut by_job: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for ((job, phase), (cost, wall)) in &skew {
+            if let (true, Some(&rate)) = (*wall > 0.0, batch_rate.get(phase.as_str())) {
+                if rate > 0.0 {
+                    by_job
+                        .entry(*job)
+                        .or_default()
+                        .push(format!("{phase} {:.2}x", (cost / wall) / rate));
+                }
+            }
+        }
+        for (job, phases) in &by_job {
+            println!("  job {job}: {}", phases.join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `smdoctor export-perfetto <trace.jsonl> [out.json]`: write the Chrome
+/// trace-event document (opens in ui.perfetto.dev).
+fn cmd_export_perfetto(args: &[String]) -> ExitCode {
+    let (path, out) = match args {
+        [p] => (Path::new(p), None),
+        [p, o] => (Path::new(p), Some(PathBuf::from(o))),
+        _ => {
+            eprintln!("usage: smdoctor export-perfetto <trace.jsonl> [out.json]");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let doc = match load_trace(path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let chrome = match sm_trace::chrome::export(&doc, None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("smdoctor: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Default target: results/PERFETTO_<stem>.json with the TRACE_
+    // prefix stripped (TRACE_scf_service.jsonl → PERFETTO_scf_service).
+    let out = out.unwrap_or_else(|| {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let stem = stem.strip_prefix("TRACE_").unwrap_or(stem);
+        results_dir().join(format!("PERFETTO_{stem}.json"))
+    });
+    if let Err(e) = std::fs::write(&out, format!("{chrome}\n")) {
+        eprintln!("smdoctor: cannot write {}: {e}", out.display());
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let slices = chrome
+        .get("sm")
+        .and_then(|sm| sm.get("slices"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "wrote {} ({slices:.0} slices) — open in https://ui.perfetto.dev",
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `smdoctor calibrate <trace.jsonl>`: fit perfmodel coefficients from
+/// the trace's measured phases and print them (report-only; the traced
+/// bench writes `results/CALIB_perfmodel.json` itself).
+fn cmd_calibrate(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: smdoctor calibrate <trace.jsonl>");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let path = Path::new(path);
+    let doc = match load_trace(path) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let label = doc
+        .batch_labels()
+        .first()
+        .cloned()
+        .unwrap_or_else(|| doc.label.clone());
+    let report = calibration_report(&doc, &label);
+    if report.phases.is_empty() {
+        eprintln!(
+            "smdoctor: {}: no engine.phase samples to fit",
+            path.display()
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    println!("perfmodel calibration [batch:{label}] (report-only; never fed back):");
+    for p in &report.phases {
+        println!(
+            "  {:<8} {:.6e} s/unit  r²={:.4}  ({} samples, {:.3e} units, {:.4}s)",
+            p.phase, p.seconds_per_unit, p.r_squared, p.samples, p.total_cost, p.total_seconds
+        );
+    }
+    println!("{}", calibration_json(&label, &report));
+    ExitCode::SUCCESS
+}
+
+/// One difference between two bench documents.
+struct Diff {
+    at: String,
+    what: String,
+    hard: bool,
+}
+
+/// `smdoctor compare <old> <new>`: diff two stamped bench documents.
+/// Deterministic mismatches exit 1; wall-clock drift only warns.
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let [old_path, new_path] = args else {
+        eprintln!("usage: smdoctor compare <old-bench.json> <new-bench.json>");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let mut docs = Vec::new();
+    for p in [old_path, new_path] {
+        let path = Path::new(p);
+        let text = match read_input(path) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        match Json::parse(&text) {
+            Ok(d) => docs.push(d),
+            Err(e) => {
+                eprintln!("smdoctor: {}: malformed JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (old, new) = (&docs[0], &docs[1]);
+
+    let mut diffs: Vec<Diff> = Vec::new();
+    // Envelope: bench name and schema version are deterministic identity;
+    // git_commit/generated_at are provenance, expected to differ.
+    for key in ["bench", "schema_version"] {
+        let (a, b) = (old.get(key), new.get(key));
+        if a != b {
+            diffs.push(Diff {
+                at: key.to_string(),
+                what: format!("{} -> {}", render_opt(a), render_opt(b)),
+                hard: true,
+            });
+        }
+    }
+    match (old.get("data"), new.get("data")) {
+        (Some(a), Some(b)) => compare_value("data", a, b, &mut diffs),
+        (a, b) => diffs.push(Diff {
+            at: "data".into(),
+            what: format!("payload presence {} -> {}", a.is_some(), b.is_some()),
+            hard: true,
+        }),
+    }
+
+    let hard: Vec<&Diff> = diffs.iter().filter(|d| d.hard).collect();
+    let soft: Vec<&Diff> = diffs.iter().filter(|d| !d.hard).collect();
+    for d in &soft {
+        println!("  WARN {}: {}", d.at, d.what);
+    }
+    for d in &hard {
+        println!("  REGRESSION {}: {}", d.at, d.what);
+    }
+    println!(
+        "smdoctor compare: {} deterministic regression(s), {} wall-drift warning(s)",
+        hard.len(),
+        soft.len()
+    );
+    if hard.is_empty() {
+        println!("smdoctor compare: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("smdoctor compare: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn render_opt(v: Option<&Json>) -> String {
+    v.map(Json::to_string).unwrap_or_else(|| "absent".into())
+}
+
+/// Relative wall-clock drift beyond which `compare` warns (wall time is
+/// an annotation, so it can never fail the gate — but a 2× swing is
+/// worth a human look).
+const WALL_DRIFT_WARN: f64 = 0.5;
+
+/// Is this key/column a wall-clock annotation (excluded from the
+/// deterministic contract by the two-clock rule)?
+fn is_wall_key(key: &str) -> bool {
+    key.ends_with("_s") || key.contains("seconds") || key.contains("wall")
+}
+
+/// Keys whose *sum* is deterministic while the split shifts with benign
+/// plan-cache races between concurrent groups (the consensus identity
+/// `hits + builds = Σ group_size × iterations` fixes only the sum).
+const SUMMED_KEYS: [&str; 2] = ["plan_builds", "cache_hits"];
+
+/// Recursive deterministic diff. Objects must agree on key sets; arrays
+/// on length; scalars exactly — except wall-clock keys (soft warn beyond
+/// [`WALL_DRIFT_WARN`]) and the [`SUMMED_KEYS`] pair (compared as a sum).
+/// Tabular `{columns, rows}` payloads (the `bench_table` shape) get the
+/// same treatment column-wise.
+fn compare_value(at: &str, old: &Json, new: &Json, diffs: &mut Vec<Diff>) {
+    match (old, new) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            // bench_table payloads compare column-aware.
+            if old.get("columns").is_some() && old.get("rows").is_some() {
+                compare_table(at, old, new, diffs);
+                return;
+            }
+            let a_keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            let b_keys: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+            if a_keys != b_keys {
+                diffs.push(Diff {
+                    at: at.into(),
+                    what: format!("object keys {a_keys:?} -> {b_keys:?}"),
+                    hard: true,
+                });
+                return;
+            }
+            // The builds/hits split is only deterministic as a sum.
+            if SUMMED_KEYS.iter().all(|k| old.get(k).is_some()) {
+                let sum = |doc: &Json| -> f64 {
+                    SUMMED_KEYS
+                        .iter()
+                        .filter_map(|k| doc.get(k).and_then(Json::as_f64))
+                        .sum()
+                };
+                if sum(old) != sum(new) {
+                    diffs.push(Diff {
+                        at: format!("{at}.{}", SUMMED_KEYS.join("+")),
+                        what: format!("consensus sum {} -> {}", sum(old), sum(new)),
+                        hard: true,
+                    });
+                }
+            }
+            for (k, va) in a {
+                if SUMMED_KEYS.contains(&k.as_str())
+                    && SUMMED_KEYS.iter().all(|s| old.get(s).is_some())
+                {
+                    continue;
+                }
+                if let Some(vb) = new.get(k) {
+                    compare_scalar_or_recurse(&format!("{at}.{k}"), k, va, vb, diffs);
+                }
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                diffs.push(Diff {
+                    at: at.into(),
+                    what: format!("array length {} -> {}", a.len(), b.len()),
+                    hard: true,
+                });
+                return;
+            }
+            for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+                compare_value(&format!("{at}[{i}]"), va, vb, diffs);
+            }
+        }
+        _ => compare_scalar_or_recurse(at, at, old, new, diffs),
+    }
+}
+
+/// Compare two leaf values under the key `key` (wall keys soft-warn;
+/// everything else is deterministic), recursing for containers.
+fn compare_scalar_or_recurse(at: &str, key: &str, old: &Json, new: &Json, diffs: &mut Vec<Diff>) {
+    match (old, new) {
+        (Json::Obj(_), _) | (Json::Arr(_), _) => compare_value(at, old, new, diffs),
+        _ => {
+            // Numeric comparison when both sides parse as numbers (table
+            // cells are strings), string equality otherwise.
+            let nums = (as_number(old), as_number(new));
+            if let (Some(a), Some(b)) = nums {
+                if is_wall_key(key) {
+                    let base = a.abs().max(1e-12);
+                    let drift = (b - a).abs() / base;
+                    if drift > WALL_DRIFT_WARN {
+                        diffs.push(Diff {
+                            at: at.into(),
+                            what: format!(
+                                "wall drift {a} -> {b} ({:+.0}%)",
+                                100.0 * (b - a) / base
+                            ),
+                            hard: false,
+                        });
+                    }
+                } else if a != b {
+                    diffs.push(Diff {
+                        at: at.into(),
+                        what: format!("{a} -> {b}"),
+                        hard: true,
+                    });
+                }
+            } else if old != new {
+                diffs.push(Diff {
+                    at: at.into(),
+                    what: format!("{old} -> {new}"),
+                    hard: true,
+                });
+            }
+        }
+    }
+}
+
+fn as_number(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(x) => Some(*x),
+        Json::Str(s) => s.trim().parse().ok(),
+        _ => None,
+    }
+}
+
+/// Column-aware comparison of a `bench_table` payload: wall columns
+/// soft-warn, the builds/hits column pair compares as a per-row sum,
+/// everything else must match exactly.
+fn compare_table(at: &str, old: &Json, new: &Json, diffs: &mut Vec<Diff>) {
+    let cols = |doc: &Json| -> Vec<String> {
+        doc.get("columns")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .map(|c| c.as_str().unwrap_or("").to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let (ca, cb) = (cols(old), cols(new));
+    if ca != cb {
+        diffs.push(Diff {
+            at: format!("{at}.columns"),
+            what: format!("{ca:?} -> {cb:?}"),
+            hard: true,
+        });
+        return;
+    }
+    fn rows(doc: &Json) -> Vec<&[Json]> {
+        doc.get("rows")
+            .and_then(Json::as_arr)
+            .map(|rs| rs.iter().filter_map(Json::as_arr).collect())
+            .unwrap_or_default()
+    }
+    let (ra, rb) = (rows(old), rows(new));
+    if ra.len() != rb.len() {
+        diffs.push(Diff {
+            at: format!("{at}.rows"),
+            what: format!("row count {} -> {}", ra.len(), rb.len()),
+            hard: true,
+        });
+        return;
+    }
+    let summed: Vec<usize> = ca
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| SUMMED_KEYS.contains(&c.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    let sum_all = summed.len() == SUMMED_KEYS.len();
+    for (r, (row_a, row_b)) in ra.iter().zip(&rb).enumerate() {
+        if sum_all {
+            let sum = |row: &[Json]| -> f64 {
+                summed
+                    .iter()
+                    .filter_map(|&i| row.get(i).and_then(as_number))
+                    .sum()
+            };
+            if sum(row_a) != sum(row_b) {
+                diffs.push(Diff {
+                    at: format!("{at}.rows[{r}].{}", SUMMED_KEYS.join("+")),
+                    what: format!("consensus sum {} -> {}", sum(row_a), sum(row_b)),
+                    hard: true,
+                });
+            }
+        }
+        for (c, col) in ca.iter().enumerate() {
+            if sum_all && summed.contains(&c) {
+                continue;
+            }
+            let (Some(va), Some(vb)) = (row_a.get(c), row_b.get(c)) else {
+                continue;
+            };
+            compare_scalar_or_recurse(&format!("{at}.rows[{r}].{col}"), col, va, vb, diffs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Audit mode (the original smdoctor): schema + health over artifacts.
+// ---------------------------------------------------------------------
 
 /// One problem found while auditing the artifacts. Printed with the file
 /// it was found in; any of these fails `--check`.
@@ -45,62 +567,102 @@ fn drift(report: &mut Vec<Drift>, file: &Path, what: impl Into<String>) {
     });
 }
 
-fn main() -> ExitCode {
+/// Is this file name one of the audited artifact shapes?
+fn is_artifact(name: &str) -> bool {
+    (name.starts_with("BENCH_") && name.ends_with(".json"))
+        || (name.starts_with("TRACE_") && name.ends_with(".jsonl"))
+        || (name.starts_with("PERFETTO_") && name.ends_with(".json"))
+        || (name.starts_with("CALIB_") && name.ends_with(".json"))
+        || name.ends_with(".csv")
+}
+
+/// Glob a directory for audited artifacts, sorted.
+fn collect_artifacts(dir: &Path) -> Vec<PathBuf> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| rd.filter_map(|e| e.ok()).map(|e| e.path()).collect())
+        .unwrap_or_default();
+    entries.sort();
+    entries
+        .into_iter()
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            p.is_file() && is_artifact(name)
+        })
+        .collect()
+}
+
+fn cmd_audit(args: &[String]) -> ExitCode {
     let mut check = false;
-    let mut paths: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    for arg in args {
         match arg.as_str() {
             "--check" => check = true,
-            "--help" | "-h" => {
-                println!(
-                    "smdoctor [--check] [paths...]\n\n\
-                     Audit BENCH_*.json and TRACE_*.jsonl artifacts (default: results/).\n\
-                     --check  exit non-zero on schema drift, corruption, or no artifacts"
-                );
-                return ExitCode::SUCCESS;
-            }
-            other => paths.push(PathBuf::from(other)),
+            other => inputs.push(PathBuf::from(other)),
         }
     }
-    if paths.is_empty() {
-        let dir = results_dir();
-        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
-            .map(|rd| rd.filter_map(|e| e.ok()).map(|e| e.path()).collect())
-            .unwrap_or_default();
-        entries.sort();
-        paths = entries
-            .into_iter()
-            .filter(|p| {
-                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                (name.starts_with("BENCH_") && name.ends_with(".json"))
-                    || (name.starts_with("TRACE_") && name.ends_with(".jsonl"))
-            })
-            .collect();
+    // Default to results/; any directory argument is globbed for
+    // artifacts, file arguments are audited as given.
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut missing = false;
+    if inputs.is_empty() {
+        paths = collect_artifacts(&results_dir());
+    } else {
+        for input in inputs {
+            if input.is_dir() {
+                paths.extend(collect_artifacts(&input));
+            } else if input.is_file() {
+                paths.push(input);
+            } else {
+                eprintln!("smdoctor: no such file or directory: {}", input.display());
+                missing = true;
+            }
+        }
+    }
+    if missing {
+        return ExitCode::from(EXIT_USAGE);
     }
 
     let mut report = Vec::new();
-    let mut benches = 0usize;
-    let mut traces = 0usize;
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for path in &paths {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if name.ends_with(".jsonl") {
-            traces += 1;
+            *counts.entry("trace").or_default() += 1;
             audit_trace(path, &mut report);
+        } else if name.starts_with("PERFETTO_") {
+            *counts.entry("perfetto").or_default() += 1;
+            audit_perfetto(path, &mut report);
+        } else if name.ends_with(".csv") {
+            *counts.entry("csv").or_default() += 1;
+            audit_csv(path, &mut report);
         } else {
-            benches += 1;
+            // BENCH_ and CALIB_ share the stamped envelope; CALIB adds
+            // the report-only pin.
+            *counts
+                .entry(if name.starts_with("CALIB_") {
+                    "calib"
+                } else {
+                    "bench"
+                })
+                .or_default() += 1;
             audit_bench(path, &mut report);
         }
     }
 
+    let audited: usize = counts.values().sum();
     println!(
-        "\nsmdoctor: audited {benches} BENCH document(s), {traces} trace(s), \
-         {} problem(s)",
+        "\nsmdoctor: audited {audited} artifact(s) [{}], {} problem(s)",
+        counts
+            .iter()
+            .map(|(k, v)| format!("{v} {k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
         report.len()
     );
     for d in &report {
         println!("  DRIFT {}: {}", d.file, d.what);
     }
-    if check && (benches + traces == 0) {
+    if check && audited == 0 {
         println!("smdoctor --check: no artifacts found — nothing to vouch for");
         return ExitCode::FAILURE;
     }
@@ -111,11 +673,12 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Audit one `BENCH_*.json` trajectory document: parseable, stamped,
-/// schema-current.
+/// Audit one stamped JSON document (`BENCH_*` / `CALIB_*`): parseable,
+/// stamped, schema-current; calibration reports must be report-only.
 fn audit_bench(path: &Path, report: &mut Vec<Drift>) {
     println!("\n== {} ==", path.display());
     let text = match std::fs::read_to_string(path) {
+        Ok(t) if t.trim().is_empty() => return drift(report, path, "empty file"),
         Ok(t) => t,
         Err(e) => return drift(report, path, format!("unreadable: {e}")),
     };
@@ -141,6 +704,17 @@ fn audit_bench(path: &Path, report: &mut Vec<Drift>) {
     if doc.get("data").is_none() {
         drift(report, path, "missing data payload");
     }
+    let is_calib = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("CALIB_"));
+    if is_calib && doc.get("data").and_then(|d| d.get("report_only")) != Some(&Json::Bool(true)) {
+        drift(
+            report,
+            path,
+            "calibration report must stamp data.report_only=true (invariant 3)",
+        );
+    }
     println!(
         "  bench={} commit={} at={}",
         doc.get("bench").and_then(Json::as_str).unwrap_or("?"),
@@ -152,6 +726,83 @@ fn audit_bench(path: &Path, report: &mut Vec<Drift>) {
             .and_then(Json::as_str)
             .unwrap_or("?"),
     );
+}
+
+/// Audit one `PERFETTO_*.json` export: parseable, non-empty
+/// `traceEvents`, current `sm` provenance stamp.
+fn audit_perfetto(path: &Path, report: &mut Vec<Drift>) {
+    println!("\n== {} ==", path.display());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) if t.trim().is_empty() => return drift(report, path, "empty file"),
+        Ok(t) => t,
+        Err(e) => return drift(report, path, format!("unreadable: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return drift(report, path, format!("malformed JSON: {e}")),
+    };
+    let n_events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map(|a| a.len());
+    match n_events {
+        Some(0) => drift(report, path, "traceEvents is empty"),
+        Some(n) => println!("  {n} trace event(s)"),
+        None => drift(report, path, "missing traceEvents array"),
+    }
+    let sm = doc.get("sm");
+    match sm.and_then(|s| s.get("schema")).and_then(Json::as_str) {
+        Some(sm_trace::chrome::PERFETTO_SCHEMA) => {}
+        other => drift(report, path, format!("sm.schema {other:?}")),
+    }
+    match sm.and_then(|s| s.get("version")).and_then(Json::as_f64) {
+        Some(v) if v == sm_trace::TRACE_SCHEMA_VERSION as f64 => {}
+        v => drift(
+            report,
+            path,
+            format!(
+                "sm.version {v:?} != current {}",
+                sm_trace::TRACE_SCHEMA_VERSION
+            ),
+        ),
+    }
+}
+
+/// Audit one CSV artifact: the `# schema=sm-csv ...` stamp must lead and
+/// carry the current version.
+fn audit_csv(path: &Path, report: &mut Vec<Drift>) {
+    println!("\n== {} ==", path.display());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) if t.trim().is_empty() => return drift(report, path, "empty file"),
+        Ok(t) => t,
+        Err(e) => return drift(report, path, format!("unreadable: {e}")),
+    };
+    let first = text.lines().next().unwrap_or("");
+    if !first.starts_with("# schema=sm-csv ") {
+        return drift(
+            report,
+            path,
+            "missing '# schema=sm-csv ...' header stamp on line 1",
+        );
+    }
+    let version = first
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("version="))
+        .and_then(|v| v.parse::<u32>().ok());
+    match version {
+        Some(v) if v == CSV_SCHEMA_VERSION => {}
+        v => drift(
+            report,
+            path,
+            format!("csv schema version {v:?} != current {CSV_SCHEMA_VERSION}"),
+        ),
+    }
+    let rows = text
+        .lines()
+        .skip(2)
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    println!("  {} data row(s)", rows);
 }
 
 /// Parsed view of one trace line (event or metric).
@@ -339,6 +990,21 @@ fn audit_trace(path: &Path, report: &mut Vec<Drift>) {
         let msgs = metric_u64(&format!("/comm.{class}.msgs"));
         if msgs > 0 {
             println!("  comm [{class}]: {bytes} bytes in {msgs} message(s)");
+        }
+    }
+
+    // The deterministic cost-unit critical path, when the trace carries
+    // schedule narration (v2 traces of scheduler runs).
+    if let Ok(doc) = TraceDoc::parse(&text) {
+        match critical_path(&doc, None) {
+            Ok(cp) => println!(
+                "  critical path: {:.6e} units over {} epoch(s), straggler job {:?}",
+                cp.total_units,
+                cp.epochs.len(),
+                cp.straggler_job
+            ),
+            Err(TraceError::NoSchedule(_)) => {}
+            Err(e) => drift(report, path, format!("critical path: {e}")),
         }
     }
 }

@@ -11,5 +11,6 @@
 //! while pattern/model experiments use the standard ranges. Passing
 //! `--paper` to a binary enlarges the workload toward the paper's sizes.
 
+pub mod calibrate;
 pub mod output;
 pub mod workloads;

@@ -12,21 +12,35 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Schema version of the CSV artifacts' `# schema=sm-csv ...` comment
+/// header (same discipline as the JSON stamps: bump only with a
+/// migration note; `smdoctor --check` audits it).
+pub const CSV_SCHEMA_VERSION: u32 = 1;
+
+/// The `# schema=sm-csv ...` comment line stamped atop every CSV output
+/// (self-describing artifacts: schema version + producing bench).
+pub fn csv_schema_header(stem: &str) -> String {
+    format!("# schema=sm-csv version={CSV_SCHEMA_VERSION} bench={stem}")
+}
+
 /// Write a CSV file into [`results_dir`] and announce it on stdout.
 ///
-/// Every CSV additionally materializes as a stable-schema
-/// `BENCH_<stem>.json` trajectory document (see [`write_bench_json`]), so
-/// all experiment binaries feed the machine-readable result trajectory
-/// without per-binary plumbing.
+/// The first line is the [`csv_schema_header`] comment stamp (consumers
+/// skip `#` lines), then the column header, then the rows. Every CSV
+/// additionally materializes as a stable-schema `BENCH_<stem>.json`
+/// trajectory document (see [`write_bench_json`]), so all experiment
+/// binaries feed the machine-readable result trajectory without
+/// per-binary plumbing.
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     let path = results_dir().join(name);
+    let stem = name.strip_suffix(".csv").unwrap_or(name);
     let mut f = fs::File::create(&path).expect("cannot create CSV file");
+    writeln!(f, "{}", csv_schema_header(stem)).expect("write schema stamp");
     writeln!(f, "{}", header.join(",")).expect("write header");
     for row in rows {
         writeln!(f, "{}", row.join(",")).expect("write row");
     }
     println!("wrote {} ({} rows)", path.display(), rows.len());
-    let stem = name.strip_suffix(".csv").unwrap_or(name);
     write_bench_json(stem, bench_table(header, rows));
 }
 
@@ -63,6 +77,16 @@ pub fn bench_table(header: &[&str], rows: &[Vec<String>]) -> Json {
 /// verifies the stamps). `data` is the binary-specific payload (usually
 /// [`bench_table`], optionally richer).
 pub fn write_bench_json(name: &str, data: Json) {
+    write_stamped_json("BENCH", name, data);
+}
+
+/// Write `results/<prefix>_<name>.json` with the standard provenance
+/// stamp envelope (`bench`/`schema_version`/`git_commit`/`generated_at`/
+/// `data` in stable key order). The shared writer behind
+/// [`write_bench_json`] and the calibration report
+/// (`results/CALIB_perfmodel.json`) — every stamped artifact passes the
+/// same `smdoctor --check` audit.
+pub fn write_stamped_json(prefix: &str, name: &str, data: Json) -> PathBuf {
     let doc = Json::obj([
         ("bench", Json::Str(name.to_string())),
         ("schema_version", Json::Num(BENCH_SCHEMA_VERSION)),
@@ -70,9 +94,10 @@ pub fn write_bench_json(name: &str, data: Json) {
         ("generated_at", Json::Str(iso8601_utc_now())),
         ("data", data),
     ]);
-    let path = results_dir().join(format!("BENCH_{name}.json"));
-    fs::write(&path, format!("{doc}\n")).expect("cannot write BENCH json");
+    let path = results_dir().join(format!("{prefix}_{name}.json"));
+    fs::write(&path, format!("{doc}\n")).expect("cannot write stamped json");
     println!("wrote {}", path.display());
+    path
 }
 
 /// The workspace git commit (`git rev-parse HEAD`), or `"unknown"` when
@@ -144,273 +169,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Minimal JSON value for the experiment binaries' machine-readable
-/// output (the workspace has no serde; this covers what the benches emit).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// The null value (also what non-finite numbers serialize as).
-    Null,
-    /// A finite number.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// A boolean.
-    Bool(bool),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object constructor from key/value pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Parse a JSON document (recursive descent over the full grammar the
-    /// benches and traces emit). Returns a readable error with the byte
-    /// offset on malformed input — `smdoctor` reports it as corruption.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Member lookup on an object (first match; `None` otherwise).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
-    if b.get(*pos) == Some(&want) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {pos}", want as char))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut pairs = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                expect_byte(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
-                pairs.push((key, value));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(pairs));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') if b[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if b[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < b.len()
-                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII number bytes");
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("malformed number '{text}' at byte {start}"))
-        }
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect_byte(b, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| "truncated \\u escape".to_string())?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?,
-                            16,
-                        )
-                        .map_err(|_| "bad \\u escape".to_string())?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences pass
-                // through unmodified).
-                let start = *pos;
-                *pos += 1;
-                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
-                    *pos += 1;
-                }
-                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
-            }
-        }
-    }
-}
-
-impl std::fmt::Display for Json {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Json::Null => write!(f, "null"),
-            Json::Num(x) => {
-                if !x.is_finite() {
-                    // JSON has no NaN/inf; null keeps the document valid.
-                    write!(f, "null")
-                } else if x.fract() == 0.0 && x.abs() < 1e15 {
-                    write!(f, "{}", *x as i64)
-                } else {
-                    write!(f, "{x}")
-                }
-            }
-            Json::Str(s) => {
-                write!(f, "\"")?;
-                for c in s.chars() {
-                    match c {
-                        '"' => write!(f, "\\\"")?,
-                        '\\' => write!(f, "\\\\")?,
-                        '\n' => write!(f, "\\n")?,
-                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-                        c => write!(f, "{c}")?,
-                    }
-                }
-                write!(f, "\"")
-            }
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Arr(items) => {
-                write!(f, "[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                write!(f, "]")
-            }
-            Json::Obj(pairs) => {
-                write!(f, "{{")?;
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
-                }
-                write!(f, "}}")
-            }
-        }
-    }
-}
+/// The workspace JSON value (moved to `sm_trace::json` so the trace
+/// analyzers share the same parser/serializer; re-exported here so every
+/// existing `sm_bench::output::Json` call site keeps working).
+pub use sm_trace::json::Json;
 
 /// Write a JSON document into [`results_dir`] and announce it on stdout —
 /// the standard machine-readable output of the experiment binaries.
@@ -469,7 +231,10 @@ mod tests {
         );
         let content =
             std::fs::read_to_string(results_dir().join("test_output_helper.csv")).unwrap();
-        assert_eq!(content, "a,b\n1,2\n");
+        assert_eq!(
+            content,
+            "# schema=sm-csv version=1 bench=test_output_helper\na,b\n1,2\n"
+        );
         std::fs::remove_file(results_dir().join("test_output_helper.csv")).unwrap();
         // The CSV also materialized as a stable-schema BENCH document,
         // stamped with provenance in a fixed key order.

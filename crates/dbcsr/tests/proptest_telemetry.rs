@@ -1,0 +1,114 @@
+//! Property tests for the versioned telemetry wire record (ISSUE 7
+//! satellite): encode→decode round-trips exactly over random `(id, value)`
+//! entry sets — including field ids the current `tele` registry does not
+//! know, which decode must preserve verbatim (forward compatibility) —
+//! while a foreign version word is rejected with `VersionMismatch` and a
+//! short buffer with `Truncated`, never misparsed.
+
+use proptest::prelude::*;
+use sm_dbcsr::wire::{tele, TelemetryError, TelemetryRecord, TELEMETRY_SCHEMA_VERSION};
+
+/// Build a record from raw entries, preserving order and repeats.
+fn record_from(entries: &[(u32, f64)]) -> TelemetryRecord {
+    let mut rec = TelemetryRecord::new();
+    for &(id, v) in entries {
+        rec.push(id, v);
+    }
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random entry sets — known ids, unknown ids (≥ 30, beyond the
+    /// `tele` registry), repeats, arbitrary magnitudes — survive an
+    /// encode→decode round trip bit-for-bit, in order.
+    #[test]
+    fn roundtrip_preserves_entries_including_unknown_ids(
+        n in 0usize..24,
+        ids in proptest::collection::vec(0u32..4096, 24),
+        mags in proptest::collection::vec(-1e12f64..1e12, 24),
+    ) {
+        let entries: Vec<(u32, f64)> =
+            ids.iter().zip(&mags).take(n).map(|(&id, &v)| (id, v)).collect();
+        let rec = record_from(&entries);
+        let wire = rec.encode();
+        prop_assert_eq!(wire.len(), 2 + 2 * n);
+        prop_assert_eq!(wire[0], TELEMETRY_SCHEMA_VERSION as f64);
+        prop_assert_eq!(wire[1], n as f64);
+
+        let back = TelemetryRecord::decode(&wire).expect("round trip decodes");
+        prop_assert_eq!(back.entries(), &entries[..]);
+        // Unknown ids (outside the registered 0..=29 range) came back too,
+        // not silently dropped.
+        for &(id, v) in entries.iter().filter(|(id, _)| *id > tele::SCF_ITER_SCATTER_BYTES) {
+            prop_assert!(back.get_all(id).contains(&v), "unknown id {} lost", id);
+        }
+    }
+
+    /// Repeated ids keep their relative order through the wire — the
+    /// contract the per-iteration SCF byte counters rely on.
+    #[test]
+    fn repeated_ids_keep_iteration_order(
+        vals in proptest::collection::vec(0.0f64..1e9, 8),
+    ) {
+        let mut rec = TelemetryRecord::new();
+        for &v in &vals {
+            rec.push(tele::SCF_ITER_GATHER_BYTES, v);
+        }
+        let back = TelemetryRecord::decode(&rec.encode()).expect("decodes");
+        prop_assert_eq!(back.get_all(tele::SCF_ITER_GATHER_BYTES), vals);
+    }
+
+    /// Any version word other than `TELEMETRY_SCHEMA_VERSION` is refused
+    /// with `VersionMismatch` carrying both versions — regardless of how
+    /// plausible the rest of the buffer looks.
+    #[test]
+    fn foreign_version_is_rejected_not_misparsed(
+        version in 0u32..64,
+        n in 0usize..8,
+        vals in proptest::collection::vec(-1e6f64..1e6, 8),
+    ) {
+        let mut rec = TelemetryRecord::new();
+        for (i, &v) in vals.iter().take(n).enumerate() {
+            rec.push(i as u32, v);
+        }
+        let mut wire = rec.encode();
+        wire[0] = version as f64;
+        let out = TelemetryRecord::decode(&wire);
+        if version == TELEMETRY_SCHEMA_VERSION {
+            prop_assert!(out.is_ok());
+        } else {
+            prop_assert_eq!(
+                out,
+                Err(TelemetryError::VersionMismatch {
+                    found: version,
+                    expected: TELEMETRY_SCHEMA_VERSION,
+                })
+            );
+        }
+    }
+
+    /// Chopping any suffix off a non-trivial record yields `Truncated`
+    /// with the honest lengths — decode never reads past the buffer or
+    /// fabricates entries.
+    #[test]
+    fn truncation_is_reported_with_lengths(
+        n in 1usize..12,
+        vals in proptest::collection::vec(-1e6f64..1e6, 12),
+        cut in 1usize..24,
+    ) {
+        let entries: Vec<(u32, f64)> =
+            vals.iter().take(n).enumerate().map(|(i, &v)| (i as u32 * 7, v)).collect();
+        let wire = record_from(&entries).encode();
+        let cut = cut.min(wire.len());
+        let short = &wire[..wire.len() - cut];
+        match TelemetryRecord::decode(short) {
+            Err(TelemetryError::Truncated { len, needed }) => {
+                prop_assert_eq!(len, short.len());
+                prop_assert!(needed > len, "needed {} must exceed len {}", needed, len);
+            }
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+}

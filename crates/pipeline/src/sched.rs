@@ -733,7 +733,11 @@ fn result_tag(job: usize, part: u64) -> u64 {
 /// Narrate a finished epoch/steal plan into the active trace (no-op when
 /// tracing is disabled): one `sched.epoch` event per epoch (cost = the
 /// epoch's steal horizon, with committed/deferred queue snapshots), one
-/// `sched.queue` per group (cost = committed estimated cost), and one
+/// `sched.queue` per group (cost = committed estimated cost), one
+/// `sched.job` per committed queue entry **in execution order** (cost =
+/// the job's static estimate; fields carry queue position, rank count and
+/// steal attribution — the dependency edges `sm_trace::analyze`'s
+/// critical-path walker reconstructs, new in trace schema v2), and one
 /// `sched.steal` per stolen job at its decision point. Everything emitted
 /// here is a pure function of the schedule, so traced span trees stay
 /// deterministic across reruns.
@@ -774,7 +778,18 @@ fn trace_schedule(s: &EpochSchedule) {
                     ("rank_start", grp.ranks.start as f64),
                 ],
             );
-            for &j in &grp.jobs {
+            for (pos, &j) in grp.jobs.iter().enumerate() {
+                sm_trace::emit(
+                    "sched.job",
+                    costs[j],
+                    0.0,
+                    &[
+                        ("job", j as f64),
+                        ("pos", pos as f64),
+                        ("ranks", grp.ranks.len() as f64),
+                        ("stolen_ranks", s.job_stolen_ranks[j] as f64),
+                    ],
+                );
                 if s.job_stolen_ranks[j] > 0 {
                     sm_trace::emit(
                         "sched.steal",

@@ -1,0 +1,1050 @@
+//! Trace analysis: span-forest reconstruction, per-epoch **critical
+//! path**, per-rank idle attribution, and model-vs-measured phase skew.
+//!
+//! The raw `TRACE_*.jsonl` stream (one line per event/metric) is enough
+//! to answer the operational questions PR 6 left open — *which job chain
+//! bounds an epoch*, *which ranks idle how long*, *how wrong is the
+//! perfmodel per phase* — but nobody wants to read JSONL by hand. This
+//! module parses a trace back into a [`TraceDoc`], reconstructs the
+//! epoch/group/job schedule from the scheduler's narration events
+//! (`sched.epoch` / `sched.queue` / `sched.job`), and computes:
+//!
+//! * [`critical_path`] — the longest chain of job executions through the
+//!   epoch barriers, in **perfmodel cost units** (deterministic: a pure
+//!   function of the schedule narration, so [`CriticalPath::render`] is
+//!   bit-identical across reruns and safe to assert on) and in wall-clock
+//!   seconds (annotation only, per the two-clock rule);
+//! * [`idle_attribution`] — per-rank idle time in cost units (from the
+//!   schedule) and measured busy/wall seconds (from `rank.idle` events);
+//! * [`phase_samples`] / [`job_phase_skew`] — `(cost, wall)` sample pairs
+//!   per engine phase (gather/solve/scatter), the raw material for the
+//!   `sm_accel::perfmodel` calibration fitter and for per-job skew
+//!   reports ("this job ran 3× slower per cost unit than the batch").
+//!
+//! ## The barrier model
+//!
+//! Within an epoch each group executes its committed queue sequentially;
+//! between epochs the scheduler re-splits the **world** communicator, a
+//! collective every rank joins — a barrier. The dependency forest is
+//! therefore: job `k+1` of a group's queue depends on job `k`, and every
+//! job of epoch `e+1` depends on all of epoch `e`. The critical path is
+//! the concatenation, over epochs, of the longest group chain, where a
+//! job's cost-unit duration is `cost / ranks` (the same convention as
+//! `sm_pipeline::sched::steal_horizon`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::{Metric, TraceSession, TRACE_SCHEMA_VERSION};
+
+/// Failure while parsing or analyzing a trace. The variants matter to
+/// `smdoctor`'s exit-code discipline: input problems (missing/empty/
+/// malformed files) are usage errors, schema mismatches are drift.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace file has no lines at all.
+    Empty,
+    /// The header line is missing, malformed, or not an `sm-trace` header.
+    BadHeader(String),
+    /// The header speaks a different [`TRACE_SCHEMA_VERSION`].
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this analyzer speaks.
+        expected: u32,
+    },
+    /// A record line failed to parse (1-based line number).
+    Line {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Parser message.
+        msg: String,
+    },
+    /// The trace carries no scheduler narration to reconstruct from
+    /// (traced outside a scheduler run, or a pre-v2 trace without
+    /// `sched.job` events).
+    NoSchedule(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "empty trace file"),
+            TraceError::BadHeader(msg) => write!(f, "bad trace header: {msg}"),
+            TraceError::VersionMismatch { found, expected } => write!(
+                f,
+                "trace schema version mismatch: file is v{found}, analyzer speaks v{expected}"
+            ),
+            TraceError::Line { line, msg } => write!(f, "line {line}: {msg}"),
+            TraceError::NoSchedule(msg) => write!(f, "no schedule narration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One parsed trace event (owned twin of [`crate::Event`], produced by
+/// [`TraceDoc::parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecEvent {
+    /// Span path the event was emitted under.
+    pub path: String,
+    /// Event name (`sched.queue`, `engine.phase`, ...).
+    pub name: String,
+    /// Per-thread logical sequence number.
+    pub seq: u64,
+    /// Deterministic logical cost (perfmodel units / planned bytes).
+    pub cost: f64,
+    /// Wall-time annotation in seconds.
+    pub wall_s: f64,
+    /// Auxiliary numeric fields.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl RecEvent {
+    /// Auxiliary field by name (0.0 when absent).
+    pub fn field(&self, key: &str) -> f64 {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+}
+
+/// One parsed metric line (value semantics depend on `kind`; histograms
+/// keep only count and sum — buckets are not needed by the analyzers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecMetric {
+    /// Metric key (span-scoped).
+    pub name: String,
+    /// Kind label (`counter`, `gauge`, `bytes_hist`, `seconds_hist`).
+    pub kind: String,
+    /// Counter/gauge value, or the histogram sum.
+    pub value: f64,
+    /// Histogram sample count (0 for counters/gauges).
+    pub count: u64,
+}
+
+/// A parsed trace: the header fields plus every event and metric, in
+/// file order. Obtained from [`TraceDoc::parse`] (an exported JSONL
+/// stream) or [`TraceDoc::from_session`] (a live [`TraceSession`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceDoc {
+    /// Session label from the header.
+    pub label: String,
+    /// Schema version from the header.
+    pub version: u32,
+    /// All events, in file/arrival order (not deterministic across rank
+    /// threads — analyzers sort by deterministic keys).
+    pub events: Vec<RecEvent>,
+    /// All metrics, sorted by key (the exporter writes them sorted).
+    pub metrics: Vec<RecMetric>,
+}
+
+impl TraceDoc {
+    /// Parse an exported JSONL trace stream (see
+    /// [`TraceSession::write_jsonl`]). Rejects foreign header versions
+    /// with [`TraceError::VersionMismatch`].
+    pub fn parse(text: &str) -> Result<TraceDoc, TraceError> {
+        let mut lines = text.lines();
+        let header_line = lines.next().ok_or(TraceError::Empty)?;
+        let header = Json::parse(header_line).map_err(TraceError::BadHeader)?;
+        if header.get("schema").and_then(Json::as_str) != Some("sm-trace") {
+            return Err(TraceError::BadHeader(
+                "not an sm-trace header (missing \"schema\":\"sm-trace\")".into(),
+            ));
+        }
+        let version = header
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| TraceError::BadHeader("missing version".into()))?
+            as u32;
+        if version != TRACE_SCHEMA_VERSION {
+            return Err(TraceError::VersionMismatch {
+                found: version,
+                expected: TRACE_SCHEMA_VERSION,
+            });
+        }
+        let label = header
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+
+        let mut doc = TraceDoc {
+            label,
+            version,
+            events: Vec::new(),
+            metrics: Vec::new(),
+        };
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            let rec = Json::parse(line).map_err(|msg| TraceError::Line { line: lineno, msg })?;
+            let num = |key: &str| rec.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            match rec.get("type").and_then(Json::as_str) {
+                Some("event") => doc.events.push(RecEvent {
+                    path: rec
+                        .get("path")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    name: rec
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    seq: num("seq") as u64,
+                    cost: num("cost"),
+                    wall_s: num("wall_s"),
+                    fields: rec
+                        .get("fields")
+                        .and_then(Json::as_obj)
+                        .map(|pairs| {
+                            pairs
+                                .iter()
+                                .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(0.0)))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                }),
+                Some("metric") => doc.metrics.push(RecMetric {
+                    name: rec
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    kind: rec
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    value: rec
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .unwrap_or_else(|| num("sum")),
+                    count: num("count") as u64,
+                }),
+                other => {
+                    return Err(TraceError::Line {
+                        line: lineno,
+                        msg: format!("unknown record type {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Snapshot a live session into the analyzer representation.
+    pub fn from_session(session: &TraceSession) -> TraceDoc {
+        let events = session
+            .events()
+            .into_iter()
+            .map(|ev| RecEvent {
+                path: ev.path,
+                name: ev.name.to_string(),
+                seq: ev.seq,
+                cost: ev.cost,
+                wall_s: ev.wall_s,
+                fields: ev
+                    .fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            })
+            .collect();
+        let metrics = session
+            .metrics()
+            .into_iter()
+            .map(|(name, m)| match m {
+                Metric::Counter(c) => RecMetric {
+                    name,
+                    kind: "counter".into(),
+                    value: c as f64,
+                    count: 0,
+                },
+                Metric::Gauge(g) => RecMetric {
+                    name,
+                    kind: "gauge".into(),
+                    value: g,
+                    count: 0,
+                },
+                Metric::BytesHistogram(h) => RecMetric {
+                    name,
+                    kind: "bytes_hist".into(),
+                    value: h.sum,
+                    count: h.count,
+                },
+                Metric::SecondsHistogram(h) => RecMetric {
+                    name,
+                    kind: "seconds_hist".into(),
+                    value: h.sum,
+                    count: h.count,
+                },
+            })
+            .collect();
+        TraceDoc {
+            label: session.label().to_string(),
+            version: TRACE_SCHEMA_VERSION,
+            events,
+            metrics,
+        }
+    }
+
+    /// The batch labels present in the document (from `batch:` roots of
+    /// scheduler narration events), sorted.
+    pub fn batch_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .events
+            .iter()
+            .filter(|e| e.name.starts_with("sched."))
+            .filter_map(|e| path_seg(&e.path, "batch").map(str::to_string))
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+}
+
+/// Extract the value of a `kind:` segment from a span path
+/// (`path_seg("batch:svc/epoch:2", "epoch") == Some("2")`).
+pub fn path_seg<'p>(path: &'p str, kind: &str) -> Option<&'p str> {
+    path.split('/').find_map(|seg| {
+        seg.strip_prefix(kind)
+            .and_then(|rest| rest.strip_prefix(':'))
+    })
+}
+
+fn path_idx(path: &str, kind: &str) -> Option<usize> {
+    path_seg(path, kind).and_then(|v| v.parse().ok())
+}
+
+/// One job execution reconstructed from the schedule narration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobExec {
+    /// Job submission index.
+    pub job: usize,
+    /// Epoch it executed in.
+    pub epoch: usize,
+    /// Group index within the epoch.
+    pub group: usize,
+    /// Position in the group's committed queue.
+    pub pos: usize,
+    /// Estimated job cost (perfmodel units; whole job, all ranks).
+    pub cost: f64,
+    /// Ranks of the executing group.
+    pub ranks: usize,
+    /// Measured wall seconds (max over the group's per-rank `job.done`
+    /// reports; 0 when the trace has no `job.done` events). Annotation
+    /// only.
+    pub wall_s: f64,
+    /// Ranks outside the job's static home group (0 = not stolen).
+    pub stolen_ranks: usize,
+}
+
+impl JobExec {
+    /// Cost-unit duration of this execution: `cost / ranks` — the same
+    /// convention as the scheduler's steal horizon.
+    pub fn duration_units(&self) -> f64 {
+        self.cost / self.ranks.max(1) as f64
+    }
+}
+
+/// One group of one epoch, reconstructed from `sched.queue`/`sched.job`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupExec {
+    /// Group index within the epoch.
+    pub group: usize,
+    /// First world rank of the group.
+    pub rank_start: usize,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Committed estimated cost of the group's queue.
+    pub est_cost: f64,
+    /// The committed queue, in execution order (job submission indices).
+    pub jobs: Vec<usize>,
+}
+
+/// The reconstructed epoch/group/job schedule of one traced batch.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Batch label the schedule was reconstructed under.
+    pub label: String,
+    /// Groups per epoch, in epoch order (group order by index).
+    pub epochs: Vec<Vec<GroupExec>>,
+    /// Every job execution, keyed by submission index.
+    pub jobs: BTreeMap<usize, JobExec>,
+    /// World size (ranks covered by epoch 0's groups).
+    pub world_size: usize,
+}
+
+/// Reconstruct the schedule of the batch labelled `label` (or the only
+/// traced batch when `None`) from the scheduler narration events.
+pub fn reconstruct(doc: &TraceDoc, label: Option<&str>) -> Result<Schedule, TraceError> {
+    let label = match label {
+        Some(l) => l.to_string(),
+        None => {
+            let labels = doc.batch_labels();
+            match labels.as_slice() {
+                [] => {
+                    return Err(TraceError::NoSchedule(
+                        "no sched.* events in the trace".into(),
+                    ))
+                }
+                [one] => one.clone(),
+                many => {
+                    return Err(TraceError::NoSchedule(format!(
+                        "multiple traced batches {many:?}; pick one"
+                    )))
+                }
+            }
+        }
+    };
+    let root = format!("batch:{label}/");
+
+    // sched.queue gives each (epoch, group) its rank range and committed
+    // cost; sched.job (one per queued job, in queue order) the per-job
+    // cost/ranks/steal attribution. Both are emitted by the caller thread
+    // before execution, so they are pure functions of the schedule.
+    let mut epochs: BTreeMap<usize, BTreeMap<usize, GroupExec>> = BTreeMap::new();
+    let mut queue_jobs: BTreeMap<(usize, usize), Vec<(usize, JobExec)>> = BTreeMap::new();
+    for ev in &doc.events {
+        if !ev.path.starts_with(&root) {
+            continue;
+        }
+        let (Some(e), Some(g)) = (path_idx(&ev.path, "epoch"), path_idx(&ev.path, "group")) else {
+            continue;
+        };
+        match ev.name.as_str() {
+            "sched.queue" => {
+                epochs.entry(e).or_default().insert(
+                    g,
+                    GroupExec {
+                        group: g,
+                        rank_start: ev.field("rank_start") as usize,
+                        ranks: (ev.field("ranks") as usize).max(1),
+                        est_cost: ev.cost,
+                        jobs: Vec::new(),
+                    },
+                );
+            }
+            "sched.job" => {
+                let pos = ev.field("pos") as usize;
+                queue_jobs.entry((e, g)).or_default().push((
+                    pos,
+                    JobExec {
+                        job: ev.field("job") as usize,
+                        epoch: e,
+                        group: g,
+                        pos,
+                        cost: ev.cost,
+                        ranks: (ev.field("ranks") as usize).max(1),
+                        wall_s: 0.0,
+                        stolen_ranks: ev.field("stolen_ranks") as usize,
+                    },
+                ));
+            }
+            _ => {}
+        }
+    }
+    if epochs.is_empty() {
+        return Err(TraceError::NoSchedule(format!(
+            "no sched.queue events under batch:{label}"
+        )));
+    }
+    if queue_jobs.is_empty()
+        && epochs
+            .values()
+            .any(|gs| gs.values().any(|g| g.est_cost > 0.0))
+    {
+        return Err(TraceError::NoSchedule(
+            "no sched.job events (pre-v2 trace?) — cannot order group queues".into(),
+        ));
+    }
+
+    // Wall annotations: the max over the group's per-rank job.done events.
+    let mut job_wall: BTreeMap<usize, f64> = BTreeMap::new();
+    for ev in &doc.events {
+        if ev.name == "job.done" && ev.path.starts_with(&root) {
+            if let Some(j) = path_idx(&ev.path, "job") {
+                let slot = job_wall.entry(j).or_insert(0.0);
+                *slot = slot.max(ev.wall_s);
+            }
+        }
+    }
+
+    let mut schedule = Schedule {
+        label,
+        epochs: Vec::new(),
+        jobs: BTreeMap::new(),
+        world_size: 0,
+    };
+    for (e, groups) in &epochs {
+        let mut level: Vec<GroupExec> = Vec::new();
+        for (g, mut grp) in groups.clone() {
+            let mut queued = queue_jobs.remove(&(*e, g)).unwrap_or_default();
+            queued.sort_by_key(|(pos, _)| *pos);
+            for (_, mut je) in queued {
+                je.wall_s = job_wall.get(&je.job).copied().unwrap_or(0.0);
+                grp.jobs.push(je.job);
+                schedule.jobs.insert(je.job, je);
+            }
+            level.push(grp);
+        }
+        if *e == 0 {
+            schedule.world_size = level
+                .iter()
+                .map(|g| g.rank_start + g.ranks)
+                .max()
+                .unwrap_or(0);
+        }
+        schedule.epochs.push(level);
+    }
+    Ok(schedule)
+}
+
+/// One step of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Job submission index.
+    pub job: usize,
+    /// Cost-unit duration (`cost / ranks`; deterministic).
+    pub units: f64,
+    /// Measured wall seconds (annotation only).
+    pub wall_s: f64,
+    /// Ranks the job executed on.
+    pub ranks: usize,
+    /// Ranks stolen from other groups (0 = none).
+    pub stolen_ranks: usize,
+}
+
+/// The critical chain through one epoch: the group whose committed queue
+/// bounds the epoch, with its jobs in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochCritical {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Bounding group index.
+    pub group: usize,
+    /// Ranks of the bounding group.
+    pub ranks: usize,
+    /// Cost-unit length of the chain (deterministic).
+    pub units: f64,
+    /// Wall-clock length of the chain in seconds (annotation only).
+    pub wall_s: f64,
+    /// The chain's jobs.
+    pub steps: Vec<PathStep>,
+}
+
+/// The critical path of one traced batch: the longest chain of job
+/// executions through the epoch barriers. Cost-unit figures are
+/// deterministic (assertable); wall figures are annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Batch label.
+    pub label: String,
+    /// World size of the traced run.
+    pub world_size: usize,
+    /// Per-epoch critical chains, in epoch order.
+    pub epochs: Vec<EpochCritical>,
+    /// Total cost-unit length (Σ over epochs; deterministic).
+    pub total_units: f64,
+    /// Total wall seconds along the path (annotation only).
+    pub total_wall_s: f64,
+    /// The job contributing the largest single cost-unit step on the
+    /// path — the straggler that bounds the batch.
+    pub straggler_job: Option<usize>,
+    /// That job's cost-unit duration.
+    pub straggler_units: f64,
+}
+
+impl CriticalPath {
+    /// Deterministic rendering: epochs, bounding groups, job chains and
+    /// cost-unit durations only — no wall-clock values — so two traced
+    /// reruns of the same schedule render **bit-identically** (pinned by
+    /// the `critical_path` test suite).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path [batch:{}] world={} epochs={} total={:.6e} units",
+            self.label,
+            self.world_size,
+            self.epochs.len(),
+            self.total_units
+        );
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "  epoch {} bound by group {} ({} rank(s)): {:.6e} units over {} job(s)",
+                e.epoch,
+                e.group,
+                e.ranks,
+                e.units,
+                e.steps.len()
+            );
+            for s in &e.steps {
+                let stolen = if s.stolen_ranks > 0 {
+                    format!(" stolen_ranks={}", s.stolen_ranks)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "    job {} {:.6e} units on {} rank(s){stolen}",
+                    s.job, s.units, s.ranks
+                );
+            }
+        }
+        match self.straggler_job {
+            Some(j) => {
+                let _ = writeln!(
+                    out,
+                    "  straggler: job {} ({:.6e} of {:.6e} units on the path)",
+                    j, self.straggler_units, self.total_units
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  straggler: none (empty path)");
+            }
+        }
+        out
+    }
+}
+
+/// Compute the critical path of the batch labelled `label` (or the only
+/// traced batch when `None`). See the module docs for the barrier model.
+pub fn critical_path(doc: &TraceDoc, label: Option<&str>) -> Result<CriticalPath, TraceError> {
+    let schedule = reconstruct(doc, label)?;
+    critical_path_of(&schedule)
+}
+
+/// [`critical_path`] over an already-reconstructed [`Schedule`].
+pub fn critical_path_of(schedule: &Schedule) -> Result<CriticalPath, TraceError> {
+    let mut cp = CriticalPath {
+        label: schedule.label.clone(),
+        world_size: schedule.world_size,
+        epochs: Vec::new(),
+        total_units: 0.0,
+        total_wall_s: 0.0,
+        straggler_job: None,
+        straggler_units: 0.0,
+    };
+    for (e, groups) in schedule.epochs.iter().enumerate() {
+        // The epoch's bounding group: max Σ cost/ranks over its queue
+        // (lowest group index breaking ties — deterministic).
+        let mut best: Option<(usize, f64)> = None;
+        for grp in groups {
+            let units: f64 = grp
+                .jobs
+                .iter()
+                .map(|j| schedule.jobs[j].duration_units())
+                .sum();
+            if best.is_none_or(|(_, b)| units > b) {
+                best = Some((grp.group, units));
+            }
+        }
+        let Some((g, units)) = best else { continue };
+        let grp = groups
+            .iter()
+            .find(|grp| grp.group == g)
+            .expect("bounding group exists");
+        let steps: Vec<PathStep> = grp
+            .jobs
+            .iter()
+            .map(|j| {
+                let je = &schedule.jobs[j];
+                PathStep {
+                    job: je.job,
+                    units: je.duration_units(),
+                    wall_s: je.wall_s,
+                    ranks: je.ranks,
+                    stolen_ranks: je.stolen_ranks,
+                }
+            })
+            .collect();
+        let wall_s: f64 = steps.iter().map(|s| s.wall_s).sum();
+        for s in &steps {
+            if cp.straggler_job.is_none() || s.units > cp.straggler_units {
+                cp.straggler_job = Some(s.job);
+                cp.straggler_units = s.units;
+            }
+        }
+        cp.total_units += units;
+        cp.total_wall_s += wall_s;
+        cp.epochs.push(EpochCritical {
+            epoch: e,
+            group: g,
+            ranks: grp.ranks,
+            units,
+            wall_s,
+            steps,
+        });
+    }
+    Ok(cp)
+}
+
+/// Per-rank idle attribution of one traced batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IdleReport {
+    /// Estimated idle per world rank, in cost units (deterministic:
+    /// per epoch, `makespan − group duration` for every rank of each
+    /// group, summed over epochs).
+    pub est_idle_units: Vec<f64>,
+    /// Estimated makespan in cost units (Σ over epochs of the epoch
+    /// bound — identical to the critical path total).
+    pub est_makespan_units: f64,
+    /// Measured `(busy, wall)` seconds per rank, from the `rank.idle`
+    /// events (empty when the trace has none). Annotation only.
+    pub measured_busy_wall_s: Vec<(f64, f64)>,
+}
+
+/// Attribute idle time to ranks. Cost-unit figures come from the
+/// schedule narration (deterministic); measured figures from `rank.idle`
+/// events (annotations).
+pub fn idle_attribution(doc: &TraceDoc, label: Option<&str>) -> Result<IdleReport, TraceError> {
+    let schedule = reconstruct(doc, label)?;
+    let root = format!("batch:{}/", schedule.label);
+    let world = schedule.world_size;
+    let mut report = IdleReport {
+        est_idle_units: vec![0.0; world],
+        ..IdleReport::default()
+    };
+    for groups in &schedule.epochs {
+        let dur = |g: &GroupExec| -> f64 {
+            g.jobs
+                .iter()
+                .map(|j| schedule.jobs[j].duration_units())
+                .sum()
+        };
+        let makespan = groups.iter().map(dur).fold(0.0f64, f64::max);
+        report.est_makespan_units += makespan;
+        for g in groups {
+            let idle = makespan - dur(g);
+            for r in g.rank_start..(g.rank_start + g.ranks).min(world) {
+                report.est_idle_units[r] += idle;
+            }
+        }
+    }
+    let batch_root = format!("batch:{}", schedule.label);
+    let mut measured: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    for ev in &doc.events {
+        if ev.name == "rank.idle" && (ev.path.starts_with(&root) || ev.path == batch_root) {
+            measured.insert(
+                ev.field("rank") as usize,
+                (ev.field("busy_s"), ev.field("wall_s")),
+            );
+        }
+    }
+    report.measured_busy_wall_s = measured.into_values().collect();
+    Ok(report)
+}
+
+/// `(cost, wall_seconds)` sample pairs per engine phase
+/// (`gather`/`solve`/`scatter`), from the `engine.phase` events. Gather
+/// and scatter costs are planned value bytes; solve costs are perfmodel
+/// cost units — each phase fits its own coefficient.
+pub fn phase_samples(doc: &TraceDoc, label: &str) -> BTreeMap<String, Vec<(f64, f64)>> {
+    let root = format!("batch:{label}/");
+    let mut out: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for ev in &doc.events {
+        if ev.name != "engine.phase" || !ev.path.starts_with(&root) {
+            continue;
+        }
+        if let Some(phase) = path_seg(&ev.path, "phase") {
+            out.entry(phase.to_string())
+                .or_default()
+                .push((ev.cost, ev.wall_s));
+        }
+    }
+    out
+}
+
+/// Aggregate model-vs-measured skew per `(job, phase)`: summed cost and
+/// wall seconds. A job whose `cost/wall` throughput is far below the
+/// batch-wide mean for the same phase is one the perfmodel underestimates
+/// (reported by `smdoctor critical-path`; never fed back into
+/// scheduling).
+pub fn job_phase_skew(doc: &TraceDoc, label: &str) -> BTreeMap<(usize, String), (f64, f64)> {
+    let root = format!("batch:{label}/");
+    let mut out: BTreeMap<(usize, String), (f64, f64)> = BTreeMap::new();
+    for ev in &doc.events {
+        if ev.name != "engine.phase" || !ev.path.starts_with(&root) {
+            continue;
+        }
+        let (Some(job), Some(phase)) = (path_idx(&ev.path, "job"), path_seg(&ev.path, "phase"))
+        else {
+            continue;
+        };
+        let slot = out.entry((job, phase.to_string())).or_insert((0.0, 0.0));
+        slot.0 += ev.cost;
+        slot.1 += ev.wall_s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature two-epoch schedule narration: epoch 0 has two groups
+    /// (group 0: jobs 0,2 on 1 rank; group 1: job 1 on 1 rank), epoch 1
+    /// one group of 2 ranks running job 3 (1 stolen rank).
+    fn narrated_doc() -> TraceDoc {
+        let mk = |path: &str, name: &str, seq, cost, wall, fields: &[(&str, f64)]| RecEvent {
+            path: path.into(),
+            name: name.into(),
+            seq,
+            cost,
+            wall_s: wall,
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        };
+        let b = "batch:t";
+        TraceDoc {
+            label: "t".into(),
+            version: TRACE_SCHEMA_VERSION,
+            events: vec![
+                mk(
+                    &format!("{b}/epoch:0/group:0"),
+                    "sched.queue",
+                    0,
+                    100.0,
+                    0.0,
+                    &[("jobs", 2.0), ("ranks", 1.0), ("rank_start", 0.0)],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:0"),
+                    "sched.job",
+                    1,
+                    60.0,
+                    0.0,
+                    &[
+                        ("job", 0.0),
+                        ("pos", 0.0),
+                        ("ranks", 1.0),
+                        ("stolen_ranks", 0.0),
+                    ],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:0"),
+                    "sched.job",
+                    2,
+                    40.0,
+                    0.0,
+                    &[
+                        ("job", 2.0),
+                        ("pos", 1.0),
+                        ("ranks", 1.0),
+                        ("stolen_ranks", 0.0),
+                    ],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:1"),
+                    "sched.queue",
+                    3,
+                    30.0,
+                    0.0,
+                    &[("jobs", 1.0), ("ranks", 1.0), ("rank_start", 1.0)],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:1"),
+                    "sched.job",
+                    4,
+                    30.0,
+                    0.0,
+                    &[
+                        ("job", 1.0),
+                        ("pos", 0.0),
+                        ("ranks", 1.0),
+                        ("stolen_ranks", 0.0),
+                    ],
+                ),
+                mk(
+                    &format!("{b}/epoch:1/group:0"),
+                    "sched.queue",
+                    5,
+                    50.0,
+                    0.0,
+                    &[("jobs", 1.0), ("ranks", 2.0), ("rank_start", 0.0)],
+                ),
+                mk(
+                    &format!("{b}/epoch:1/group:0"),
+                    "sched.job",
+                    6,
+                    50.0,
+                    0.0,
+                    &[
+                        ("job", 3.0),
+                        ("pos", 0.0),
+                        ("ranks", 2.0),
+                        ("stolen_ranks", 1.0),
+                    ],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:0/job:0"),
+                    "job.done",
+                    7,
+                    60.0,
+                    0.5,
+                    &[("group_size", 1.0)],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:0/job:0/iter:0/phase:solve"),
+                    "engine.phase",
+                    8,
+                    60.0,
+                    0.4,
+                    &[],
+                ),
+                mk(
+                    &format!("{b}/epoch:0/group:0/job:0/iter:0/phase:gather"),
+                    "engine.phase",
+                    9,
+                    128.0,
+                    0.01,
+                    &[],
+                ),
+                mk(
+                    "batch:t",
+                    "rank.idle",
+                    10,
+                    0.0,
+                    0.2,
+                    &[("rank", 1.0), ("busy_s", 0.3), ("wall_s", 0.5)],
+                ),
+            ],
+            metrics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn reconstructs_epochs_groups_and_queue_order() {
+        let s = reconstruct(&narrated_doc(), None).unwrap();
+        assert_eq!(s.label, "t");
+        assert_eq!(s.world_size, 2);
+        assert_eq!(s.epochs.len(), 2);
+        assert_eq!(s.epochs[0][0].jobs, vec![0, 2]);
+        assert_eq!(s.epochs[0][1].jobs, vec![1]);
+        assert_eq!(s.epochs[1][0].jobs, vec![3]);
+        assert_eq!(s.jobs[&3].stolen_ranks, 1);
+        assert_eq!(s.jobs[&0].wall_s, 0.5);
+    }
+
+    #[test]
+    fn critical_path_walks_the_bounding_chain() {
+        let cp = critical_path(&narrated_doc(), Some("t")).unwrap();
+        // Epoch 0: group 0 runs 60+40=100 units on 1 rank vs group 1's
+        // 30; epoch 1: job 3 on 2 ranks = 25 units. Total 125.
+        assert_eq!(cp.epochs.len(), 2);
+        assert_eq!(cp.epochs[0].group, 0);
+        assert_eq!(
+            cp.epochs[0].steps.iter().map(|s| s.job).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!((cp.total_units - 125.0).abs() < 1e-12);
+        assert_eq!(cp.straggler_job, Some(0));
+        assert!((cp.straggler_units - 60.0).abs() < 1e-12);
+        // Deterministic rendering mentions the straggler and no wall
+        // values.
+        let r = cp.render();
+        assert!(r.contains("straggler: job 0"));
+        assert!(!r.contains("wall"));
+        // A second analysis of the same doc renders bit-identically.
+        assert_eq!(r, critical_path(&narrated_doc(), None).unwrap().render());
+    }
+
+    #[test]
+    fn idle_attribution_charges_waiting_ranks() {
+        let idle = idle_attribution(&narrated_doc(), None).unwrap();
+        // Epoch 0 makespan 100: rank 0 idles 0, rank 1 idles 70.
+        // Epoch 1: one group covers both ranks — no idle.
+        assert_eq!(idle.est_idle_units, vec![0.0, 70.0]);
+        assert!((idle.est_makespan_units - 125.0).abs() < 1e-12);
+        assert_eq!(idle.measured_busy_wall_s, vec![(0.3, 0.5)]);
+    }
+
+    #[test]
+    fn phase_samples_split_by_phase() {
+        let samples = phase_samples(&narrated_doc(), "t");
+        assert_eq!(samples["solve"], vec![(60.0, 0.4)]);
+        assert_eq!(samples["gather"], vec![(128.0, 0.01)]);
+        let skew = job_phase_skew(&narrated_doc(), "t");
+        assert_eq!(skew[&(0, "solve".to_string())], (60.0, 0.4));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_versions_and_garbage() {
+        assert_eq!(TraceDoc::parse("").unwrap_err(), TraceError::Empty);
+        assert!(matches!(
+            TraceDoc::parse("{\"schema\":\"other\"}").unwrap_err(),
+            TraceError::BadHeader(_)
+        ));
+        let wrong = format!(
+            "{{\"schema\":\"sm-trace\",\"version\":{},\"label\":\"x\"}}",
+            TRACE_SCHEMA_VERSION + 7
+        );
+        assert!(matches!(
+            TraceDoc::parse(&wrong).unwrap_err(),
+            TraceError::VersionMismatch { .. }
+        ));
+        let good_header = format!(
+            "{{\"schema\":\"sm-trace\",\"version\":{TRACE_SCHEMA_VERSION},\"label\":\"x\"}}"
+        );
+        let with_bad_line = format!("{good_header}\nnot json");
+        assert!(matches!(
+            TraceDoc::parse(&with_bad_line).unwrap_err(),
+            TraceError::Line { line: 2, .. }
+        ));
+        let ok = TraceDoc::parse(&good_header).unwrap();
+        assert_eq!(ok.label, "x");
+        assert!(matches!(
+            reconstruct(&ok, None).unwrap_err(),
+            TraceError::NoSchedule(_)
+        ));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_through_session_export() {
+        let session = TraceSession::start("rt");
+        {
+            let _b = crate::span(crate::SpanKind::Batch, "rt");
+            let _e = crate::span(crate::SpanKind::Epoch, 0);
+            let _g = crate::span(crate::SpanKind::Group, 0);
+            crate::emit(
+                "sched.queue",
+                10.0,
+                0.0,
+                &[("jobs", 1.0), ("ranks", 1.0), ("rank_start", 0.0)],
+            );
+            crate::emit(
+                "sched.job",
+                10.0,
+                0.0,
+                &[
+                    ("job", 0.0),
+                    ("pos", 0.0),
+                    ("ranks", 1.0),
+                    ("stolen_ranks", 0.0),
+                ],
+            );
+            crate::counter_add(&crate::scoped("c"), 3);
+        }
+        let path = std::env::temp_dir().join("sm_trace_analyze_roundtrip.jsonl");
+        session.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let doc = TraceDoc::parse(&text).unwrap();
+        assert_eq!(doc.label, "rt");
+        assert_eq!(doc.events.len(), 2);
+        assert_eq!(doc.metrics.len(), 1);
+        // The parsed doc and the live session agree on the critical path.
+        let from_file = critical_path(&doc, Some("rt")).unwrap().render();
+        let live = critical_path(&TraceDoc::from_session(&session), Some("rt"))
+            .unwrap()
+            .render();
+        assert_eq!(from_file, live);
+        assert!(from_file.contains("job 0"));
+    }
+}

@@ -58,9 +58,19 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
+pub mod analyze;
+pub mod chrome;
+pub mod json;
+
 /// Version of the JSONL trace schema. Bump only with a migration note in
 /// `ARCHITECTURE.md`; `smdoctor --check` fails on any mismatch.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the scheduler narrates each committed queue entry with a
+/// `sched.job` event (queue order, ranks, steal attribution) — the
+/// dependency edges [`analyze::critical_path`] walks. v1 traces parse as
+/// [`analyze::TraceError::VersionMismatch`]; regenerate by rerunning the
+/// traced bench.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Root path used for events and metrics recorded while no span context
 /// is installed on the emitting thread.
@@ -519,6 +529,20 @@ impl TraceSession {
             out.push_str("}\n");
         }
         std::fs::write(path, out)
+    }
+
+    /// Snapshot the session into the analyzer representation (the same
+    /// document [`analyze::TraceDoc::parse`] yields from an exported
+    /// JSONL stream).
+    pub fn to_doc(&self) -> analyze::TraceDoc {
+        analyze::TraceDoc::from_session(self)
+    }
+
+    /// Export the traced batch labelled `label` (or the only traced
+    /// batch when `None`) as a Chrome trace-event document for
+    /// ui.perfetto.dev. See [`chrome`] for the timeline model.
+    pub fn to_chrome_trace(&self, label: Option<&str>) -> Result<json::Json, analyze::TraceError> {
+        chrome::export(&self.to_doc(), label)
     }
 }
 
