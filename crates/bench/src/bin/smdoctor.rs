@@ -7,6 +7,7 @@
 //! smdoctor export-perfetto <trace.jsonl> [out.json]   Chrome trace-event export
 //! smdoctor calibrate <trace.jsonl>       fit perfmodel coefficients (report-only)
 //! smdoctor compare <old.json> <new.json> deterministic-counter regression gate
+//! smdoctor faults [bench-or-trace]       fault-injection & recovery report
 //! ```
 //!
 //! **Audit mode** reads every `BENCH_*.json`, `TRACE_*.jsonl`,
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
         Some("export-perfetto") => cmd_export_perfetto(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some("--help" | "-h") => {
             print_help();
             ExitCode::SUCCESS
@@ -69,7 +71,8 @@ fn print_help() {
          smdoctor critical-path <trace.jsonl>\n\
          smdoctor export-perfetto <trace.jsonl> [out.json]\n\
          smdoctor calibrate <trace.jsonl>\n\
-         smdoctor compare <old-bench.json> <new-bench.json>\n\n\
+         smdoctor compare <old-bench.json> <new-bench.json>\n\
+         smdoctor faults [bench-or-trace]\n\n\
          Audit BENCH_*.json / TRACE_*.jsonl / PERFETTO_*.json / CALIB_*.json / *.csv\n\
          artifacts (default: results/; directories are globbed), analyze traces,\n\
          and gate deterministic counters between bench runs.\n\
@@ -342,6 +345,143 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 
 fn render_opt(v: Option<&Json>) -> String {
     v.map(Json::to_string).unwrap_or_else(|| "absent".into())
+}
+
+/// `smdoctor faults [bench-or-trace]`: the fault-injection and recovery
+/// report. By default reads `results/BENCH_faults.json` (the
+/// `ablation_faults` artifact) and prints per-scenario counters plus
+/// totals; given a `TRACE_*.jsonl` it instead counts the v3 recovery
+/// narration (`fault.injected` / `sched.retry` / `job.quarantined`) per
+/// epoch.
+fn cmd_faults(args: &[String]) -> ExitCode {
+    let path = match args {
+        [] => results_dir().join("BENCH_faults.json"),
+        [p] => PathBuf::from(p),
+        _ => {
+            eprintln!("usage: smdoctor faults [bench-or-trace]");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+        return faults_from_trace(&path);
+    }
+    let text = match read_input(&path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("smdoctor: {}: malformed JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(series) = doc
+        .get("data")
+        .and_then(|d| d.get("series"))
+        .and_then(Json::as_arr)
+    else {
+        eprintln!(
+            "smdoctor: {}: no data.series — not a fault bench artifact (run ablation_faults)",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "fault report [{}] — {} scenario(s):",
+        doc.get("bench").and_then(Json::as_str).unwrap_or("?"),
+        series.len()
+    );
+    let num = |row: &Json, key: &str| row.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut totals = [0.0f64; 5];
+    for row in series {
+        let (failures, poisoned, retries, quarantined, epochs) = (
+            num(row, "rank_failures"),
+            num(row, "poisoned_attempts"),
+            num(row, "retries"),
+            num(row, "quarantined_jobs"),
+            num(row, "recovery_epochs"),
+        );
+        println!(
+            "  world {:.0} {:<22} {failures:.0} rank failure(s), {poisoned:.0} poisoned, \
+             {retries:.0} retried, {quarantined:.0} quarantined, {epochs:.0} epoch(s), \
+             final world {:.0}, utilization {:.3}",
+            num(row, "world"),
+            row.get("scenario").and_then(Json::as_str).unwrap_or("?"),
+            num(row, "final_world_size"),
+            num(row, "survivor_utilization"),
+        );
+        for (t, v) in totals
+            .iter_mut()
+            .zip([failures, poisoned, retries, quarantined, epochs])
+        {
+            *t += v;
+        }
+    }
+    println!(
+        "  totals: {:.0} rank failure(s), {:.0} poisoned attempt(s), {:.0} retried, \
+         {:.0} quarantined, {:.0} recovery epoch(s)",
+        totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+    ExitCode::SUCCESS
+}
+
+/// Count the recovery narration events of a v3 trace, per epoch.
+fn faults_from_trace(path: &Path) -> ExitCode {
+    let text = match read_input(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let mut lines = text.lines();
+    match lines.next().map(Json::parse) {
+        Some(Ok(h))
+            if h.get("schema").and_then(Json::as_str) == Some("sm-trace")
+                && h.get("version").and_then(Json::as_f64)
+                    == Some(sm_trace::TRACE_SCHEMA_VERSION as f64) => {}
+        _ => {
+            eprintln!(
+                "smdoctor: {}: not a current sm-trace v{} header",
+                path.display(),
+                sm_trace::TRACE_SCHEMA_VERSION
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    // epoch -> (injected, retries, quarantined)
+    let mut per_epoch: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for line in lines {
+        let Ok(doc) = Json::parse(line) else { continue };
+        let t = TraceLine { doc };
+        let slot = match t.str("name") {
+            "fault.injected" => 0usize,
+            "sched.retry" => 1,
+            "job.quarantined" => 2,
+            _ => continue,
+        };
+        let e = t
+            .doc
+            .get("path")
+            .and_then(Json::as_str)
+            .and_then(epoch_of_path)
+            .unwrap_or(0);
+        let c = per_epoch.entry(e).or_default();
+        match slot {
+            0 => c.0 += 1,
+            1 => c.1 += 1,
+            _ => c.2 += 1,
+        }
+    }
+    if per_epoch.is_empty() {
+        println!("no fault events — the trace ran fault-free");
+        return ExitCode::SUCCESS;
+    }
+    for (e, (injected, retries, quarantined)) in &per_epoch {
+        println!(
+            "  epoch {e}: {injected} fault(s) injected, {retries} retry(ies), \
+             {quarantined} quarantine(s)"
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Relative wall-clock drift beyond which `compare` warns (wall time is

@@ -1,6 +1,9 @@
 //! The communicator abstraction and its single-rank implementation.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use crate::fault::CommError;
 
 /// Message payload. Keeping this a closed enum (instead of generics) lets
 /// heterogeneous traffic — dense block data, block-ID lists, raw bytes —
@@ -114,6 +117,44 @@ pub trait Comm {
     /// Messages between the same (src, dst, tag) triple preserve order.
     fn recv(&self, src: usize, tag: u64) -> Payload;
 
+    /// Fallible send: returns [`CommError::RankFailed`] instead of
+    /// panicking when the destination is known dead. The default forwards
+    /// to [`send`](Comm::send) (transports without a fault model cannot
+    /// lose a peer).
+    fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        self.send(dst, tag, payload);
+        Ok(())
+    }
+
+    /// Deadline-based receive: blocks at most `timeout`, then returns
+    /// [`CommError::Timeout`]; a peer known to have failed yields
+    /// [`CommError::RankFailed`] without waiting. This is the primitive
+    /// that guarantees a dead peer can never hang a group. The default
+    /// forwards to the blocking [`recv`](Comm::recv) (single-threaded and
+    /// fault-free transports either have the message or never will).
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        let _ = timeout;
+        Ok(self.recv(src, tag))
+    }
+
+    /// Deadline counterpart of [`recv_subgroup`](Comm::recv_subgroup),
+    /// used by subcommunicators' fallible collectives.
+    fn recv_subgroup_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, CommError> {
+        let _ = timeout;
+        Ok(self.recv_subgroup(src, tag))
+    }
+
+    /// Fallible counterpart of [`send_subgroup`](Comm::send_subgroup).
+    fn try_send_subgroup(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        self.send_subgroup(dst, tag, payload);
+        Ok(())
+    }
+
     /// Synchronize all ranks.
     fn barrier(&self);
 
@@ -203,6 +244,23 @@ impl Comm for SerialComm {
             .expect("SerialComm::recv with empty mailbox would deadlock")
     }
 
+    /// A single rank has nobody to wait on: if the mailbox is empty now it
+    /// stays empty, so an empty mailbox is an immediate [`CommError::Timeout`]
+    /// rather than the deadlock panic of the blocking [`recv`](Comm::recv).
+    fn recv_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        _timeout: Duration,
+    ) -> Result<Payload, CommError> {
+        assert_eq!(src, 0, "SerialComm only has rank 0");
+        self.mailbox
+            .lock()
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .ok_or(CommError::Timeout { src, tag })
+    }
+
     fn barrier(&self) {}
 
     fn allreduce_f64(&self, _op: ReduceOp, _x: &mut [f64]) {}
@@ -273,6 +331,22 @@ mod tests {
         c.send(0, 7, Payload::F64(vec![3.0]));
         assert_eq!(c.recv(0, 7).into_f64(), vec![1.0, 2.0]);
         assert_eq!(c.recv(0, 7).into_f64(), vec![3.0]);
+    }
+
+    #[test]
+    fn serial_recv_deadline_times_out_instead_of_deadlocking() {
+        let c = SerialComm::new();
+        assert_eq!(
+            c.recv_deadline(0, 7, Duration::from_millis(1)),
+            Err(CommError::Timeout { src: 0, tag: 7 })
+        );
+        c.try_send(0, 7, Payload::U64(vec![9])).unwrap();
+        assert_eq!(
+            c.recv_deadline(0, 7, Duration::from_millis(1))
+                .unwrap()
+                .into_u64(),
+            vec![9]
+        );
     }
 
     #[test]

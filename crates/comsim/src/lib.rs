@@ -19,10 +19,18 @@
 //!
 //! A [`comm::SerialComm`] single-rank implementation backs unit tests and
 //! the dense reference paths.
+//!
+//! A third piece makes the substrate *break on purpose*: the
+//! [`fault`] module scripts deterministic rank deaths, message
+//! drops/delays, and stragglers ([`fault::FaultPlan`], installed by
+//! [`thread::run_ranks_with_faults`]), with typed [`fault::CommError`]s
+//! and deadline-based receives so a dead peer can never hang a group —
+//! the substrate the scheduler's epoch-level recovery is built on.
 
 pub mod cart;
 mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod model;
 pub mod stats;
 pub mod subcomm;
@@ -30,7 +38,8 @@ pub mod thread;
 
 pub use cart::Cart2d;
 pub use comm::{Comm, Payload, ReduceOp, SerialComm};
+pub use fault::{CommError, FaultPlan, FaultState, InjectionStats};
 pub use model::{ClusterModel, SimClock};
 pub use stats::CommStats;
-pub use subcomm::{SubComm, SUBGROUP_BIT};
-pub use thread::{run_ranks, ThreadComm, COLLECTIVE_BIT};
+pub use subcomm::{split_known, SubComm, SUBGROUP_BIT};
+pub use thread::{run_ranks, run_ranks_with_faults, ThreadComm, COLLECTIVE_BIT};

@@ -6,13 +6,16 @@
 //! on top of the point-to-point layer plus a shared barrier, mirroring how
 //! an MPI implementation layers its collectives.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::collectives::{self, Transport};
 use crate::comm::{Comm, Payload, ReduceOp};
+use crate::fault::{CommError, FaultPlan, FaultState, InjectionStats};
 use crate::stats::CommStats;
 
 /// Tag bit reserved for internal collective traffic. User tags must keep
@@ -20,7 +23,28 @@ use crate::stats::CommStats;
 /// traffic through a checked constructor that enforces this.
 pub const COLLECTIVE_BIT: u64 = 1 << 63;
 
+/// Tag of the poison envelope a dying rank broadcasts so peers blocked in
+/// `recv` fail fast instead of hanging. It carries *both* reserved bits,
+/// which no collective (`COLLECTIVE_BIT` only), subgroup (`SUBGROUP_BIT`
+/// only) or user (neither) tag can ever match.
+const POISON_TAG: u64 = COLLECTIVE_BIT | crate::subcomm::SUBGROUP_BIT;
+
+/// Poll period for re-checking peer-failure flags while blocked in a
+/// receive; the poison envelope normally wakes the receiver long before
+/// this fires, so it is a liveness backstop, not the detection path.
+const FAILURE_POLL: Duration = Duration::from_millis(5);
+
 type Envelope = (usize, u64, Payload);
+
+/// Per-rank fault-injection context installed by
+/// [`run_ranks_with_faults`]: the shared plan/state plus this rank's
+/// deterministic per-destination send counters (what drop/delay rules key
+/// on).
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    state: Arc<FaultState>,
+    send_seq: RefCell<Vec<u64>>,
+}
 
 /// Communicator handle owned by one rank thread.
 pub struct ThreadComm {
@@ -34,6 +58,11 @@ pub struct ThreadComm {
     /// Monotonically increasing collective sequence number; keeps the tags
     /// of successive collectives distinct so traffic can never cross-match.
     coll_seq: std::cell::Cell<u64>,
+    /// Fault-injection context, if this world runs under a [`FaultPlan`].
+    fault: Option<FaultCtx>,
+    /// Peers this rank has *observed* failing (poison envelope or failed
+    /// channel), independent of any installed plan.
+    peer_failed: RefCell<Vec<bool>>,
 }
 
 impl ThreadComm {
@@ -42,10 +71,61 @@ impl ThreadComm {
         &self.stats
     }
 
+    /// The fault plan this world runs under, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Shared runtime fault state, if a plan is installed.
+    pub fn fault_state(&self) -> Option<&Arc<FaultState>> {
+        self.fault.as_ref().map(|f| &f.state)
+    }
+
+    /// Announce this rank's death: raise its failed flag (when fault state
+    /// is installed) and post a poison envelope to every peer so blocked
+    /// receivers fail fast instead of hanging. Idempotent; called
+    /// automatically when a rank thread unwinds mid-epoch.
+    pub fn poison_peers(&self) {
+        if let Some(f) = &self.fault {
+            f.state.mark_failed(self.rank);
+        }
+        self.peer_failed.borrow_mut()[self.rank] = true;
+        for dst in 0..self.size {
+            if dst != self.rank {
+                // Control traffic: uncounted, and a dead receiver is fine.
+                let _ = self.senders[dst].send((self.rank, POISON_TAG, Payload::U64(Vec::new())));
+            }
+        }
+    }
+
     fn next_collective_tag(&self) -> u64 {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
         COLLECTIVE_BIT | seq
+    }
+
+    fn note_peer_failed(&self, rank: usize) {
+        self.peer_failed.borrow_mut()[rank] = true;
+        if let Some(f) = &self.fault {
+            f.state.mark_failed(rank);
+        }
+    }
+
+    fn peer_known_failed(&self, rank: usize) -> bool {
+        self.peer_failed.borrow()[rank]
+            || self.fault.as_ref().is_some_and(|f| f.state.is_failed(rank))
+    }
+}
+
+impl Drop for ThreadComm {
+    /// A rank thread that unwinds mid-epoch poisons its channels on the
+    /// way out, so peers blocked in `recv` on it fail fast (clean panic or
+    /// [`CommError::RankFailed`] from the deadline variants) instead of
+    /// hanging until process teardown.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.poison_peers();
+        }
     }
 }
 
@@ -72,6 +152,32 @@ impl Comm for ThreadComm {
 
     fn recv(&self, src: usize, tag: u64) -> Payload {
         self.recv_internal(src, tag)
+    }
+
+    fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        assert!(
+            tag & COLLECTIVE_BIT == 0,
+            "user tags must not set the collective bit"
+        );
+        assert!(
+            tag & crate::subcomm::SUBGROUP_BIT == 0,
+            "user tags must not set the subgroup bit"
+        );
+        self.try_send_internal(dst, tag, payload)
+    }
+
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.recv_deadline_internal(src, tag, timeout)
+    }
+
+    fn recv_subgroup_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, CommError> {
+        crate::subcomm::assert_subgroup_tag(tag);
+        self.recv_deadline_internal(src, tag, timeout)
     }
 
     fn barrier(&self) {
@@ -109,6 +215,11 @@ impl Comm for ThreadComm {
         crate::subcomm::assert_subgroup_tag(tag);
         self.recv_internal(src, tag)
     }
+
+    fn try_send_subgroup(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        crate::subcomm::assert_subgroup_tag(tag);
+        self.try_send_internal(dst, tag, payload)
+    }
 }
 
 impl Transport for ThreadComm {
@@ -127,49 +238,186 @@ impl Transport for ThreadComm {
     fn recv_p2p(&self, src: usize, tag: u64) -> Payload {
         self.recv_internal(src, tag)
     }
+
+    fn recv_p2p_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, CommError> {
+        self.recv_deadline_internal(src, tag, timeout)
+    }
 }
 
 impl ThreadComm {
-    fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
-        // Count only inter-rank traffic: MPI self-sends are memcpys.
-        if dst != self.rank {
-            self.stats.record_send(self.rank, payload.byte_len());
-        }
+    /// Injection point + channel delivery. `Err(RankFailed)` when the
+    /// receiver thread is gone; self-sends always succeed locally.
+    fn deliver(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
         if dst == self.rank {
             self.mailbox
                 .borrow_mut()
                 .entry((self.rank, tag))
                 .or_default()
                 .push_back(payload);
+            return Ok(());
+        }
+        if let Some(f) = &self.fault {
+            let seq = {
+                let mut seqs = f.send_seq.borrow_mut();
+                let s = seqs[dst];
+                seqs[dst] += 1;
+                s
+            };
+            if f.plan.drops_message(self.rank, dst, seq) {
+                f.state.count_drop();
+                if sm_trace::enabled() {
+                    sm_trace::emit(
+                        "fault.injected",
+                        0.0,
+                        0.0,
+                        &[
+                            ("drop", 1.0),
+                            ("src", self.rank as f64),
+                            ("dst", dst as f64),
+                            ("seq", seq as f64),
+                        ],
+                    );
+                }
+                // Lost on the wire: never delivered, never counted.
+                return Ok(());
+            }
+            if let Some(d) = f.plan.delay_for(self.rank, dst, seq) {
+                f.state.count_delay();
+                std::thread::sleep(d);
+            }
+            if let Some(d) = f.plan.slow_stall(self.rank) {
+                f.state.count_stall();
+                std::thread::sleep(d);
+            }
+        }
+        // Count only inter-rank traffic: MPI self-sends are memcpys.
+        self.stats.record_send(self.rank, payload.byte_len());
+        self.senders[dst]
+            .send((self.rank, tag, payload))
+            .map_err(|_| CommError::RankFailed { rank: dst })
+    }
+
+    fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
+        if self.deliver(dst, tag, payload).is_err() {
+            // Receiver thread gone. Under a fault model that is an
+            // expected condition (sends to the dead are dropped, as MPI
+            // buffered sends to a failed peer would be); without one it is
+            // a programmer error in the test harness.
+            if self.fault.is_some() || self.peer_known_failed(dst) {
+                self.note_peer_failed(dst);
+            } else {
+                panic!("receiver thread terminated early");
+            }
+        }
+    }
+
+    fn try_send_internal(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        if dst != self.rank && self.peer_known_failed(dst) {
+            return Err(CommError::RankFailed { rank: dst });
+        }
+        match self.deliver(dst, tag, payload) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.note_peer_failed(dst);
+                Err(e)
+            }
+        }
+    }
+
+    /// File an incoming envelope: poison marks the sender failed, anything
+    /// else is buffered by `(source, tag)`.
+    fn stash(&self, (from, tag, payload): Envelope) {
+        if tag == POISON_TAG {
+            self.note_peer_failed(from);
         } else {
-            self.senders[dst]
-                .send((self.rank, tag, payload))
-                .expect("receiver thread terminated early");
+            self.mailbox
+                .borrow_mut()
+                .entry((from, tag))
+                .or_default()
+                .push_back(payload);
+        }
+    }
+
+    fn pop_mailbox(&self, src: usize, tag: u64) -> Option<Payload> {
+        self.mailbox
+            .borrow_mut()
+            .get_mut(&(src, tag))
+            .and_then(|q| q.pop_front())
+    }
+
+    /// Drain everything already queued in the channel without blocking;
+    /// used before concluding a peer is dead, so messages it sent before
+    /// dying are never lost.
+    fn drain_channel(&self) {
+        while let Ok(env) = self.receiver.try_recv() {
+            self.stash(env);
         }
     }
 
     fn recv_internal(&self, src: usize, tag: u64) -> Payload {
-        if let Some(p) = self
-            .mailbox
-            .borrow_mut()
-            .get_mut(&(src, tag))
-            .and_then(|q| q.pop_front())
-        {
-            return p;
-        }
         loop {
-            let (from, t, payload) = self
-                .receiver
-                .recv()
-                .expect("all senders dropped while still expecting a message");
-            if from == src && t == tag {
-                return payload;
+            if let Some(p) = self.pop_mailbox(src, tag) {
+                return p;
             }
-            self.mailbox
-                .borrow_mut()
-                .entry((from, t))
-                .or_default()
-                .push_back(payload);
+            if self.peer_known_failed(src) {
+                // The peer died, but messages it sent first still count.
+                self.drain_channel();
+                if let Some(p) = self.pop_mailbox(src, tag) {
+                    return p;
+                }
+                panic!(
+                    "rank {src} failed while rank {} was blocked in recv (tag {tag:#x}); \
+                     fault-tolerant callers should use recv_deadline",
+                    self.rank
+                );
+            }
+            match self.receiver.recv_timeout(FAILURE_POLL) {
+                Ok(env) => self.stash(env),
+                Err(RecvTimeoutError::Timeout) => {} // re-check failure flags
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("own sender handle keeps the channel alive")
+                }
+            }
+        }
+    }
+
+    fn recv_deadline_internal(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.pop_mailbox(src, tag) {
+                return Ok(p);
+            }
+            if self.peer_known_failed(src) {
+                self.drain_channel();
+                return match self.pop_mailbox(src, tag) {
+                    Some(p) => Ok(p),
+                    None => Err(CommError::RankFailed { rank: src }),
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout { src, tag });
+            }
+            match self
+                .receiver
+                .recv_timeout((deadline - now).min(FAILURE_POLL))
+            {
+                Ok(env) => self.stash(env),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("own sender handle keeps the channel alive")
+                }
+            }
         }
     }
 }
@@ -184,6 +432,82 @@ where
     F: Fn(&ThreadComm) -> T + Sync,
 {
     assert!(size >= 1, "need at least one rank");
+    let (comms, stats) = build_comms(size, None);
+    let results: Vec<T> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+
+    (results, stats)
+}
+
+/// Like [`run_ranks`], but with `plan` installed on every rank's
+/// communicator: drop/delay/slow rules fire deterministically in the send
+/// path, and rank deaths propagate through the poison protocol plus the
+/// shared [`FaultState`]. Returns per-rank results (`None` for a rank the
+/// plan fails whose thread unwound — a *planned* death, already poisoned
+/// on the way down; panics of ranks the plan does not fail propagate),
+/// the shared transfer statistics, and the injection counters that
+/// actually fired.
+///
+/// The world-sized in-memory [`Comm::barrier`] must not be crossed after a
+/// planned rank failure — dead ranks can never arrive. Protocols that
+/// survive faults are built on deadline receives and subgroup collectives
+/// over surviving members only (see `sm_pipeline`'s recovery executor).
+pub fn run_ranks_with_faults<T, F>(
+    size: usize,
+    plan: FaultPlan,
+    f: F,
+) -> (Vec<Option<T>>, Arc<CommStats>, InjectionStats)
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Sync,
+{
+    assert!(size >= 1, "need at least one rank");
+    let plan = Arc::new(plan);
+    let state = Arc::new(FaultState::new(size));
+    let (comms, stats) = build_comms(size, Some((Arc::clone(&plan), Arc::clone(&state))));
+    let results: Vec<Option<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => Some(v),
+                Err(cause) => {
+                    if plan.fails_at(rank).is_some() {
+                        // A planned death (the rank poisoned its channels
+                        // on the way down): absorbed into the fault model.
+                        None
+                    } else {
+                        std::panic::resume_unwind(cause)
+                    }
+                }
+            })
+            .collect()
+    });
+    (results, stats, state.snapshot())
+}
+
+fn build_comms(
+    size: usize,
+    fault: Option<(Arc<FaultPlan>, Arc<FaultState>)>,
+) -> (Vec<ThreadComm>, Arc<CommStats>) {
     let stats = CommStats::new(size);
     let barrier = Arc::new(std::sync::Barrier::new(size));
 
@@ -207,24 +531,15 @@ where
             barrier: Arc::clone(&barrier),
             stats: Arc::clone(&stats),
             coll_seq: std::cell::Cell::new(0),
+            fault: fault.as_ref().map(|(plan, state)| FaultCtx {
+                plan: Arc::clone(plan),
+                state: Arc::clone(state),
+                send_seq: RefCell::new(vec![0; size]),
+            }),
+            peer_failed: RefCell::new(vec![false; size]),
         })
         .collect();
-
-    let results: Vec<T> = std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|comm| {
-                let f = &f;
-                scope.spawn(move || f(&comm))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
-    });
-
-    (results, stats)
+    (comms, stats)
 }
 
 #[cfg(test)]
@@ -388,6 +703,129 @@ mod tests {
         for r in results {
             assert_eq!(r, vec![3.0, 6.0, 9.0, 12.0, 15.0]);
         }
+    }
+
+    #[test]
+    fn recv_deadline_times_out_cleanly() {
+        let (results, _) = run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.recv_deadline(1, 9, Duration::from_millis(20))
+            } else {
+                Ok(Payload::U64(Vec::new())) // rank 1 sends nothing
+            }
+        });
+        assert_eq!(results[0], Err(CommError::Timeout { src: 1, tag: 9 }));
+    }
+
+    #[test]
+    fn planned_rank_death_unblocks_deadline_receivers() {
+        let plan = FaultPlan::new().fail_rank(1, 0);
+        let (results, _, inj) = run_ranks_with_faults(2, plan, |c| {
+            if c.rank() == 1 {
+                c.poison_peers();
+                return Err(CommError::RankFailed { rank: 1 });
+            }
+            c.recv_deadline(1, 4, Duration::from_secs(30))
+        });
+        assert_eq!(results[0], Some(Err(CommError::RankFailed { rank: 1 })));
+        assert_eq!(inj.rank_failures, 1);
+    }
+
+    #[test]
+    fn messages_sent_before_death_are_still_delivered() {
+        let plan = FaultPlan::new().fail_rank(1, 0);
+        let (results, _, _) = run_ranks_with_faults(2, plan, |c| {
+            if c.rank() == 1 {
+                c.send(0, 2, Payload::U64(vec![77]));
+                c.poison_peers();
+                return 0;
+            }
+            let first = c
+                .recv_deadline(1, 2, Duration::from_secs(30))
+                .unwrap()
+                .into_u64()[0];
+            // No further message can arrive: the death must surface as
+            // RankFailed (fast), never as a hang.
+            assert_eq!(
+                c.recv_deadline(1, 2, Duration::from_secs(30)),
+                Err(CommError::RankFailed { rank: 1 })
+            );
+            first
+        });
+        assert_eq!(results[0], Some(77));
+    }
+
+    #[test]
+    fn planned_panic_is_absorbed_and_peers_fail_fast() {
+        let plan = FaultPlan::new().fail_rank(1, 0);
+        let (results, _, inj) = run_ranks_with_faults(2, plan, |c| {
+            if c.rank() == 1 {
+                // Unwinding poisons the channels via Drop.
+                panic!("simulated mid-epoch crash");
+            }
+            c.recv_deadline(1, 8, Duration::from_secs(30))
+        });
+        assert_eq!(results[1], None, "planned death is absorbed");
+        assert_eq!(results[0], Some(Err(CommError::RankFailed { rank: 1 })));
+        assert_eq!(inj.rank_failures, 1);
+    }
+
+    #[test]
+    fn dropped_message_surfaces_as_timeout() {
+        let plan = FaultPlan::new().drop_message(1, 0, 0);
+        let (results, _, inj) = run_ranks_with_faults(2, plan, |c| {
+            if c.rank() == 1 {
+                c.send(0, 3, Payload::U64(vec![1])); // dropped on the wire
+                c.send(0, 3, Payload::U64(vec![2])); // delivered
+                return None;
+            }
+            let got = c
+                .recv_deadline(1, 3, Duration::from_secs(30))
+                .unwrap()
+                .into_u64()[0];
+            Some((got, c.recv_deadline(1, 3, Duration::from_millis(30))))
+        });
+        let (got, second) = results[0].clone().unwrap().unwrap();
+        assert_eq!(got, 2, "the first send was lost, the second arrives");
+        assert_eq!(second, Err(CommError::Timeout { src: 1, tag: 3 }));
+        assert_eq!(inj.dropped_messages, 1);
+    }
+
+    #[test]
+    fn delay_and_slow_rules_change_timing_not_results() {
+        let plan = FaultPlan::new()
+            .delay_messages(0, 1, 1, 100)
+            .slow_rank(0, 50);
+        let (results, _, inj) = run_ranks_with_faults(2, plan, |c| {
+            if c.rank() == 0 {
+                c.send(1, 6, Payload::U64(vec![5]));
+                0
+            } else {
+                c.recv(0, 6).into_u64()[0]
+            }
+        });
+        assert_eq!(results[1], Some(5));
+        assert_eq!(inj.delayed_messages, 1);
+        assert_eq!(inj.slow_stalls, 1);
+    }
+
+    #[test]
+    fn try_send_to_failed_rank_returns_rank_failed() {
+        let plan = FaultPlan::new().fail_rank(1, 0);
+        let (results, _, _) = run_ranks_with_faults(2, plan, |c| {
+            if c.rank() == 1 {
+                c.poison_peers();
+                return Ok(());
+            }
+            // Wait until the death is observable, then try_send must fail
+            // typed instead of panicking.
+            assert_eq!(
+                c.recv_deadline(1, 1, Duration::from_secs(30)),
+                Err(CommError::RankFailed { rank: 1 })
+            );
+            c.try_send(1, 1, Payload::U64(vec![1]))
+        });
+        assert_eq!(results[0], Some(Err(CommError::RankFailed { rank: 1 })));
     }
 
     #[test]

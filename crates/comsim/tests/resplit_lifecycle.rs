@@ -225,6 +225,61 @@ fn trace_counters_follow_regrouped_span_contexts_deterministically() {
 }
 
 #[test]
+fn rank_death_mid_batch_poisons_cleanly_and_preserves_prior_messages() {
+    use sm_comsim::{run_ranks_with_faults, split_known, CommError, FaultPlan};
+    use std::time::Duration;
+
+    // The drop-during-epoch regression: rank 3 dies between epochs —
+    // its ThreadComm is dropped while every peer still holds protocol
+    // state — and the survivors must (a) still receive anything it sent
+    // before dying, (b) get a fast typed error instead of a hang for
+    // anything it never sent, and (c) regroup without it.
+    let plan = FaultPlan::new().fail_rank(3, 1);
+    let (results, _, injected) = run_ranks_with_faults(4, plan, |c| {
+        // Epoch 0: full world. Rank 3 ships a payload that must survive
+        // its upcoming death, then everyone runs a collective round.
+        if c.rank() == 3 {
+            c.send(0, 9, Payload::U64(vec![33]));
+        }
+        {
+            let sub = c.split(0, c.rank() as u64);
+            let mut x = vec![1.0];
+            sub.allreduce_f64(ReduceOp::Sum, &mut x);
+            assert_eq!(x[0], 4.0);
+        }
+        // Epoch 1 boundary: the planned death (the panic is absorbed by
+        // the harness for planned ranks; Drop poisons the channels).
+        if c.rank() == 3 {
+            panic!("planned death at the epoch boundary");
+        }
+        if c.rank() == 0 {
+            // (a) Messages sent before the death are preserved...
+            let kept = c
+                .recv_deadline(3, 9, Duration::from_secs(5))
+                .expect("pre-death message must be delivered")
+                .into_u64();
+            assert_eq!(kept, vec![33]);
+            // (b) ...while a receive the dead rank can never satisfy
+            // fails fast with the typed error, not the full deadline.
+            match c.recv_deadline(3, 10, Duration::from_secs(30)) {
+                Err(CommError::RankFailed { rank: 3 }) => {}
+                other => panic!("expected RankFailed for rank 3, got {other:?}"),
+            }
+        }
+        // (c) The surviving world regroups explicitly — no collective
+        // over the dead rank — and its collectives still work.
+        let sub = split_known(c, 1u64 << 32, vec![0, 1, 2]);
+        let mut x = vec![1.0];
+        sub.allreduce_f64(ReduceOp::Sum, &mut x);
+        assert_eq!(x[0], 3.0);
+        c.rank()
+    });
+    assert_eq!(injected.rank_failures, 1);
+    assert_eq!(results[3], None, "the dead rank must produce no result");
+    assert_eq!(results.iter().flatten().count(), 3);
+}
+
+#[test]
 #[should_panic(expected = "nested subcommunicator")]
 fn nested_split_rejection_still_fires_after_resplit() {
     // Regrouping must always come from the world comm: even after a

@@ -441,6 +441,10 @@ pub mod tele {
     pub const SCF_ITER_GATHER_BYTES: u32 = 28;
     /// Per-iteration scatter value bytes (repeatable, iteration order).
     pub const SCF_ITER_SCATTER_BYTES: u32 = 29;
+    /// Execution attempts the job consumed (1 = first attempt succeeded).
+    pub const ATTEMPTS: u32 = 30;
+    /// 1.0 when the job was quarantined after exhausting its retry budget.
+    pub const QUARANTINED: u32 = 31;
 }
 
 /// Decode failure for a [`TelemetryRecord`].

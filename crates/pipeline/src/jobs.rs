@@ -237,6 +237,16 @@ pub struct JobResult {
     /// groups' static allocations by the epoch steal plan (0 = the job ran
     /// on its home group; always 0 on the serial queue).
     pub stolen_ranks: usize,
+    /// Execution attempts this job consumed (1 = the first attempt
+    /// succeeded; always 1 on the serial queue and the fault-free
+    /// scheduler; > 1 only when fault injection poisoned earlier
+    /// attempts).
+    pub attempts: usize,
+    /// True when the job exhausted its retry budget under fault injection
+    /// and was quarantined instead of completed: [`result`](Self::result)
+    /// is then an empty matrix and [`report`](Self::report) carries no
+    /// work. Never true on the serial queue.
+    pub quarantined: bool,
     /// Per-iteration SCF telemetry — `Some` exactly for [`BatchJob::Scf`]
     /// jobs, whose [`report`](JobResult::report) is then the whole-run
     /// aggregate across iterations.
@@ -359,6 +369,8 @@ impl JobQueue {
                     comm_msgs: 0,
                     epoch: 0,
                     stolen_ranks: 0,
+                    attempts: 1,
+                    quarantined: false,
                     scf: None,
                 },
             )

@@ -41,6 +41,17 @@
 //!   cost times iteration budget, per-iteration SCF telemetry in
 //!   [`JobResult::scf`], and grand-canonical batches bitwise-identical
 //!   to a serial loop of driver runs (`scf_service_equivalence` suite).
+//! * **Fault injection & epoch-level recovery** (module [`sched`], over
+//!   `sm_comsim`'s seeded `FaultPlan`): rank deaths commit at epoch
+//!   boundaries through a collective fault consensus, survivors re-split
+//!   and re-deal the deferred queue, poisoned attempts retry with
+//!   deterministic backoff-in-epochs and quarantine at the retry budget
+//!   ([`JobResult::attempts`]/[`JobResult::quarantined`],
+//!   [`SchedulerOutcome`]`::fault_stats`). The recovery schedule
+//!   ([`plan_recovery`]) is a pure function of (admitted jobs, perfmodel
+//!   estimates, committed fault view), so every non-quarantined job stays
+//!   bitwise-identical to the fault-free serial queue under any admitted
+//!   plan (`fault_equivalence` suite).
 //!
 //! The one-shot drivers `sm_core::method::{submatrix_sign,
 //! submatrix_density}` are thin wrappers over the same engine, so every
@@ -89,8 +100,9 @@ pub use jobs::{BatchJob, JobOutput, JobQueue, JobResult, MatrixJob, ScfJobSpec, 
 pub use scf_service::{serial_scf_loop, ScfOutcomeExt, ScfService};
 pub use sched::{
     estimate_batch_job_cost, estimate_job_cost, estimate_pattern_cost, partition, plan_epochs,
-    steal_horizon, Epoch, EpochSchedule, GroupPlan, RankBudget, SchedulePlan, Scheduler,
-    SchedulerOutcome, StealPolicy, StealStats,
+    plan_recovery, steal_horizon, Epoch, EpochSchedule, FaultStats, GroupPlan, RankBudget,
+    RecoveryAttempt, RecoveryEpoch, RecoveryGroup, RecoverySchedule, SchedError, SchedulePlan,
+    Scheduler, SchedulerOutcome, StealPolicy, StealStats, DEFAULT_RETRY_BUDGET,
 };
 pub use sm_core::engine::{
     AssemblyMap, EngineOptions, EngineReport, EngineStats, Ensemble, ExecutionPlan, ExtractionMap,

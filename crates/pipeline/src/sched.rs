@@ -71,16 +71,50 @@
 //! `sm_comsim::SUBGROUP_BIT`; each epoch's groups split with a color that
 //! mixes the epoch index, so successive epochs salt their tag namespaces
 //! differently. The only parent-level user traffic is the root gather, on
-//! tags derived from the job index (see the private `result_tag`). The
+//! tags derived from the job index (see the private `result_tag`), plus —
+//! under a fault plan — the recovery protocol's control tags in the
+//! `1 << 41` (consensus) and `1 << 42` (idle report) namespaces. The
 //! `sm_dbcsr::wire::user_tag` guard applies unchanged inside subgroups.
+//!
+//! ## Faults and recovery
+//!
+//! Installing a deterministic [`sm_comsim::FaultPlan`]
+//! ([`Scheduler::with_fault_plan`]) switches the batch onto the
+//! **epoch-level recovery** path:
+//!
+//! * [`plan_recovery`] precomputes the entire recovery schedule as a
+//!   **pure function** of the admitted job set, the perfmodel estimates
+//!   and the plan's committed fault view — per epoch it commits the
+//!   newly failed ranks, re-partitions the still-pending jobs over the
+//!   **survivors only**, commits a steal-horizon wave, and resolves
+//!   every attempt (success, deterministic backoff retry, or quarantine
+//!   once the [`Scheduler::with_retry_budget`] budget is exhausted).
+//! * At runtime every epoch opens with a **fault consensus**: survivors
+//!   heartbeat world rank 0 (which never fails), rank 0 commits the
+//!   failed set from deadline receives — a dead peer surfaces as a typed
+//!   [`sm_comsim::CommError`], never a hang — and broadcasts the
+//!   committed view, which every survivor checks against the
+//!   precomputed schedule (the same collective-agreement trick as the
+//!   plan cache's hit/miss consensus).
+//! * Groups re-form with [`sm_comsim::split_known`] from the agreed
+//!   member lists — no world-level collective, so dead ranks are never
+//!   waited on. Poisoned attempts are skipped by the whole group from
+//!   the pure plan alone; successful attempts execute bit-for-bit the
+//!   fault-free job body, so every non-quarantined job stays
+//!   **bitwise-identical** to the serial queue (the `fault_equivalence`
+//!   suite pins this).
 
+use std::collections::BTreeSet;
 use std::ops::Range;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sm_accel::perfmodel;
 use sm_chem::ScfDriver;
-use sm_comsim::{run_ranks, Comm, CommStats, Payload, ReduceOp, SerialComm, ThreadComm};
+use sm_comsim::{
+    run_ranks, run_ranks_with_faults, split_known, Comm, CommError, CommStats, FaultPlan, Payload,
+    ReduceOp, SerialComm, SubComm, ThreadComm,
+};
 use sm_core::engine::{EngineOptions, EngineReport, SubmatrixEngine};
 use sm_core::transfers::TransferStats;
 use sm_dbcsr::wire::{tele, TelemetryRecord, ValueFormat};
@@ -100,6 +134,25 @@ const IDLE_COLOR: u64 = u64::MAX;
 /// is preserved.
 const GATHER_META_TAG: u64 = 11;
 const GATHER_DATA_TAG: u64 = 12;
+
+/// Parent-level tag namespace of the recovery protocol's per-epoch fault
+/// consensus (heartbeats to rank 0 and the committed-view fan-out), well
+/// clear of the result gather's `1 << 40` namespace.
+const CONSENSUS_NS: u64 = 1 << 41;
+/// Distinguishes the committed-view fan-out from the heartbeats within
+/// [`CONSENSUS_NS`] (epoch indices stay far below this bit).
+const CONSENSUS_VIEW_BIT: u64 = 1 << 20;
+/// Parent-level tag namespace of the end-of-batch survivor idle reports.
+const IDLE_NS: u64 = 1 << 42;
+/// Deadline for the recovery protocol's control receives. Failure
+/// detection does not rely on it — a dying rank poisons its channels, so
+/// the matching receive fails in milliseconds — it is only the backstop
+/// that bounds how long a pathological straggler can stall consensus.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default per-job attempt budget under fault injection (first attempt +
+/// two retries), overridable via [`Scheduler::with_retry_budget`].
+pub const DEFAULT_RETRY_BUDGET: usize = 3;
 
 /// Rank-budget policy: how many groups to form and how large each may
 /// grow. The default is uncapped — `min(world, jobs)` groups, ranks dealt
@@ -566,6 +619,319 @@ fn steal_stats_for(
     }
 }
 
+/// Typed scheduler failure, returned by [`Scheduler::try_run_batch`]
+/// instead of a panic. Programmer errors (protocol violations, consensus
+/// divergence under a deterministic plan) still panic; `SchedError` is
+/// reserved for conditions a robust caller is expected to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// A submitted job failed admission validation.
+    InvalidJob {
+        /// The job's identifier.
+        name: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A communication failure the recovery protocol could not absorb
+    /// (e.g. the coordinator timed out collecting a result).
+    Comm(CommError),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::InvalidJob { name, reason } => {
+                write!(f, "invalid job '{name}': {reason}")
+            }
+            SchedError::Comm(e) => write!(f, "communication failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CommError> for SchedError {
+    fn from(e: CommError) -> Self {
+        SchedError::Comm(e)
+    }
+}
+
+/// Fault-handling telemetry of one scheduled batch. All planner-derived
+/// fields are **deterministic** — exact functions of (fault plan, job
+/// set, world size, budget), reproducible across reruns of the same seed
+/// — and the injection counters are deterministic for a fixed protocol.
+/// All zeros when no fault plan is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Ranks that failed during the batch (committed by consensus).
+    pub rank_failures: usize,
+    /// Job attempts discarded as poisoned (corrupt-execution model).
+    pub poisoned_attempts: usize,
+    /// Poisoned attempts that re-entered the deferred queue (each later
+    /// re-runs after a deterministic backoff in epochs).
+    pub retries: usize,
+    /// Jobs quarantined after exhausting their retry budget.
+    pub quarantined_jobs: usize,
+    /// Epochs the recovery schedule executed.
+    pub recovery_epochs: usize,
+    /// Surviving ranks after the last epoch.
+    pub final_world_size: usize,
+    /// Messages lost to the plan's drop rules.
+    pub dropped_messages: u64,
+    /// Messages stalled by the plan's delay rules.
+    pub delayed_messages: u64,
+    /// Sends stalled by the plan's slow-rank rules.
+    pub slow_stalls: u64,
+}
+
+/// One committed execution attempt in a [`RecoveryGroup`]'s queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryAttempt {
+    /// Job index (submission order).
+    pub job: usize,
+    /// 1-based attempt number this commitment represents.
+    pub attempt: usize,
+    /// True when the plan poisons this attempt: the whole group skips it
+    /// (fail-stop detection at the attempt boundary) and the job either
+    /// retries after backoff or is quarantined.
+    pub poisoned: bool,
+}
+
+/// One group of a [`RecoveryEpoch`]: a queue of committed attempts on an
+/// explicit (possibly non-contiguous) survivor rank list.
+#[derive(Debug, Clone)]
+pub struct RecoveryGroup {
+    /// Committed attempts in execution order.
+    pub jobs: Vec<RecoveryAttempt>,
+    /// World ranks forming this group, ascending; `ranks[0]` is the group
+    /// root. Unlike the fault-free [`GroupPlan`]'s contiguous range,
+    /// survivor sets have holes where ranks died.
+    pub ranks: Vec<usize>,
+    /// Total estimated cost of the committed attempts.
+    pub est_cost: f64,
+}
+
+/// One epoch of a [`RecoverySchedule`]: the failures committed at its
+/// boundary, the surviving world, and the groups formed over it.
+#[derive(Debug, Clone)]
+pub struct RecoveryEpoch {
+    /// Ranks whose failure this epoch's consensus commits (they died at
+    /// the epoch boundary, before taking part in the consensus).
+    pub newly_failed: Vec<usize>,
+    /// Ranks alive through this epoch, ascending (always contains 0).
+    pub survivors: Vec<usize>,
+    /// Groups over the survivors (empty during pure backoff-wait epochs).
+    pub groups: Vec<RecoveryGroup>,
+}
+
+impl RecoveryEpoch {
+    /// The group index a world rank belongs to in this epoch.
+    pub fn group_of_rank(&self, rank: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.ranks.contains(&rank))
+    }
+}
+
+/// Deterministic fault-recovery schedule produced by [`plan_recovery`]: a
+/// pure function of the admitted job set, the perfmodel estimates and the
+/// fault plan's committed failure view — never of measured time — so every
+/// survivor derives the identical schedule without coordination beyond the
+/// per-epoch failed-set consensus, and reruns of the same seed reproduce
+/// the retry/quarantine counters exactly.
+#[derive(Debug, Clone)]
+pub struct RecoverySchedule {
+    /// World size the schedule was built for.
+    pub world_size: usize,
+    /// Per-job attempt budget the schedule was built under.
+    pub retry_budget: usize,
+    /// Per-job estimated costs (submission order).
+    pub job_costs: Vec<f64>,
+    /// The epochs, in execution order.
+    pub epochs: Vec<RecoveryEpoch>,
+    /// The epoch of each job's final attempt (successful, or the
+    /// quarantining one).
+    pub job_epoch: Vec<usize>,
+    /// Attempts each job consumed.
+    pub job_attempts: Vec<usize>,
+    /// Whether each job was quarantined.
+    pub quarantined: Vec<bool>,
+    /// Planner-side fault telemetry (injection counters zero; the
+    /// scheduler fills them from the run).
+    pub stats: FaultStats,
+}
+
+impl RecoverySchedule {
+    /// The world rank that rooted a job's successful attempt. Panics for
+    /// quarantined jobs (they have none).
+    pub fn root_of_job(&self, job: usize) -> usize {
+        assert!(
+            !self.quarantined[job],
+            "job {job} was quarantined and has no successful attempt"
+        );
+        let ep = &self.epochs[self.job_epoch[job]];
+        for g in &ep.groups {
+            if g.jobs.iter().any(|a| a.job == job && !a.poisoned) {
+                return g.ranks[0];
+            }
+        }
+        panic!("job {job} has no successful attempt in its recorded epoch");
+    }
+}
+
+/// Precompute the entire epoch-level recovery schedule for a batch under a
+/// deterministic [`FaultPlan`] (see the module docs). Pure: a function of
+/// the estimated costs, the world size, the rank budget, the plan and the
+/// retry budget only.
+///
+/// Per epoch `e`: commit every rank the plan fails at an epoch `<= e` that
+/// is not yet committed; re-[`partition`] the eligible pending jobs
+/// (deterministic backoff can push a retry past `e`) over the survivors;
+/// commit each group's queue greedily up to the [`steal_horizon`] (exactly
+/// the fault-free planner's rule); then resolve each committed attempt
+/// against the plan — a poisoned attempt re-enters the pending queue with
+/// its next eligible epoch at `e + 2^(attempt-1)` (bounded exponential
+/// backoff in epochs), or is quarantined once `retry_budget` attempts are
+/// spent. Epochs whose eligible set is empty (all pending jobs backing
+/// off) form survivor-idle wait epochs. Terminates because every
+/// non-wait epoch resolves at least one attempt and attempts are bounded
+/// by `jobs × retry_budget`.
+pub fn plan_recovery(
+    costs: &[f64],
+    world_size: usize,
+    budget: &RankBudget,
+    plan: &FaultPlan,
+    retry_budget: usize,
+) -> RecoverySchedule {
+    assert!(world_size >= 1, "need at least one rank");
+    assert!(retry_budget >= 1, "retry budget must allow one attempt");
+    assert!(
+        plan.fails_at(0).is_none(),
+        "rank 0 is the coordinator and must not fail"
+    );
+    let n = costs.len();
+    let mut failed: BTreeSet<usize> = BTreeSet::new();
+    // (job, attempts so far, first epoch the job may run in) — kept in
+    // ascending job order so re-partitions see a deterministic input.
+    let mut pending: Vec<(usize, usize, usize)> = (0..n).map(|j| (j, 0, 0)).collect();
+    let mut epochs: Vec<RecoveryEpoch> = Vec::new();
+    let mut job_epoch = vec![0usize; n];
+    let mut job_attempts = vec![0usize; n];
+    let mut quarantined = vec![false; n];
+    let (mut poisoned_attempts, mut retries) = (0usize, 0usize);
+    // Generous convergence bound: attempts are capped at n × retry_budget
+    // and each backoff gap at 2^(retry_budget-1) wait epochs.
+    let bound = 4 + world_size + n * retry_budget * (1 + (1usize << retry_budget.min(20)));
+    while !pending.is_empty() {
+        let e = epochs.len();
+        assert!(e <= bound, "recovery planner failed to converge");
+        let newly_failed: Vec<usize> = plan
+            .failing_ranks()
+            .into_iter()
+            .filter(|&r| plan.fails_at(r).expect("listed rank fails") <= e && !failed.contains(&r))
+            .collect();
+        failed.extend(newly_failed.iter().copied());
+        let survivors: Vec<usize> = (0..world_size).filter(|r| !failed.contains(r)).collect();
+        assert!(!survivors.is_empty(), "rank 0 never fails");
+
+        let eligible: Vec<(usize, usize)> = pending
+            .iter()
+            .filter(|&&(_, _, from)| from <= e)
+            .map(|&(j, a, _)| (j, a))
+            .collect();
+        if eligible.is_empty() {
+            // Every pending job is backing off: survivors idle one epoch.
+            epochs.push(RecoveryEpoch {
+                newly_failed,
+                survivors,
+                groups: Vec::new(),
+            });
+            continue;
+        }
+
+        // Re-partition the eligible jobs over the survivors only — the
+        // graceful-degradation step: a failed group's jobs re-enter this
+        // deal automatically because their epochs were never recorded.
+        let ecosts: Vec<f64> = eligible.iter().map(|&(j, _)| costs[j]).collect();
+        let p = partition(&ecosts, survivors.len(), budget);
+        let horizon = steal_horizon(&p);
+        let mut groups = Vec::with_capacity(p.groups.len());
+        let mut resolved: BTreeSet<usize> = BTreeSet::new();
+        let mut requeue: Vec<(usize, usize, usize)> = Vec::new();
+        for grp in &p.groups {
+            let ranks_f = grp.ranks.len() as f64;
+            let mut committed = Vec::with_capacity(grp.jobs.len());
+            let mut cum = 0.0f64;
+            for (pos, &k) in grp.jobs.iter().enumerate() {
+                // Same greedy fill as [`plan_epochs`]: the leading job is
+                // always committed, later (smaller) jobs only while the
+                // queue fits the horizon; the rest defer to next epoch.
+                if pos > 0 && (cum + ecosts[k]) / ranks_f > horizon * (1.0 + 1e-9) {
+                    continue;
+                }
+                cum += ecosts[k];
+                let (j, prev) = eligible[k];
+                let attempt = prev + 1;
+                let poisoned = plan.is_poisoned(j, attempt);
+                committed.push(RecoveryAttempt {
+                    job: j,
+                    attempt,
+                    poisoned,
+                });
+                resolved.insert(j);
+                job_attempts[j] = attempt;
+                job_epoch[j] = e;
+                if poisoned {
+                    poisoned_attempts += 1;
+                    if attempt >= retry_budget {
+                        quarantined[j] = true;
+                    } else {
+                        retries += 1;
+                        requeue.push((j, attempt, e + (1usize << (attempt - 1))));
+                    }
+                }
+            }
+            groups.push(RecoveryGroup {
+                jobs: committed,
+                ranks: grp.ranks.clone().map(|i| survivors[i]).collect(),
+                est_cost: cum,
+            });
+        }
+        pending.retain(|&(j, _, _)| !resolved.contains(&j));
+        pending.extend(requeue);
+        pending.sort_unstable();
+        epochs.push(RecoveryEpoch {
+            newly_failed,
+            survivors,
+            groups,
+        });
+    }
+    let stats = FaultStats {
+        rank_failures: failed.len(),
+        poisoned_attempts,
+        retries,
+        quarantined_jobs: quarantined.iter().filter(|&&q| q).count(),
+        recovery_epochs: epochs.len(),
+        final_world_size: world_size - failed.len(),
+        ..FaultStats::default()
+    };
+    RecoverySchedule {
+        world_size,
+        retry_budget,
+        job_costs: costs.to_vec(),
+        epochs,
+        job_epoch,
+        job_attempts,
+        quarantined,
+        stats,
+    }
+}
+
 /// Outcome of one scheduled batch.
 pub struct SchedulerOutcome {
     /// Per-job results in submission order (gathered on world rank 0).
@@ -578,6 +944,15 @@ pub struct SchedulerOutcome {
     pub steal_stats: StealStats,
     /// World-level transfer counters (includes all subgroup traffic).
     pub world_stats: Arc<CommStats>,
+    /// Fault-handling telemetry (all zeros when no fault plan is
+    /// installed).
+    pub fault_stats: FaultStats,
+    /// The recovery schedule the batch executed under — `Some` exactly
+    /// when a fault plan was installed. [`SchedulerOutcome::schedule`]
+    /// then describes the *fault-free baseline* (what the batch would
+    /// have done without faults); per-job reality (actual epoch,
+    /// attempts, quarantine) is in the results and here.
+    pub recovery: Option<RecoverySchedule>,
 }
 
 /// Distributed batch executor: a rank world carved into per-job
@@ -588,6 +963,8 @@ pub struct Scheduler {
     budget: RankBudget,
     policy: StealPolicy,
     trace_label: String,
+    fault_plan: Option<FaultPlan>,
+    retry_budget: usize,
 }
 
 impl Default for Scheduler {
@@ -615,6 +992,8 @@ impl Scheduler {
             budget,
             policy: StealPolicy::default(),
             trace_label: "batch".to_string(),
+            fault_plan: None,
+            retry_budget: DEFAULT_RETRY_BUDGET,
         }
     }
 
@@ -622,6 +1001,41 @@ impl Scheduler {
     pub fn with_policy(mut self, policy: StealPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Install a deterministic fault plan (builder style): batches then
+    /// run on the epoch-level recovery path (see the module docs) under
+    /// [`sm_comsim::run_ranks_with_faults`]. The plan must not fail rank
+    /// 0 — it is the coordinator that commits the fault consensus and
+    /// gathers results. A fault plan supersedes [`StealPolicy`]: recovery
+    /// always re-partitions between epochs (recovery *is* rebalancing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        assert!(
+            plan.fails_at(0).is_none(),
+            "rank 0 is the coordinator and must not fail"
+        );
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the per-job attempt budget used under fault injection
+    /// (builder style; default [`DEFAULT_RETRY_BUDGET`]). A job whose
+    /// every attempt up to the budget is poisoned is quarantined instead
+    /// of retried forever.
+    pub fn with_retry_budget(mut self, retry_budget: usize) -> Self {
+        assert!(retry_budget >= 1, "retry budget must allow one attempt");
+        self.retry_budget = retry_budget;
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// The per-job attempt budget used under fault injection.
+    pub fn retry_budget(&self) -> usize {
+        self.retry_budget
     }
 
     /// Set the batch label used as the root `batch:<label>` span of every
@@ -674,26 +1088,43 @@ impl Scheduler {
     /// additionally return per-iteration telemetry in
     /// [`JobResult::scf`].
     pub fn run_batch(&self, world_size: usize, jobs: Vec<BatchJob>) -> SchedulerOutcome {
+        self.try_run_batch(world_size, jobs)
+            .unwrap_or_else(|e| panic!("scheduled batch failed: {e}"))
+    }
+
+    /// Fallible [`Scheduler::run_batch`]: admission failures and
+    /// unrecoverable communication errors surface as a typed
+    /// [`SchedError`] instead of a panic.
+    pub fn try_run_batch(
+        &self,
+        world_size: usize,
+        jobs: Vec<BatchJob>,
+    ) -> Result<SchedulerOutcome, SchedError> {
         for j in &jobs {
-            assert_eq!(
-                j.input().grid().size(),
-                1,
-                "job matrices must be single-rank (replicated) handles"
-            );
-            // Validate on the caller thread: a zero iteration budget would
-            // otherwise panic deep inside a rank thread (ScfDriver::run
-            // produces no density) and strand its group's peers in their
-            // collectives.
+            // Validate on the caller thread: a bad job would otherwise
+            // panic deep inside a rank thread (e.g. ScfDriver::run with a
+            // zero iteration budget produces no density) and strand its
+            // group's peers in their collectives.
+            if j.input().grid().size() != 1 {
+                return Err(SchedError::InvalidJob {
+                    name: j.name().to_string(),
+                    reason: "job matrices must be single-rank (replicated) handles".to_string(),
+                });
+            }
             if let BatchJob::Scf(spec) = j {
-                assert!(
-                    spec.scf.max_iter >= 1,
-                    "SCF job '{}' has max_iter == 0 (needs at least one iteration)",
-                    spec.name
-                );
+                if spec.scf.max_iter < 1 {
+                    return Err(SchedError::InvalidJob {
+                        name: spec.name.clone(),
+                        reason: "max_iter == 0 (needs at least one iteration)".to_string(),
+                    });
+                }
             }
         }
         let costs: Vec<f64> = jobs.iter().map(estimate_batch_job_cost).collect();
         let schedule = plan_epochs(&costs, world_size, &self.budget, self.policy);
+        if let Some(plan) = &self.fault_plan {
+            return self.run_batch_recovering(world_size, jobs, costs, schedule, plan);
+        }
         {
             // Narrate the (already fixed) plan on the caller thread, under
             // the batch root span: planning stays a pure function of the
@@ -713,13 +1144,72 @@ impl Scheduler {
         let mut steal_stats = schedule.planned;
         steal_stats.measured_idle_seconds = measured_idle;
         steal_stats.measured_max_rank_idle_seconds = measured_max_idle;
-        SchedulerOutcome {
+        Ok(SchedulerOutcome {
             results,
             plan: schedule.static_plan.clone(),
             schedule,
             steal_stats,
             world_stats,
+            fault_stats: FaultStats::default(),
+            recovery: None,
+        })
+    }
+
+    /// The fault-injected execution path: precompute the recovery
+    /// schedule, narrate it, run the world under
+    /// [`run_ranks_with_faults`], and merge planner + injection
+    /// telemetry. `schedule` is the fault-free baseline, kept in the
+    /// outcome for comparison.
+    fn run_batch_recovering(
+        &self,
+        world_size: usize,
+        jobs: Vec<BatchJob>,
+        costs: Vec<f64>,
+        schedule: EpochSchedule,
+        plan: &FaultPlan,
+    ) -> Result<SchedulerOutcome, SchedError> {
+        let rec = plan_recovery(&costs, world_size, &self.budget, plan, self.retry_budget);
+        {
+            // Narrate the precomputed recovery schedule on the caller
+            // thread: fault.injected per committed rank failure,
+            // sched.retry per backoff re-queue, job.quarantined per
+            // exhausted budget — all pure functions of the plan.
+            let _batch = sm_trace::span(SpanKind::Batch, &self.trace_label);
+            trace_recovery(&rec);
         }
+        let engine = &self.engine;
+        let label = self.trace_label.as_str();
+        let (jobs_ref, rec_ref) = (&jobs, &rec);
+        let (mut per_rank, world_stats, injected) =
+            run_ranks_with_faults(world_size, plan.clone(), |comm| {
+                run_rank_recovering(engine, jobs_ref, rec_ref, label, comm)
+            });
+        let (results, (measured_idle, measured_max_idle)) = per_rank[0]
+            .take()
+            .expect("rank 0 never fails")?
+            .expect("world rank 0 gathers every job result");
+        debug_assert_eq!(
+            injected.rank_failures as usize, rec.stats.rank_failures,
+            "runtime rank failures diverged from the committed plan"
+        );
+        let mut steal_stats = schedule.planned;
+        steal_stats.measured_idle_seconds = measured_idle;
+        steal_stats.measured_max_rank_idle_seconds = measured_max_idle;
+        let fault_stats = FaultStats {
+            dropped_messages: injected.dropped_messages,
+            delayed_messages: injected.delayed_messages,
+            slow_stalls: injected.slow_stalls,
+            ..rec.stats
+        };
+        Ok(SchedulerOutcome {
+            results,
+            plan: schedule.static_plan.clone(),
+            schedule,
+            steal_stats,
+            world_stats,
+            fault_stats,
+            recovery: Some(rec),
+        })
     }
 }
 
@@ -807,6 +1297,96 @@ fn trace_schedule(s: &EpochSchedule) {
     }
 }
 
+/// Narrate a precomputed recovery schedule into the active trace (no-op
+/// when tracing is disabled): one `fault.injected` per committed rank
+/// failure, one `sched.epoch`/`sched.queue`/`sched.job` spine like
+/// [`trace_schedule`]'s (jobs annotated with attempt numbers), one
+/// `sched.retry` per poisoned attempt that re-enters the queue (with its
+/// backoff target epoch), and one `job.quarantined` per exhausted retry
+/// budget. Everything here is a pure function of the schedule, so traced
+/// span trees stay deterministic across reruns of the same seed.
+fn trace_recovery(r: &RecoverySchedule) {
+    if !sm_trace::enabled() {
+        return;
+    }
+    let costs = &r.job_costs;
+    for (e, ep) in r.epochs.iter().enumerate() {
+        let _epoch = sm_trace::span(SpanKind::Epoch, e);
+        for &rank in &ep.newly_failed {
+            sm_trace::emit(
+                "fault.injected",
+                0.0,
+                0.0,
+                &[("rank", rank as f64), ("epoch", e as f64)],
+            );
+        }
+        let horizon = ep
+            .groups
+            .iter()
+            .filter(|g| !g.jobs.is_empty())
+            .map(|g| costs[g.jobs[0].job] / g.ranks.len() as f64)
+            .fold(0.0f64, f64::max);
+        sm_trace::emit(
+            "sched.epoch",
+            horizon,
+            0.0,
+            &[
+                ("groups", ep.groups.len() as f64),
+                ("survivors", ep.survivors.len() as f64),
+                ("failed", ep.newly_failed.len() as f64),
+            ],
+        );
+        for (g, grp) in ep.groups.iter().enumerate() {
+            let _group = sm_trace::span(SpanKind::Group, g);
+            sm_trace::emit(
+                "sched.queue",
+                grp.est_cost,
+                0.0,
+                &[
+                    ("jobs", grp.jobs.len() as f64),
+                    ("ranks", grp.ranks.len() as f64),
+                    ("rank_start", grp.ranks[0] as f64),
+                ],
+            );
+            for (pos, att) in grp.jobs.iter().enumerate() {
+                sm_trace::emit(
+                    "sched.job",
+                    costs[att.job],
+                    0.0,
+                    &[
+                        ("job", att.job as f64),
+                        ("pos", pos as f64),
+                        ("ranks", grp.ranks.len() as f64),
+                        ("attempt", att.attempt as f64),
+                        ("poisoned", att.poisoned as u64 as f64),
+                    ],
+                );
+                if att.poisoned {
+                    if att.attempt >= r.retry_budget {
+                        sm_trace::emit(
+                            "job.quarantined",
+                            costs[att.job],
+                            0.0,
+                            &[("job", att.job as f64), ("attempts", att.attempt as f64)],
+                        );
+                    } else {
+                        sm_trace::emit(
+                            "sched.retry",
+                            costs[att.job],
+                            0.0,
+                            &[
+                                ("job", att.job as f64),
+                                ("attempt", att.attempt as f64),
+                                ("next_epoch", (e + (1usize << (att.attempt - 1))) as f64),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// One world rank's share of a scheduled batch: per epoch, split off the
 /// group subcommunicator (tearing down the previous epoch's — regrouping
 /// is always a fresh one-level split from the world comm), run the
@@ -837,193 +1417,17 @@ fn run_rank(
         let _group_span = sm_trace::span(SpanKind::Group, g);
 
         for &j in &epoch.groups[g].jobs {
-            let job = &jobs[j];
-            let _job_span = sm_trace::span(SpanKind::Job, j);
-            let bytes0 = sub.stats().total_bytes();
-            let msgs0 = sub.stats().total_msgs();
-            let t = Instant::now();
-
-            // Scatter the replicated input: each rank keeps the blocks it
-            // owns under the group-sized process grid (a local selection —
-            // the single-rank handle is replicated shared memory, the
-            // simulator's stand-in for an MPI_COMM_SELF matrix every rank
-            // holds).
-            let input = job.input();
-            let mut local = DbcsrMatrix::new(input.dims().clone(), sub.rank(), sub.size());
-            for (&(br, bc), blk) in input.store().iter() {
-                if local.is_mine(br, bc) {
-                    local.insert_block(br, bc, blk.clone());
-                }
-            }
-
-            // Execute collectively on the subgroup — one engine
-            // evaluation for a matrix job, the whole multi-iteration SCF
-            // loop for an SCF job. Either way every plan goes through the
-            // shared, contended cache, whose hit/miss consensus runs on
-            // `sub`, i.e. per-group per-epoch — exactly the ranks that
-            // must agree on entering the collective pattern gather (SCF
-            // jobs re-run that consensus every iteration, still on `sub`).
-            let (mut result, mut report, built_now, result_format, scf_local) = match job {
-                BatchJob::Matrix(mjob) => {
-                    let (eplan, built_now) = engine.plan_for_matrix_traced(&local, &sub);
-                    let (mut result, mut report) =
-                        engine.execute(&eplan, &local, mjob.mu0, &mjob.numeric, &sub);
-                    mjob.output.finalize(&mut result, mjob.numeric.precision);
-                    report.record_planning(built_now, &eplan);
-                    // The value encoding of the result gather follows the
-                    // job's precision: plain-Fp32 results are
-                    // f32-representable, so the f32 wire is lossless and
-                    // halves the result-gather bytes too.
-                    let format = if mjob.numeric.precision.scatter_is_f32() {
-                        ValueFormat::F32
-                    } else {
-                        ValueFormat::F64
-                    };
-                    (result, report, built_now, format, None)
-                }
-                BatchJob::Scf(spec) => {
-                    // The driver shares the scheduler's engine (and its
-                    // bounded plan cache) across every concurrent system.
-                    let driver = ScfDriver::with_engine(spec.scf.clone(), engine.clone());
-                    let r = driver.run(&local, spec.mu0, spec.n_electrons, &sub);
-                    // Group-sum the per-iteration byte telemetry: the
-                    // iteration count is group-collective (the convergence
-                    // decision is made on a reduced energy every rank
-                    // holds), so the flattened vectors line up and the
-                    // per-rank shares sum to whole-group traffic.
-                    let mut bytes: Vec<f64> = r
-                        .iterations
-                        .iter()
-                        .flat_map(|i| [i.gather_value_bytes as f64, i.scatter_value_bytes as f64])
-                        .collect();
-                    sub.allreduce_f64(ReduceOp::Sum, &mut bytes);
-                    let last = r.iterations.last().expect("SCF runs ≥ 1 iteration");
-                    let scf = ScfTelemetry {
-                        iterations: r.iterations.len(),
-                        converged: r.converged,
-                        final_energy: last.energy,
-                        final_electrons: last.electrons,
-                        gather_value_bytes: bytes.iter().step_by(2).map(|&b| b as u64).collect(),
-                        scatter_value_bytes: bytes
-                            .iter()
-                            .skip(1)
-                            .step_by(2)
-                            .map(|&b| b as u64)
-                            .collect(),
-                    };
-                    // SCF densities stay f64 under every precision (the
-                    // driver never applies the plain-Fp32 result
-                    // rounding), so the result gather always rides the
-                    // f64 wire — losslessly.
-                    (
-                        r.density,
-                        r.report,
-                        r.symbolic_builds > 0,
-                        ValueFormat::F64,
-                        Some(scf),
-                    )
-                }
-            };
-
-            // Gather result blocks to the group root: plain point-to-point
-            // sends (an alltoallv here would move O(group²) empty
-            // payloads and pollute the per-job traffic telemetry).
-            let mut gathered: Vec<((usize, usize), sm_linalg::Matrix)> = result.store_mut().drain();
-            if sub.rank() != 0 {
-                let (meta, data) =
-                    wire::pack_blocks_prec(gathered.iter().map(|(c, b)| (c, b)), result_format);
-                sub.send(0, GATHER_META_TAG, Payload::U64(meta));
-                sub.send(0, GATHER_DATA_TAG, data);
-                gathered.clear();
-            } else {
-                for src in 1..sub.size() {
-                    let meta = sub.recv(src, GATHER_META_TAG).into_u64();
-                    let data = sub.recv(src, GATHER_DATA_TAG);
-                    gathered.extend(wire::unpack_blocks_prec(input.dims(), &meta, data));
-                }
-            }
-            let seconds = t.elapsed().as_secs_f64();
-            if sm_trace::enabled() {
-                // Deterministic cost = the job's perfmodel estimate; wall
-                // seconds and stolen ranks ride as annotations only.
-                sm_trace::emit(
-                    "job.done",
-                    schedule.static_plan.job_costs[j],
-                    seconds,
-                    &[
-                        ("group_size", sub.size() as f64),
-                        ("stolen_ranks", schedule.job_stolen_ranks[j] as f64),
-                    ],
-                );
-                sm_trace::hist_seconds(&sm_trace::scoped_root("job.seconds"), seconds);
-            }
-
-            // Group-wide telemetry: total subgroup traffic this job moved
-            // (Sum), the critical-path phase timings, and the symbolic
-            // work — any rank may have rebuilt an evicted plan while the
-            // root hit, so plan_cached/symbolic_seconds must be reduced
-            // too, not taken from the root alone (Max doubles as OR for
-            // the 0/1 built flag). The plan's TransferStats are per-rank
-            // shares and are Sum-reduced to whole-run numbers, matching
-            // what the serial queue reports for the same job.
-            let mut traffic = [
-                (sub.stats().total_bytes() - bytes0) as f64,
-                (sub.stats().total_msgs() - msgs0) as f64,
-                report.transfers.unique_bytes as f64,
-                report.transfers.naive_bytes as f64,
-                report.transfers.unique_blocks as f64,
-                report.transfers.total_references as f64,
-                report.gather_value_bytes as f64,
-                report.scatter_value_bytes as f64,
-            ];
-            sub.allreduce_f64(ReduceOp::Sum, &mut traffic);
-            report.transfers = TransferStats {
-                unique_bytes: traffic[2] as u64,
-                naive_bytes: traffic[3] as u64,
-                unique_blocks: traffic[4] as u64,
-                total_references: traffic[5] as u64,
-            };
-            report.gather_value_bytes = traffic[6] as u64;
-            report.scatter_value_bytes = traffic[7] as u64;
-            let mut phases = [
-                report.gather_seconds,
-                report.solve_seconds,
-                report.scatter_seconds,
-                seconds,
-                report.symbolic_seconds,
-                if built_now { 1.0 } else { 0.0 },
-            ];
-            sub.allreduce_f64(ReduceOp::Max, &mut phases);
-            report.gather_seconds = phases[0];
-            report.solve_seconds = phases[1];
-            report.scatter_seconds = phases[2];
-            report.symbolic_seconds = phases[4];
-            report.plan_cached = phases[5] == 0.0;
-
-            // Group root ships the finished job to world rank 0 — in the
-            // job's result format too: the largest per-job message also
-            // halves for plain-Fp32 jobs, still losslessly.
-            if sub.rank() == 0 {
-                let mut root_mat = DbcsrMatrix::new(input.dims().clone(), 0, 1);
-                for ((br, bc), blk) in gathered {
-                    root_mat.insert_block(br, bc, blk);
-                }
-                let (meta, data) = wire::pack_blocks_prec(root_mat.store().iter(), result_format);
-                comm.send(0, result_tag(j, 0), Payload::U64(meta));
-                comm.send(0, result_tag(j, 1), data);
-                let telemetry = encode_telemetry(
-                    &report,
-                    phases[3],
-                    sub.size(),
-                    traffic[0] as u64,
-                    traffic[1] as u64,
-                    e,
-                    schedule.job_stolen_ranks[j],
-                    scf_local.as_ref(),
-                );
-                comm.send(0, result_tag(j, 2), Payload::F64(telemetry));
-            }
-            busy += t.elapsed().as_secs_f64();
+            busy += execute_job_on_group(
+                engine,
+                jobs,
+                j,
+                schedule.static_plan.job_costs[j],
+                schedule.job_stolen_ranks[j],
+                1,
+                &sub,
+                comm,
+                e,
+            );
         }
     }
 
@@ -1069,23 +1473,471 @@ fn run_rank(
             for ((br, bc), blk) in wire::unpack_blocks_prec(dims, &meta, data) {
                 result.insert_block(br, bc, blk);
             }
-            let (report, seconds, group_size, comm_bytes, comm_msgs, epoch, stolen_ranks, scf) =
-                decode_telemetry(&telemetry);
+            let dec = decode_telemetry(&telemetry);
             JobResult {
                 name: jobs[j].name().to_string(),
                 result,
-                report,
-                seconds,
-                group_size,
-                comm_bytes,
-                comm_msgs,
-                epoch,
-                stolen_ranks,
-                scf,
+                report: dec.report,
+                seconds: dec.seconds,
+                group_size: dec.group_size,
+                comm_bytes: dec.comm_bytes,
+                comm_msgs: dec.comm_msgs,
+                epoch: dec.epoch,
+                stolen_ranks: dec.stolen_ranks,
+                attempts: dec.attempts,
+                quarantined: dec.quarantined,
+                scf: dec.scf,
             }
         })
         .collect();
     Some((results, (idle_total, idle_max)))
+}
+
+/// Execute one job collectively on its group subcommunicator and — from
+/// the group root — ship the packed result and telemetry to world rank 0
+/// over the job's reserved tags. This is the single job body both the
+/// fault-free executor ([`run_rank`]) and the recovery executor
+/// ([`run_rank_recovering`]) run: the bitwise-equivalence contract
+/// (recovered job ≡ serial queue) holds precisely because a retried
+/// attempt re-enters the same code with only the group membership
+/// changed. Returns the wall seconds this rank spent on the job.
+#[allow(clippy::too_many_arguments)]
+fn execute_job_on_group(
+    engine: &Arc<SubmatrixEngine>,
+    jobs: &[BatchJob],
+    j: usize,
+    est_cost: f64,
+    stolen_ranks: usize,
+    attempt: usize,
+    sub: &SubComm<'_, ThreadComm>,
+    comm: &ThreadComm,
+    epoch: usize,
+) -> f64 {
+    let job = &jobs[j];
+    let _job_span = sm_trace::span(SpanKind::Job, j);
+    let bytes0 = sub.stats().total_bytes();
+    let msgs0 = sub.stats().total_msgs();
+    let t = Instant::now();
+
+    // Scatter the replicated input: each rank keeps the blocks it
+    // owns under the group-sized process grid (a local selection —
+    // the single-rank handle is replicated shared memory, the
+    // simulator's stand-in for an MPI_COMM_SELF matrix every rank
+    // holds).
+    let input = job.input();
+    let mut local = DbcsrMatrix::new(input.dims().clone(), sub.rank(), sub.size());
+    for (&(br, bc), blk) in input.store().iter() {
+        if local.is_mine(br, bc) {
+            local.insert_block(br, bc, blk.clone());
+        }
+    }
+
+    // Execute collectively on the subgroup — one engine
+    // evaluation for a matrix job, the whole multi-iteration SCF
+    // loop for an SCF job. Either way every plan goes through the
+    // shared, contended cache, whose hit/miss consensus runs on
+    // `sub`, i.e. per-group per-epoch — exactly the ranks that
+    // must agree on entering the collective pattern gather (SCF
+    // jobs re-run that consensus every iteration, still on `sub`).
+    let (mut result, mut report, built_now, result_format, scf_local) = match job {
+        BatchJob::Matrix(mjob) => {
+            let (eplan, built_now) = engine.plan_for_matrix_traced(&local, sub);
+            let (mut result, mut report) =
+                engine.execute(&eplan, &local, mjob.mu0, &mjob.numeric, sub);
+            mjob.output.finalize(&mut result, mjob.numeric.precision);
+            report.record_planning(built_now, &eplan);
+            // The value encoding of the result gather follows the
+            // job's precision: plain-Fp32 results are
+            // f32-representable, so the f32 wire is lossless and
+            // halves the result-gather bytes too.
+            let format = if mjob.numeric.precision.scatter_is_f32() {
+                ValueFormat::F32
+            } else {
+                ValueFormat::F64
+            };
+            (result, report, built_now, format, None)
+        }
+        BatchJob::Scf(spec) => {
+            // The driver shares the scheduler's engine (and its
+            // bounded plan cache) across every concurrent system.
+            let driver = ScfDriver::with_engine(spec.scf.clone(), engine.clone());
+            let r = driver.run(&local, spec.mu0, spec.n_electrons, sub);
+            // Group-sum the per-iteration byte telemetry: the
+            // iteration count is group-collective (the convergence
+            // decision is made on a reduced energy every rank
+            // holds), so the flattened vectors line up and the
+            // per-rank shares sum to whole-group traffic.
+            let mut bytes: Vec<f64> = r
+                .iterations
+                .iter()
+                .flat_map(|i| [i.gather_value_bytes as f64, i.scatter_value_bytes as f64])
+                .collect();
+            sub.allreduce_f64(ReduceOp::Sum, &mut bytes);
+            let last = r.iterations.last().expect("SCF runs ≥ 1 iteration");
+            let scf = ScfTelemetry {
+                iterations: r.iterations.len(),
+                converged: r.converged,
+                final_energy: last.energy,
+                final_electrons: last.electrons,
+                gather_value_bytes: bytes.iter().step_by(2).map(|&b| b as u64).collect(),
+                scatter_value_bytes: bytes.iter().skip(1).step_by(2).map(|&b| b as u64).collect(),
+            };
+            // SCF densities stay f64 under every precision (the
+            // driver never applies the plain-Fp32 result
+            // rounding), so the result gather always rides the
+            // f64 wire — losslessly.
+            (
+                r.density,
+                r.report,
+                r.symbolic_builds > 0,
+                ValueFormat::F64,
+                Some(scf),
+            )
+        }
+    };
+
+    // Gather result blocks to the group root: plain point-to-point
+    // sends (an alltoallv here would move O(group²) empty
+    // payloads and pollute the per-job traffic telemetry).
+    let mut gathered: Vec<((usize, usize), sm_linalg::Matrix)> = result.store_mut().drain();
+    if sub.rank() != 0 {
+        let (meta, data) =
+            wire::pack_blocks_prec(gathered.iter().map(|(c, b)| (c, b)), result_format);
+        sub.send(0, GATHER_META_TAG, Payload::U64(meta));
+        sub.send(0, GATHER_DATA_TAG, data);
+        gathered.clear();
+    } else {
+        for src in 1..sub.size() {
+            let meta = sub.recv(src, GATHER_META_TAG).into_u64();
+            let data = sub.recv(src, GATHER_DATA_TAG);
+            gathered.extend(wire::unpack_blocks_prec(input.dims(), &meta, data));
+        }
+    }
+    let seconds = t.elapsed().as_secs_f64();
+    if sm_trace::enabled() {
+        // Deterministic cost = the job's perfmodel estimate; wall
+        // seconds and stolen ranks ride as annotations only.
+        sm_trace::emit(
+            "job.done",
+            est_cost,
+            seconds,
+            &[
+                ("group_size", sub.size() as f64),
+                ("stolen_ranks", stolen_ranks as f64),
+            ],
+        );
+        sm_trace::hist_seconds(&sm_trace::scoped_root("job.seconds"), seconds);
+    }
+
+    // Group-wide telemetry: total subgroup traffic this job moved
+    // (Sum), the critical-path phase timings, and the symbolic
+    // work — any rank may have rebuilt an evicted plan while the
+    // root hit, so plan_cached/symbolic_seconds must be reduced
+    // too, not taken from the root alone (Max doubles as OR for
+    // the 0/1 built flag). The plan's TransferStats are per-rank
+    // shares and are Sum-reduced to whole-run numbers, matching
+    // what the serial queue reports for the same job.
+    let mut traffic = [
+        (sub.stats().total_bytes() - bytes0) as f64,
+        (sub.stats().total_msgs() - msgs0) as f64,
+        report.transfers.unique_bytes as f64,
+        report.transfers.naive_bytes as f64,
+        report.transfers.unique_blocks as f64,
+        report.transfers.total_references as f64,
+        report.gather_value_bytes as f64,
+        report.scatter_value_bytes as f64,
+    ];
+    sub.allreduce_f64(ReduceOp::Sum, &mut traffic);
+    report.transfers = TransferStats {
+        unique_bytes: traffic[2] as u64,
+        naive_bytes: traffic[3] as u64,
+        unique_blocks: traffic[4] as u64,
+        total_references: traffic[5] as u64,
+    };
+    report.gather_value_bytes = traffic[6] as u64;
+    report.scatter_value_bytes = traffic[7] as u64;
+    let mut phases = [
+        report.gather_seconds,
+        report.solve_seconds,
+        report.scatter_seconds,
+        seconds,
+        report.symbolic_seconds,
+        if built_now { 1.0 } else { 0.0 },
+    ];
+    sub.allreduce_f64(ReduceOp::Max, &mut phases);
+    report.gather_seconds = phases[0];
+    report.solve_seconds = phases[1];
+    report.scatter_seconds = phases[2];
+    report.symbolic_seconds = phases[4];
+    report.plan_cached = phases[5] == 0.0;
+
+    // Group root ships the finished job to world rank 0 — in the
+    // job's result format too: the largest per-job message also
+    // halves for plain-Fp32 jobs, still losslessly.
+    if sub.rank() == 0 {
+        let mut root_mat = DbcsrMatrix::new(input.dims().clone(), 0, 1);
+        for ((br, bc), blk) in gathered {
+            root_mat.insert_block(br, bc, blk);
+        }
+        let (meta, data) = wire::pack_blocks_prec(root_mat.store().iter(), result_format);
+        comm.send(0, result_tag(j, 0), Payload::U64(meta));
+        comm.send(0, result_tag(j, 1), data);
+        let telemetry = encode_telemetry(
+            &report,
+            phases[3],
+            sub.size(),
+            traffic[0] as u64,
+            traffic[1] as u64,
+            epoch,
+            stolen_ranks,
+            attempt,
+            false,
+            scf_local.as_ref(),
+        );
+        comm.send(0, result_tag(j, 2), Payload::F64(telemetry));
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// One world rank's share of a fault-injected batch (see "Faults and
+/// recovery" in the module docs). Per recovery epoch:
+///
+/// 1. a rank whose [`FaultPlan`] death fires at this epoch boundary
+///    poisons its peers and leaves — the poison is what lets every
+///    pending receive on it fail fast instead of hanging;
+/// 2. the survivors run the **fault consensus**: heartbeats to rank 0
+///    under a deadline, rank 0 fans the committed failed-set view back
+///    out, and every survivor asserts it equals the pure plan's view
+///    (the recovery schedule is a function of that view, so divergence
+///    is a protocol bug, not a handleable condition);
+/// 3. groups form with [`split_known`] from the agreed member lists —
+///    no world collective, so the dead are never waited on — and run
+///    their committed attempts through [`execute_job_on_group`].
+///    Poisoned attempts are skipped by the whole group from the pure
+///    plan alone (fail-stop at the attempt boundary: no partial sends).
+///
+/// Dead ranks and non-root survivors return `Ok(None)`; world rank 0
+/// returns every job's result (quarantined placeholders synthesized
+/// locally — their groups never shipped anything) plus the measured
+/// `(total, max)` idle seconds over the final survivors, or a typed
+/// [`SchedError`] if collection fails unrecoverably.
+#[allow(clippy::type_complexity)]
+fn run_rank_recovering(
+    engine: &Arc<SubmatrixEngine>,
+    jobs: &[BatchJob],
+    rec: &RecoverySchedule,
+    label: &str,
+    comm: &ThreadComm,
+) -> Result<Option<(Vec<JobResult>, (f64, f64))>, SchedError> {
+    let _batch_span = sm_trace::span(SpanKind::Batch, label);
+    let me = comm.rank();
+    let world = comm.size();
+    let my_death = comm.fault_plan().and_then(|p| p.fails_at(me));
+    let t_start = Instant::now();
+    let mut busy = 0.0f64;
+
+    for (e, ep) in rec.epochs.iter().enumerate() {
+        // A planned death fires at the epoch boundary, before the
+        // consensus below — which is exactly how the survivors find out.
+        if my_death == Some(e) {
+            comm.poison_peers();
+            return Ok(None);
+        }
+
+        // Fault consensus — the plan-cache-consensus trick lifted to the
+        // world level: every survivor commits an identical failed-set
+        // view before any group forms. Rank 0 collects heartbeats with
+        // deadline receives (a dead peer surfaces as a typed error,
+        // never a hang) and fans the committed view out to the
+        // survivors of *this* epoch.
+        let hb = wire::user_tag(CONSENSUS_NS | e as u64);
+        let view = wire::user_tag(CONSENSUS_NS | CONSENSUS_VIEW_BIT | e as u64);
+        let prev_survivors: Vec<usize> = if e == 0 {
+            (0..world).collect()
+        } else {
+            rec.epochs[e - 1].survivors.clone()
+        };
+        let committed: Vec<u64> = if me == 0 {
+            let mut dead: Vec<u64> = (0..world)
+                .filter(|r| !prev_survivors.contains(r))
+                .map(|r| r as u64)
+                .collect();
+            for &r in prev_survivors.iter().filter(|&&r| r != 0) {
+                if comm.recv_deadline(r, hb, CONTROL_TIMEOUT).is_err() {
+                    dead.push(r as u64);
+                }
+            }
+            dead.sort_unstable();
+            for &r in ep.survivors.iter().filter(|&&r| r != 0) {
+                comm.send(r, view, Payload::U64(dead.clone()));
+            }
+            dead
+        } else {
+            comm.send(0, hb, Payload::U64(Vec::new()));
+            comm.recv_deadline(0, view, CONTROL_TIMEOUT)?.into_u64()
+        };
+        let planned: Vec<u64> = (0..world)
+            .filter(|r| !ep.survivors.contains(r))
+            .map(|r| r as u64)
+            .collect();
+        // Deterministic plans observed through poison-backed failure
+        // detection must commit exactly the planned view (user plans
+        // that drop control-tag messages void this — see module docs).
+        assert_eq!(
+            committed, planned,
+            "rank {me}: epoch {e} fault consensus diverged from the plan"
+        );
+
+        // Group formation from the agreed member lists.
+        if let Some(g) = ep.group_of_rank(me) {
+            let grp = &ep.groups[g];
+            let _epoch_span = sm_trace::span(SpanKind::Epoch, e);
+            let _group_span = sm_trace::span(SpanKind::Group, g);
+            let color = ((e as u64) << 32) | g as u64;
+            let sub = split_known(comm, color, grp.ranks.clone());
+            for att in &grp.jobs {
+                if att.poisoned {
+                    // Retry/quarantine bookkeeping happened at planning
+                    // time; at run time the whole group just skips.
+                    continue;
+                }
+                busy += execute_job_on_group(
+                    engine,
+                    jobs,
+                    att.job,
+                    rec.job_costs[att.job],
+                    0,
+                    att.attempt,
+                    &sub,
+                    comm,
+                    e,
+                );
+            }
+        }
+    }
+
+    // Survivor-only idle accounting: no world collective may follow the
+    // last epoch (the dead would never join it), so survivors report
+    // point-to-point and rank 0 aggregates — emitting `rank.idle` for
+    // the final survivors only keeps the event count deterministic.
+    let wall = t_start.elapsed().as_secs_f64();
+    if me != 0 {
+        comm.send(
+            0,
+            wire::user_tag(IDLE_NS | me as u64),
+            Payload::F64(vec![busy, wall]),
+        );
+        return Ok(None);
+    }
+    let final_survivors: Vec<usize> = rec
+        .epochs
+        .last()
+        .map(|ep| ep.survivors.clone())
+        .unwrap_or_else(|| (0..world).collect());
+    let mut per_rank: Vec<(usize, f64, f64)> = vec![(0, busy, wall)];
+    for &r in final_survivors.iter().filter(|&&r| r != 0) {
+        let v = comm
+            .recv_deadline(r, wire::user_tag(IDLE_NS | r as u64), CONTROL_TIMEOUT)?
+            .into_f64();
+        per_rank.push((r, v[0], v[1]));
+    }
+    let wall_max = per_rank.iter().map(|&(_, _, w)| w).fold(0.0f64, f64::max);
+    let mut idle_total = 0.0f64;
+    let mut idle_max = 0.0f64;
+    for &(r, b, w) in &per_rank {
+        let idle = (wall_max - b).max(0.0);
+        idle_total += idle;
+        idle_max = idle_max.max(idle);
+        sm_trace::emit(
+            "rank.idle",
+            0.0,
+            idle,
+            &[("rank", r as f64), ("busy_s", b), ("wall_s", w)],
+        );
+    }
+
+    // Result collection: every non-quarantined job's final root is read
+    // off the deterministic commit history; quarantined jobs get a
+    // locally synthesized empty placeholder carrying the fault
+    // bookkeeping (their groups never executed, so nothing was sent).
+    let results = (0..jobs.len())
+        .map(|j| {
+            if rec.quarantined[j] {
+                return Ok(JobResult {
+                    name: jobs[j].name().to_string(),
+                    result: DbcsrMatrix::new(jobs[j].input().dims().clone(), 0, 1),
+                    report: empty_report(job_precision(&jobs[j])),
+                    seconds: 0.0,
+                    group_size: 0,
+                    comm_bytes: 0,
+                    comm_msgs: 0,
+                    epoch: rec.job_epoch[j],
+                    stolen_ranks: 0,
+                    attempts: rec.job_attempts[j],
+                    quarantined: true,
+                    scf: None,
+                });
+            }
+            let root = rec.root_of_job(j);
+            let meta = comm
+                .recv_deadline(root, result_tag(j, 0), CONTROL_TIMEOUT)?
+                .into_u64();
+            let data = comm.recv_deadline(root, result_tag(j, 1), CONTROL_TIMEOUT)?;
+            let telemetry = comm
+                .recv_deadline(root, result_tag(j, 2), CONTROL_TIMEOUT)?
+                .into_f64();
+            let dims = jobs[j].input().dims();
+            let mut result = DbcsrMatrix::new(dims.clone(), 0, 1);
+            for ((br, bc), blk) in wire::unpack_blocks_prec(dims, &meta, data) {
+                result.insert_block(br, bc, blk);
+            }
+            let dec = decode_telemetry(&telemetry);
+            Ok(JobResult {
+                name: jobs[j].name().to_string(),
+                result,
+                report: dec.report,
+                seconds: dec.seconds,
+                group_size: dec.group_size,
+                comm_bytes: dec.comm_bytes,
+                comm_msgs: dec.comm_msgs,
+                epoch: dec.epoch,
+                stolen_ranks: dec.stolen_ranks,
+                attempts: dec.attempts,
+                quarantined: dec.quarantined,
+                scf: dec.scf,
+            })
+        })
+        .collect::<Result<Vec<_>, SchedError>>()?;
+    Ok(Some((results, (idle_total, idle_max))))
+}
+
+/// All-zero [`EngineReport`] backing a quarantined job's placeholder.
+fn empty_report(precision: Precision) -> EngineReport {
+    EngineReport {
+        n_submatrices: 0,
+        max_dim: 0,
+        avg_dim: 0.0,
+        total_cost: 0.0,
+        transfers: TransferStats::default(),
+        precision,
+        gather_value_bytes: 0,
+        scatter_value_bytes: 0,
+        mu: 0.0,
+        bisect_iterations: 0,
+        plan_cached: false,
+        symbolic_seconds: 0.0,
+        gather_seconds: 0.0,
+        solve_seconds: 0.0,
+        scatter_seconds: 0.0,
+    }
+}
+
+/// The numeric precision a job was configured to run under.
+fn job_precision(job: &BatchJob) -> Precision {
+    match job {
+        BatchJob::Matrix(j) => j.numeric.precision,
+        BatchJob::Scf(j) => j.scf.numeric.precision,
+    }
 }
 
 /// Stable wire code of a [`Precision`] inside the telemetry record.
@@ -1125,6 +1977,8 @@ fn encode_telemetry(
     comm_msgs: u64,
     epoch: usize,
     stolen_ranks: usize,
+    attempts: usize,
+    quarantined: bool,
     scf: Option<&ScfTelemetry>,
 ) -> Vec<f64> {
     let mut rec = TelemetryRecord::new();
@@ -1155,6 +2009,8 @@ fn encode_telemetry(
     rec.push(tele::SCATTER_VALUE_BYTES, report.scatter_value_bytes as f64);
     rec.push(tele::EPOCH, epoch as f64);
     rec.push(tele::STOLEN_RANKS, stolen_ranks as f64);
+    rec.push(tele::ATTEMPTS, attempts as f64);
+    rec.push(tele::QUARANTINED, quarantined as u64 as f64);
     if let Some(s) = scf {
         rec.push(tele::SCF_ITERATIONS, s.iterations as f64);
         rec.push(tele::SCF_CONVERGED, if s.converged { 1.0 } else { 0.0 });
@@ -1170,23 +2026,26 @@ fn encode_telemetry(
     rec.encode()
 }
 
+/// A job's telemetry record, decoded — one field per [`JobResult`]
+/// scalar the wire carries.
+struct DecodedTelemetry {
+    report: EngineReport,
+    seconds: f64,
+    group_size: usize,
+    comm_bytes: u64,
+    comm_msgs: u64,
+    epoch: usize,
+    stolen_ranks: usize,
+    attempts: usize,
+    quarantined: bool,
+    scf: Option<ScfTelemetry>,
+}
+
 /// Inverse of [`encode_telemetry`]. Panics (with the decoder's own clear
 /// message) on schema-version mismatch or truncation — inside one
 /// process both ends are compiled together, so a mismatch here is a bug,
 /// not an input error.
-#[allow(clippy::type_complexity)]
-fn decode_telemetry(
-    x: &[f64],
-) -> (
-    EngineReport,
-    f64,
-    usize,
-    u64,
-    u64,
-    usize,
-    usize,
-    Option<ScfTelemetry>,
-) {
+fn decode_telemetry(x: &[f64]) -> DecodedTelemetry {
     let rec = TelemetryRecord::decode(x).unwrap_or_else(|e| panic!("result-gather {e}"));
     let get = |field: u32| {
         rec.get(field)
@@ -1208,8 +2067,8 @@ fn decode_telemetry(
             .map(|b| b as u64)
             .collect(),
     });
-    (
-        EngineReport {
+    DecodedTelemetry {
+        report: EngineReport {
             n_submatrices: get(tele::N_SUBMATRICES) as usize,
             max_dim: get(tele::MAX_DIM) as usize,
             avg_dim: get(tele::AVG_DIM),
@@ -1231,14 +2090,16 @@ fn decode_telemetry(
             solve_seconds: get(tele::SOLVE_SECONDS),
             scatter_seconds: get(tele::SCATTER_SECONDS),
         },
-        get(tele::SECONDS),
-        get(tele::GROUP_SIZE) as usize,
-        get(tele::COMM_BYTES) as u64,
-        get(tele::COMM_MSGS) as u64,
-        get(tele::EPOCH) as usize,
-        get(tele::STOLEN_RANKS) as usize,
+        seconds: get(tele::SECONDS),
+        group_size: get(tele::GROUP_SIZE) as usize,
+        comm_bytes: get(tele::COMM_BYTES) as u64,
+        comm_msgs: get(tele::COMM_MSGS) as u64,
+        epoch: get(tele::EPOCH) as usize,
+        stolen_ranks: get(tele::STOLEN_RANKS) as usize,
+        attempts: get(tele::ATTEMPTS) as usize,
+        quarantined: get(tele::QUARANTINED) != 0.0,
         scf,
-    )
+    }
 }
 
 #[cfg(test)]
@@ -1464,22 +2325,26 @@ mod tests {
             solve_seconds: 0.2,
             scatter_seconds: 0.3,
         };
-        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, None);
+        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, 1, false, None);
         // Self-describing layout: version + entry-count header, then
-        // (field_id, value) pairs — 24 base fields.
+        // (field_id, value) pairs — 26 base fields.
         assert_eq!(enc[0], wire::TELEMETRY_SCHEMA_VERSION as f64);
-        assert_eq!(enc.len(), 2 + 2 * 24, "base record is 24 entries");
-        let (dec, seconds, group, bytes, msgs, epoch, stolen, scf) = decode_telemetry(&enc);
-        assert_eq!(dec.n_submatrices, 7);
-        assert_eq!(dec.transfers, report.transfers);
-        assert_eq!(dec.mu, report.mu);
-        assert!(dec.plan_cached);
-        assert_eq!(dec.precision, Precision::Fp32Refined);
-        assert_eq!(dec.gather_value_bytes, 2048);
-        assert_eq!(dec.scatter_value_bytes, 512);
-        assert_eq!((seconds, group, bytes, msgs), (1.5, 4, 4096, 17));
-        assert_eq!((epoch, stolen), (2, 3));
-        assert!(scf.is_none());
+        assert_eq!(enc.len(), 2 + 2 * 26, "base record is 26 entries");
+        let d = decode_telemetry(&enc);
+        assert_eq!(d.report.n_submatrices, 7);
+        assert_eq!(d.report.transfers, report.transfers);
+        assert_eq!(d.report.mu, report.mu);
+        assert!(d.report.plan_cached);
+        assert_eq!(d.report.precision, Precision::Fp32Refined);
+        assert_eq!(d.report.gather_value_bytes, 2048);
+        assert_eq!(d.report.scatter_value_bytes, 512);
+        assert_eq!(
+            (d.seconds, d.group_size, d.comm_bytes, d.comm_msgs),
+            (1.5, 4, 4096, 17)
+        );
+        assert_eq!((d.epoch, d.stolen_ranks), (2, 3));
+        assert_eq!((d.attempts, d.quarantined), (1, false));
+        assert!(d.scf.is_none());
 
         // The SCF extension rides the same record, distinguished by
         // length, and roundtrips exactly.
@@ -1491,10 +2356,11 @@ mod tests {
             gather_value_bytes: vec![100, 200, 300],
             scatter_value_bytes: vec![10, 20, 30],
         };
-        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, Some(&scf_in));
-        assert_eq!(enc.len(), 2 + 2 * (28 + 2 * 3));
-        let (_, _, _, _, _, _, _, scf_out) = decode_telemetry(&enc);
-        assert_eq!(scf_out, Some(scf_in));
+        let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, 2, false, Some(&scf_in));
+        assert_eq!(enc.len(), 2 + 2 * (30 + 2 * 3));
+        let d = decode_telemetry(&enc);
+        assert_eq!(d.attempts, 2);
+        assert_eq!(d.scf, Some(scf_in));
     }
 
     #[test]
@@ -1517,7 +2383,7 @@ mod tests {
             solve_seconds: 0.0,
             scatter_seconds: 0.0,
         };
-        let mut enc = encode_telemetry(&report, 0.0, 1, 0, 0, 0, 0, None);
+        let mut enc = encode_telemetry(&report, 0.0, 1, 0, 0, 0, 0, 1, false, None);
         enc[0] += 1.0; // a future schema version
         let _ = decode_telemetry(&enc);
     }
@@ -1582,5 +2448,87 @@ mod tests {
         for p in Precision::all() {
             assert_eq!(precision_from_code(precision_code(p)), p);
         }
+    }
+
+    #[test]
+    fn recovery_plan_without_faults_resolves_every_job_first_try() {
+        let costs = [5.0, 3.0, 2.0, 2.0];
+        let r = plan_recovery(&costs, 4, &RankBudget::default(), &FaultPlan::new(), 3);
+        assert!(r.quarantined.iter().all(|&q| !q));
+        assert!(r.job_attempts.iter().all(|&a| a == 1));
+        assert_eq!(r.stats.rank_failures, 0);
+        assert_eq!(r.stats.poisoned_attempts, 0);
+        assert_eq!(r.stats.retries, 0);
+        assert_eq!(r.stats.final_world_size, 4);
+        // Every epoch keeps the full world and every job has a root.
+        for ep in &r.epochs {
+            assert_eq!(ep.survivors, vec![0, 1, 2, 3]);
+            assert!(ep.newly_failed.is_empty());
+        }
+        for j in 0..costs.len() {
+            let _ = r.root_of_job(j);
+        }
+    }
+
+    #[test]
+    fn recovery_plan_shrinks_world_at_the_failure_epoch() {
+        let costs = [4.0; 6];
+        let plan = FaultPlan::new().fail_rank(2, 1);
+        let r = plan_recovery(&costs, 4, &RankBudget::default(), &plan, 3);
+        assert_eq!(r.stats.rank_failures, 1);
+        assert_eq!(r.stats.final_world_size, 3);
+        // The world shrinks exactly at the committed epoch and stays
+        // strictly smaller afterwards — never to grow back.
+        for (e, ep) in r.epochs.iter().enumerate() {
+            if e < 1 {
+                assert_eq!(ep.survivors, vec![0, 1, 2, 3]);
+            } else {
+                assert_eq!(ep.survivors, vec![0, 1, 3]);
+                assert!(!ep.groups.iter().any(|g| g.ranks.contains(&2)));
+            }
+        }
+        assert_eq!(r.epochs[1].newly_failed, vec![2]);
+        // Every job still lands on a surviving root.
+        for j in 0..costs.len() {
+            assert!(r.root_of_job(j) != 2 || r.job_epoch[j] < 1);
+        }
+    }
+
+    #[test]
+    fn recovery_plan_retries_with_backoff_and_quarantines() {
+        let costs = [2.0, 2.0];
+        // Job 1 poisoned on attempts 1 and 2 with budget 3: two retries
+        // (backing off 1 then 2 epochs), third attempt clean.
+        let plan = FaultPlan::new().poison_job(1, 1).poison_job(1, 2);
+        let r = plan_recovery(&costs, 2, &RankBudget::default(), &plan, 3);
+        assert_eq!(r.job_attempts[1], 3);
+        assert!(!r.quarantined[1]);
+        assert_eq!(r.stats.poisoned_attempts, 2);
+        assert_eq!(r.stats.retries, 2);
+        assert_eq!(r.stats.quarantined_jobs, 0);
+        // Attempt 1 at epoch 0, retry at 0+2^0=1, then at 1+2^1=3 with a
+        // pure wait epoch in between.
+        assert_eq!(r.job_epoch[1], 3);
+        assert!(r.epochs[2].groups.iter().all(|g| g.jobs.is_empty()));
+
+        // Budget 2 quarantines instead of running the third attempt.
+        let r = plan_recovery(&costs, 2, &RankBudget::default(), &plan, 2);
+        assert!(r.quarantined[1]);
+        assert_eq!(r.job_attempts[1], 2);
+        assert_eq!(r.stats.quarantined_jobs, 1);
+        assert_eq!(r.stats.retries, 1);
+        assert!(!r.quarantined[0]);
+    }
+
+    #[test]
+    fn recovery_plan_is_deterministic_per_seed() {
+        let costs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let plan = FaultPlan::random(42, 4, costs.len());
+        let a = plan_recovery(&costs, 4, &RankBudget::default(), &plan, 3);
+        let b = plan_recovery(&costs, 4, &RankBudget::default(), &plan, 3);
+        assert_eq!(a.job_epoch, b.job_epoch);
+        assert_eq!(a.job_attempts, b.job_attempts);
+        assert_eq!(a.quarantined, b.quarantined);
+        assert_eq!(a.stats, b.stats);
     }
 }

@@ -1,0 +1,28 @@
+//! Shared test support for the pipeline integration suites.
+
+#![allow(dead_code)]
+
+/// Run `f` under a wall-clock watchdog: a deadlocked/livelocked schedule
+/// fails the test instead of hanging the harness forever.
+pub fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    use std::sync::mpsc::RecvTimeoutError;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
+        Ok(v) => {
+            handle.join().expect("watchdog worker panicked");
+            v
+        }
+        // A dropped sender means the worker panicked, not hung: join to
+        // resurface the real panic instead of mislabeling it a deadlock.
+        Err(RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(p) => std::panic::resume_unwind(p),
+            Ok(()) => unreachable!("worker finished without sending"),
+        },
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("deadlock/livelock: batch did not complete within {secs}s")
+        }
+    }
+}

@@ -71,29 +71,8 @@ fn assert_bitwise_equal(a: &[JobResult], b: &[JobResult]) {
     }
 }
 
-/// Wall-clock watchdog: a deadlocked schedule fails instead of hanging.
-fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
-    use std::sync::mpsc::RecvTimeoutError;
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
-        Ok(v) => {
-            handle.join().expect("watchdog worker panicked");
-            v
-        }
-        // A dropped sender means the worker panicked, not hung: join to
-        // resurface the real panic instead of mislabeling it a deadlock.
-        Err(RecvTimeoutError::Disconnected) => match handle.join() {
-            Err(p) => std::panic::resume_unwind(p),
-            Ok(()) => unreachable!("worker finished without sending"),
-        },
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("deadlock/livelock: batch did not complete within {secs}s")
-        }
-    }
-}
+mod common;
+use common::with_watchdog;
 
 #[test]
 fn serialized_groups_have_exact_eviction_counters() {

@@ -132,28 +132,11 @@ fn assert_consensus_accounting(outcome: &SchedulerOutcome, engine: &SubmatrixEng
     assert_eq!(stats.executions, expected);
 }
 
-/// Wall-clock watchdog (a divergent consensus deadlocks inside a
-/// collective; fail loudly instead of hanging the harness).
-fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
-    use std::sync::mpsc::RecvTimeoutError;
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
-        Ok(v) => {
-            handle.join().expect("watchdog worker panicked");
-            v
-        }
-        Err(RecvTimeoutError::Disconnected) => match handle.join() {
-            Err(p) => std::panic::resume_unwind(p),
-            Ok(()) => unreachable!("worker finished without sending"),
-        },
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("deadlock/livelock: SCF batch did not complete within {secs}s")
-        }
-    }
-}
+// Wall-clock watchdog from the shared test-support module (a divergent
+// consensus deadlocks inside a collective; fail loudly instead of
+// hanging the harness).
+mod common;
+use common::with_watchdog;
 
 #[test]
 fn grand_canonical_batch_is_bitwise_serial_at_multiple_world_sizes() {

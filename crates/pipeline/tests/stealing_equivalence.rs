@@ -97,31 +97,11 @@ fn assert_consensus_accounting(outcome: &SchedulerOutcome, engine: &SubmatrixEng
     assert_eq!(stats.executions, expected);
 }
 
-/// Run `f` under a wall-clock watchdog: a deadlocked/livelocked schedule
-/// fails the test instead of hanging the harness forever. (The epoch
-/// planner itself is bounded by construction — at most one epoch per job.)
-fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
-    use std::sync::mpsc::RecvTimeoutError;
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
-        Ok(v) => {
-            handle.join().expect("watchdog worker panicked");
-            v
-        }
-        // A dropped sender means the worker panicked, not hung: join to
-        // resurface the real panic instead of mislabeling it a deadlock.
-        Err(RecvTimeoutError::Disconnected) => match handle.join() {
-            Err(p) => std::panic::resume_unwind(p),
-            Ok(()) => unreachable!("worker finished without sending"),
-        },
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("deadlock/livelock: batch did not complete within {secs}s")
-        }
-    }
-}
+// The watchdog lives in the shared test-support module: the epoch
+// planner itself is bounded by construction (at most one epoch per job),
+// but a buggy schedule must fail loudly rather than hang the harness.
+mod common;
+use common::with_watchdog;
 
 #[test]
 fn straggler_batch_steals_and_matches_queue_bitwise() {

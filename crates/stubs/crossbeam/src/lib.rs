@@ -15,6 +15,18 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// elapsed with no message, or every sender hung up (these must stay
+    /// distinguishable — a timeout may be retried, a disconnect never
+    /// delivers again).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders are gone; no message can ever arrive.
+        Disconnected,
+    }
+
     /// Sending half of an unbounded channel (cloneable).
     pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -44,6 +56,14 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, RecvError> {
             self.0.try_recv().map_err(|_| RecvError)
         }
+
+        /// Block until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Create an unbounded channel.
@@ -71,5 +91,23 @@ mod tests {
         let (s, r) = unbounded::<u8>();
         drop(s);
         assert!(r.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (s, r) = unbounded::<u8>();
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        s.send(7).unwrap();
+        assert_eq!(r.recv_timeout(Duration::from_millis(1)), Ok(7));
+        drop(s);
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

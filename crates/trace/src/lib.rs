@@ -70,7 +70,15 @@ pub mod json;
 /// dependency edges [`analyze::critical_path`] walks. v1 traces parse as
 /// [`analyze::TraceError::VersionMismatch`]; regenerate by rerunning the
 /// traced bench.
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: fault-injected batches add the recovery narration — one
+/// `fault.injected` per committed rank failure, one `sched.retry` per
+/// poisoned attempt re-entering the deferred queue (with its backoff
+/// target epoch), one `job.quarantined` per exhausted retry budget —
+/// and `sched.job` events gain `attempt`/`poisoned` fields. v1/v2
+/// traces parse as [`analyze::TraceError::VersionMismatch`];
+/// regenerate by rerunning the traced bench.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// Root path used for events and metrics recorded while no span context
 /// is installed on the emitting thread.
