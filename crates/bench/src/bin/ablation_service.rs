@@ -1,0 +1,346 @@
+//! Ablation: the resident streaming service vs a serial driver loop,
+//! across a kill-and-restart.
+//!
+//! A stream of mixed-priority grand-canonical SCF jobs arrives at a
+//! `StreamingScfService` over several admission windows. The binary
+//! asserts the PR's acceptance contract in-place:
+//!
+//! * every closed window is **bitwise-identical** to a serial
+//!   `ScfDriver` loop over the same admitted set in the same canonical
+//!   order (admission-window determinism);
+//! * spilling the plan cache to a manifest, standing up a **fresh
+//!   engine** (a restart in miniature), importing, and replaying the
+//!   same stream replans **nothing** — `symbolic_builds == 0` on the
+//!   warm side, every planning decision a cache hit, densities
+//!   unchanged across the restart;
+//! * backpressure sheds deterministically: a full queue refuses the
+//!   overflow submission without disturbing the admitted window.
+//!
+//! It then reports per-window admission/epoch/plan-cache counters for
+//! both the cold and warm phases and writes `results/BENCH_service.json`
+//! (plus `ablation_service.csv`) — the artifact the CI `smdoctor
+//! compare` gate pins against its committed baseline.
+//!
+//! Wall-clock columns are annotations (thread ranks share cores); the
+//! deterministic admission/epoch/consensus counters are the signal.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sm_bench::output::{bench_table, print_table, sci, write_bench_json, write_csv, Json};
+use sm_chem::{ScfEnsemble, ScfResult};
+use sm_comsim::SerialComm;
+use sm_core::engine::EngineOptions;
+use sm_dbcsr::{BlockedDims, DbcsrMatrix};
+use sm_linalg::Matrix;
+use sm_pipeline::{
+    serial_scf_loop, Priority, ScfJobSpec, ServiceConfig, ServiceError, StreamingScfService,
+    SubmatrixEngine, WindowOutcome,
+};
+
+/// Deterministic banded symmetric matrix with a spectral gap at 0 (the
+/// scheduler ablations' construction).
+fn banded(nb: usize, bs: usize, seed: u64) -> DbcsrMatrix {
+    let n = nb * bs;
+    let mut dense = Matrix::from_fn(n, n, |i, j| {
+        let bi = (i / bs) as isize;
+        let bj = (j / bs) as isize;
+        if (bi - bj).abs() > 1 {
+            0.0
+        } else if i == j {
+            (if i % 2 == 0 { 1.0 } else { -1.0 }) + ((seed % 13) as f64) * 0.011
+        } else {
+            0.05 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    dense.symmetrize();
+    DbcsrMatrix::from_dense(&dense, BlockedDims::uniform(nb, bs), 0, 1, 0.0)
+}
+
+fn gc_spec(name: &str, nb: usize, seed: u64) -> ScfJobSpec {
+    let kt0 = banded(nb, 2, seed);
+    let n_electrons = kt0.n() as f64;
+    let mut spec = ScfJobSpec::new(name, kt0, 0.0, n_electrons);
+    spec.scf.max_iter = 8;
+    spec.scf.tol = 1e-7;
+    spec.scf.ensemble = ScfEnsemble::GrandCanonical;
+    spec
+}
+
+fn fresh_engine() -> Arc<SubmatrixEngine> {
+    Arc::new(SubmatrixEngine::new(EngineOptions {
+        parallel: false,
+        ..EngineOptions::default()
+    }))
+}
+
+/// The streamed workload: three admission windows of mixed priorities,
+/// with recurring patterns across windows (the warm-restart payoff).
+fn stream() -> Vec<Vec<(ScfJobSpec, Priority)>> {
+    vec![
+        vec![
+            (gc_spec("w0-bulk", 10, 1), Priority::Low),
+            (gc_spec("w0-urgent", 4, 2), Priority::High),
+            (gc_spec("w0-steady", 5, 3), Priority::Normal),
+        ],
+        vec![
+            (gc_spec("w1-a", 4, 4), Priority::Normal),
+            (gc_spec("w1-b", 6, 5), Priority::Normal),
+            (gc_spec("w1-c", 4, 6), Priority::High),
+            (gc_spec("w1-d", 5, 7), Priority::Low),
+        ],
+        // Window 2 resubmits window 0's systems — pure plan reuse even
+        // on the cold side.
+        vec![
+            (gc_spec("w0-bulk", 10, 1), Priority::Normal),
+            (gc_spec("w0-urgent", 4, 2), Priority::Normal),
+            (gc_spec("w0-steady", 5, 3), Priority::Normal),
+        ],
+    ]
+}
+
+/// Bitwise check of one window against the serial driver loop over the
+/// same admitted set in the same canonical order.
+fn assert_window_bitwise(w: &WindowOutcome, serial: &[ScfResult], what: &str) {
+    let comm = SerialComm::new();
+    assert_eq!(w.outcome.results.len(), serial.len(), "{what}");
+    for (r, s) in w.outcome.results.iter().zip(serial) {
+        assert!(
+            r.result
+                .to_dense(&comm)
+                .allclose(&s.density.to_dense(&comm), 0.0),
+            "job '{}' density deviates from the serial driver loop ({what})",
+            r.name
+        );
+        let scf = r.scf.as_ref().expect("SCF telemetry present");
+        assert_eq!(scf.iterations, s.iterations.len(), "{what}");
+        assert_eq!(scf.converged, s.converged, "{what}");
+    }
+}
+
+/// Consensus decisions of one window: every rank of every group decides
+/// hit/miss once per SCF iteration.
+fn window_decisions(w: &WindowOutcome) -> usize {
+    w.outcome
+        .results
+        .iter()
+        .enumerate()
+        .map(|(j, r)| {
+            w.outcome.schedule.ranks_of_job(j).len() * r.scf.as_ref().map_or(1, |s| s.iterations)
+        })
+        .sum()
+}
+
+/// Run the whole stream through one service, asserting per-window
+/// bitwise equivalence, and return per-window rows plus the outcomes.
+fn run_stream(
+    engine: &Arc<SubmatrixEngine>,
+    phase: &str,
+    workload: &[Vec<(ScfJobSpec, Priority)>],
+    rows: &mut Vec<Vec<String>>,
+    series: &mut Vec<Json>,
+) -> Vec<WindowOutcome> {
+    let mut svc = StreamingScfService::new(
+        Arc::clone(engine),
+        ServiceConfig {
+            world_size: 4,
+            queue_capacity: 16,
+            trace_label: format!("svc-{phase}"),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut outcomes = Vec::new();
+    for window in workload {
+        for (spec, priority) in window {
+            svc.submit(spec.clone(), *priority).expect("admission");
+        }
+        let before = engine.stats();
+        let t = Instant::now();
+        let w = svc.close_window().expect("window runs");
+        let seconds = t.elapsed().as_secs_f64();
+        let after = engine.stats();
+
+        // Acceptance contract, asserted in-binary: the window is a pure
+        // function of the admitted set.
+        let specs: Vec<ScfJobSpec> = w
+            .admitted
+            .iter()
+            .map(|name| {
+                window
+                    .iter()
+                    .find(|(s, _)| &s.name == name)
+                    .expect("admitted job came from this window")
+                    .0
+                    .clone()
+            })
+            .collect();
+        let serial = serial_scf_loop(&fresh_engine(), &specs);
+        assert_window_bitwise(&w, &serial, &format!("{phase} window {}", w.window));
+
+        let (builds, hits) = (
+            after.symbolic_builds - before.symbolic_builds,
+            after.cache_hits - before.cache_hits,
+        );
+        let decisions = window_decisions(&w);
+        assert_eq!(
+            builds + hits,
+            decisions,
+            "consensus accounting broken in {phase} window {}",
+            w.window
+        );
+        eprintln!(
+            "{phase} window {}: {} admitted, {} epoch(s), {builds} builds, {hits} hits, \
+             {seconds:.3} s",
+            w.window,
+            w.admitted.len(),
+            w.outcome.schedule.epochs.len()
+        );
+        rows.push(vec![
+            phase.to_string(),
+            w.window.to_string(),
+            w.admitted.len().to_string(),
+            w.outcome.schedule.epochs.len().to_string(),
+            builds.to_string(),
+            hits.to_string(),
+            decisions.to_string(),
+            sci(seconds),
+        ]);
+        series.push(Json::obj([
+            ("phase", Json::Str(phase.into())),
+            ("window", Json::Num(w.window as f64)),
+            ("admitted", Json::Num(w.admitted.len() as f64)),
+            ("epochs", Json::Num(w.outcome.schedule.epochs.len() as f64)),
+            ("plan_builds", Json::Num(builds as f64)),
+            ("cache_hits", Json::Num(hits as f64)),
+            ("consensus_decisions", Json::Num(decisions as f64)),
+            ("bitwise_vs_serial", Json::Bool(true)),
+            ("total_s", Json::Num(seconds)),
+        ]));
+        outcomes.push(w);
+    }
+    outcomes
+}
+
+fn main() {
+    let workload = stream();
+    let n_jobs: usize = workload.iter().map(Vec::len).sum();
+    println!(
+        "streaming service ablation: {} admission window(s), {n_jobs} jobs, world 4",
+        workload.len()
+    );
+
+    let header = [
+        "phase",
+        "window",
+        "admitted",
+        "epochs",
+        "plan_builds",
+        "cache_hits",
+        "consensus_decisions",
+        "total_s",
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+
+    // Cold phase: fresh engine, stream everything, spill the plans.
+    let cold_engine = fresh_engine();
+    let cold = run_stream(&cold_engine, "cold", &workload, &mut rows, &mut series);
+    let cold_stats = cold_engine.stats();
+    assert!(
+        cold_stats.symbolic_builds > 0,
+        "cold stream must build plans"
+    );
+    let manifest = std::env::temp_dir().join("sm_ablation_service.smplans");
+    let exported = cold_engine.export_plans(&manifest).expect("export plans");
+    assert_eq!(exported, cold_engine.cached_plans());
+    println!(
+        "cold stream: {} builds, {} hits; spilled {exported} plan(s) to {}",
+        cold_stats.symbolic_builds,
+        cold_stats.cache_hits,
+        manifest.display()
+    );
+
+    // Warm phase: a restart in miniature — fresh engine, import, replay.
+    let warm_engine = fresh_engine();
+    let imported = warm_engine.import_plans(&manifest).expect("import plans");
+    assert_eq!(imported, exported, "every exported plan must restore");
+    let warm = run_stream(&warm_engine, "warm", &workload, &mut rows, &mut series);
+    let warm_stats = warm_engine.stats();
+
+    // The headline acceptance pin: the warm restart replans nothing.
+    assert_eq!(
+        warm_stats.symbolic_builds, 0,
+        "warm restart must replan nothing"
+    );
+    assert_eq!(
+        warm_stats.cache_hits, warm_stats.executions,
+        "every warm planning decision is a hit"
+    );
+    let comm = SerialComm::new();
+    for (c, w) in cold.iter().zip(&warm) {
+        for (rc, rw) in c.outcome.results.iter().zip(&w.outcome.results) {
+            assert_eq!(rc.name, rw.name);
+            assert!(
+                rc.result
+                    .to_dense(&comm)
+                    .allclose(&rw.result.to_dense(&comm), 0.0),
+                "job '{}' density changed across the restart",
+                rc.name
+            );
+        }
+    }
+    println!(
+        "warm stream: 0 builds, {} hits — the restart is invisible in the numbers",
+        warm_stats.cache_hits
+    );
+
+    // Deterministic backpressure: a capacity-2 queue sheds the third
+    // submission and the admitted window is undisturbed.
+    let mut small = StreamingScfService::new(
+        fresh_engine(),
+        ServiceConfig {
+            world_size: 4,
+            queue_capacity: 2,
+            trace_label: "svc-bp".to_string(),
+            ..ServiceConfig::default()
+        },
+    );
+    small
+        .submit(gc_spec("bp-a", 4, 1), Priority::Normal)
+        .expect("admit");
+    small
+        .submit(gc_spec("bp-b", 5, 2), Priority::Normal)
+        .expect("admit");
+    let shed = small.submit(gc_spec("bp-c", 6, 3), Priority::High);
+    assert!(
+        matches!(shed, Err(ServiceError::Backpressure { capacity: 2 })),
+        "third submission must shed"
+    );
+    let bp = small.close_window().expect("backpressured window");
+    assert_eq!(bp.admitted, vec!["bp-a", "bp-b"]);
+    assert_eq!(small.stats().backpressure_rejects, 1);
+    println!("backpressure: 2 admitted, 1 shed at capacity 2");
+
+    println!("\nAblation — resident streaming service across a restart");
+    print_table(&header, &rows);
+    write_csv("ablation_service.csv", &header, &rows);
+    write_bench_json(
+        "service",
+        Json::obj([
+            (
+                "workload",
+                Json::Str("3 admission windows, 10 mixed-priority GC jobs, world 4".into()),
+            ),
+            ("jobs", Json::Num(n_jobs as f64)),
+            ("windows", Json::Num(workload.len() as f64)),
+            ("manifest_plans", Json::Num(exported as f64)),
+            ("cold_builds", Json::Num(cold_stats.symbolic_builds as f64)),
+            ("cold_hits", Json::Num(cold_stats.cache_hits as f64)),
+            ("warm_builds", Json::Num(warm_stats.symbolic_builds as f64)),
+            ("warm_hits", Json::Num(warm_stats.cache_hits as f64)),
+            ("backpressure_rejects", Json::Num(1.0)),
+            ("series", Json::Arr(series)),
+            ("table", bench_table(&header, &rows)),
+        ]),
+    );
+}

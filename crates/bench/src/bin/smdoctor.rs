@@ -8,6 +8,8 @@
 //! smdoctor calibrate <trace.jsonl>       fit perfmodel coefficients (report-only)
 //! smdoctor compare <old.json> <new.json> deterministic-counter regression gate
 //! smdoctor faults [bench-or-trace]       fault-injection & recovery report
+//! smdoctor cache <manifest.smplans>      plan-cache manifest occupancy & ages
+//! smdoctor serve-report <trace.jsonl>    streaming-service admission-window report
 //! ```
 //!
 //! **Audit mode** reads every `BENCH_*.json`, `TRACE_*.jsonl`,
@@ -33,6 +35,18 @@
 //! compares the sum. Wall-clock columns (`*_s`, `*seconds*`) only
 //! soft-warn beyond a drift threshold.
 //!
+//! **`cache`** decodes a spilled plan-cache manifest (`SMPLANS` wire
+//! format, written by `SubmatrixEngine::export_plans`) and prints the
+//! schema version, producer tag, capacity, occupancy, lifetime
+//! hit/build/eviction counters and per-fingerprint entry ages — the
+//! warm-restart story at a glance, no engine required.
+//!
+//! **`serve-report`** reads a streaming-service trace (`smserved` /
+//! `StreamingScfService`) and prints one row per admission window —
+//! jobs admitted, queue rejects, and the epoch commit/defer splits the
+//! window's scheduler run narrated — failing (exit 1) when the trace
+//! carries no service narration at all.
+//!
 //! Exit codes: `0` healthy, `1` drift/regression, `2` usage errors
 //! (missing/empty/unreadable inputs).
 
@@ -42,6 +56,7 @@ use std::process::ExitCode;
 
 use sm_bench::calibrate::{calibration_json, calibration_report};
 use sm_bench::output::{results_dir, Json, BENCH_SCHEMA_VERSION, CSV_SCHEMA_VERSION};
+use sm_dbcsr::wire::{PlanManifest, PLAN_MANIFEST_SCHEMA_VERSION};
 use sm_trace::analyze::{
     critical_path, idle_attribution, job_phase_skew, phase_samples, TraceDoc, TraceError,
 };
@@ -57,6 +72,8 @@ fn main() -> ExitCode {
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
+        Some("serve-report") => cmd_serve_report(&args[1..]),
         Some("--help" | "-h") => {
             print_help();
             ExitCode::SUCCESS
@@ -72,7 +89,9 @@ fn print_help() {
          smdoctor export-perfetto <trace.jsonl> [out.json]\n\
          smdoctor calibrate <trace.jsonl>\n\
          smdoctor compare <old-bench.json> <new-bench.json>\n\
-         smdoctor faults [bench-or-trace]\n\n\
+         smdoctor faults [bench-or-trace]\n\
+         smdoctor cache <manifest.smplans>\n\
+         smdoctor serve-report <trace.jsonl>\n\n\
          Audit BENCH_*.json / TRACE_*.jsonl / PERFETTO_*.json / CALIB_*.json / *.csv\n\
          artifacts (default: results/; directories are globbed), analyze traces,\n\
          and gate deterministic counters between bench runs.\n\
@@ -392,7 +411,31 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         doc.get("bench").and_then(Json::as_str).unwrap_or("?"),
         series.len()
     );
+    // A fault row missing its counters is not a zero-fault row — it is
+    // the wrong artifact (or a producer from another schema). Refuse it
+    // as a usage error instead of printing fabricated zeros.
     let num = |row: &Json, key: &str| row.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    for (i, row) in series.iter().enumerate() {
+        for key in [
+            "world",
+            "rank_failures",
+            "poisoned_attempts",
+            "retries",
+            "quarantined_jobs",
+            "recovery_epochs",
+            "final_world_size",
+            "survivor_utilization",
+        ] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                eprintln!(
+                    "smdoctor: {}: data.series[{i}] has no numeric '{key}' — \
+                     not a fault bench artifact (run ablation_faults)",
+                    path.display()
+                );
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
     let mut totals = [0.0f64; 5];
     for row in series {
         let (failures, poisoned, retries, quarantined, epochs) = (
@@ -481,6 +524,193 @@ fn faults_from_trace(path: &Path) -> ExitCode {
              {quarantined} quarantine(s)"
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// `smdoctor cache <manifest.smplans>`: decode a spilled plan-cache
+/// manifest and print occupancy, lifetime counters and per-fingerprint
+/// entry ages. Missing/empty files are usage errors (exit 2); a file
+/// that is not a current-schema manifest is corruption (exit 1).
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: smdoctor cache <manifest.smplans>");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let path = Path::new(path);
+    let bytes = match std::fs::read(path) {
+        Ok(b) if b.is_empty() => {
+            eprintln!("smdoctor: {} is empty", path.display());
+            return ExitCode::from(EXIT_USAGE);
+        }
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("smdoctor: cannot read {}: {e}", path.display());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let m = match PlanManifest::decode(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("smdoctor: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let capacity = if m.capacity == u64::MAX {
+        "unbounded".to_string()
+    } else {
+        m.capacity.to_string()
+    };
+    let payload: usize = m.entries.iter().map(|e| e.words.len()).sum();
+    println!(
+        "plan-cache manifest {} (schema v{PLAN_MANIFEST_SCHEMA_VERSION})",
+        path.display()
+    );
+    println!(
+        "  producer tag {:#018x}, capacity {capacity}, occupancy {} plan(s) \
+         ({payload} payload word(s))",
+        m.tag,
+        m.entries.len()
+    );
+    println!(
+        "  lifetime: {} hit(s) / {} build(s), {} eviction(s), LRU tick {}",
+        m.hits, m.builds, m.evictions, m.tick
+    );
+
+    // Group entries by fingerprint; age = LRU ticks since last touch, so
+    // age 0 is the hottest plan and the largest age is next in line for
+    // eviction on a bounded import.
+    let mut by_fp: BTreeMap<u64, Vec<&sm_dbcsr::wire::PlanManifestEntry>> = BTreeMap::new();
+    for e in &m.entries {
+        by_fp.entry(e.fingerprint).or_default().push(e);
+    }
+    for (fp, entries) in &by_fp {
+        let oldest = entries
+            .iter()
+            .map(|e| m.tick.saturating_sub(e.lru_stamp))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "  fingerprint {fp:#018x}: {} plan(s), oldest age {oldest} tick(s)",
+            entries.len()
+        );
+        for e in entries {
+            println!(
+                "    rank {}/{}: age {} tick(s), {} word(s)",
+                e.rank,
+                e.size,
+                m.tick.saturating_sub(e.lru_stamp),
+                e.words.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extract the admission-window index from a streaming-service span
+/// root like `batch:serve.w3/epoch:0/...`.
+fn window_of_path(path: &str) -> Option<u64> {
+    let root = path.split('/').next()?;
+    let (_, w) = root.rsplit_once(".w")?;
+    w.parse().ok()
+}
+
+/// `smdoctor serve-report <trace.jsonl>`: per-admission-window report
+/// over a streaming-service trace — jobs admitted, queue rejects, and
+/// the epoch commit/defer splits each window's scheduler narrated. A
+/// trace with no `service.window` narration fails (exit 1): it is not a
+/// service trace.
+fn cmd_serve_report(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: smdoctor serve-report <trace.jsonl>");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let path = Path::new(path);
+    let text = match read_input(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let mut lines = text.lines();
+    match lines.next().map(Json::parse) {
+        Some(Ok(h))
+            if h.get("schema").and_then(Json::as_str) == Some("sm-trace")
+                && h.get("version").and_then(Json::as_f64)
+                    == Some(sm_trace::TRACE_SCHEMA_VERSION as f64) => {}
+        _ => {
+            eprintln!(
+                "smdoctor: {}: not a current sm-trace v{} header",
+                path.display(),
+                sm_trace::TRACE_SCHEMA_VERSION
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // window -> (admitted, queue_rejects) from the service narration;
+    // window -> (epochs, committed, deferred) from the per-window
+    // scheduler runs (grouped by the `batch:<label>.w<N>` span root).
+    let mut windows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut epochs: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for line in lines {
+        let Ok(doc) = Json::parse(line) else { continue };
+        let t = TraceLine { doc };
+        match t.str("name") {
+            "service.window" => {
+                // A window event missing its expected fields is a
+                // producer bug, not an empty window — refuse it.
+                let (Some(w), Some(admitted), Some(rejects)) = (
+                    t.try_field("window"),
+                    t.try_field("admitted"),
+                    t.try_field("queue_rejects"),
+                ) else {
+                    eprintln!(
+                        "smdoctor: {}: service.window event missing \
+                         window/admitted/queue_rejects fields",
+                        path.display()
+                    );
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                windows.insert(w as u64, (admitted as u64, rejects as u64));
+            }
+            "sched.epoch" => {
+                if let Some(w) = t
+                    .doc
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .and_then(window_of_path)
+                {
+                    let e = epochs.entry(w).or_default();
+                    e.0 += 1;
+                    e.1 += t.field("committed") as u64;
+                    e.2 += t.field("deferred") as u64;
+                }
+            }
+            _ => {}
+        }
+    }
+    if windows.is_empty() {
+        eprintln!(
+            "smdoctor: {}: no service.window narration — not a streaming-service trace \
+             (run smserved or the scf_service_batch example with SM_TRACE set)",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("service report — {} admission window(s):", windows.len());
+    let mut totals = (0u64, 0u64, 0u64);
+    for (w, (admitted, rejects)) in &windows {
+        let (n_epochs, committed, deferred) = epochs.get(w).copied().unwrap_or((0, 0, 0));
+        println!(
+            "  window {w}: {admitted} admitted, {rejects} queue reject(s), \
+             {n_epochs} epoch(s) ({committed} committed / {deferred} deferred)"
+        );
+        totals.0 += admitted;
+        totals.1 += rejects;
+        totals.2 += n_epochs;
+    }
+    println!(
+        "  totals: {} admitted, {} queue reject(s), {} epoch(s)",
+        totals.0, totals.1, totals.2
+    );
     ExitCode::SUCCESS
 }
 
@@ -716,19 +946,26 @@ fn is_artifact(name: &str) -> bool {
         || name.ends_with(".csv")
 }
 
-/// Glob a directory for audited artifacts, sorted.
-fn collect_artifacts(dir: &Path) -> Vec<PathBuf> {
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map(|rd| rd.filter_map(|e| e.ok()).map(|e| e.path()).collect())
-        .unwrap_or_default();
+/// Glob a directory for audited artifacts, sorted. An unreadable
+/// directory is a usage error (exit 2), never a silent empty set — an
+/// audit that cannot see its inputs must not report "healthy".
+fn collect_artifacts(dir: &Path) -> Result<Vec<PathBuf>, ExitCode> {
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) => {
+            eprintln!("smdoctor: cannot read directory {}: {e}", dir.display());
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+    };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok()).map(|e| e.path()).collect();
     entries.sort();
-    entries
+    Ok(entries
         .into_iter()
         .filter(|p| {
             let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
             p.is_file() && is_artifact(name)
         })
-        .collect()
+        .collect())
 }
 
 fn cmd_audit(args: &[String]) -> ExitCode {
@@ -745,11 +982,17 @@ fn cmd_audit(args: &[String]) -> ExitCode {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut missing = false;
     if inputs.is_empty() {
-        paths = collect_artifacts(&results_dir());
+        paths = match collect_artifacts(&results_dir()) {
+            Ok(p) => p,
+            Err(code) => return code,
+        };
     } else {
         for input in inputs {
             if input.is_dir() {
-                paths.extend(collect_artifacts(&input));
+                match collect_artifacts(&input) {
+                    Ok(p) => paths.extend(p),
+                    Err(code) => return code,
+                }
             } else if input.is_file() {
                 paths.push(input);
             } else {
@@ -955,14 +1198,22 @@ impl TraceLine {
         self.doc.get(key).and_then(Json::as_str).unwrap_or("")
     }
     fn num(&self, key: &str) -> f64 {
-        self.doc.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+        self.try_num(key).unwrap_or(0.0)
     }
     fn field(&self, key: &str) -> f64 {
+        self.try_field(key).unwrap_or(0.0)
+    }
+    /// Top-level numeric key, `None` when absent — callers that *expect*
+    /// the key use this and report the gap instead of folding in 0.0.
+    fn try_num(&self, key: &str) -> Option<f64> {
+        self.doc.get(key).and_then(Json::as_f64)
+    }
+    /// Structured-payload numeric field, `None` when absent.
+    fn try_field(&self, key: &str) -> Option<f64> {
         self.doc
             .get("fields")
             .and_then(|f| f.get(key))
             .and_then(Json::as_f64)
-            .unwrap_or(0.0)
     }
 }
 
@@ -1102,19 +1353,37 @@ fn audit_trace(path: &Path, report: &mut Vec<Drift>) {
         .filter(|e| e.str("name") == "rank.idle")
         .collect();
     if !idles.is_empty() {
-        let wall = idles.iter().map(|e| e.field("wall_s")).fold(0.0, f64::max);
-        let idle_sum: f64 = idles.iter().map(|e| e.num("wall_s")).sum();
-        let worst = idles
-            .iter()
-            .max_by(|a, b| a.num("wall_s").total_cmp(&b.num("wall_s")))
-            .expect("non-empty");
-        println!(
-            "  idle: {} ranks, makespan {wall:.3}s, total idle {idle_sum:.3}s \
-             (worst rank {:.0}: {:.3}s)",
-            idles.len(),
-            worst.field("rank"),
-            worst.num("wall_s"),
-        );
+        // A rank.idle event without its expected fields is a malformed
+        // trace, not an idle-free rank: report it as drift instead of
+        // silently folding 0.0 into the breakdown.
+        let mut complete = true;
+        for e in &idles {
+            for (what, present) in [
+                ("wall_s value", e.try_num("wall_s").is_some()),
+                ("fields.wall_s", e.try_field("wall_s").is_some()),
+                ("fields.rank", e.try_field("rank").is_some()),
+            ] {
+                if !present {
+                    drift(report, path, format!("rank.idle event missing {what}"));
+                    complete = false;
+                }
+            }
+        }
+        if complete {
+            let wall = idles.iter().map(|e| e.field("wall_s")).fold(0.0, f64::max);
+            let idle_sum: f64 = idles.iter().map(|e| e.num("wall_s")).sum();
+            let worst = idles
+                .iter()
+                .max_by(|a, b| a.num("wall_s").total_cmp(&b.num("wall_s")))
+                .expect("non-empty");
+            println!(
+                "  idle: {} ranks, makespan {wall:.3}s, total idle {idle_sum:.3}s \
+                 (worst rank {:.0}: {:.3}s)",
+                idles.len(),
+                worst.field("rank"),
+                worst.num("wall_s"),
+            );
+        }
     }
 
     // Byte budgets: engine value traffic by precision, communicator

@@ -50,7 +50,8 @@ pub mod transfers;
 
 pub use assembly::SubmatrixSpec;
 pub use engine::{
-    EngineOptions, EngineReport, EngineStats, ExecutionPlan, NumericOptions, SubmatrixEngine,
+    EngineOptions, EngineReport, EngineStats, ExecutionPlan, NumericOptions, PlanPersistError,
+    SubmatrixEngine,
 };
 pub use method::{submatrix_density, submatrix_sign, SubmatrixOptions, SubmatrixReport};
 pub use plan::SubmatrixPlan;

@@ -577,6 +577,211 @@ impl TelemetryRecord {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Plan manifest — the on-disk spill format for cached execution plans.
+// ---------------------------------------------------------------------------
+
+/// Schema version of the on-disk plan manifest. Bumped on any layout
+/// change; [`PlanManifest::decode`] refuses to misparse an unknown
+/// version.
+pub const PLAN_MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// Leading magic of every plan manifest (eight bytes, also the first
+/// little-endian word of the container). Guards against feeding an
+/// arbitrary file — a trace, a bench JSON — to the manifest decoder.
+pub const PLAN_MANIFEST_MAGIC: [u8; 8] = *b"SMPLANS\0";
+
+/// One spilled plan-cache entry. The payload is an opaque word stream
+/// owned by the producer (the engine's plan codec); this container only
+/// guarantees framing, versioning, and the LRU metadata needed to
+/// restore eviction order faithfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanManifestEntry {
+    /// Raw pattern fingerprint ([`PatternFingerprint`] value, *not* the
+    /// producer-tag-mixed cache key — the tag travels in the header).
+    pub fingerprint: u64,
+    /// Rank that built the plan (plans are rank-specific).
+    pub rank: u64,
+    /// Communicator size the plan was built for.
+    pub size: u64,
+    /// LRU stamp at export time; import restores it so eviction order
+    /// survives the restart.
+    pub lru_stamp: u64,
+    /// Producer-defined plan encoding (the engine's `ExecutionPlan`
+    /// codec), opaque at this layer.
+    pub words: Vec<u64>,
+}
+
+/// A versioned, self-describing spill of a plan cache: header counters
+/// plus fingerprint-keyed entries. Layout (all words little-endian
+/// `u64`): magic, version, producer tag, capacity (`u64::MAX` =
+/// unbounded), LRU tick, lifetime evictions/hits/builds, entry count;
+/// then per entry fingerprint, rank, size, LRU stamp, payload length,
+/// payload words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanManifest {
+    /// Producer namespace tag mixed into cache keys (the engine uses the
+    /// grouping's cache tag); import rejects a manifest whose tag
+    /// disagrees with the importing engine instead of serving plans
+    /// built under a different grouping policy.
+    pub tag: u64,
+    /// Cache capacity at export (`u64::MAX` encodes unbounded).
+    pub capacity: u64,
+    /// LRU clock at export; import resumes the clock at or above the
+    /// newest restored stamp.
+    pub tick: u64,
+    /// Lifetime eviction count at export (ops visibility only).
+    pub evictions: u64,
+    /// Lifetime cache-hit count at export (ops visibility only).
+    pub hits: u64,
+    /// Lifetime symbolic-build count at export (ops visibility only).
+    pub builds: u64,
+    /// The spilled entries, in producer order (the engine sorts them by
+    /// `(fingerprint, rank, size)` so equal caches export equal bytes).
+    pub entries: Vec<PlanManifestEntry>,
+}
+
+/// Typed decode failure for [`PlanManifest::decode`]. Mirrors
+/// [`TelemetryError`]: a manifest from a different schema or a truncated
+/// file is rejected with a description, never misparsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The file does not start with [`PLAN_MANIFEST_MAGIC`].
+    BadMagic,
+    /// Schema version differs from [`PLAN_MANIFEST_SCHEMA_VERSION`].
+    VersionMismatch {
+        /// Version word found in the header.
+        found: u32,
+        /// Version this decoder speaks.
+        expected: u32,
+    },
+    /// The byte stream ends before the advertised content.
+    Truncated {
+        /// Words available.
+        len: usize,
+        /// Words the header/entry framing promised.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::BadMagic => {
+                write!(
+                    f,
+                    "plan manifest: missing SMPLANS magic (not a manifest file)"
+                )
+            }
+            ManifestError::VersionMismatch { found, expected } => write!(
+                f,
+                "plan manifest schema v{found} but this build speaks \
+                 v{expected} (PLAN_MANIFEST_SCHEMA_VERSION) — refusing to misparse"
+            ),
+            ManifestError::Truncated { len, needed } => write!(
+                f,
+                "plan manifest truncated: {len} words present, {needed} needed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl PlanManifest {
+    /// Encode to bytes (little-endian `u64` words behind the magic).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut words: Vec<u64> = vec![
+            u64::from_le_bytes(PLAN_MANIFEST_MAGIC),
+            PLAN_MANIFEST_SCHEMA_VERSION as u64,
+            self.tag,
+            self.capacity,
+            self.tick,
+            self.evictions,
+            self.hits,
+            self.builds,
+            self.entries.len() as u64,
+        ];
+        for e in &self.entries {
+            words.extend_from_slice(&[
+                e.fingerprint,
+                e.rank,
+                e.size,
+                e.lru_stamp,
+                e.words.len() as u64,
+            ]);
+            words.extend_from_slice(&e.words);
+        }
+        let mut out = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes, rejecting wrong magic, unknown versions, and
+    /// truncation with a typed error instead of panicking.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ManifestError> {
+        let n_words = bytes.len() / 8;
+        let word = |i: usize| -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            u64::from_le_bytes(b)
+        };
+        if n_words < 1 || word(0) != u64::from_le_bytes(PLAN_MANIFEST_MAGIC) {
+            return Err(ManifestError::BadMagic);
+        }
+        if n_words < 9 {
+            return Err(ManifestError::Truncated {
+                len: n_words,
+                needed: 9,
+            });
+        }
+        let version = word(1) as u32;
+        if version != PLAN_MANIFEST_SCHEMA_VERSION {
+            return Err(ManifestError::VersionMismatch {
+                found: version,
+                expected: PLAN_MANIFEST_SCHEMA_VERSION,
+            });
+        }
+        let n_entries = word(8) as usize;
+        let mut entries = Vec::with_capacity(n_entries.min(1024));
+        let mut pos = 9usize;
+        for _ in 0..n_entries {
+            if n_words < pos + 5 {
+                return Err(ManifestError::Truncated {
+                    len: n_words,
+                    needed: pos + 5,
+                });
+            }
+            let payload_len = word(pos + 4) as usize;
+            if n_words < pos + 5 + payload_len {
+                return Err(ManifestError::Truncated {
+                    len: n_words,
+                    needed: pos + 5 + payload_len,
+                });
+            }
+            entries.push(PlanManifestEntry {
+                fingerprint: word(pos),
+                rank: word(pos + 1),
+                size: word(pos + 2),
+                lru_stamp: word(pos + 3),
+                words: (0..payload_len).map(|i| word(pos + 5 + i)).collect(),
+            });
+            pos += 5 + payload_len;
+        }
+        Ok(PlanManifest {
+            tag: word(2),
+            capacity: word(3),
+            tick: word(4),
+            evictions: word(5),
+            hits: word(6),
+            builds: word(7),
+            entries,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,5 +988,76 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("v9") && msg.contains("schema version mismatch"));
+    }
+
+    fn sample_manifest() -> PlanManifest {
+        PlanManifest {
+            tag: 0xdead_beef,
+            capacity: u64::MAX,
+            tick: 7,
+            evictions: 1,
+            hits: 12,
+            builds: 3,
+            entries: vec![
+                PlanManifestEntry {
+                    fingerprint: 0x1234_5678_9abc_def0,
+                    rank: 0,
+                    size: 2,
+                    lru_stamp: 5,
+                    words: vec![1, 2, 3, f64::to_bits(0.25)],
+                },
+                PlanManifestEntry {
+                    fingerprint: 0x1234_5678_9abc_def0,
+                    rank: 1,
+                    size: 2,
+                    lru_stamp: 7,
+                    words: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_manifest_roundtrips_bytes_exactly() {
+        let m = sample_manifest();
+        let bytes = m.encode();
+        assert_eq!(&bytes[..8], &PLAN_MANIFEST_MAGIC);
+        let back = PlanManifest::decode(&bytes).expect("decode");
+        assert_eq!(back, m);
+        // Re-encoding the decode is byte-identical (the format has no
+        // nondeterministic padding).
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn plan_manifest_rejects_bad_magic_version_and_truncation() {
+        let m = sample_manifest();
+        let bytes = m.encode();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(PlanManifest::decode(&bad), Err(ManifestError::BadMagic));
+        assert_eq!(PlanManifest::decode(b"short"), Err(ManifestError::BadMagic));
+
+        let mut wrong = bytes.clone();
+        wrong[8] = (PLAN_MANIFEST_SCHEMA_VERSION + 1) as u8;
+        match PlanManifest::decode(&wrong) {
+            Err(ManifestError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, PLAN_MANIFEST_SCHEMA_VERSION + 1);
+                assert_eq!(expected, PLAN_MANIFEST_SCHEMA_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+
+        // Chop mid-entry: the advertised payload no longer fits.
+        assert!(matches!(
+            PlanManifest::decode(&bytes[..bytes.len() - 8]),
+            Err(ManifestError::Truncated { .. })
+        ));
+        // Chop mid-header.
+        assert!(matches!(
+            PlanManifest::decode(&bytes[..32]),
+            Err(ManifestError::Truncated { .. })
+        ));
     }
 }

@@ -330,15 +330,10 @@ impl JobQueue {
             })
             .collect();
 
-        // LPT schedule: heaviest plans first.
+        // LPT schedule: heaviest plans first. `total_cmp` keeps the sort
+        // total even if a degenerate pattern produced a NaN cost.
         let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| {
-            plans[b]
-                .0
-                .total_cost
-                .partial_cmp(&plans[a].0.total_cost)
-                .expect("plan costs are finite")
-        });
+        order.sort_by(|&a, &b| plans[b].0.total_cost.total_cmp(&plans[a].0.total_cost));
 
         // Numeric pass. Exactly one level supplies the parallelism: if the
         // engine's per-job solves are parallel, jobs run sequentially;

@@ -95,6 +95,7 @@
 pub mod jobs;
 pub mod scf_service;
 pub mod sched;
+pub mod service;
 
 pub use jobs::{BatchJob, JobOutput, JobQueue, JobResult, MatrixJob, ScfJobSpec, ScfTelemetry};
 pub use scf_service::{serial_scf_loop, ScfOutcomeExt, ScfService};
@@ -103,6 +104,10 @@ pub use sched::{
     plan_recovery, steal_horizon, Epoch, EpochSchedule, FaultStats, GroupPlan, RankBudget,
     RecoveryAttempt, RecoveryEpoch, RecoveryGroup, RecoverySchedule, SchedError, SchedulePlan,
     Scheduler, SchedulerOutcome, StealPolicy, StealStats, DEFAULT_RETRY_BUDGET,
+};
+pub use service::{
+    Priority, ServiceConfig, ServiceError, ServiceEvent, ServiceRequest, ServiceStats,
+    StreamingScfService, WindowOutcome,
 };
 pub use sm_core::engine::{
     AssemblyMap, EngineOptions, EngineReport, EngineStats, Ensemble, ExecutionPlan, ExtractionMap,

@@ -265,6 +265,21 @@ pub fn estimate_batch_job_cost(job: &BatchJob) -> f64 {
     estimate_pattern_cost(job.input()) * job.iteration_budget() as f64
 }
 
+/// Admission gate on the perfmodel estimates: every cost must be finite,
+/// or the schedule (a pure function of the estimates) is undefined. The
+/// first offender is reported as [`SchedError::BadEstimate`].
+fn check_estimates(jobs: &[BatchJob], costs: &[f64]) -> Result<(), SchedError> {
+    for (job, &cost) in jobs.iter().zip(costs) {
+        if !cost.is_finite() {
+            return Err(SchedError::BadEstimate {
+                name: job.name().to_string(),
+                cost,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Deterministically partition `costs.len()` jobs over `world_size` ranks:
 /// longest-job-first packing onto `min(world, jobs)` groups (respecting
 /// `budget.max_groups`), then proportional rank allocation (respecting
@@ -286,21 +301,19 @@ pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> Sched
         n_groups = n_groups.min(mg.max(1));
     }
 
-    // Longest job first, submission order breaking ties.
+    // Longest job first, submission order breaking ties. `total_cmp`
+    // keeps the sort total even on non-finite estimates (the scheduler
+    // rejects those at admission, but `partition` is a public entry point
+    // and a NaN must not panic mid-schedule).
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        costs[b]
-            .partial_cmp(&costs[a])
-            .expect("job costs are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
 
     // LPT packing onto the least-loaded group.
     let mut group_jobs: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
     let mut loads = vec![0.0f64; n_groups];
     for &j in &order {
         let g = (0..n_groups)
-            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite"))
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
             .expect("n_groups >= 1");
         group_jobs[g].push(j);
         loads[g] += costs[j];
@@ -315,8 +328,7 @@ pub fn partition(costs: &[f64], world_size: usize, budget: &RankBudget) -> Sched
     while spare > 0 {
         let candidate = (0..n_groups).filter(|&g| sizes[g] < cap).max_by(|&a, &b| {
             (loads[a] / sizes[a] as f64)
-                .partial_cmp(&(loads[b] / sizes[b] as f64))
-                .expect("finite")
+                .total_cmp(&(loads[b] / sizes[b] as f64))
                 .then(b.cmp(&a)) // prefer the lower group index
         });
         match candidate {
@@ -529,8 +541,12 @@ pub fn plan_epochs(
             // Steal horizon of this epoch's partition: `max cost/ranks`
             // over leading jobs (see [`steal_horizon`] for the formula and
             // why empty groups are skipped). `p.job_costs` is exactly
-            // `rcosts`, so the indices in `p.groups` line up.
+            // `rcosts`, so the indices in `p.groups` line up. A horizon
+            // that is zero (all-zero-cost batch) or non-finite carries no
+            // ordering information — treat it as unbounded so the epoch
+            // commits everything instead of deferring pathologically.
             let horizon = steal_horizon(&p);
+            let unbounded = !(horizon.is_finite() && horizon > 0.0);
 
             let mut groups = Vec::with_capacity(p.groups.len());
             let mut deferred: Vec<usize> = Vec::new();
@@ -542,7 +558,10 @@ pub fn plan_epochs(
                     // Greedy fill to the horizon (LPT order, so later jobs
                     // are smaller and may still fit); the leading job is
                     // always committed.
-                    if pos == 0 || (cum + rcosts[k]) / ranks_f <= horizon * (1.0 + 1e-9) {
+                    if pos == 0
+                        || unbounded
+                        || (cum + rcosts[k]) / ranks_f <= horizon * (1.0 + 1e-9)
+                    {
                         committed.push(remaining[k]);
                         cum += rcosts[k];
                     } else {
@@ -623,7 +642,7 @@ fn steal_stats_for(
 /// instead of a panic. Programmer errors (protocol violations, consensus
 /// divergence under a deterministic plan) still panic; `SchedError` is
 /// reserved for conditions a robust caller is expected to handle.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchedError {
     /// A submitted job failed admission validation.
     InvalidJob {
@@ -631,6 +650,17 @@ pub enum SchedError {
         name: String,
         /// What was wrong with it.
         reason: String,
+    },
+    /// A job's perfmodel estimate is NaN or infinite (e.g. a degenerate
+    /// zero-dim pattern). Schedules are pure functions of the estimates
+    /// (ARCHITECTURE.md invariant 3), so a non-finite cost cannot be
+    /// ordered deterministically — the job is rejected at admission
+    /// instead of panicking inside the hot partitioning path.
+    BadEstimate {
+        /// The job's identifier.
+        name: String,
+        /// The offending estimate.
+        cost: f64,
     },
     /// A communication failure the recovery protocol could not absorb
     /// (e.g. the coordinator timed out collecting a result).
@@ -643,6 +673,11 @@ impl std::fmt::Display for SchedError {
             SchedError::InvalidJob { name, reason } => {
                 write!(f, "invalid job '{name}': {reason}")
             }
+            SchedError::BadEstimate { name, cost } => write!(
+                f,
+                "job '{name}' has a non-finite cost estimate ({cost}); \
+                 schedules are pure functions of the estimates, so it cannot be admitted"
+            ),
             SchedError::Comm(e) => write!(f, "communication failure: {e}"),
         }
     }
@@ -860,6 +895,9 @@ pub fn plan_recovery(
         let ecosts: Vec<f64> = eligible.iter().map(|&(j, _)| costs[j]).collect();
         let p = partition(&ecosts, survivors.len(), budget);
         let horizon = steal_horizon(&p);
+        // Same degenerate-horizon rule as [`plan_epochs`]: a zero or
+        // non-finite horizon cannot order the fill, so commit everything.
+        let unbounded = !(horizon.is_finite() && horizon > 0.0);
         let mut groups = Vec::with_capacity(p.groups.len());
         let mut resolved: BTreeSet<usize> = BTreeSet::new();
         let mut requeue: Vec<(usize, usize, usize)> = Vec::new();
@@ -871,7 +909,7 @@ pub fn plan_recovery(
                 // Same greedy fill as [`plan_epochs`]: the leading job is
                 // always committed, later (smaller) jobs only while the
                 // queue fits the horizon; the rest defer to next epoch.
-                if pos > 0 && (cum + ecosts[k]) / ranks_f > horizon * (1.0 + 1e-9) {
+                if pos > 0 && !unbounded && (cum + ecosts[k]) / ranks_f > horizon * (1.0 + 1e-9) {
                     continue;
                 }
                 cum += ecosts[k];
@@ -1121,6 +1159,7 @@ impl Scheduler {
             }
         }
         let costs: Vec<f64> = jobs.iter().map(estimate_batch_job_cost).collect();
+        check_estimates(&jobs, &costs)?;
         let schedule = plan_epochs(&costs, world_size, &self.budget, self.policy);
         if let Some(plan) = &self.fault_plan {
             return self.run_batch_recovering(world_size, jobs, costs, schedule, plan);
@@ -2441,6 +2480,75 @@ mod tests {
             steal_horizon(&partition(&[], 4, &RankBudget::default())),
             0.0
         );
+    }
+
+    #[test]
+    fn degenerate_horizon_commits_in_a_single_epoch() {
+        // An all-zero-cost batch makes `steal_horizon` return 0.0 — a
+        // horizon with no ordering information. The planner must treat it
+        // as unbounded (commit everything, one epoch) instead of letting
+        // the greedy fill defer on it; same rule under the recovery
+        // planner's fill.
+        for world in [1usize, 2, 3, 6] {
+            let s = plan_epochs(
+                &[0.0; 9],
+                world,
+                &RankBudget::default(),
+                StealPolicy::default(),
+            );
+            assert_eq!(s.epochs.len(), 1, "world {world}: zero-cost batch split");
+            let scheduled: usize = s.epochs[0].groups.iter().map(|g| g.jobs.len()).sum();
+            assert_eq!(scheduled, 9);
+
+            let r = plan_recovery(
+                &[0.0; 9],
+                world,
+                &RankBudget::default(),
+                &FaultPlan::new(),
+                3,
+            );
+            assert_eq!(r.epochs.len(), 1, "world {world}: recovery split");
+            assert!(r.job_attempts.iter().all(|&a| a == 1));
+        }
+    }
+
+    #[test]
+    fn partition_is_total_on_non_finite_costs() {
+        // `partition` is a public entry point: a NaN estimate must yield a
+        // deterministic (if meaningless) schedule, never a comparator
+        // panic. Admission (`try_run_batch`) rejects such jobs up front.
+        let costs = [f64::NAN, 2.0, f64::INFINITY, 0.0];
+        let p = partition(&costs, 3, &RankBudget::default());
+        let mut seen: Vec<usize> = p.groups.iter().flat_map(|g| g.jobs.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3], "every job placed exactly once");
+        let p2 = partition(&costs, 3, &RankBudget::default());
+        let jobs: Vec<_> = p.groups.iter().map(|g| g.jobs.clone()).collect();
+        let jobs2: Vec<_> = p2.groups.iter().map(|g| g.jobs.clone()).collect();
+        assert_eq!(jobs, jobs2, "NaN placement is deterministic");
+    }
+
+    #[test]
+    fn non_finite_estimates_are_rejected_at_admission() {
+        let dims = sm_dbcsr::BlockedDims::uniform(2, 2);
+        let dense = sm_linalg::Matrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let job = BatchJob::Matrix(MatrixJob {
+            name: "nan-cost".to_string(),
+            matrix: DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0),
+            mu0: 0.0,
+            numeric: sm_core::engine::NumericOptions::default(),
+            output: crate::jobs::JobOutput::Density,
+        });
+        let err = check_estimates(std::slice::from_ref(&job), &[f64::NAN]).unwrap_err();
+        match &err {
+            SchedError::BadEstimate { name, cost } => {
+                assert_eq!(name, "nan-cost");
+                assert!(cost.is_nan());
+            }
+            other => panic!("expected BadEstimate, got {other:?}"),
+        }
+        assert!(err.to_string().contains("non-finite cost estimate"));
+        assert!(check_estimates(std::slice::from_ref(&job), &[1.0]).is_ok());
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!    the schedule is a pure function of those patterns, so every group
 //!    shape repeats and the second batch does **zero** symbolic work —
 //!    the service-level form of the paper's plan-reuse argument.
+//! 4. **Kill and restart.** The engine spills its plan cache to a
+//!    versioned manifest (`SubmatrixEngine::export_plans`), the process
+//!    "dies", and a fresh engine in a resident [`StreamingScfService`]
+//!    imports the manifest and replays the batch through an admission
+//!    window — the warm daemon replans **nothing** (`symbolic_builds ==
+//!    0`): plan reuse survives process death. Inspect the spill with
+//!    `smdoctor cache <manifest>`.
 //!
 //! Every job returns its final density plus per-iteration SCF telemetry
 //! (iterations, convergence, energy, electron count, per-iteration wire
@@ -33,7 +40,10 @@
 use std::sync::Arc;
 
 use cp2k_submatrix::prelude::*;
-use sm_pipeline::{RankBudget, ScfJobSpec, ScfOutcomeExt, ScfService, SchedulerOutcome};
+use sm_pipeline::{
+    Priority, RankBudget, ScfJobSpec, ScfOutcomeExt, ScfService, SchedulerOutcome, ServiceConfig,
+    StreamingScfService,
+};
 
 /// Orthogonalized Kohn–Sham matrix + chemical data of one water system.
 fn system(seed: u64) -> (sm_dbcsr::DbcsrMatrix, f64, f64) {
@@ -112,7 +122,7 @@ fn main() {
     for spec in &mut specs {
         sm_dbcsr::ops::scale(&mut spec.kt0, 1.0 + 1e-3);
     }
-    let outcome2 = service.run(world, specs);
+    let outcome2 = service.run(world, specs.clone());
     println!("\nMD step 2 (same patterns, new values):");
     print_results(&outcome2);
     let stats2 = engine.stats();
@@ -134,4 +144,61 @@ fn main() {
         assert!(r.scf.as_ref().unwrap().converged);
     }
     println!("\nresubmitted batch planned zero times, all systems converged: ok");
+
+    // Step 4: kill and restart. Spill the plan cache to a manifest, stand
+    // up a fresh engine (a new process in miniature) inside the resident
+    // streaming service, import, and replay the batch through an
+    // admission window — warm from the first SCF iteration.
+    let manifest = std::env::temp_dir().join("scf_service_batch.smplans");
+    let exported = engine
+        .export_plans(&manifest)
+        .expect("export plan manifest");
+    println!(
+        "\nspilled {exported} plan(s) to {} — restarting on a fresh engine",
+        manifest.display()
+    );
+
+    let engine2 = Arc::new(SubmatrixEngine::new(EngineOptions {
+        parallel: false,
+        ..EngineOptions::default()
+    }));
+    let imported = engine2
+        .import_plans(&manifest)
+        .expect("import plan manifest");
+    assert_eq!(imported, exported, "every spilled plan must restore");
+    let mut daemon = StreamingScfService::new(
+        Arc::clone(&engine2),
+        ServiceConfig {
+            world_size: world,
+            trace_label: "md-restart".to_string(),
+            ..ServiceConfig::default()
+        },
+    );
+    for (spec, priority) in specs
+        .into_iter()
+        .zip([Priority::High, Priority::Normal, Priority::Low])
+    {
+        daemon.submit(spec, priority).expect("admission");
+    }
+    let window = daemon.close_window().expect("restart window");
+    println!("\nrestarted daemon, window 0 (imported plans):");
+    print_results(&window.outcome);
+    let warm = engine2.stats();
+    println!(
+        "plan cache after restart: {} symbolic builds, {} hits",
+        warm.symbolic_builds, warm.cache_hits
+    );
+    assert_eq!(
+        warm.symbolic_builds, 0,
+        "restarted service must replan nothing"
+    );
+    for r in &window.outcome.results {
+        assert!(
+            r.report.plan_cached,
+            "job '{}' re-planned after the restart",
+            r.name
+        );
+        assert!(r.scf.as_ref().unwrap().converged);
+    }
+    println!("\nwarm restart planned zero times across process death: ok");
 }
