@@ -98,7 +98,7 @@ fn bench_cannon_multiply(c: &mut Criterion) {
     let mut g = c.benchmark_group("dbcsr_multiply");
     g.sample_size(10);
     g.bench_function("serial_32mol", |bench| {
-        bench.iter(|| multiply(&k, &k, &comm, Some(1e-8)))
+        bench.iter(|| multiply(&k, &k, &comm, Some(1e-8)).unwrap())
     });
     g.finish();
 }

@@ -1,0 +1,216 @@
+//! Ablation: dense vs sparse-CSR submatrix solve backend across fill
+//! fractions.
+//!
+//! Three banded workloads sweep the element-fill axis (below the
+//! auto-selection threshold, mid-band, near-dense). Each runs the same
+//! Newton–Schulz sign batch through the serial [`JobQueue`] under the
+//! `Dense` and `SparseCsr` backend policies, reporting per fill level:
+//!
+//! * **element fill** — the plan's deterministic backend-decision input;
+//! * **sparse kernel flops** and **filtered elements** from the engine's
+//!   sparse telemetry counters (`tele::SPARSE_FLOPS` /
+//!   `tele::SPARSE_FILTERED_NNZ` on the wire);
+//! * **max elementwise deviation** of the sparse result from the dense
+//!   reference (contract: < 1e-10 at `sparse_eps = 0`);
+//! * the backend the `Auto` policy resolves — sparse below the
+//!   [`SPARSE_FILL_THRESHOLD`], dense above;
+//! * wall time of both paths (soft-warn only under `smdoctor compare`).
+//!
+//! The binary asserts the accuracy, telemetry and auto-selection
+//! contracts before reporting, then emits the standard CSV +
+//! `BENCH_*.json` outputs, including the regression-gated artifact
+//! `results/BENCH_sparse.json`.
+
+use std::time::Instant;
+
+use sm_bench::output::{bench_table, print_table, sci, write_bench_json, write_csv, Json};
+use sm_comsim::SerialComm;
+use sm_core::engine::{BackendPolicy, NumericOptions, SPARSE_FILL_THRESHOLD};
+use sm_core::solver::{SignMethod, SolveBackend, SolveOptions};
+use sm_dbcsr::{BlockedDims, DbcsrMatrix};
+use sm_linalg::Matrix;
+use sm_pipeline::{JobOutput, JobQueue, JobResult, MatrixJob};
+
+/// Deterministic banded symmetric matrix with a spectral gap at 0 and a
+/// block half-bandwidth controlling its element fill.
+fn banded(nb: usize, bs: usize, half: usize, seed: u64) -> DbcsrMatrix {
+    let n = nb * bs;
+    let mut dense = Matrix::from_fn(n, n, |i, j| {
+        let bi = (i / bs) as isize;
+        let bj = (j / bs) as isize;
+        if (bi - bj).unsigned_abs() > half {
+            0.0
+        } else if i == j {
+            let base = if i % 2 == 0 { 1.2 } else { -1.2 };
+            base + ((seed % 7) as f64) * 0.017
+        } else {
+            0.04 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    dense.symmetrize();
+    DbcsrMatrix::from_dense(&dense, BlockedDims::uniform(nb, bs), 0, 1, 0.0)
+}
+
+/// One-job Newton–Schulz sign batch under a backend policy.
+fn batch(matrix: DbcsrMatrix, policy: BackendPolicy) -> Vec<MatrixJob> {
+    let numeric = NumericOptions {
+        backend: policy,
+        solve: SolveOptions {
+            method: SignMethod::NewtonSchulz,
+            ..SolveOptions::default()
+        },
+        ..NumericOptions::default()
+    };
+    vec![MatrixJob {
+        name: "banded/sign".into(),
+        matrix,
+        mu0: 0.0,
+        numeric,
+        output: JobOutput::Sign,
+    }]
+}
+
+/// Serial run under one policy: results plus wall seconds.
+fn run(matrix: DbcsrMatrix, policy: BackendPolicy) -> (Vec<JobResult>, f64) {
+    let queue = JobQueue::default();
+    let t = Instant::now();
+    let results = queue.run(batch(matrix, policy));
+    (results, t.elapsed().as_secs_f64())
+}
+
+fn backend_label(b: SolveBackend) -> &'static str {
+    match b {
+        SolveBackend::Dense => "dense",
+        SolveBackend::SparseCsr => "sparse-csr",
+    }
+}
+
+fn main() {
+    let comm = SerialComm::new();
+    // Block half-bandwidths sweeping the fill axis: below the 0.2
+    // auto-selection threshold, mid-band, near-dense.
+    let levels = [("low", 1usize), ("mid", 3), ("high", 12)];
+
+    let header = [
+        "fill_level",
+        "element_fill",
+        "auto_backend",
+        "max_err_vs_dense",
+        "sparse_flops",
+        "sparse_filtered_nnz",
+        "dense_wall_s",
+        "sparse_wall_s",
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut fills = Vec::new();
+    let mut flops_by_level = Vec::new();
+    for (label, half) in levels {
+        let matrix = banded(16, 3, half, 3);
+        let fill = {
+            let engine = sm_pipeline::SubmatrixEngine::default();
+            engine.plan_for_matrix(&matrix, &comm).element_fill
+        };
+        let (dense_out, dense_wall) = run(matrix.clone(), BackendPolicy::Dense);
+        let (sparse_out, sparse_wall) = run(matrix.clone(), BackendPolicy::SparseCsr);
+        let (auto_out, _) = run(matrix, BackendPolicy::Auto);
+
+        let dense_ref = dense_out[0].result.to_dense(&comm);
+        let max_err = sparse_out[0]
+            .result
+            .to_dense(&comm)
+            .max_abs_diff(&dense_ref);
+        let sparse_report = &sparse_out[0].report;
+        let auto_backend = auto_out[0].report.backend;
+
+        // Contracts, asserted before reporting (the sparse_equivalence
+        // suite pins the same bounds in-test).
+        assert!(
+            max_err < 1e-10,
+            "{label}: unfiltered sparse deviates by {max_err}"
+        );
+        assert_eq!(dense_out[0].report.backend, SolveBackend::Dense);
+        assert_eq!(sparse_report.backend, SolveBackend::SparseCsr);
+        assert!(
+            sparse_report.sparse_flops > 0,
+            "{label}: sparse path counted no flops"
+        );
+        assert_eq!(
+            auto_backend,
+            if fill < SPARSE_FILL_THRESHOLD {
+                SolveBackend::SparseCsr
+            } else {
+                SolveBackend::Dense
+            },
+            "{label}: auto policy must follow the shared threshold rule"
+        );
+        fills.push(fill);
+        flops_by_level.push(sparse_report.sparse_flops);
+
+        eprintln!(
+            "{label}: fill {fill:.3}, auto={}, err {max_err:.3e}, sparse {} flops \
+             ({} filtered), dense {dense_wall:.3e} s vs sparse {sparse_wall:.3e} s",
+            backend_label(auto_backend),
+            sparse_report.sparse_flops,
+            sparse_report.sparse_filtered_nnz,
+        );
+        rows.push(vec![
+            label.to_string(),
+            format!("{fill:.6}"),
+            backend_label(auto_backend).to_string(),
+            sci(max_err),
+            sparse_report.sparse_flops.to_string(),
+            sparse_report.sparse_filtered_nnz.to_string(),
+            sci(dense_wall),
+            sci(sparse_wall),
+        ]);
+        series.push(Json::obj([
+            ("fill_level", Json::Str(label.into())),
+            ("element_fill", Json::Num(fill)),
+            (
+                "auto_backend",
+                Json::Str(backend_label(auto_backend).into()),
+            ),
+            ("max_err_vs_dense", Json::Num(max_err)),
+            ("sparse_flops", Json::Num(sparse_report.sparse_flops as f64)),
+            (
+                "sparse_filtered_nnz",
+                Json::Num(sparse_report.sparse_filtered_nnz as f64),
+            ),
+            ("dense_wall_s", Json::Num(dense_wall)),
+            ("sparse_wall_s", Json::Num(sparse_wall)),
+        ]));
+    }
+
+    // Cross-level contracts: the sweep actually spans the threshold, and
+    // sparse work grows with fill.
+    assert!(
+        fills.windows(2).all(|w| w[0] < w[1]),
+        "fill levels must be strictly increasing: {fills:?}"
+    );
+    assert!(
+        fills[0] < SPARSE_FILL_THRESHOLD && fills[2] > 0.5,
+        "sweep must straddle the auto threshold: {fills:?}"
+    );
+    assert!(
+        flops_by_level.windows(2).all(|w| w[0] < w[1]),
+        "sparse flops must grow with fill: {flops_by_level:?}"
+    );
+
+    println!("\nAblation — dense vs sparse-CSR solve backend across fill fractions");
+    print_table(&header, &rows);
+    write_csv("ablation_sparse.csv", &header, &rows);
+    // The acceptance artifact: the backend sweep under its stable name.
+    write_bench_json(
+        "sparse",
+        Json::obj([
+            (
+                "workload",
+                Json::Str("banded Newton–Schulz sign (serial queue)".into()),
+            ),
+            ("fill_threshold", Json::Num(SPARSE_FILL_THRESHOLD)),
+            ("series", Json::Arr(series)),
+            ("table", bench_table(&header, &rows)),
+        ]),
+    );
+}

@@ -228,6 +228,7 @@ impl ScfDriver {
                 solve: self.opts.numeric.solve,
                 use_selected_columns: false,
                 precision: self.opts.numeric.precision,
+                backend: self.opts.numeric.backend,
             },
             // Canonical (the default): the target is built from this
             // run's electron count and the driver's µ-bisection knobs.
@@ -249,6 +250,9 @@ impl ScfDriver {
                 // feedback loop damps the remaining rounding noise like
                 // any other perturbation.
                 precision: self.opts.numeric.precision,
+                // Backend is irrelevant under diagonalization but carried
+                // for report faithfulness.
+                backend: self.opts.numeric.backend,
             },
         };
         let avg_occ = n_electrons / (2.0 * kt0.n() as f64);

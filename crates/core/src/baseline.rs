@@ -72,7 +72,8 @@ pub fn newton_schulz_sign<C: Comm>(
     for it in 0..opts.max_iter {
         report.iterations = it + 1;
         // Y = X² (filtered).
-        let (y, s1) = multiply(&x, &x, comm, Some(opts.eps_filter));
+        let (y, s1) = multiply(&x, &x, comm, Some(opts.eps_filter))
+            .expect("newton_schulz_sign: operands share partition and grid");
         report.multiply.merge(&s1);
         // residual = ‖Y − I‖_F / √n.
         let mut resid_m = y.clone();
@@ -87,7 +88,8 @@ pub fn newton_schulz_sign<C: Comm>(
         let mut z = y;
         ops::scale(&mut z, -1.0);
         ops::shift_diag(&mut z, 3.0);
-        let (xz, s2) = multiply(&x, &z, comm, Some(opts.eps_filter));
+        let (xz, s2) = multiply(&x, &z, comm, Some(opts.eps_filter))
+            .expect("newton_schulz_sign: operands share partition and grid");
         report.multiply.merge(&s2);
         x = xz;
         ops::scale(&mut x, 0.5);
@@ -133,7 +135,8 @@ pub fn orthogonalize_sparse<C: Comm>(
     for it in 0..opts.max_iter {
         report.iterations = it + 1;
         // T = (3I − Z Y)/2
-        let (zy, s1) = multiply(&z, &y, comm, Some(opts.eps_filter));
+        let (zy, s1) = multiply(&z, &y, comm, Some(opts.eps_filter))
+            .expect("orthogonalize_sparse: operands share partition and grid");
         report.multiply.merge(&s1);
         let mut t = zy.clone();
         ops::scale(&mut t, -0.5);
@@ -147,9 +150,11 @@ pub fn orthogonalize_sparse<C: Comm>(
             report.converged = true;
             break;
         }
-        let (y2, s2) = multiply(&y, &t, comm, Some(opts.eps_filter));
+        let (y2, s2) = multiply(&y, &t, comm, Some(opts.eps_filter))
+            .expect("orthogonalize_sparse: operands share partition and grid");
         report.multiply.merge(&s2);
-        let (z2, s3) = multiply(&t, &z, comm, Some(opts.eps_filter));
+        let (z2, s3) = multiply(&t, &z, comm, Some(opts.eps_filter))
+            .expect("orthogonalize_sparse: operands share partition and grid");
         report.multiply.merge(&s3);
         y = y2;
         z = z2;
@@ -158,9 +163,11 @@ pub fn orthogonalize_sparse<C: Comm>(
     // S^{-1/2} = Z / √θ.
     ops::scale(&mut z, 1.0 / theta.sqrt());
     // K̃ = Z K Z.
-    let (zk, s4) = multiply(&z, k, comm, Some(opts.eps_filter));
+    let (zk, s4) = multiply(&z, k, comm, Some(opts.eps_filter))
+        .expect("orthogonalize_sparse: operands share partition and grid");
     report.multiply.merge(&s4);
-    let (kt, s5) = multiply(&zk, &z, comm, Some(opts.eps_filter));
+    let (kt, s5) = multiply(&zk, &z, comm, Some(opts.eps_filter))
+        .expect("orthogonalize_sparse: operands share partition and grid");
     report.multiply.merge(&s5);
     (kt, z, report)
 }

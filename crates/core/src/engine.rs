@@ -52,8 +52,8 @@ use crate::loadbalance::greedy_contiguous;
 use crate::mu::{adjust_mu, contributing_rows, StoredDecomposition};
 use crate::plan::SubmatrixPlan;
 use crate::solver::{
-    sign_columns_from_decomposition, sign_from_decomposition, solve_sign, SignMethod, SolveOptions,
-    SolveResult,
+    sign_columns_from_decomposition, sign_from_decomposition, solve_sign, SignMethod, SolveBackend,
+    SolveOptions, SolveResult,
 };
 use crate::transfers::{RankTransferPlan, TransferStats};
 
@@ -136,6 +136,50 @@ impl Default for EngineOptions {
     }
 }
 
+/// Element-fill fraction below which [`BackendPolicy::Auto`] routes
+/// iterative solves through the sparse CSR backend. Paper Sec. V-C: DZVP
+/// submatrices are block-dense but element-wise < 20% full, which is where
+/// filtered Gustavson multiplication beats the dense kernels.
+pub const SPARSE_FILL_THRESHOLD: f64 = 0.2;
+
+/// Engine-level solve-backend selection, resolved per execution against
+/// the plan's element fill. Numeric-phase-only, exactly like
+/// [`Precision`]: the policy and the resolved backend never enter pattern
+/// fingerprints, plan-cache keys, or any symbolic decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendPolicy {
+    /// Choose from the element fill the symbolic phase computed: below
+    /// [`SPARSE_FILL_THRESHOLD`] the iterative solves run sparse, else
+    /// dense. The fill is a deterministic plan property, identical on all
+    /// ranks, so every rank resolves the same backend.
+    #[default]
+    Auto,
+    /// Force the dense kernels.
+    Dense,
+    /// Force the element-wise sparse CSR backend.
+    SparseCsr,
+}
+
+impl BackendPolicy {
+    /// Resolve the policy to a concrete [`SolveBackend`] for a plan with
+    /// the given element fill. This is the single definition both the
+    /// engine (routing the solve) and the scheduler (costing the job)
+    /// apply, so they can never disagree about which backend a job runs.
+    pub fn resolve(self, element_fill: f64) -> SolveBackend {
+        match self {
+            BackendPolicy::Dense => SolveBackend::Dense,
+            BackendPolicy::SparseCsr => SolveBackend::SparseCsr,
+            BackendPolicy::Auto => {
+                if element_fill < SPARSE_FILL_THRESHOLD {
+                    SolveBackend::SparseCsr
+                } else {
+                    SolveBackend::Dense
+                }
+            }
+        }
+    }
+}
+
 /// Numeric-phase configuration; may vary call-to-call on one cached plan.
 #[derive(Debug, Clone, Copy)]
 pub struct NumericOptions {
@@ -162,6 +206,13 @@ pub struct NumericOptions {
     /// `solve.precision` during execution, so it is the engine-level
     /// source of truth.
     pub precision: Precision,
+    /// Solve-backend policy (paper Sec. V-C). Resolved against the plan's
+    /// [`ExecutionPlan::element_fill`] at execution time and threaded into
+    /// `solve.backend` the same way `precision` overrides
+    /// `solve.precision` — the engine-level source of truth. Subject to
+    /// the same invariant as precision: numeric-phase-only, never in
+    /// fingerprints or cache keys.
+    pub backend: BackendPolicy,
 }
 
 impl Default for NumericOptions {
@@ -171,6 +222,7 @@ impl Default for NumericOptions {
             ensemble: Ensemble::GrandCanonical,
             use_selected_columns: false,
             precision: Precision::Fp64,
+            backend: BackendPolicy::Auto,
         }
     }
 }
@@ -371,6 +423,11 @@ pub struct ExecutionPlan {
     /// Contributing element columns per spec (Algorithm 1 / selected
     /// columns).
     pub contributing: Vec<Vec<usize>>,
+    /// Element-level fill fraction of the pattern: `Σ size(br)·size(bc)`
+    /// over nonzero blocks, divided by `n²`. A deterministic global plan
+    /// property (identical on every rank), it is what
+    /// [`BackendPolicy::Auto`] resolves the solve backend against.
+    pub element_fill: f64,
     /// Seconds the symbolic phase took to build this plan.
     pub symbolic_seconds: f64,
 }
@@ -426,6 +483,24 @@ impl ExecutionPlan {
             .map(|s| contributing_rows(s, &dims))
             .collect();
 
+        // Element fill of the global pattern — the quantity Sec. V-C's
+        // backend decision keys off. Global and deterministic: every rank
+        // computes the same value from the same replicated pattern.
+        let n_elems = (dims.n() * dims.n()) as f64;
+        let nnz_elems: f64 = (0..dims.nb())
+            .map(|bc| {
+                pattern
+                    .rows_in_col(bc)
+                    .map(|br| (dims.size(br) * dims.size(bc)) as f64)
+                    .sum::<f64>()
+            })
+            .sum();
+        let element_fill = if n_elems > 0.0 {
+            nnz_elems / n_elems
+        } else {
+            0.0
+        };
+
         ExecutionPlan {
             fingerprint,
             rank,
@@ -442,6 +517,7 @@ impl ExecutionPlan {
             assembly,
             extraction,
             contributing,
+            element_fill,
             symbolic_seconds: t0.elapsed().as_secs_f64(),
         }
     }
@@ -472,6 +548,14 @@ pub struct EngineReport {
     pub mu: f64,
     /// Bisection steps of Algorithm 1 (0 for grand canonical).
     pub bisect_iterations: usize,
+    /// Solve backend the iterative solves resolved to (from
+    /// [`NumericOptions::backend`] against the plan's element fill).
+    pub backend: SolveBackend,
+    /// Elements dropped by the sparse backend's per-iteration filtering,
+    /// summed over this rank's submatrix solves (0 on the dense path).
+    pub sparse_filtered_nnz: u64,
+    /// Scalar flops spent in sparse (CSR) multiplications (0 on dense).
+    pub sparse_flops: u64,
     /// True if the plan came from the cache (no symbolic work this call).
     pub plan_cached: bool,
     /// Seconds of symbolic work this call (0 on cache hits).
@@ -520,6 +604,8 @@ impl EngineReport {
         self.transfers.total_references += later.transfers.total_references;
         self.gather_value_bytes += later.gather_value_bytes;
         self.scatter_value_bytes += later.scatter_value_bytes;
+        self.sparse_filtered_nnz += later.sparse_filtered_nnz;
+        self.sparse_flops += later.sparse_flops;
         self.bisect_iterations += later.bisect_iterations;
         self.symbolic_seconds += later.symbolic_seconds;
         self.gather_seconds += later.gather_seconds;
@@ -527,6 +613,7 @@ impl EngineReport {
         self.scatter_seconds += later.scatter_seconds;
         self.mu = later.mu;
         self.precision = later.precision;
+        self.backend = later.backend;
         self.plan_cached &= later.plan_cached;
     }
 }
@@ -877,11 +964,16 @@ impl SubmatrixEngine {
         );
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
 
-        // Precision is engine-authoritative: thread it into the per-
-        // submatrix solve options so the solver and the wire agree.
+        // Precision and backend are engine-authoritative: thread both into
+        // the per-submatrix solve options so the solver, the wire, and the
+        // scheduler's cost model agree. The backend resolves against the
+        // plan's element fill — a deterministic plan property — so every
+        // rank of the collective makes the same choice.
         let precision = numeric.precision;
+        let backend = numeric.backend.resolve(plan.element_fill);
         let mut numeric = *numeric;
         numeric.solve.precision = precision;
+        numeric.solve.backend = backend;
         let numeric = &numeric;
         let gather_format = if precision.gather_is_f32() {
             ValueFormat::F32
@@ -906,113 +998,119 @@ impl SubmatrixEngine {
         let gather_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let (mu, bisect_iterations, extracted) = if numeric.use_selected_columns {
-            assert_eq!(
-                precision,
-                Precision::Fp64,
-                "selected-columns evaluation is Fp64-only"
-            );
-            assert_eq!(
-                numeric.solve.method,
-                SignMethod::Diagonalization,
-                "selected-columns evaluation requires the diagonalization solver"
-            );
-            assert!(
-                matches!(numeric.ensemble, Ensemble::GrandCanonical),
-                "selected-columns evaluation supports grand-canonical runs only"
-            );
-            let solve_one = |i: &usize| {
-                let a = plan.assembly[*i].assemble(block_of);
-                let dec = sm_linalg::eigh::eigh(&a)
-                    .unwrap_or_else(|e| panic!("submatrix eigendecomposition failed: {e}"));
-                let cols_mat = sign_columns_from_decomposition(
-                    &dec,
-                    mu0,
-                    numeric.solve.kt,
-                    &plan.contributing[*i],
+        let (mu, bisect_iterations, extracted, (sparse_filtered_nnz, sparse_flops)) =
+            if numeric.use_selected_columns {
+                assert_eq!(
+                    precision,
+                    Precision::Fp64,
+                    "selected-columns evaluation is Fp64-only"
                 );
-                plan.extraction[*i].extract_from_columns(&cols_mat)
-            };
-            let indices: Vec<usize> = (0..plan.my_specs.len()).collect();
-            let extracted: Vec<BTreeMap<(usize, usize), Matrix>> = if self.opts.parallel {
-                indices.par_iter().map(solve_one).collect()
-            } else {
-                indices.iter().map(solve_one).collect()
-            };
-            (mu0, 0, extracted)
-        } else {
-            let solve_one = |i: &usize| {
-                let a = plan.assembly[*i].assemble(block_of);
-                solve_sign(&a, mu0, &numeric.solve)
-                    .unwrap_or_else(|e| panic!("submatrix solve failed: {e}"))
-            };
-            let indices: Vec<usize> = (0..plan.my_specs.len()).collect();
-            let results: Vec<SolveResult> = if self.opts.parallel {
-                indices.par_iter().map(solve_one).collect()
-            } else {
-                indices.iter().map(solve_one).collect()
-            };
-
-            // Canonical ensemble: Algorithm 1 on the stored decompositions,
-            // then re-evaluate the sign at the adjusted µ (collective).
-            let (mu, bisect_iterations, signs) = match numeric.ensemble {
-                Ensemble::GrandCanonical => {
-                    let signs: Vec<Matrix> = results.into_iter().map(|r| r.sign).collect();
-                    (mu0, 0, signs)
-                }
-                Ensemble::Canonical {
-                    n_electrons,
-                    tol,
-                    max_iter,
-                } => {
-                    assert_eq!(
-                        numeric.solve.method,
-                        SignMethod::Diagonalization,
-                        "canonical ensembles require the diagonalization solver (Sec. IV-G)"
-                    );
-                    let stored: Vec<StoredDecomposition> = plan
-                        .my_specs
-                        .iter()
-                        .zip(&results)
-                        .map(|(spec, r)| {
-                            StoredDecomposition::from_eigh(
-                                r.decomposition.as_ref().expect("diagonalization stores Q"),
-                                spec,
-                                &plan.dims,
-                            )
-                        })
-                        .collect();
-                    let adj = adjust_mu(
-                        &stored,
+                assert_eq!(
+                    numeric.solve.method,
+                    SignMethod::Diagonalization,
+                    "selected-columns evaluation requires the diagonalization solver"
+                );
+                assert!(
+                    matches!(numeric.ensemble, Ensemble::GrandCanonical),
+                    "selected-columns evaluation supports grand-canonical runs only"
+                );
+                let solve_one = |i: &usize| {
+                    let a = plan.assembly[*i].assemble(block_of);
+                    let dec = sm_linalg::eigh::eigh(&a)
+                        .unwrap_or_else(|e| panic!("submatrix eigendecomposition failed: {e}"));
+                    let cols_mat = sign_columns_from_decomposition(
+                        &dec,
                         mu0,
-                        n_electrons / 2.0,
                         numeric.solve.kt,
-                        tol / 2.0,
-                        max_iter,
-                        comm,
+                        &plan.contributing[*i],
                     );
-                    let signs: Vec<Matrix> = results
-                        .iter()
-                        .map(|r| {
-                            let mut s = sign_from_decomposition(
-                                r.decomposition.as_ref().expect("diagonalization stores Q"),
-                                adj.mu,
-                                numeric.solve.kt,
-                            );
-                            crate::solver::round_sign_output(&mut s, precision);
-                            s
-                        })
-                        .collect();
-                    (adj.mu, adj.iterations, signs)
-                }
+                    plan.extraction[*i].extract_from_columns(&cols_mat)
+                };
+                let indices: Vec<usize> = (0..plan.my_specs.len()).collect();
+                let extracted: Vec<BTreeMap<(usize, usize), Matrix>> = if self.opts.parallel {
+                    indices.par_iter().map(solve_one).collect()
+                } else {
+                    indices.iter().map(solve_one).collect()
+                };
+                (mu0, 0, extracted, (0u64, 0u64))
+            } else {
+                let solve_one = |i: &usize| {
+                    let a = plan.assembly[*i].assemble(block_of);
+                    solve_sign(&a, mu0, &numeric.solve)
+                        .unwrap_or_else(|e| panic!("submatrix solve failed: {e}"))
+                };
+                let indices: Vec<usize> = (0..plan.my_specs.len()).collect();
+                let results: Vec<SolveResult> = if self.opts.parallel {
+                    indices.par_iter().map(solve_one).collect()
+                } else {
+                    indices.iter().map(solve_one).collect()
+                };
+                // Sparse-backend tallies before the results are consumed.
+                let sparse_tally = results.iter().fold((0u64, 0u64), |acc, r| match r.sparse {
+                    Some(s) => (acc.0 + s.filtered_nnz, acc.1 + s.flops),
+                    None => acc,
+                });
+
+                // Canonical ensemble: Algorithm 1 on the stored decompositions,
+                // then re-evaluate the sign at the adjusted µ (collective).
+                let (mu, bisect_iterations, signs) = match numeric.ensemble {
+                    Ensemble::GrandCanonical => {
+                        let signs: Vec<Matrix> = results.into_iter().map(|r| r.sign).collect();
+                        (mu0, 0, signs)
+                    }
+                    Ensemble::Canonical {
+                        n_electrons,
+                        tol,
+                        max_iter,
+                    } => {
+                        assert_eq!(
+                            numeric.solve.method,
+                            SignMethod::Diagonalization,
+                            "canonical ensembles require the diagonalization solver (Sec. IV-G)"
+                        );
+                        let stored: Vec<StoredDecomposition> = plan
+                            .my_specs
+                            .iter()
+                            .zip(&results)
+                            .map(|(spec, r)| {
+                                StoredDecomposition::from_eigh(
+                                    r.decomposition.as_ref().expect("diagonalization stores Q"),
+                                    spec,
+                                    &plan.dims,
+                                )
+                            })
+                            .collect();
+                        let adj = adjust_mu(
+                            &stored,
+                            mu0,
+                            n_electrons / 2.0,
+                            numeric.solve.kt,
+                            tol / 2.0,
+                            max_iter,
+                            comm,
+                        );
+                        let signs: Vec<Matrix> = results
+                            .iter()
+                            .map(|r| {
+                                let mut s = sign_from_decomposition(
+                                    r.decomposition.as_ref().expect("diagonalization stores Q"),
+                                    adj.mu,
+                                    numeric.solve.kt,
+                                );
+                                crate::solver::round_sign_output(&mut s, precision);
+                                s
+                            })
+                            .collect();
+                        (adj.mu, adj.iterations, signs)
+                    }
+                };
+                let extracted: Vec<BTreeMap<(usize, usize), Matrix>> = signs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sign)| plan.extraction[i].extract(sign))
+                    .collect();
+                (mu, bisect_iterations, extracted, sparse_tally)
             };
-            let extracted: Vec<BTreeMap<(usize, usize), Matrix>> = signs
-                .iter()
-                .enumerate()
-                .map(|(i, sign)| plan.extraction[i].extract(sign))
-                .collect();
-            (mu, bisect_iterations, extracted)
-        };
         let solve_seconds = t1.elapsed().as_secs_f64();
 
         // Scatter result blocks to their owning ranks. Plain-Fp32 results
@@ -1063,6 +1161,35 @@ impl SubmatrixEngine {
                     &[],
                 );
             }
+            // Backend decision: one deterministic event per execution
+            // recording which representation the iterative solves resolved
+            // to and what the filtering saved (cost = backend code so
+            // deterministic replay distinguishes the paths).
+            {
+                let _p = sm_trace::span(sm_trace::SpanKind::Phase, "solve");
+                sm_trace::emit(
+                    "engine.solve.backend",
+                    match backend {
+                        SolveBackend::Dense => 0.0,
+                        SolveBackend::SparseCsr => 1.0,
+                    },
+                    0.0,
+                    &[
+                        ("element_fill", plan.element_fill),
+                        ("filtered_nnz", sparse_filtered_nnz as f64),
+                        ("sparse_flops", sparse_flops as f64),
+                    ],
+                );
+            }
+            if sparse_filtered_nnz > 0 {
+                sm_trace::counter_add(
+                    &sm_trace::scoped_root("engine.sparse.filtered_nnz"),
+                    sparse_filtered_nnz,
+                );
+            }
+            if sparse_flops > 0 {
+                sm_trace::counter_add(&sm_trace::scoped_root("engine.sparse.flops"), sparse_flops);
+            }
             // Byte budget by precision: exact whole-batch tallies (each
             // rank's value bytes are themselves deterministic).
             let prec = match precision {
@@ -1093,6 +1220,9 @@ impl SubmatrixEngine {
             precision,
             gather_value_bytes,
             scatter_value_bytes,
+            backend,
+            sparse_filtered_nnz,
+            sparse_flops,
             mu,
             bisect_iterations,
             // A direct execute performs no symbolic work by contract;
@@ -1219,6 +1349,7 @@ fn encode_plan(plan: &ExecutionPlan) -> Vec<u64> {
         plan.max_dim as u64,
         plan.avg_dim.to_bits(),
         plan.total_cost.to_bits(),
+        plan.element_fill.to_bits(),
         plan.symbolic_seconds.to_bits(),
     ];
     push_usize_slice(&mut w, plan.dims.sizes());
@@ -1314,6 +1445,7 @@ fn decode_plan(entry: &wire::PlanManifestEntry) -> Result<ExecutionPlan, PlanPer
     let max_dim = r.us()?;
     let avg_dim = r.f()?;
     let total_cost = r.f()?;
+    let element_fill = r.f()?;
     let symbolic_seconds = r.f()?;
     let sizes = r.usize_vec()?;
     if sizes.contains(&0) {
@@ -1416,6 +1548,7 @@ fn decode_plan(entry: &wire::PlanManifestEntry) -> Result<ExecutionPlan, PlanPer
         assembly,
         extraction,
         contributing,
+        element_fill,
         symbolic_seconds,
     })
 }
@@ -1849,6 +1982,85 @@ mod tests {
             "fp32-refined vs fp64: {}",
             results[2].max_abs_diff(&results[0])
         );
+    }
+
+    #[test]
+    fn one_plan_serves_both_solve_backends() {
+        // The solve backend, like precision, is numeric-only: forcing
+        // Dense and SparseCsr against the same engine shares one cached
+        // plan (no fingerprint or cache-key contamination), and at
+        // eps = 0 the sparse solve agrees with dense to 1e-10.
+        let (dense, dims) = banded_gapped(8, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let engine = SubmatrixEngine::default();
+        let mut results = Vec::new();
+        for policy in [BackendPolicy::Dense, BackendPolicy::SparseCsr] {
+            let numeric = NumericOptions {
+                backend: policy,
+                solve: SolveOptions {
+                    method: SignMethod::NewtonSchulz,
+                    ..SolveOptions::default()
+                },
+                ..NumericOptions::default()
+            };
+            let (sign, report) = engine.sign(&m, 0.0, &numeric, &comm);
+            let expected = match policy {
+                BackendPolicy::SparseCsr => SolveBackend::SparseCsr,
+                _ => SolveBackend::Dense,
+            };
+            assert_eq!(report.backend, expected);
+            if expected == SolveBackend::SparseCsr {
+                assert!(report.sparse_flops > 0, "sparse path must count flops");
+            }
+            results.push(sign.to_dense(&comm));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.symbolic_builds, 1, "backends must share one plan");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(engine.cached_plans(), 1);
+        assert!(
+            results[1].max_abs_diff(&results[0]) < 1e-10,
+            "sparse vs dense at eps = 0: {}",
+            results[1].max_abs_diff(&results[0])
+        );
+    }
+
+    #[test]
+    fn auto_policy_resolves_backend_from_plan_fill() {
+        // `BackendPolicy::Auto` keys off the plan's element fill — a
+        // deterministic symbolic property, identical on every rank — so
+        // the selected backend is itself deterministic. A banded-gapped
+        // pattern is sparse enough for CSR; a full matrix is not.
+        let (dense, dims) = banded_gapped(10, 2);
+        let m = DbcsrMatrix::from_dense(&dense, dims, 0, 1, 0.0);
+        let comm = SerialComm::new();
+        let numeric = NumericOptions {
+            solve: SolveOptions {
+                method: SignMethod::NewtonSchulz,
+                ..SolveOptions::default()
+            },
+            ..NumericOptions::default()
+        };
+        assert_eq!(numeric.backend, BackendPolicy::Auto);
+
+        let engine = SubmatrixEngine::default();
+        let plan = engine.plan_for_matrix(&m, &comm);
+        assert!(plan.element_fill > 0.0 && plan.element_fill <= 1.0);
+        let expected = if plan.element_fill < SPARSE_FILL_THRESHOLD {
+            SolveBackend::SparseCsr
+        } else {
+            SolveBackend::Dense
+        };
+        let (_, report) = engine.sign(&m, 0.0, &numeric, &comm);
+        assert_eq!(report.backend, expected);
+
+        let full = Matrix::from_fn(8, 8, |i, j| if i == j { 1.0 } else { 0.1 });
+        let mfull = DbcsrMatrix::from_dense(&full, BlockedDims::uniform(4, 2), 0, 1, 0.0);
+        let plan_full = engine.plan_for_matrix(&mfull, &comm);
+        assert_eq!(plan_full.element_fill, 1.0);
+        let (_, report) = engine.sign(&mfull, 0.0, &numeric, &comm);
+        assert_eq!(report.backend, SolveBackend::Dense);
     }
 
     #[test]

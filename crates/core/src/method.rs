@@ -65,9 +65,17 @@ impl SubmatrixOptions {
                 solve: self.solve,
                 ensemble: self.ensemble,
                 use_selected_columns: self.use_selected_columns,
-                // The one-shot drivers expose precision through their
-                // solver options; the engine-level knob mirrors it.
+                // The one-shot drivers expose precision and backend
+                // through their solver options; the engine-level knobs
+                // mirror them (an explicit solver backend stays forced,
+                // never silently re-resolved by fill).
                 precision: self.solve.precision,
+                backend: match self.solve.backend {
+                    crate::solver::SolveBackend::Dense => crate::engine::BackendPolicy::Dense,
+                    crate::solver::SolveBackend::SparseCsr => {
+                        crate::engine::BackendPolicy::SparseCsr
+                    }
+                },
             },
         )
     }

@@ -15,6 +15,27 @@ use sm_linalg::sign::{
 };
 use sm_linalg::{LinalgError, Matrix, Precision};
 
+/// Which linear-algebra representation executes an iterative sign solve.
+///
+/// Strictly a numeric knob, exactly like [`Precision`]: the backend never
+/// shapes sparsity patterns, transfer plans, or plan-cache keys — the same
+/// cached plan serves every backend. It changes *how* the assembled dense
+/// submatrix is iterated, not *what* is gathered or scattered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveBackend {
+    /// Dense BLAS-style kernels — the reference path, unchanged.
+    #[default]
+    Dense,
+    /// Element-wise CSR iteration ([`sm_linalg::sparse`]) with
+    /// per-iteration element filtering ([`SolveOptions::sparse_eps`]).
+    /// Applies to the iterative methods ([`SignMethod::NewtonSchulz`],
+    /// [`SignMethod::Pade`]); [`SignMethod::Diagonalization`] has no sparse
+    /// analogue and ignores the backend, and
+    /// [`SignMethod::ElementSparse`] is already the legacy explicit sparse
+    /// method with its own filter.
+    SparseCsr,
+}
+
 /// How to evaluate `sign(a − µI)` on a dense submatrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SignMethod {
@@ -67,6 +88,14 @@ pub struct SolveOptions {
     ///   (diagonalization), recovering ≤1e-6 elementwise agreement with
     ///   `Fp64`. [`SignMethod::ElementSparse`] is `f64`-only.
     pub precision: Precision,
+    /// Representation of the iterative solve. Like `precision`, strictly
+    /// numeric-phase-only — never enters patterns or plan-cache keys.
+    pub backend: SolveBackend,
+    /// Per-iteration element filter of the [`SolveBackend::SparseCsr`]
+    /// backend. `0.0` keeps the iteration exact (agreement with the dense
+    /// path within ~1e-10 for well-gapped submatrices); larger values trade
+    /// accuracy for flops, the Sec. V-C proposal.
+    pub sparse_eps: f64,
 }
 
 impl Default for SolveOptions {
@@ -77,8 +106,22 @@ impl Default for SolveOptions {
             tol: 1e-10,
             max_iter: 100,
             precision: Precision::Fp64,
+            backend: SolveBackend::Dense,
+            sparse_eps: 0.0,
         }
     }
+}
+
+/// Counters of one sparse (CSR) submatrix solve, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SparseSolveStats {
+    /// Scalar flops actually spent in filtered sparse multiplications.
+    pub flops: u64,
+    /// Element fill of the final iterate.
+    pub final_fill: f64,
+    /// Elements absent from the final iterate relative to dense `n²` —
+    /// the work the filtering avoided carrying.
+    pub filtered_nnz: u64,
 }
 
 /// Result of one submatrix solve.
@@ -91,6 +134,8 @@ pub struct SolveResult {
     pub decomposition: Option<Eigh>,
     /// Iterations used (0 for diagonalization).
     pub iterations: usize,
+    /// Sparse-backend counters (`None` on dense paths).
+    pub sparse: Option<SparseSolveStats>,
 }
 
 /// Round a solved sign matrix to the precision's storage format. A no-op
@@ -123,6 +168,7 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
                 sign,
                 decomposition: Some(dec),
                 iterations: 0,
+                sparse: None,
             })
         }
         SignMethod::ElementSparse { order, eps } => {
@@ -150,6 +196,7 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
             }
             Ok(SolveResult {
                 iterations: r.iterations,
+                sparse: Some(sparse_stats_of(&r, a.nrows())),
                 sign: r.sign,
                 decomposition: None,
             })
@@ -165,6 +212,9 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
                 SignMethod::Pade(p) => p,
                 _ => unreachable!(),
             };
+            if opts.backend == SolveBackend::SparseCsr {
+                return solve_sign_sparse_csr(a, mu, order, opts);
+            }
             if opts.precision.storage_is_f32() {
                 return solve_sign_iterative_f32(a, mu, order, opts);
             }
@@ -189,9 +239,80 @@ pub fn solve_sign(a: &Matrix, mu: f64, opts: &SolveOptions) -> Result<SolveResul
                 iterations: r.trace.len(),
                 sign: r.sign,
                 decomposition: None,
+                sparse: None,
             })
         }
     }
+}
+
+/// Telemetry counters from a finished sparse iteration on an `n × n`
+/// submatrix.
+fn sparse_stats_of(r: &sm_linalg::sparse::SparseSignResult, n: usize) -> SparseSolveStats {
+    let dense_nnz = (n * n) as u64;
+    let kept = (r.final_fill * (n * n) as f64).round() as u64;
+    SparseSolveStats {
+        flops: r.flops,
+        final_fill: r.final_fill,
+        filtered_nnz: dense_nnz.saturating_sub(kept),
+    }
+}
+
+/// The sparse-CSR iterative path (paper Sec. V-C wired end to end): run the
+/// element-wise sparse Newton–Schulz/Padé iteration with per-iteration
+/// filtering instead of the dense kernels.
+///
+/// Reduced precision composes the same way the dense path does: the input
+/// is rounded through `f32` storage first (idempotent with the `f32` wire
+/// gather, so every execution path solves the same matrix), the `f64` CSR
+/// iteration runs with its tolerance clamped to [`F32_SIGN_TOL`], plain
+/// `Fp32` rounds the result back to `f32` storage, and `Fp32Refined`
+/// applies one dense `f64` Newton–Schulz refinement pass.
+fn solve_sign_sparse_csr(
+    a: &Matrix,
+    mu: f64,
+    order: usize,
+    opts: &SolveOptions,
+) -> Result<SolveResult, LinalgError> {
+    let storage_rounded;
+    let input = if opts.precision.storage_is_f32() {
+        storage_rounded = a.round_f32_storage();
+        &storage_rounded
+    } else {
+        a
+    };
+    let tol = if opts.precision.storage_is_f32() {
+        opts.tol.max(F32_SIGN_TOL)
+    } else {
+        opts.tol
+    };
+    let r = sm_linalg::sparse::sparse_sign_iteration(
+        input,
+        mu,
+        order,
+        opts.sparse_eps,
+        tol.max(opts.sparse_eps),
+        opts.max_iter,
+    )?;
+    if !r.converged {
+        return Err(LinalgError::NoConvergence {
+            op: "sparse-csr submatrix sign iteration",
+            iterations: r.iterations,
+        });
+    }
+    let stats = sparse_stats_of(&r, a.nrows());
+    let mut sign = r.sign;
+    let mut iterations = r.iterations;
+    if opts.precision == Precision::Fp32Refined {
+        sign = refine_sign_newton_schulz(&sign)?;
+        iterations += 1;
+    }
+    round_sign_output(&mut sign, opts.precision);
+    Ok(SolveResult {
+        sign,
+        decomposition: None,
+        iterations,
+        sparse: Some(stats),
+    })
 }
 
 /// The reduced-precision iterative path: run the *generic* `f32` sign
@@ -238,6 +359,7 @@ fn solve_sign_iterative_f32(
         sign,
         decomposition: None,
         iterations,
+        sparse: None,
     })
 }
 
@@ -687,6 +809,151 @@ mod precision_tests {
             ..SolveOptions::default()
         };
         let _ = solve_sign(&a, 0.0, &opts);
+    }
+
+    #[test]
+    fn sparse_csr_backend_matches_dense_at_eps_zero() {
+        // The tentpole contract: at eps = 0 the CSR backend agrees with the
+        // dense iterative path within 1e-10 — same iteration map, exact
+        // (unfiltered) sparse products.
+        let a = banded(18);
+        for mu in [0.0, 0.1] {
+            for method in [SignMethod::NewtonSchulz, SignMethod::Pade(3)] {
+                let dense = solve_sign(&a, mu, &with_precision(method, Precision::Fp64)).unwrap();
+                let sparse = solve_sign(
+                    &a,
+                    mu,
+                    &SolveOptions {
+                        method,
+                        backend: SolveBackend::SparseCsr,
+                        sparse_eps: 0.0,
+                        ..SolveOptions::default()
+                    },
+                )
+                .unwrap();
+                let d = sparse.sign.max_abs_diff(&dense.sign);
+                assert!(d < 1e-10, "{method:?} mu={mu}: sparse off dense by {d}");
+                assert!(
+                    dense.sparse.is_none(),
+                    "dense path must not report sparse stats"
+                );
+                let stats = sparse.sparse.expect("sparse path reports stats");
+                assert!(stats.flops > 0);
+                assert!(stats.final_fill > 0.0 && stats.final_fill <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_csr_filtering_saves_flops_within_documented_tolerance() {
+        let a = banded(24);
+        let exact = solve_sign(
+            &a,
+            0.0,
+            &SolveOptions {
+                method: SignMethod::NewtonSchulz,
+                backend: SolveBackend::SparseCsr,
+                sparse_eps: 0.0,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        let filtered = solve_sign(
+            &a,
+            0.0,
+            &SolveOptions {
+                method: SignMethod::NewtonSchulz,
+                backend: SolveBackend::SparseCsr,
+                sparse_eps: 1e-5,
+                tol: 1e-4,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        let (se, sf) = (exact.sparse.unwrap(), filtered.sparse.unwrap());
+        assert!(sf.flops < se.flops, "filtering must save flops");
+        assert!(sf.filtered_nnz >= se.filtered_nnz);
+        // Documented tolerance of filtered runs: ~10× the filter.
+        let d = filtered.sign.max_abs_diff(&exact.sign);
+        assert!(d < 1e-3, "filtered run off by {d}");
+    }
+
+    #[test]
+    fn sparse_csr_composes_with_reduced_precision() {
+        // Same contract the dense path documents: Fp32 within 1e-4 of the
+        // f64 sparse solve, Fp32Refined within 1e-6; both invariant to
+        // prior f32 wire rounding (input rounding is idempotent).
+        let a = banded(16);
+        let rounded = a.round_f32_storage();
+        let base = SolveOptions {
+            method: SignMethod::NewtonSchulz,
+            backend: SolveBackend::SparseCsr,
+            sparse_eps: 0.0,
+            ..SolveOptions::default()
+        };
+        let reference = solve_sign(&a, 0.05, &base).unwrap().sign;
+        for (prec, tol) in [(Precision::Fp32, 1e-4), (Precision::Fp32Refined, 1e-6)] {
+            let opts = SolveOptions {
+                precision: prec,
+                ..base
+            };
+            let direct = solve_sign(&a, 0.05, &opts).unwrap();
+            let d = direct.sign.max_abs_diff(&reference);
+            assert!(d < tol, "{prec:?}: sparse off f64 sparse by {d}");
+            let wired = solve_sign(&rounded, 0.05, &opts).unwrap();
+            assert!(
+                direct.sign.allclose(&wired.sign, 0.0),
+                "{prec:?} diverged after wire rounding"
+            );
+        }
+        // Plain Fp32 results ship losslessly over the f32 result wire.
+        let r32 = solve_sign(
+            &a,
+            0.05,
+            &SolveOptions {
+                precision: Precision::Fp32,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(r32.sign.allclose(&r32.sign.round_f32_storage(), 0.0));
+        // Refined counts its refinement pass, like the dense f32 path.
+        let refined = solve_sign(
+            &a,
+            0.05,
+            &SolveOptions {
+                precision: Precision::Fp32Refined,
+                ..base
+            },
+        )
+        .unwrap();
+        let plain = solve_sign(
+            &a,
+            0.05,
+            &SolveOptions {
+                precision: Precision::Fp32,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(refined.iterations, plain.iterations + 1);
+    }
+
+    #[test]
+    fn diagonalization_ignores_the_backend() {
+        let a = banded(12);
+        let dense = solve_sign(&a, 0.1, &SolveOptions::default()).unwrap();
+        let routed = solve_sign(
+            &a,
+            0.1,
+            &SolveOptions {
+                backend: SolveBackend::SparseCsr,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(dense.sign.allclose(&routed.sign, 0.0));
+        assert!(routed.sparse.is_none());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Typed errors for distributed block-sparse operations.
+
+use std::fmt;
+
+/// Errors produced by distributed block-sparse operations.
+///
+/// A malformed multiply — mismatched partitions or process grids — used to
+/// `assert!` deep inside the collective, killing the whole rank thread and
+/// stranding its group peers. These typed results let a caller fail the
+/// *job* instead (the same treatment `SchedError::BadEstimate` gives bad
+/// cost estimates at scheduler admission).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbcsrError {
+    /// Operand block partitions differ.
+    PartitionMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Block count of the left operand's partition.
+        lhs_nb: usize,
+        /// Block count of the right operand's partition.
+        rhs_nb: usize,
+    },
+    /// Operand process grids differ.
+    GridMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Grid shape of the left operand.
+        lhs: (usize, usize),
+        /// Grid shape of the right operand.
+        rhs: (usize, usize),
+    },
+}
+
+impl fmt::Display for DbcsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbcsrError::PartitionMismatch { op, lhs_nb, rhs_nb } => {
+                write!(f, "{op}: partition mismatch ({lhs_nb} vs {rhs_nb} blocks)")
+            }
+            DbcsrError::GridMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: process grid mismatch ({}x{} vs {}x{})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbcsrError {}

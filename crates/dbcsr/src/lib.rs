@@ -8,9 +8,10 @@
 //!   per molecule in the chemistry substrate, 5–30 rows/cols in CP2K);
 //! * only nonzero blocks are stored; block-level sparsity is the unit of
 //!   truncation (`eps_filter`);
-//! * blocks are distributed over a square process grid with the cyclic
-//!   block→rank mapping, and matrix-matrix multiplication runs Cannon's
-//!   algorithm with tile shifts along grid rows and columns;
+//! * blocks are distributed over a 2-D process grid (any `rows × cols`
+//!   shape the rank count factors into) with the cyclic block→rank
+//!   mapping, and matrix-matrix multiplication runs Cannon-style tile
+//!   shifts along grid rows and columns;
 //! * every rank can build a deterministic global view of the sparsity
 //!   pattern in COO format, in which the position of a block doubles as its
 //!   unique ID (paper Sec. IV-A1) — the starting point of submatrix-method
@@ -23,6 +24,7 @@
 
 pub mod coo;
 pub mod dims;
+pub mod error;
 pub mod local;
 pub mod matrix;
 pub mod multiply;
@@ -32,6 +34,7 @@ pub mod wire;
 
 pub use coo::CooPattern;
 pub use dims::BlockedDims;
+pub use error::DbcsrError;
 pub use local::BlockStore;
 pub use matrix::{process_grid, DbcsrMatrix};
 pub use wire::PatternFingerprint;

@@ -18,8 +18,8 @@ use crate::local::BlockStore;
 ///
 /// Any rank count is accepted: the grid is the most-square factorization
 /// ([`Cart2d::squarest`]), so per-job scheduler subgroups of arbitrary
-/// width can host matrices. Cannon multiplication additionally requires
-/// the grid to be square and asserts that itself.
+/// width can host matrices. Cannon multiplication supports every grid
+/// shape this produces, square or not.
 pub fn process_grid(comm_size: usize) -> Cart2d {
     Cart2d::squarest(comm_size)
 }

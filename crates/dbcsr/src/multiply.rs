@@ -1,11 +1,28 @@
-//! Distributed block-sparse matrix multiplication — Cannon's algorithm.
+//! Distributed block-sparse matrix multiplication — generalized Cannon
+//! ring shifts on any `rows × cols` process grid.
 //!
 //! libDBCSR implements multiplication with a modified Cannon's algorithm
 //! (paper Sec. II-C): tiles of `A` shift westward and tiles of `B` shift
-//! northward around the square process grid, with a local block-sparse
-//! multiply-accumulate between shifts. After `q` steps every rank has seen
-//! every inner block index it needs, and `C`'s blocks are born on their
-//! owning ranks.
+//! northward around the process grid. This implementation generalizes the
+//! classic square-grid lockstep to **any** Cartesian grid the
+//! [`crate::matrix::process_grid`] factorization produces (1×3, 2×3, 2×4,
+//! 3×4, …): tiles of `A` circulate westward around each grid *row*
+//! (`cols − 1` unit shifts) and tiles of `B` northward around each grid
+//! *column* (`rows − 1` unit shifts). Under the cyclic block→rank
+//! distribution a rank at `(r, c)` owns `A` blocks with `br ≡ r (mod
+//! rows)` and `B` blocks with `bc ≡ c (mod cols)`, so after the ring
+//! passes it holds exactly the `A` row panel and `B` column panel that
+//! produce its `C` blocks — every `A(br,bk)·B(bk,bc)` product is formed
+//! exactly once, on the rank the cyclic distribution assigns `C(br,bc)`
+//! to.
+//!
+//! Unlike the lockstep variant (which applies block products in tile-
+//! arrival order, an order that depends on the grid shape), the products
+//! are applied once per output block in **canonical ascending inner-index
+//! order**. That makes the result bitwise-identical to the serial multiply
+//! on every grid shape — the determinism contract the scheduler's
+//! equivalence suites pin — at the cost of holding one row panel of `A`
+//! and one column panel of `B` per rank instead of a single streamed tile.
 //!
 //! The local multiply counts floating-point operations and the shifts count
 //! bytes, so the same code path feeds both the correctness tests and the
@@ -17,6 +34,7 @@ use sm_comsim::Comm;
 use sm_linalg::gemm::{gemm, Op};
 use sm_linalg::Matrix;
 
+use crate::error::DbcsrError;
 use crate::local::BlockStore;
 use crate::matrix::DbcsrMatrix;
 use crate::wire;
@@ -50,82 +68,82 @@ impl MultiplyStats {
 
 /// `C = A · B` on the distributed matrices, with optional block filtering
 /// of the result (DBCSR's `eps_filter`). Both operands must share the
-/// partition and the process grid. Collective over `comm`.
+/// partition and the process grid; a mismatch returns a typed
+/// [`DbcsrError`] so the caller can fail the job instead of the rank.
+/// Collective over `comm`. Works on any `rows × cols` grid.
 pub fn multiply<C: Comm>(
     a: &DbcsrMatrix,
     b: &DbcsrMatrix,
     comm: &C,
     eps_filter: Option<f64>,
-) -> (DbcsrMatrix, MultiplyStats) {
-    assert_eq!(a.dims(), b.dims(), "multiply: partition mismatch");
-    assert_eq!(a.grid(), b.grid(), "multiply: grid mismatch");
+) -> Result<(DbcsrMatrix, MultiplyStats), DbcsrError> {
+    if a.dims() != b.dims() {
+        return Err(DbcsrError::PartitionMismatch {
+            op: "multiply",
+            lhs_nb: a.nb(),
+            rhs_nb: b.nb(),
+        });
+    }
+    if a.grid() != b.grid() {
+        return Err(DbcsrError::GridMismatch {
+            op: "multiply",
+            lhs: (a.grid().rows(), a.grid().cols()),
+            rhs: (b.grid().rows(), b.grid().cols()),
+        });
+    }
     let grid = a.grid();
-    assert_eq!(
-        grid.rows(),
-        grid.cols(),
-        "Cannon multiplication requires a square process grid"
-    );
-    let q = grid.rows();
     let rank = a.rank();
-    let (my_r, my_c) = grid.coords(rank);
 
-    let mut c_mat = DbcsrMatrix::new(a.dims().clone(), rank, q * q);
+    let mut c_mat = DbcsrMatrix::new(a.dims().clone(), rank, grid.size());
     let mut stats = MultiplyStats::default();
 
-    // Working tiles (cloned stores; operands stay untouched).
-    let mut a_tile = a.store().clone();
-    let mut b_tile = b.store().clone();
-
-    // Initial skew: row r shifts its A tile left by r; column c shifts its
-    // B tile up by c.
-    if q > 1 {
-        a_tile = shift_tile(
+    // Gather the A row panel: circulate tiles westward around this grid
+    // row. Rank tiles partition the blocks, so the union over the row is
+    // exactly the blocks with br ≡ my_r (mod rows) — no deduplication
+    // needed, and the BTreeMap panel keeps blocks in ascending (br, bk)
+    // order regardless of arrival order.
+    let mut a_panel = a.store().clone();
+    let mut tile = a.store().clone();
+    for _ in 1..grid.cols() {
+        tile = shift_tile(
             a,
-            a_tile,
+            tile,
             comm,
-            grid.left(rank, my_r),
-            grid.right(rank, my_r),
+            grid.left(rank, 1),
+            grid.right(rank, 1),
             TAG_A_META,
             TAG_A_DATA,
             &mut stats,
         );
-        b_tile = shift_tile(
+        for (&coord, blk) in tile.iter() {
+            a_panel.insert(coord, blk.clone());
+        }
+    }
+
+    // Gather the B column panel: circulate tiles northward around this
+    // grid column (blocks with bc ≡ my_c (mod cols)).
+    let mut b_panel = b.store().clone();
+    let mut tile = b.store().clone();
+    for _ in 1..grid.rows() {
+        tile = shift_tile(
             b,
-            b_tile,
+            tile,
             comm,
-            grid.up(rank, my_c),
-            grid.down(rank, my_c),
+            grid.up(rank, 1),
+            grid.down(rank, 1),
             TAG_B_META,
             TAG_B_DATA,
             &mut stats,
         );
-    }
-
-    for step in 0..q {
-        local_multiply_accumulate(&a_tile, &b_tile, c_mat.store_mut(), &mut stats);
-        if step + 1 < q {
-            a_tile = shift_tile(
-                a,
-                a_tile,
-                comm,
-                grid.left(rank, 1),
-                grid.right(rank, 1),
-                TAG_A_META,
-                TAG_A_DATA,
-                &mut stats,
-            );
-            b_tile = shift_tile(
-                b,
-                b_tile,
-                comm,
-                grid.up(rank, 1),
-                grid.down(rank, 1),
-                TAG_B_META,
-                TAG_B_DATA,
-                &mut stats,
-            );
+        for (&coord, blk) in tile.iter() {
+            b_panel.insert(coord, blk.clone());
         }
     }
+
+    // One multiply over the complete panels: every C(br, bc) block this
+    // rank owns accumulates its products in ascending bk order, the same
+    // order the serial path uses — bitwise-identical on every grid shape.
+    local_multiply_accumulate(&a_panel, &b_panel, c_mat.store_mut(), &mut stats);
 
     if let Some(eps) = eps_filter {
         c_mat.store_mut().filter(eps);
@@ -138,7 +156,7 @@ pub fn multiply<C: Comm>(
         .iter()
         .all(|&(br, bc)| c_mat.is_mine(br, bc)));
 
-    (c_mat, stats)
+    Ok((c_mat, stats))
 }
 
 /// Send the current tile to `dst` and receive the incoming tile from `src`.
@@ -257,7 +275,7 @@ mod tests {
         let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
         let b = DbcsrMatrix::from_dense(&db, dims.clone(), 0, 1, 0.0);
         let comm = SerialComm::new();
-        let (c, stats) = multiply(&a, &b, &comm, None);
+        let (c, stats) = multiply(&a, &b, &comm, None).unwrap();
         let expect = matmul(&da, &db).unwrap();
         assert!(c.to_dense(&comm).allclose(&expect, 1e-12));
         assert!(stats.local_flops > 0);
@@ -274,7 +292,7 @@ mod tests {
         let (results, _) = run_ranks(4, |c| {
             let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
             let b = DbcsrMatrix::from_dense(&db, dims.clone(), c.rank(), c.size(), 0.0);
-            let (prod, stats) = multiply(&a, &b, c, None);
+            let (prod, stats) = multiply(&a, &b, c, None).unwrap();
             (prod.to_dense(c), stats)
         });
         for (dense, _) in &results {
@@ -295,7 +313,7 @@ mod tests {
         let (results, _) = run_ranks(9, |c| {
             let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
             let b = DbcsrMatrix::from_dense(&db, dims.clone(), c.rank(), c.size(), 0.0);
-            multiply(&a, &b, c, None).0.to_dense(c)
+            multiply(&a, &b, c, None).unwrap().0.to_dense(c)
         });
         for dense in results {
             assert!(dense.allclose(&expect, 1e-11));
@@ -310,7 +328,7 @@ mod tests {
         let (results, _) = run_ranks(4, |c| {
             let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
             let i = DbcsrMatrix::identity(dims.clone(), c.rank(), c.size());
-            multiply(&a, &i, c, None).0.to_dense(c)
+            multiply(&a, &i, c, None).unwrap().0.to_dense(c)
         });
         for dense in results {
             assert!(dense.allclose(&da, 1e-13));
@@ -325,8 +343,8 @@ mod tests {
         let da = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 1e-9 });
         let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
         let comm = SerialComm::new();
-        let (unfiltered, _) = multiply(&a, &a, &comm, None);
-        let (filtered, _) = multiply(&a, &a, &comm, Some(1e-6));
+        let (unfiltered, _) = multiply(&a, &a, &comm, None).unwrap();
+        let (filtered, _) = multiply(&a, &a, &comm, Some(1e-6)).unwrap();
         assert!(filtered.local_nnz_blocks() < unfiltered.local_nnz_blocks());
         // Diagonal survives.
         assert_eq!(filtered.local_nnz_blocks(), 4);
@@ -346,11 +364,100 @@ mod tests {
         });
         let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
         let comm = SerialComm::new();
-        let (c, stats) = multiply(&a, &a, &comm, None);
+        let (c, stats) = multiply(&a, &a, &comm, None).unwrap();
         assert_eq!(c.local_nnz_blocks(), 5);
         // 5 diagonal block pairs => 5 block gemms.
         assert_eq!(stats.block_gemms, 5);
         assert_eq!(stats.local_flops, 5 * 2 * 2 * 2 * 2);
+    }
+
+    /// Serial reference product with the same block partition.
+    fn serial_product(da: &Matrix, db: &Matrix, dims: &BlockedDims) -> Matrix {
+        let comm = SerialComm::new();
+        let a = DbcsrMatrix::from_dense(da, dims.clone(), 0, 1, 0.0);
+        let b = DbcsrMatrix::from_dense(db, dims.clone(), 0, 1, 0.0);
+        multiply(&a, &b, &comm, None).unwrap().0.to_dense(&comm)
+    }
+
+    #[test]
+    fn non_square_grids_match_serial_bitwise() {
+        // Worlds whose squarest factorization is non-square: 1×2, 1×3,
+        // 1×5, 2×3, 1×7, 2×4, 3×4. The old implementation panicked on all
+        // of them ("requires a square process grid") — this doubles as the
+        // regression test that the panic is gone, and pins the stronger
+        // contract that results are bitwise-identical to the serial path.
+        let dims = BlockedDims::new(vec![2, 3, 1, 2, 3, 2, 1]);
+        let n = dims.n();
+        let da = dense_banded(n, 5);
+        let db = dense_banded(n, 3);
+        let expect = serial_product(&da, &db, &dims);
+        for world in [2usize, 3, 5, 6, 7, 8, 12] {
+            let (results, _) = run_ranks(world, |c| {
+                let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
+                let b = DbcsrMatrix::from_dense(&db, dims.clone(), c.rank(), c.size(), 0.0);
+                multiply(&a, &b, c, None).unwrap().0.to_dense(c)
+            });
+            for dense in results {
+                assert!(
+                    dense.allclose(&expect, 0.0),
+                    "world {world}: distributed product is not bitwise-identical to serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_grids_match_serial_bitwise() {
+        // The square grids were never bitwise-pinned before (old lockstep
+        // Cannon accumulated in step order); the panel formulation is.
+        let dims = BlockedDims::new(vec![1, 2, 3, 2, 1, 2]);
+        let n = dims.n();
+        let da = dense_banded(n, 5);
+        let db = dense_banded(n, 2);
+        let expect = serial_product(&da, &db, &dims);
+        for world in [4usize, 9] {
+            let (results, _) = run_ranks(world, |c| {
+                let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
+                let b = DbcsrMatrix::from_dense(&db, dims.clone(), c.rank(), c.size(), 0.0);
+                multiply(&a, &b, c, None).unwrap().0.to_dense(c)
+            });
+            for dense in results {
+                assert!(dense.allclose(&expect, 0.0), "world {world}: not bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_mismatch_is_a_typed_error() {
+        let da = dense_banded(8, 2);
+        let a = DbcsrMatrix::from_dense(&da, BlockedDims::uniform(4, 2), 0, 1, 0.0);
+        let b = DbcsrMatrix::from_dense(&da, BlockedDims::uniform(2, 4), 0, 1, 0.0);
+        let err = multiply(&a, &b, &SerialComm::new(), None).unwrap_err();
+        assert_eq!(
+            err,
+            DbcsrError::PartitionMismatch {
+                op: "multiply",
+                lhs_nb: 4,
+                rhs_nb: 2
+            }
+        );
+    }
+
+    #[test]
+    fn grid_mismatch_is_a_typed_error() {
+        let dims = BlockedDims::uniform(4, 2);
+        let da = dense_banded(8, 2);
+        let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
+        let b = DbcsrMatrix::from_dense(&da, dims, 0, 4, 0.0);
+        let err = multiply(&a, &b, &SerialComm::new(), None).unwrap_err();
+        assert_eq!(
+            err,
+            DbcsrError::GridMismatch {
+                op: "multiply",
+                lhs: (1, 1),
+                rhs: (2, 2)
+            }
+        );
     }
 
     #[test]
@@ -360,13 +467,62 @@ mod tests {
         let da = dense_banded(n, 4);
         let serial_flops = {
             let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
-            multiply(&a, &a, &SerialComm::new(), None).1.local_flops
+            multiply(&a, &a, &SerialComm::new(), None)
+                .unwrap()
+                .1
+                .local_flops
         };
         let (results, _) = run_ranks(4, |c| {
             let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
-            multiply(&a, &a, c, None).1.local_flops
+            multiply(&a, &a, c, None).unwrap().1.local_flops
         });
         let dist_flops: u64 = results.iter().sum();
         assert_eq!(serial_flops, dist_flops);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            #[test]
+            fn multiply_is_bitwise_identical_on_any_grid(
+                world in 2usize..13,
+                seed in 0usize..64,
+                nb in 3usize..7,
+            ) {
+                let sizes: Vec<usize> = (0..nb).map(|i| 1 + (seed + i * 7) % 3).collect();
+                let dims = BlockedDims::new(sizes);
+                let n = dims.n();
+                let da = Matrix::from_fn(n, n, |i, j| {
+                    if (i * 31 + j * 17 + seed) % 4 == 0 {
+                        ((i * 13 + j * 7 + seed) % 19) as f64 * 0.17 - 0.9
+                    } else {
+                        0.0
+                    }
+                });
+                let db = Matrix::from_fn(n, n, |i, j| {
+                    if (i * 11 + j * 23 + seed) % 3 == 0 {
+                        ((i * 5 + j * 29 + seed) % 17) as f64 * 0.23 - 0.7
+                    } else {
+                        0.0
+                    }
+                });
+                let expect = serial_product(&da, &db, &dims);
+                let (results, _) = run_ranks(world, |c| {
+                    let a = DbcsrMatrix::from_dense(&da, dims.clone(), c.rank(), c.size(), 0.0);
+                    let b = DbcsrMatrix::from_dense(&db, dims.clone(), c.rank(), c.size(), 0.0);
+                    multiply(&a, &b, c, None).unwrap().0.to_dense(c)
+                });
+                for dense in results {
+                    prop_assert!(
+                        dense.allclose(&expect, 0.0),
+                        "world {} not bitwise-identical to serial",
+                        world
+                    );
+                }
+            }
+        }
     }
 }

@@ -445,6 +445,15 @@ pub mod tele {
     pub const ATTEMPTS: u32 = 30;
     /// 1.0 when the job was quarantined after exhausting its retry budget.
     pub const QUARANTINED: u32 = 31;
+    /// Solve backend the iterative solves resolved to (0 = dense,
+    /// 1 = sparse CSR). Forward-compatible: decoders that predate this id
+    /// preserve it untouched.
+    pub const SOLVE_BACKEND_CODE: u32 = 32;
+    /// Elements dropped by the sparse backend's per-iteration filtering,
+    /// summed over the job's submatrix solves (0 on the dense path).
+    pub const SPARSE_FILTERED_NNZ: u32 = 33;
+    /// Scalar flops spent in sparse (CSR) multiplications (0 on dense).
+    pub const SPARSE_FLOPS: u32 = 34;
 }
 
 /// Decode failure for a [`TelemetryRecord`].
@@ -583,8 +592,9 @@ impl TelemetryRecord {
 
 /// Schema version of the on-disk plan manifest. Bumped on any layout
 /// change; [`PlanManifest::decode`] refuses to misparse an unknown
-/// version.
-pub const PLAN_MANIFEST_SCHEMA_VERSION: u32 = 1;
+/// version. v2: plan payloads carry the pattern's element-fill fraction
+/// (the sparse-backend decision input).
+pub const PLAN_MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// Leading magic of every plan manifest (eight bytes, also the first
 /// little-endian word of the container). Guards against feeding an

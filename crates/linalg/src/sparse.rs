@@ -417,6 +417,88 @@ mod tests {
         );
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Deterministic pseudo-random matrix with an exact-zero mask —
+        /// `density` out of 8 entries survive; values avoid the filter
+        /// thresholds so "kept vs dropped" is never a borderline call.
+        fn sparse_matrix(rows: usize, cols: usize, seed: usize, density: usize) -> Matrix {
+            Matrix::from_fn(rows, cols, |i, j| {
+                let h = (i * 31 + j * 17 + seed * 7) % 8;
+                if h < density {
+                    let v = 1 + (i * 13 + j * 29 + seed * 5) % 9;
+                    let s = if (i + j + seed).is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    s * v as f64 / 4.0
+                } else {
+                    0.0
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn from_dense_to_dense_roundtrips_bitwise_at_eps_zero(
+                rows in 1usize..14,
+                cols in 1usize..14,
+                seed in 0usize..64,
+                density in 1usize..9,
+            ) {
+                let a = sparse_matrix(rows, cols, seed, density);
+                let s = CsrMatrix::from_dense(&a, 0.0);
+                // `eps = 0` keeps every nonzero: the round trip is exact,
+                // and the stored count is exactly the nonzero count.
+                prop_assert!(s.to_dense().allclose(&a, 0.0));
+                let nnz_expect = (0..rows)
+                    .flat_map(|i| (0..cols).map(move |j| (i, j)))
+                    .filter(|&(i, j)| a[(i, j)] != 0.0)
+                    .count();
+                prop_assert_eq!(s.nnz(), nnz_expect);
+                prop_assert_eq!(s.shape(), (rows, cols));
+            }
+
+            #[test]
+            fn eps_zero_filtered_multiply_is_exact(
+                n in 1usize..12,
+                k in 1usize..12,
+                m in 1usize..12,
+                seed in 0usize..64,
+            ) {
+                let a = sparse_matrix(n, k, seed, 5);
+                let b = sparse_matrix(k, m, seed + 101, 5);
+                let sa = CsrMatrix::from_dense(&a, 0.0);
+                let sb = CsrMatrix::from_dense(&b, 0.0);
+                let (c, flops) = sa.multiply_filtered(&sb, 0.0).unwrap();
+                let expect = crate::gemm::matmul(&a, &b).unwrap();
+                // Gustavson accumulates each output entry in the same
+                // ascending-k order as the dense kernel, skipping only
+                // exact-zero terms — `eps = 0` filtering is exact, not
+                // merely close.
+                prop_assert!(
+                    c.to_dense().allclose(&expect, 0.0),
+                    "eps=0 product deviates by {}",
+                    c.to_dense().max_abs_diff(&expect)
+                );
+                // Flop count is exactly two per surviving product term.
+                let terms: u64 = (0..n)
+                    .flat_map(|i| (0..m).map(move |j| (i, j)))
+                    .map(|(i, j)| {
+                        (0..k)
+                            .filter(|&kk| a[(i, kk)] != 0.0 && b[(kk, j)] != 0.0)
+                            .count() as u64
+                    })
+                    .sum();
+                prop_assert_eq!(flops, 2 * terms);
+            }
+        }
+    }
+
     #[test]
     fn sparse_pade3_matches_too() {
         let a = banded_gapped(12, 2);

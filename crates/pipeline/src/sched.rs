@@ -115,7 +115,8 @@ use sm_comsim::{
     run_ranks, run_ranks_with_faults, split_known, Comm, CommError, CommStats, FaultPlan, Payload,
     ReduceOp, SerialComm, SubComm, ThreadComm,
 };
-use sm_core::engine::{EngineOptions, EngineReport, SubmatrixEngine};
+use sm_core::engine::{EngineOptions, EngineReport, NumericOptions, SubmatrixEngine};
+use sm_core::solver::{SignMethod, SolveBackend};
 use sm_core::transfers::TransferStats;
 use sm_dbcsr::wire::{tele, TelemetryRecord, ValueFormat};
 use sm_dbcsr::{wire, DbcsrMatrix};
@@ -248,10 +249,54 @@ pub fn estimate_pattern_cost(matrix: &DbcsrMatrix) -> f64 {
     cost
 }
 
+/// Backend-aware variant of [`estimate_pattern_cost`]: when the job's
+/// [`BackendPolicy`](sm_core::engine::BackendPolicy) resolves to the
+/// sparse-CSR solve for this pattern's element fill (and the configured
+/// sign method honors the backend at all), the dense estimate is scaled
+/// by [`perfmodel::sparse_solve_cost_factor`].
+///
+/// The fill is computed from the same replicated pattern walk the
+/// engine's symbolic phase performs, and the resolution goes through the
+/// same shared [`resolve`](sm_core::engine::BackendPolicy::resolve) rule
+/// — scheduler and engine can never disagree about which backend a job
+/// runs, so the schedule stays a pure function of the estimates.
+pub fn estimate_pattern_cost_for(matrix: &DbcsrMatrix, numeric: &NumericOptions) -> f64 {
+    let comm = SerialComm::new();
+    let pattern = matrix.global_pattern(&comm);
+    let dims = matrix.dims();
+    let mut cost = 0.0;
+    let mut nnz_elems = 0.0;
+    for bc in 0..dims.nb() {
+        let n: usize = pattern.rows_in_col(bc).map(|br| dims.size(br)).sum();
+        if n > 0 {
+            let flops = 2.0 * (n as f64).powi(3);
+            cost += flops / perfmodel::matmul_utilization(1.0, n);
+        }
+        nnz_elems += pattern
+            .rows_in_col(bc)
+            .map(|br| (dims.size(br) * dims.size(bc)) as f64)
+            .sum::<f64>();
+    }
+    let n_elems = (dims.n() * dims.n()) as f64;
+    let fill = if n_elems > 0.0 {
+        nnz_elems / n_elems
+    } else {
+        0.0
+    };
+    let backend_honored = matches!(
+        numeric.solve.method,
+        SignMethod::NewtonSchulz | SignMethod::Pade(_)
+    );
+    if backend_honored && numeric.backend.resolve(fill) == SolveBackend::SparseCsr {
+        cost *= perfmodel::sparse_solve_cost_factor(fill);
+    }
+    cost
+}
+
 /// Estimate one matrix job's submatrix work (a single evaluation of its
-/// pattern; see [`estimate_pattern_cost`]).
+/// pattern under its numeric options; see [`estimate_pattern_cost_for`]).
 pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
-    estimate_pattern_cost(&job.matrix)
+    estimate_pattern_cost_for(&job.matrix, &job.numeric)
 }
 
 /// Estimate a [`BatchJob`]'s total work: the **per-iteration** pattern
@@ -262,7 +307,16 @@ pub fn estimate_job_cost(job: &MatrixJob) -> f64 {
 /// lets iterative jobs ride the same LPT/steal machinery as one-shot
 /// evaluations.
 pub fn estimate_batch_job_cost(job: &BatchJob) -> f64 {
-    estimate_pattern_cost(job.input()) * job.iteration_budget() as f64
+    estimate_pattern_cost_for(job.input(), job_numeric(job)) * job.iteration_budget() as f64
+}
+
+/// The numeric options a job will execute under (matrix jobs carry them
+/// directly; SCF jobs nest them inside their [`ScfOptions`]).
+fn job_numeric(job: &BatchJob) -> &NumericOptions {
+    match job {
+        BatchJob::Matrix(j) => &j.numeric,
+        BatchJob::Scf(j) => &j.scf.numeric,
+    }
 }
 
 /// Admission gate on the perfmodel estimates: every cost must be finite,
@@ -1968,6 +2022,9 @@ fn empty_report(precision: Precision) -> EngineReport {
         gather_seconds: 0.0,
         solve_seconds: 0.0,
         scatter_seconds: 0.0,
+        backend: SolveBackend::Dense,
+        sparse_filtered_nnz: 0,
+        sparse_flops: 0,
     }
 }
 
@@ -1995,6 +2052,23 @@ fn precision_from_code(x: f64) -> Precision {
         1 => Precision::Fp32,
         2 => Precision::Fp32Refined,
         other => panic!("unknown precision code {other}"),
+    }
+}
+
+/// Stable wire code of a [`SolveBackend`] inside the telemetry record.
+fn backend_code(b: SolveBackend) -> f64 {
+    match b {
+        SolveBackend::Dense => 0.0,
+        SolveBackend::SparseCsr => 1.0,
+    }
+}
+
+/// Inverse of [`backend_code`].
+fn backend_from_code(x: f64) -> SolveBackend {
+    match x as u64 {
+        0 => SolveBackend::Dense,
+        1 => SolveBackend::SparseCsr,
+        other => panic!("unknown solve-backend code {other}"),
     }
 }
 
@@ -2050,6 +2124,9 @@ fn encode_telemetry(
     rec.push(tele::STOLEN_RANKS, stolen_ranks as f64);
     rec.push(tele::ATTEMPTS, attempts as f64);
     rec.push(tele::QUARANTINED, quarantined as u64 as f64);
+    rec.push(tele::SOLVE_BACKEND_CODE, backend_code(report.backend));
+    rec.push(tele::SPARSE_FILTERED_NNZ, report.sparse_filtered_nnz as f64);
+    rec.push(tele::SPARSE_FLOPS, report.sparse_flops as f64);
     if let Some(s) = scf {
         rec.push(tele::SCF_ITERATIONS, s.iterations as f64);
         rec.push(tele::SCF_CONVERGED, if s.converged { 1.0 } else { 0.0 });
@@ -2128,6 +2205,9 @@ fn decode_telemetry(x: &[f64]) -> DecodedTelemetry {
             gather_seconds: get(tele::GATHER_SECONDS),
             solve_seconds: get(tele::SOLVE_SECONDS),
             scatter_seconds: get(tele::SCATTER_SECONDS),
+            backend: backend_from_code(get(tele::SOLVE_BACKEND_CODE)),
+            sparse_filtered_nnz: get(tele::SPARSE_FILTERED_NNZ) as u64,
+            sparse_flops: get(tele::SPARSE_FLOPS) as u64,
         },
         seconds: get(tele::SECONDS),
         group_size: get(tele::GROUP_SIZE) as usize,
@@ -2363,12 +2443,15 @@ mod tests {
             gather_seconds: 0.1,
             solve_seconds: 0.2,
             scatter_seconds: 0.3,
+            backend: SolveBackend::SparseCsr,
+            sparse_filtered_nnz: 42,
+            sparse_flops: 9000,
         };
         let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, 1, false, None);
         // Self-describing layout: version + entry-count header, then
-        // (field_id, value) pairs — 26 base fields.
+        // (field_id, value) pairs — 29 base fields.
         assert_eq!(enc[0], wire::TELEMETRY_SCHEMA_VERSION as f64);
-        assert_eq!(enc.len(), 2 + 2 * 26, "base record is 26 entries");
+        assert_eq!(enc.len(), 2 + 2 * 29, "base record is 29 entries");
         let d = decode_telemetry(&enc);
         assert_eq!(d.report.n_submatrices, 7);
         assert_eq!(d.report.transfers, report.transfers);
@@ -2377,6 +2460,9 @@ mod tests {
         assert_eq!(d.report.precision, Precision::Fp32Refined);
         assert_eq!(d.report.gather_value_bytes, 2048);
         assert_eq!(d.report.scatter_value_bytes, 512);
+        assert_eq!(d.report.backend, SolveBackend::SparseCsr);
+        assert_eq!(d.report.sparse_filtered_nnz, 42);
+        assert_eq!(d.report.sparse_flops, 9000);
         assert_eq!(
             (d.seconds, d.group_size, d.comm_bytes, d.comm_msgs),
             (1.5, 4, 4096, 17)
@@ -2396,7 +2482,7 @@ mod tests {
             scatter_value_bytes: vec![10, 20, 30],
         };
         let enc = encode_telemetry(&report, 1.5, 4, 4096, 17, 2, 3, 2, false, Some(&scf_in));
-        assert_eq!(enc.len(), 2 + 2 * (30 + 2 * 3));
+        assert_eq!(enc.len(), 2 + 2 * (33 + 2 * 3));
         let d = decode_telemetry(&enc);
         assert_eq!(d.attempts, 2);
         assert_eq!(d.scf, Some(scf_in));
@@ -2421,6 +2507,9 @@ mod tests {
             gather_seconds: 0.0,
             solve_seconds: 0.0,
             scatter_seconds: 0.0,
+            backend: SolveBackend::Dense,
+            sparse_filtered_nnz: 0,
+            sparse_flops: 0,
         };
         let mut enc = encode_telemetry(&report, 0.0, 1, 0, 0, 0, 0, 1, false, None);
         enc[0] += 1.0; // a future schema version
@@ -2556,6 +2645,46 @@ mod tests {
         for p in Precision::all() {
             assert_eq!(precision_from_code(precision_code(p)), p);
         }
+    }
+
+    #[test]
+    fn backend_codes_roundtrip() {
+        for b in [SolveBackend::Dense, SolveBackend::SparseCsr] {
+            assert_eq!(backend_from_code(backend_code(b)), b);
+        }
+    }
+
+    #[test]
+    fn sparse_backend_lowers_iterative_cost_estimates() {
+        // A low-fill pattern under Auto policy resolves to the sparse-CSR
+        // backend for iterative sign methods, and the perfmodel must
+        // price that in — otherwise LPT packing would misplace sparse
+        // jobs. Diagonalization ignores the backend, so its estimate
+        // must not move (the schedule stays a pure function of what the
+        // engine will actually run).
+        let dims = sm_dbcsr::BlockedDims::uniform(12, 4);
+        let diag = sm_linalg::Matrix::from_fn(48, 48, |i, j| if i == j { 2.0 } else { 0.0 });
+        let matrix = DbcsrMatrix::from_dense(&diag, dims, 0, 1, 0.0);
+        let dense = estimate_pattern_cost(&matrix);
+        let mut numeric = NumericOptions {
+            solve: sm_core::solver::SolveOptions {
+                method: SignMethod::NewtonSchulz,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let sparse = estimate_pattern_cost_for(&matrix, &numeric);
+        assert!(
+            sparse < dense,
+            "low-fill iterative estimate should shrink: {sparse} vs {dense}"
+        );
+        numeric.solve.method = SignMethod::Diagonalization;
+        assert_eq!(estimate_pattern_cost_for(&matrix, &numeric), dense);
+        // Forcing the dense backend restores the dense estimate even for
+        // iterative methods.
+        numeric.solve.method = SignMethod::NewtonSchulz;
+        numeric.backend = sm_core::engine::BackendPolicy::Dense;
+        assert_eq!(estimate_pattern_cost_for(&matrix, &numeric), dense);
     }
 
     #[test]

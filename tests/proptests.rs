@@ -121,7 +121,7 @@ proptest! {
         let comm = SerialComm::new();
         let a = DbcsrMatrix::from_dense(&da, dims.clone(), 0, 1, 0.0);
         let b = DbcsrMatrix::from_dense(&db, dims, 0, 1, 0.0);
-        let (c, _) = sm_dbcsr::multiply::multiply(&a, &b, &comm, None);
+        let (c, _) = sm_dbcsr::multiply::multiply(&a, &b, &comm, None).expect("serial multiply");
         let expect = matmul(&da, &db).expect("shapes");
         prop_assert!(c.to_dense(&comm).allclose(&expect, 1e-11));
     }
